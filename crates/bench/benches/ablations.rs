@@ -1,0 +1,34 @@
+//! Criterion bench: ablations of the SNE design choices (TLU skip, clock
+//! gating, broadcast crossbar).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sne_bench::{benchmark_network, workload};
+use sne::SneAccelerator;
+use sne_sim::SneConfig;
+
+fn ablations(c: &mut Criterion) {
+    let network = benchmark_network(16, 4, 11, 5);
+    let stream = workload(16, 32, 0.02, 13);
+    let base = SneConfig::with_slices(8);
+    let variants: [(&str, SneConfig); 4] = [
+        ("baseline", base),
+        ("no_tlu", SneConfig { tlu_enabled: false, ..base }),
+        ("no_clock_gating", SneConfig { clock_gating: false, ..base }),
+        ("no_broadcast", SneConfig { broadcast: false, ..base }),
+    ];
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(15);
+    for (label, config) in variants {
+        group.bench_function(label, |b| {
+            let mut accelerator = SneAccelerator::new(config);
+            b.iter(|| {
+                let result = accelerator.run(black_box(&network), black_box(&stream)).unwrap();
+                black_box((result.stats.total_cycles, result.stats.fire_cycles))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

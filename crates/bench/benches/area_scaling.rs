@@ -1,0 +1,24 @@
+//! Criterion bench: area-model evaluation across the Fig. 4 slice sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sne_bench::SLICE_SWEEP;
+use sne_energy::AreaModel;
+use sne_sim::SneConfig;
+
+fn area_scaling(c: &mut Criterion) {
+    let model = AreaModel::default();
+    let mut group = c.benchmark_group("fig4_area");
+    for slices in SLICE_SWEEP {
+        let config = SneConfig::with_slices(slices);
+        group.bench_function(format!("{slices}_slices"), |b| {
+            b.iter(|| {
+                let breakdown = model.breakdown(black_box(&config));
+                black_box(breakdown.total())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, area_scaling);
+criterion_main!(benches);

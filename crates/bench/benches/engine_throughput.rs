@@ -1,0 +1,27 @@
+//! Criterion bench: cycle-simulator throughput across the Fig. 5b slice
+//! sweep (one full layer run per iteration).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sne_bench::{benchmark_network, workload, SLICE_SWEEP};
+use sne::SneAccelerator;
+use sne_sim::SneConfig;
+
+fn engine_throughput(c: &mut Criterion) {
+    let network = benchmark_network(16, 4, 11, 5);
+    let stream = workload(16, 32, 0.02, 7);
+    let mut group = c.benchmark_group("fig5b_engine_throughput");
+    group.sample_size(20);
+    for slices in SLICE_SWEEP {
+        group.bench_function(format!("{slices}_slices"), |b| {
+            let mut accelerator = SneAccelerator::new(SneConfig::with_slices(slices));
+            b.iter(|| {
+                let result = accelerator.run(black_box(&network), black_box(&stream)).unwrap();
+                black_box(result.stats.total_cycles)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_throughput);
+criterion_main!(benches);

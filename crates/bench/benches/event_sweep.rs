@@ -1,0 +1,31 @@
+//! Criterion bench: simulated-inference cost versus input activity (the
+//! energy-proportionality sweep).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sne_bench::{benchmark_network, workload};
+use sne::SneAccelerator;
+use sne_sim::SneConfig;
+
+fn event_sweep(c: &mut Criterion) {
+    let network = benchmark_network(16, 4, 11, 5);
+    let mut group = c.benchmark_group("proportionality_event_sweep");
+    group.sample_size(15);
+    for &activity in &[0.012, 0.049] {
+        let stream = workload(16, 32, activity, 11);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("activity_{:.3}", activity)),
+            &stream,
+            |b, stream| {
+                let mut accelerator = SneAccelerator::new(SneConfig::with_slices(8));
+                b.iter(|| {
+                    let result = accelerator.run(black_box(&network), black_box(stream)).unwrap();
+                    black_box(result.energy.energy_uj)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, event_sweep);
+criterion_main!(benches);

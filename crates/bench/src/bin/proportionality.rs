@@ -1,0 +1,38 @@
+//! Regenerates the headline energy-proportionality claim: operations, cycles
+//! and energy scale linearly with the number of input events.
+
+use sne::proportionality::{activity_sweep, proportionality_correlation};
+use sne::SneAccelerator;
+use sne_bench::benchmark_network;
+use sne_sim::SneConfig;
+
+fn main() {
+    println!("Energy proportionality — cycles and energy vs input events (8 slices)");
+    println!();
+    let network = benchmark_network(16, 8, 11, 5);
+    let mut accelerator = SneAccelerator::new(SneConfig::with_slices(8));
+    let activities = [0.005, 0.012, 0.02, 0.03, 0.049, 0.08];
+    let points = activity_sweep(&mut accelerator, &network, 100, &activities, 23)
+        .expect("activity sweep succeeds");
+
+    println!(
+        "{:>9} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "activity", "events", "cycles", "SOPs", "time[ms]", "energy[uJ]"
+    );
+    for p in &points {
+        println!(
+            "{:>8.3}% {:>10} {:>12} {:>12} {:>10.3} {:>10.2}",
+            p.activity * 100.0,
+            p.input_events,
+            p.cycles,
+            p.synaptic_ops,
+            p.time_ms,
+            p.energy_uj
+        );
+    }
+    println!();
+    println!(
+        "correlation(events, cycles) = {:.4} (energy proportionality holds when this is ~1)",
+        proportionality_correlation(&points)
+    );
+}

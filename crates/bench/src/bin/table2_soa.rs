@@ -1,0 +1,35 @@
+//! Regenerates Table II: comparison with state-of-the-art neuromorphic
+//! platforms, plus the 0.9 V extrapolation of §IV-C.
+
+use sne_energy::comparison::{comparison_table, efficiency_improvement_over};
+use sne_energy::report::format_platform_row;
+use sne_energy::voltage::VoltageScaling;
+use sne_energy::EnergyModel;
+use sne_sim::SneConfig;
+
+fn main() {
+    let config = SneConfig::with_slices(8);
+    println!("Table II — state-of-the-art comparison");
+    println!(
+        "{:<16} {:<8} {:<5} {:<9} {:<12} {:<9} {:>8} {:>9} {:>7} {:>7} {:>8} {:>7} {:>8} {:<5} {:>5}",
+        "Name", "Impl.", "Tech", "Neuron", "Learning", "Type", "Neurons", "um2/neur", "GOP/s",
+        "TOP/s/W", "pJ/SOP", "MHz", "mW", "bits", "V"
+    );
+    for record in comparison_table(&config) {
+        println!("{}", format_platform_row(&record));
+    }
+    println!();
+    if let Some(improvement) = efficiency_improvement_over(&config, "Tianjic") {
+        println!("SNE efficiency improvement over Tianjic: {improvement:.2}x (paper: 3.55x)");
+    }
+
+    let energy = EnergyModel::new();
+    let scaling = VoltageScaling::default();
+    let e08 = energy.nominal_energy_per_sop_pj(&config);
+    let eff08 = energy.nominal_efficiency_tsops_w(&config);
+    println!(
+        "0.9 V extrapolation: {:.3} pJ/SOP, {:.2} TSOP/s/W (paper: 0.248 pJ/SOP, 4.03 TSOP/s/W)",
+        scaling.scale_energy(e08, 0.9),
+        scaling.scale_efficiency(eff08, 0.9)
+    );
+}

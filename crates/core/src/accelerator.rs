@@ -1,0 +1,396 @@
+//! The end-to-end accelerator runner.
+
+use sne_energy::{EnergyModel, PerformanceModel};
+use sne_event::EventStream;
+use sne_sim::{CycleStats, Engine, SneConfig};
+
+use crate::compile::{CompiledNetwork, Stage};
+use crate::run::{InferenceResult, LayerExecution};
+use crate::SneError;
+
+/// An SNE instance ready to run compiled networks.
+///
+/// The accelerator runs the network in the time-multiplexed mapping mode of
+/// paper §III-D.5: each accelerated layer executes on the engine, its output
+/// event stream is written back to memory, the host folds any pooling stage
+/// into the stream, and the next layer reads it back.
+#[derive(Debug)]
+pub struct SneAccelerator {
+    engine: Engine,
+    energy: EnergyModel,
+    performance: PerformanceModel,
+}
+
+impl SneAccelerator {
+    /// Creates an accelerator with the given engine configuration.
+    #[must_use]
+    pub fn new(config: SneConfig) -> Self {
+        Self {
+            engine: Engine::new(config),
+            energy: EnergyModel::new(),
+            performance: PerformanceModel::new(),
+        }
+    }
+
+    /// The engine configuration.
+    #[must_use]
+    pub fn config(&self) -> &SneConfig {
+        self.engine.config()
+    }
+
+    /// The underlying cycle-level engine (e.g. to enable tracing).
+    #[must_use]
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Runs one inference over an input event stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SneError::GeometryMismatch`] if the stream does not match
+    /// the network input, and propagates simulator errors.
+    pub fn run(&mut self, network: &CompiledNetwork, input: &EventStream) -> Result<InferenceResult, SneError> {
+        let g = input.geometry();
+        let expected = network.input_shape();
+        if (g.channels, g.height, g.width) != expected {
+            return Err(SneError::GeometryMismatch {
+                expected,
+                found: (g.channels, g.height, g.width),
+            });
+        }
+        if network.accelerated_layers() == 0 {
+            return Err(SneError::EmptyNetwork);
+        }
+
+        let config = *self.engine.config();
+        let mut stream = input.clone();
+        let mut total = CycleStats::new();
+        let mut layers = Vec::new();
+        let mut activity_sum = 0.0;
+
+        for stage in network.stages() {
+            match stage {
+                Stage::Pool { window, .. } => {
+                    stream = stream.downscale(*window);
+                }
+                Stage::Accelerated { mapping, description } => {
+                    let input_events = stream.spike_count() as u64;
+                    let run = self.engine.run_layer(mapping, &stream)?;
+                    let output_events = run.output.spike_count() as u64;
+                    let neurons = mapping.total_output_neurons() as f64;
+                    let timesteps = f64::from(stream.geometry().timesteps);
+                    let output_activity = if neurons * timesteps > 0.0 {
+                        output_events as f64 / (neurons * timesteps)
+                    } else {
+                        0.0
+                    };
+                    activity_sum += output_activity;
+                    total += run.stats;
+                    layers.push(LayerExecution {
+                        description: description.clone(),
+                        stats: run.stats,
+                        input_events,
+                        output_events,
+                        output_activity,
+                    });
+                    stream = run.output;
+                }
+            }
+        }
+
+        // The final stream's neurons are the classes; count spikes per class.
+        let classes = usize::from(network.output_classes());
+        let mut counts = vec![0u32; classes];
+        for event in stream.iter().filter(|e| e.is_spike()) {
+            if usize::from(event.ch) < classes {
+                counts[usize::from(event.ch)] += 1;
+            }
+        }
+        let predicted_class = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+
+        let energy = self.energy.report(&config, &total);
+        let inference_time_ms = self.performance.inference_time_ms(&config, &total);
+        let inference_rate = self.performance.inference_rate(&config, &total);
+        let accelerated = network.accelerated_layers().max(1) as f64;
+
+        Ok(InferenceResult {
+            predicted_class,
+            output_spike_counts: counts,
+            stats: total,
+            layers,
+            energy,
+            inference_time_ms,
+            inference_rate,
+            mean_activity: activity_sum / accelerated,
+        })
+    }
+}
+
+impl SneAccelerator {
+    /// Runs one inference in the **pipelined layer-per-slice mode** of paper
+    /// §III-D.5: the engine's slices are partitioned among the accelerated
+    /// layers, every layer must fit its allocation in a single pass, output
+    /// events flow to the next layer through the C-XBAR instead of external
+    /// memory, and all layers execute concurrently. Functionally the result
+    /// is identical to [`SneAccelerator::run`]; the timing differs — the
+    /// inference duration is the *makespan* (the slowest layer) rather than
+    /// the sum of the layer runtimes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SneError::PipelineDoesNotFit`] if there are fewer slices
+    /// than accelerated layers or a layer exceeds its slice allocation, plus
+    /// the same errors as [`SneAccelerator::run`].
+    pub fn run_pipelined(
+        &mut self,
+        network: &CompiledNetwork,
+        input: &EventStream,
+    ) -> Result<InferenceResult, SneError> {
+        let g = input.geometry();
+        let expected = network.input_shape();
+        if (g.channels, g.height, g.width) != expected {
+            return Err(SneError::GeometryMismatch {
+                expected,
+                found: (g.channels, g.height, g.width),
+            });
+        }
+        let accelerated = network.accelerated_layers();
+        if accelerated == 0 {
+            return Err(SneError::EmptyNetwork);
+        }
+        let config = *self.engine.config();
+        if config.num_slices < accelerated {
+            return Err(SneError::PipelineDoesNotFit {
+                layer: "whole network".to_owned(),
+                required_neurons: accelerated * config.neurons_per_slice(),
+                available_neurons: config.num_slices * config.neurons_per_slice(),
+            });
+        }
+
+        // Distribute the slices: every layer gets an equal share, the first
+        // `remainder` layers get one extra slice.
+        let base_share = config.num_slices / accelerated;
+        let remainder = config.num_slices % accelerated;
+
+        let mut stream = input.clone();
+        let mut total = CycleStats::new();
+        let mut makespan = 0u64;
+        let mut layers = Vec::new();
+        let mut activity_sum = 0.0;
+        let mut layer_index = 0usize;
+
+        for stage in network.stages() {
+            match stage {
+                Stage::Pool { window, .. } => {
+                    stream = stream.downscale(*window);
+                }
+                Stage::Accelerated { mapping, description } => {
+                    let slices = base_share + usize::from(layer_index < remainder);
+                    let available = slices * config.neurons_per_slice();
+                    if mapping.total_output_neurons() > available {
+                        return Err(SneError::PipelineDoesNotFit {
+                            layer: description.clone(),
+                            required_neurons: mapping.total_output_neurons(),
+                            available_neurons: available,
+                        });
+                    }
+                    let mut engine = Engine::new(SneConfig { num_slices: slices, ..config });
+                    let input_events = stream.spike_count() as u64;
+                    let run = engine.run_layer(mapping, &stream)?;
+                    let output_events = run.output.spike_count() as u64;
+                    let neurons = mapping.total_output_neurons() as f64;
+                    let timesteps = f64::from(stream.geometry().timesteps);
+                    let output_activity = if neurons * timesteps > 0.0 {
+                        output_events as f64 / (neurons * timesteps)
+                    } else {
+                        0.0
+                    };
+                    activity_sum += output_activity;
+                    makespan = makespan.max(run.stats.total_cycles);
+                    total += run.stats;
+                    layers.push(LayerExecution {
+                        description: description.clone(),
+                        stats: run.stats,
+                        input_events,
+                        output_events,
+                        output_activity,
+                    });
+                    stream = run.output;
+                    layer_index += 1;
+                }
+            }
+        }
+
+        // In the pipelined mode the layers overlap in time: the inference
+        // duration is the makespan of the slowest layer (plus a negligible
+        // pipeline fill of one event latency per layer, ignored here).
+        let mut pipeline_stats = total;
+        pipeline_stats.total_cycles = makespan;
+
+        let classes = usize::from(network.output_classes());
+        let mut counts = vec![0u32; classes];
+        for event in stream.iter().filter(|e| e.is_spike()) {
+            if usize::from(event.ch) < classes {
+                counts[usize::from(event.ch)] += 1;
+            }
+        }
+        let predicted_class = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+
+        let energy = self.energy.report(&config, &pipeline_stats);
+        let inference_time_ms = self.performance.inference_time_ms(&config, &pipeline_stats);
+        let inference_rate = self.performance.inference_rate(&config, &pipeline_stats);
+
+        Ok(InferenceResult {
+            predicted_class,
+            output_spike_counts: counts,
+            stats: pipeline_stats,
+            layers,
+            energy,
+            inference_time_ms,
+            inference_rate,
+            mean_activity: activity_sum / accelerated as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::CompiledNetwork;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sne_event::Event;
+    use sne_model::topology::Topology;
+    use sne_model::Shape;
+
+    fn compiled() -> CompiledNetwork {
+        let mut rng = StdRng::seed_from_u64(11);
+        CompiledNetwork::random(&Topology::tiny(Shape::new(2, 8, 8), 4, 3), &mut rng).unwrap()
+    }
+
+    fn input_stream(spikes_per_timestep: usize) -> EventStream {
+        let mut stream = EventStream::new(8, 8, 2, 16);
+        for t in 0..16 {
+            for i in 0..spikes_per_timestep {
+                stream.push(Event::update(t, (i % 2) as u16, (i % 8) as u16, ((i * 3) % 8) as u16)).unwrap();
+            }
+        }
+        stream
+    }
+
+    #[test]
+    fn run_produces_prediction_and_per_layer_stats() {
+        let mut accelerator = SneAccelerator::new(SneConfig::with_slices(2));
+        let result = accelerator.run(&compiled(), &input_stream(4)).unwrap();
+        assert!(result.predicted_class < 3);
+        assert_eq!(result.output_spike_counts.len(), 3);
+        assert_eq!(result.layers.len(), 2);
+        assert!(result.stats.total_cycles > 0);
+        assert!(result.inference_time_ms > 0.0);
+        assert!(result.inference_rate > 0.0);
+        assert!(result.energy.energy_uj > 0.0);
+    }
+
+    #[test]
+    fn geometry_mismatch_is_rejected() {
+        let mut accelerator = SneAccelerator::new(SneConfig::with_slices(1));
+        let wrong = EventStream::new(16, 16, 2, 8);
+        assert!(matches!(
+            accelerator.run(&compiled(), &wrong),
+            Err(SneError::GeometryMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn more_input_events_cost_more_cycles_and_energy() {
+        let mut accelerator = SneAccelerator::new(SneConfig::with_slices(2));
+        let network = compiled();
+        let sparse = accelerator.run(&network, &input_stream(1)).unwrap();
+        let dense = accelerator.run(&network, &input_stream(8)).unwrap();
+        assert!(dense.stats.total_cycles > sparse.stats.total_cycles);
+        assert!(dense.energy.energy_uj > sparse.energy.energy_uj);
+        assert!(dense.input_events() > sparse.input_events());
+    }
+
+    #[test]
+    fn reruns_are_deterministic() {
+        let mut accelerator = SneAccelerator::new(SneConfig::with_slices(2));
+        let network = compiled();
+        let a = accelerator.run(&network, &input_stream(3)).unwrap();
+        let b = accelerator.run(&network, &input_stream(3)).unwrap();
+        assert_eq!(a.output_spike_counts, b.output_spike_counts);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn config_accessors_expose_engine() {
+        let mut accelerator = SneAccelerator::new(SneConfig::with_slices(4));
+        assert_eq!(accelerator.config().num_slices, 4);
+        accelerator.engine_mut().enable_trace(16);
+    }
+
+    #[test]
+    fn pipelined_mode_matches_time_multiplexed_functionally() {
+        let network = compiled();
+        let stream = input_stream(4);
+        let mut accelerator = SneAccelerator::new(SneConfig::with_slices(8));
+        let tm = accelerator.run(&network, &stream).unwrap();
+        let pipelined = accelerator.run_pipelined(&network, &stream).unwrap();
+        assert_eq!(tm.output_spike_counts, pipelined.output_spike_counts);
+        assert_eq!(tm.predicted_class, pipelined.predicted_class);
+        // The pipeline makespan is never longer than the serial schedule.
+        assert!(pipelined.stats.total_cycles <= tm.stats.total_cycles);
+        assert!(pipelined.inference_time_ms <= tm.inference_time_ms);
+    }
+
+    #[test]
+    fn pipelined_mode_requires_enough_slices() {
+        let network = compiled(); // two accelerated layers
+        let stream = input_stream(2);
+        let mut accelerator = SneAccelerator::new(SneConfig::with_slices(1));
+        assert!(matches!(
+            accelerator.run_pipelined(&network, &stream),
+            Err(SneError::PipelineDoesNotFit { .. })
+        ));
+    }
+
+    #[test]
+    fn pipelined_mode_rejects_oversized_layers() {
+        // The Fig. 6 network at 32x32 has a 32*32*32 = 32768-neuron conv
+        // layer, which cannot fit the 4096 neurons of its 4-slice allocation.
+        let mut rng = StdRng::seed_from_u64(2);
+        let network = CompiledNetwork::random(
+            &Topology::paper_fig6(Shape::new(2, 32, 32), 11),
+            &mut rng,
+        )
+        .unwrap();
+        let stream = EventStream::new(32, 32, 2, 4);
+        let mut accelerator = SneAccelerator::new(SneConfig::with_slices(8));
+        assert!(matches!(
+            accelerator.run_pipelined(&network, &stream),
+            Err(SneError::PipelineDoesNotFit { .. })
+        ));
+    }
+
+    #[test]
+    fn pipelined_mode_checks_geometry() {
+        let network = compiled();
+        let wrong = EventStream::new(16, 16, 2, 8);
+        let mut accelerator = SneAccelerator::new(SneConfig::with_slices(8));
+        assert!(matches!(
+            accelerator.run_pipelined(&network, &wrong),
+            Err(SneError::GeometryMismatch { .. })
+        ));
+    }
+}

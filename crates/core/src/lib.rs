@@ -1,0 +1,66 @@
+//! Top-level API of the SNE reproduction.
+//!
+//! This crate ties the workspace together: it compiles event-based
+//! convolutional networks (trained with `sne-model` or generated with random
+//! quantized weights) into [`sne_sim::mapping::LayerMapping`]s for the
+//! cycle-approximate simulator in `sne-sim`, runs inferences end to end, and
+//! attaches the
+//! calibrated energy/performance models of `sne-energy` to the measured
+//! cycle counts.
+//!
+//! The typical flow is:
+//!
+//! 1. build or train a network topology ([`sne_model::topology::Topology`]),
+//! 2. compile it with [`compile::CompiledNetwork`],
+//! 3. run it on an [`accelerator::SneAccelerator`],
+//! 4. read the [`run::InferenceResult`]: prediction, cycle statistics,
+//!    inference time/rate and energy.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sne::accelerator::SneAccelerator;
+//! use sne::compile::CompiledNetwork;
+//! use sne_model::topology::Topology;
+//! use sne_model::Shape;
+//! use sne_sim::SneConfig;
+//! use sne_event::{Event, EventStream};
+//!
+//! # fn main() -> Result<(), sne::SneError> {
+//! let topology = Topology::tiny(Shape::new(2, 8, 8), 4, 3);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let compiled = CompiledNetwork::random(&topology, &mut rng)?;
+//!
+//! let mut accelerator = SneAccelerator::new(SneConfig::with_slices(2));
+//! let mut stream = EventStream::new(8, 8, 2, 16);
+//! for t in 0..16 {
+//!     stream.push(Event::update(t, 0, 3, 4)).map_err(sne::SneError::from)?;
+//! }
+//! let result = accelerator.run(&compiled, &stream)?;
+//! assert!(result.predicted_class < 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accelerator;
+pub mod compile;
+pub mod proportionality;
+pub mod report;
+pub mod run;
+
+mod error;
+
+pub use accelerator::SneAccelerator;
+pub use compile::{CompiledNetwork, Stage};
+pub use error::SneError;
+pub use run::{InferenceResult, LayerExecution};
+
+// Re-export the crates a downstream user needs to drive the API.
+pub use sne_energy;
+pub use sne_event;
+pub use sne_model;
+pub use sne_sim;

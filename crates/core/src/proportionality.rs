@@ -1,0 +1,182 @@
+//! Energy-proportionality experiments.
+//!
+//! The central claim of the paper is that the SNE performs a number of
+//! operations — and therefore spends an amount of time and energy —
+//! proportional to the number of events in the input stream. This module
+//! sweeps the input activity of a fixed network and records events, cycles
+//! and energy, which is what the `proportionality` benchmark binary prints.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sne_event::{Event, EventStream};
+
+use crate::accelerator::SneAccelerator;
+use crate::compile::CompiledNetwork;
+use crate::SneError;
+
+/// One point of the activity sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProportionalityPoint {
+    /// Requested input activity (fraction of active positions per timestep).
+    pub activity: f64,
+    /// Input events actually generated.
+    pub input_events: u64,
+    /// Total cycles spent by the accelerator.
+    pub cycles: u64,
+    /// Synaptic operations performed.
+    pub synaptic_ops: u64,
+    /// Inference time in milliseconds.
+    pub time_ms: f64,
+    /// Energy per inference in µJ.
+    pub energy_uj: f64,
+}
+
+/// Generates a random input stream with (approximately) the requested
+/// activity for the given network input geometry.
+#[must_use]
+pub fn stream_with_activity(
+    shape: (u16, u16, u16),
+    timesteps: u32,
+    activity: f64,
+    seed: u64,
+) -> EventStream {
+    let (channels, height, width) = shape;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stream = EventStream::new(width, height, channels, timesteps);
+    for t in 0..timesteps {
+        for c in 0..channels {
+            for y in 0..height {
+                for x in 0..width {
+                    if rng.gen::<f64>() < activity {
+                        stream.push_unchecked(Event::update(t, c, x, y));
+                    }
+                }
+            }
+        }
+    }
+    stream
+}
+
+/// Runs the activity sweep: one inference per requested activity level.
+///
+/// # Errors
+///
+/// Propagates accelerator errors.
+pub fn activity_sweep(
+    accelerator: &mut SneAccelerator,
+    network: &CompiledNetwork,
+    timesteps: u32,
+    activities: &[f64],
+    seed: u64,
+) -> Result<Vec<ProportionalityPoint>, SneError> {
+    let mut points = Vec::with_capacity(activities.len());
+    for (i, &activity) in activities.iter().enumerate() {
+        let stream =
+            stream_with_activity(network.input_shape(), timesteps, activity, seed ^ (i as u64) << 16);
+        let events = stream.spike_count() as u64;
+        let result = accelerator.run(network, &stream)?;
+        points.push(ProportionalityPoint {
+            activity,
+            input_events: events,
+            cycles: result.stats.total_cycles,
+            synaptic_ops: result.stats.synaptic_ops,
+            time_ms: result.inference_time_ms,
+            energy_uj: result.energy.energy_uj,
+        });
+    }
+    Ok(points)
+}
+
+/// Pearson correlation between input events and cycles across sweep points —
+/// energy proportionality means this is close to 1.
+#[must_use]
+pub fn proportionality_correlation(points: &[ProportionalityPoint]) -> f64 {
+    if points.len() < 2 {
+        return 1.0;
+    }
+    let xs: Vec<f64> = points.iter().map(|p| p.input_events as f64).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.cycles as f64).collect();
+    correlation(&xs, &ys)
+}
+
+fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mean_x) * (y - mean_y);
+        var_x += (x - mean_x).powi(2);
+        var_y += (y - mean_y).powi(2);
+    }
+    if var_x == 0.0 || var_y == 0.0 {
+        return 1.0;
+    }
+    cov / (var_x.sqrt() * var_y.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use sne_model::topology::Topology;
+    use sne_model::Shape;
+    use sne_sim::SneConfig;
+
+    fn setup() -> (SneAccelerator, CompiledNetwork) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let network =
+            CompiledNetwork::random(&Topology::tiny(Shape::new(2, 8, 8), 2, 3), &mut rng).unwrap();
+        (SneAccelerator::new(SneConfig::with_slices(2)), network)
+    }
+
+    #[test]
+    fn stream_activity_tracks_the_request() {
+        let stream = stream_with_activity((2, 16, 16), 40, 0.05, 9);
+        let measured = stream.activity();
+        assert!((measured - 0.05).abs() < 0.02, "measured activity {measured}");
+    }
+
+    #[test]
+    fn sweep_produces_monotonic_event_counts() {
+        let (mut accelerator, network) = setup();
+        let points =
+            activity_sweep(&mut accelerator, &network, 10, &[0.01, 0.03, 0.06], 7).unwrap();
+        assert_eq!(points.len(), 3);
+        assert!(points[0].input_events < points[2].input_events);
+        assert!(points[0].cycles < points[2].cycles);
+        assert!(points[0].energy_uj < points[2].energy_uj);
+    }
+
+    #[test]
+    fn cycles_are_strongly_correlated_with_events() {
+        let (mut accelerator, network) = setup();
+        let points = activity_sweep(
+            &mut accelerator,
+            &network,
+            10,
+            &[0.005, 0.01, 0.02, 0.04, 0.08],
+            13,
+        )
+        .unwrap();
+        let r = proportionality_correlation(&points);
+        assert!(r > 0.95, "correlation {r} should be close to 1");
+    }
+
+    #[test]
+    fn correlation_handles_degenerate_inputs() {
+        assert_eq!(proportionality_correlation(&[]), 1.0);
+        let p = ProportionalityPoint {
+            activity: 0.0,
+            input_events: 0,
+            cycles: 0,
+            synaptic_ops: 0,
+            time_ms: 0.0,
+            energy_uj: 0.0,
+        };
+        assert_eq!(proportionality_correlation(&[p, p]), 1.0);
+    }
+}

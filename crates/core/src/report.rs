@@ -1,0 +1,133 @@
+//! Summary reports combining accuracy, performance and energy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::run::InferenceResult;
+
+/// Aggregate of many inferences over a dataset (the per-dataset rows of
+/// Table I).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetReport {
+    /// Dataset label.
+    pub dataset: String,
+    /// Number of evaluated samples.
+    pub samples: usize,
+    /// Classification accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Minimum energy per inference observed, in µJ.
+    pub min_energy_uj: f64,
+    /// Maximum energy per inference observed, in µJ.
+    pub max_energy_uj: f64,
+    /// Minimum inference rate observed, in inferences per second.
+    pub min_rate: f64,
+    /// Maximum inference rate observed, in inferences per second.
+    pub max_rate: f64,
+    /// Mean network activity across samples.
+    pub mean_activity: f64,
+}
+
+impl DatasetReport {
+    /// Builds a report from per-sample results and their correctness flags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results` and `correct` have different lengths.
+    #[must_use]
+    pub fn from_results(dataset: &str, results: &[InferenceResult], correct: &[bool]) -> Self {
+        assert_eq!(results.len(), correct.len(), "one correctness flag per result");
+        let samples = results.len();
+        let accuracy = if samples == 0 {
+            0.0
+        } else {
+            correct.iter().filter(|&&c| c).count() as f64 / samples as f64
+        };
+        let mut min_energy = f64::INFINITY;
+        let mut max_energy: f64 = 0.0;
+        let mut min_rate = f64::INFINITY;
+        let mut max_rate: f64 = 0.0;
+        let mut activity = 0.0;
+        for r in results {
+            min_energy = min_energy.min(r.energy.energy_uj);
+            max_energy = max_energy.max(r.energy.energy_uj);
+            min_rate = min_rate.min(r.inference_rate);
+            max_rate = max_rate.max(r.inference_rate);
+            activity += r.mean_activity;
+        }
+        if samples == 0 {
+            min_energy = 0.0;
+            min_rate = 0.0;
+        }
+        Self {
+            dataset: dataset.to_owned(),
+            samples,
+            accuracy,
+            min_energy_uj: min_energy,
+            max_energy_uj: max_energy,
+            min_rate,
+            max_rate,
+            mean_activity: if samples == 0 { 0.0 } else { activity / samples as f64 },
+        }
+    }
+
+    /// Formats the report as one Table-I-style row.
+    #[must_use]
+    pub fn to_row(&self) -> String {
+        format!(
+            "{:<16} | acc {:5.1}% | energy {:7.1}-{:7.1} uJ/inf | rate {:6.1}-{:6.1} inf/s | activity {:.2}%",
+            self.dataset,
+            self.accuracy * 100.0,
+            self.min_energy_uj,
+            self.max_energy_uj,
+            self.min_rate,
+            self.max_rate,
+            self.mean_activity * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sne_energy::EnergyReport;
+    use sne_sim::CycleStats;
+
+    fn result(energy_uj: f64, rate: f64, activity: f64) -> InferenceResult {
+        InferenceResult {
+            predicted_class: 0,
+            output_spike_counts: vec![1],
+            stats: CycleStats::default(),
+            layers: Vec::new(),
+            energy: EnergyReport { energy_uj, ..EnergyReport::default() },
+            inference_time_ms: 1.0,
+            inference_rate: rate,
+            mean_activity: activity,
+        }
+    }
+
+    #[test]
+    fn report_aggregates_ranges_and_accuracy() {
+        let results = vec![result(80.0, 141.0, 0.012), result(261.0, 43.0, 0.049)];
+        let report = DatasetReport::from_results("DVS-Gesture-like", &results, &[true, false]);
+        assert_eq!(report.samples, 2);
+        assert!((report.accuracy - 0.5).abs() < 1e-12);
+        assert_eq!(report.min_energy_uj, 80.0);
+        assert_eq!(report.max_energy_uj, 261.0);
+        assert_eq!(report.min_rate, 43.0);
+        assert_eq!(report.max_rate, 141.0);
+        assert!(report.to_row().contains("DVS-Gesture-like"));
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let report = DatasetReport::from_results("empty", &[], &[]);
+        assert_eq!(report.samples, 0);
+        assert_eq!(report.accuracy, 0.0);
+        assert_eq!(report.min_energy_uj, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one correctness flag per result")]
+    fn mismatched_lengths_panic() {
+        let _ = DatasetReport::from_results("bad", &[result(1.0, 1.0, 0.0)], &[]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Design-space exploration over the architectural parameters.
+//!
+//! The paper evaluates one family of configurations (16 clusters × 64 TDM
+//! neurons, 1–8 slices). This module sweeps the architectural knobs exposed
+//! by [`SneConfig`] with the calibrated area/power/performance models and
+//! ranks the candidates by energy efficiency and area efficiency — the
+//! "configurable engine" exploration the paper's conclusion motivates.
+
+use serde::{Deserialize, Serialize};
+use sne_sim::SneConfig;
+
+use crate::area::AreaModel;
+use crate::energy::EnergyModel;
+use crate::power::PowerModel;
+
+/// One evaluated design point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Number of slices.
+    pub slices: usize,
+    /// Clusters per slice.
+    pub clusters_per_slice: usize,
+    /// TDM neurons per cluster.
+    pub neurons_per_cluster: usize,
+    /// Total neurons of the instance.
+    pub neurons: usize,
+    /// Total area in kGE.
+    pub area_kge: f64,
+    /// Peak power at full activity in mW.
+    pub power_mw: f64,
+    /// Peak performance in GSOP/s.
+    pub gsops: f64,
+    /// Energy per synaptic operation in pJ.
+    pub energy_per_sop_pj: f64,
+    /// Energy efficiency in TSOP/s/W.
+    pub efficiency_tsops_w: f64,
+    /// Area efficiency in GSOP/s per mm².
+    pub gsops_per_mm2: f64,
+}
+
+impl DesignPoint {
+    /// Evaluates one configuration with the calibrated models.
+    #[must_use]
+    pub fn evaluate(config: &SneConfig) -> Self {
+        let area = AreaModel::default();
+        let power = PowerModel::default();
+        let energy = EnergyModel::new();
+        let area_kge = area.total_kge(config);
+        let mm2 = area.total_mm2(config);
+        let gsops = config.peak_gsops();
+        Self {
+            slices: config.num_slices,
+            clusters_per_slice: config.clusters_per_slice,
+            neurons_per_cluster: config.neurons_per_cluster,
+            neurons: config.total_neurons(),
+            area_kge,
+            power_mw: power.peak_total_mw(config),
+            gsops,
+            energy_per_sop_pj: energy.nominal_energy_per_sop_pj(config),
+            efficiency_tsops_w: energy.nominal_efficiency_tsops_w(config),
+            gsops_per_mm2: if mm2 > 0.0 { gsops / mm2 } else { 0.0 },
+        }
+    }
+}
+
+/// The swept parameter ranges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepSpace {
+    /// Slice counts to explore.
+    pub slices: Vec<usize>,
+    /// Clusters-per-slice values to explore.
+    pub clusters_per_slice: Vec<usize>,
+    /// Neurons-per-cluster values to explore.
+    pub neurons_per_cluster: Vec<usize>,
+}
+
+impl Default for SweepSpace {
+    fn default() -> Self {
+        Self {
+            slices: vec![1, 2, 4, 8, 16],
+            clusters_per_slice: vec![8, 16, 32],
+            neurons_per_cluster: vec![32, 64, 128],
+        }
+    }
+}
+
+impl SweepSpace {
+    /// Evaluates every point of the sweep.
+    #[must_use]
+    pub fn evaluate(&self) -> Vec<DesignPoint> {
+        let mut points = Vec::new();
+        for &slices in &self.slices {
+            for &clusters in &self.clusters_per_slice {
+                for &neurons in &self.neurons_per_cluster {
+                    let config = SneConfig {
+                        num_slices: slices,
+                        clusters_per_slice: clusters,
+                        neurons_per_cluster: neurons,
+                        ..SneConfig::default()
+                    };
+                    if config.validate().is_ok() {
+                        points.push(DesignPoint::evaluate(&config));
+                    }
+                }
+            }
+        }
+        points
+    }
+
+    /// Evaluates the sweep and returns the Pareto-optimal points under
+    /// (maximize GSOP/s, minimize area): a point survives if no other point
+    /// has both more throughput and less area.
+    #[must_use]
+    pub fn pareto_front(&self) -> Vec<DesignPoint> {
+        let points = self.evaluate();
+        points
+            .iter()
+            .filter(|candidate| {
+                !points.iter().any(|other| {
+                    other.gsops > candidate.gsops && other.area_kge < candidate.area_kge
+                })
+            })
+            .copied()
+            .collect()
+    }
+}
+
+/// Formats a design point as one report row.
+#[must_use]
+pub fn format_design_point(point: &DesignPoint) -> String {
+    format!(
+        "{:>2} sl x {:>2} cl x {:>3} n = {:>6} neurons | {:>8.1} kGE | {:>6.2} mW | {:>6.1} GSOP/s | {:.3} pJ/SOP | {:>6.1} GSOP/s/mm2",
+        point.slices,
+        point.clusters_per_slice,
+        point.neurons_per_cluster,
+        point.neurons,
+        point.area_kge,
+        point.power_mw,
+        point.gsops,
+        point.energy_per_sop_pj,
+        point.gsops_per_mm2
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_point_is_reproduced_by_the_dse() {
+        let point = DesignPoint::evaluate(&SneConfig::with_slices(8));
+        assert_eq!(point.neurons, 8192);
+        assert!((point.gsops - 51.2).abs() < 1e-9);
+        assert!((point.energy_per_sop_pj - 0.221).abs() < 1e-9);
+        assert!((point.power_mw - 11.32).abs() < 0.1);
+    }
+
+    #[test]
+    fn sweep_covers_the_full_space() {
+        let space = SweepSpace::default();
+        let points = space.evaluate();
+        assert_eq!(points.len(), 5 * 3 * 3);
+        assert!(points.iter().all(|p| p.area_kge > 0.0 && p.gsops > 0.0));
+    }
+
+    #[test]
+    fn pareto_front_is_a_subset_and_nondominated() {
+        let space = SweepSpace::default();
+        let all = space.evaluate();
+        let front = space.pareto_front();
+        assert!(!front.is_empty());
+        assert!(front.len() <= all.len());
+        for candidate in &front {
+            assert!(!all
+                .iter()
+                .any(|o| o.gsops > candidate.gsops && o.area_kge < candidate.area_kge));
+        }
+    }
+
+    #[test]
+    fn more_clusters_increase_throughput_and_area() {
+        let small = DesignPoint::evaluate(&SneConfig {
+            clusters_per_slice: 8,
+            ..SneConfig::with_slices(4)
+        });
+        let big = DesignPoint::evaluate(&SneConfig {
+            clusters_per_slice: 32,
+            ..SneConfig::with_slices(4)
+        });
+        assert!(big.gsops > small.gsops);
+        assert!(big.area_kge > small.area_kge);
+    }
+
+    #[test]
+    fn format_mentions_the_key_metrics() {
+        let row = format_design_point(&DesignPoint::evaluate(&SneConfig::with_slices(2)));
+        assert!(row.contains("kGE"));
+        assert!(row.contains("GSOP/s"));
+        assert!(row.contains("pJ/SOP"));
+    }
+}

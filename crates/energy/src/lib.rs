@@ -1,0 +1,48 @@
+//! GF22FDX technology models calibrated on the SNE paper.
+//!
+//! The paper's evaluation (§IV) reports post-synthesis area, power and energy
+//! numbers for the SNE in GlobalFoundries 22 nm FDX. This crate reproduces
+//! those quantities with analytic models calibrated on the published data
+//! points, so that the figures and tables can be regenerated for arbitrary
+//! engine configurations and workloads:
+//!
+//! * [`area`] — the kGE area breakdown of Fig. 4 (memory, clusters,
+//!   streamers, interconnect, registers, control, FIFOs, filters).
+//! * [`power`] — the dynamic + leakage power of Fig. 5a.
+//! * [`performance`] — the GSOP/s scaling of Fig. 5b.
+//! * [`energy`] — energy per synaptic operation, energy per inference and
+//!   efficiency (TSOP/s/W), combining the power model with the cycle counts
+//!   produced by `sne-sim`.
+//! * [`voltage`] — the 0.8 V → 0.9 V extrapolation quoted in §IV-C.
+//! * [`comparison`] — the state-of-the-art comparison of Table II.
+//! * [`technology`] — the underlying GF22FDX constants.
+//!
+//! # Example
+//!
+//! ```
+//! use sne_energy::area::AreaModel;
+//! use sne_sim::SneConfig;
+//!
+//! let breakdown = AreaModel::default().breakdown(&SneConfig::with_slices(8));
+//! // The 8-slice instance is dominated by the neuron state memory.
+//! assert!(breakdown.memory > breakdown.clusters);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area;
+pub mod comparison;
+pub mod dse;
+pub mod energy;
+pub mod performance;
+pub mod power;
+pub mod report;
+pub mod technology;
+pub mod voltage;
+
+pub use area::{AreaBreakdown, AreaModel};
+pub use energy::{EnergyModel, EnergyReport};
+pub use performance::PerformanceModel;
+pub use power::{PowerBreakdown, PowerModel};
+pub use technology::TechnologyParams;

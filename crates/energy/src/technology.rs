@@ -1,0 +1,98 @@
+//! GF22FDX technology constants.
+//!
+//! The paper synthesizes the SNE with Synopsys Design Compiler in
+//! GlobalFoundries 22 nm FDX (8T cells, SSG corner, 0.72 V, −40 °C, 400 MHz)
+//! and estimates power with PrimePower at the TT corner, 0.8 V, 25 °C. The
+//! constants here capture that operating point plus the conversion factors
+//! needed to express gate-equivalent areas in µm² and mm².
+
+use serde::{Deserialize, Serialize};
+
+/// Technology and operating-point parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechnologyParams {
+    /// Technology node label.
+    pub node_nm: u32,
+    /// Area of one gate equivalent (an ND2X1 NAND2 of the 8T library) in µm².
+    pub gate_area_um2: f64,
+    /// Synthesis corner supply voltage (SSG, −40 °C) in volts.
+    pub synthesis_voltage: f64,
+    /// Power-analysis corner supply voltage (TT, 25 °C) in volts.
+    pub nominal_voltage: f64,
+    /// Target clock frequency in MHz.
+    pub clock_mhz: f64,
+    /// Leakage power density in µW per kGE at the nominal corner.
+    ///
+    /// Chosen so that the 8-slice instance leaks a few percent of its total
+    /// power, matching the "dynamic power significantly dominates" statement
+    /// of §IV-A.2.
+    pub leakage_uw_per_kge: f64,
+}
+
+impl Default for TechnologyParams {
+    fn default() -> Self {
+        Self {
+            node_nm: 22,
+            gate_area_um2: 0.196,
+            synthesis_voltage: 0.72,
+            nominal_voltage: 0.8,
+            clock_mhz: 400.0,
+            leakage_uw_per_kge: 0.20,
+        }
+    }
+}
+
+impl TechnologyParams {
+    /// Converts an area in kGE to µm².
+    #[must_use]
+    pub fn kge_to_um2(&self, kge: f64) -> f64 {
+        kge * 1_000.0 * self.gate_area_um2
+    }
+
+    /// Converts an area in kGE to mm².
+    #[must_use]
+    pub fn kge_to_mm2(&self, kge: f64) -> f64 {
+        self.kge_to_um2(kge) / 1e6
+    }
+
+    /// Leakage power in mW for a block of the given size in kGE.
+    #[must_use]
+    pub fn leakage_mw(&self, kge: f64) -> f64 {
+        kge * self.leakage_uw_per_kge / 1_000.0
+    }
+
+    /// Clock period in nanoseconds.
+    #[must_use]
+    pub fn clock_period_ns(&self) -> f64 {
+        1_000.0 / self.clock_mhz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper_operating_point() {
+        let t = TechnologyParams::default();
+        assert_eq!(t.node_nm, 22);
+        assert_eq!(t.synthesis_voltage, 0.72);
+        assert_eq!(t.nominal_voltage, 0.8);
+        assert_eq!(t.clock_mhz, 400.0);
+        assert!((t.clock_period_ns() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_conversions_are_consistent() {
+        let t = TechnologyParams::default();
+        assert!((t.kge_to_um2(1.0) - 196.0).abs() < 1e-9);
+        assert!((t.kge_to_mm2(1_000.0) - 0.196).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_scales_with_area() {
+        let t = TechnologyParams::default();
+        assert!(t.leakage_mw(100.0) > 0.0);
+        assert!((t.leakage_mw(200.0) / t.leakage_mw(100.0) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,93 @@
+//! Supply-voltage scaling (§IV-C of the paper).
+//!
+//! The paper extrapolates the 0.8 V results to 0.9 V, quoting 4.03 TSOP/s/W
+//! and 0.248 pJ/SOP (down from 4.54 TSOP/s/W and 0.221 pJ/SOP). That
+//! corresponds to an effective energy scaling of `(V/V₀)^α` with
+//! `α ≈ 0.98` — weaker than the ideal `V²` CMOS scaling because only part of
+//! the design (the standard-cell logic, not the whole latch-based memory
+//! periphery biasing) tracks the core supply in the authors' extrapolation.
+//! The exponent is therefore calibrated to reproduce the published 0.9 V
+//! numbers and documented as a model assumption.
+
+use serde::{Deserialize, Serialize};
+
+/// Voltage-scaling model for energy per operation and efficiency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoltageScaling {
+    /// Reference supply voltage (0.8 V in the paper).
+    pub reference_voltage: f64,
+    /// Effective exponent of the energy-vs-voltage law.
+    pub exponent: f64,
+}
+
+impl Default for VoltageScaling {
+    fn default() -> Self {
+        // Calibrated so that 0.221 pJ/SOP at 0.8 V becomes 0.248 pJ/SOP at 0.9 V.
+        let exponent = (0.248f64 / 0.221).ln() / (0.9f64 / 0.8).ln();
+        Self { reference_voltage: 0.8, exponent }
+    }
+}
+
+impl VoltageScaling {
+    /// Ideal quadratic CMOS dynamic-energy scaling.
+    #[must_use]
+    pub fn quadratic() -> Self {
+        Self { reference_voltage: 0.8, exponent: 2.0 }
+    }
+
+    /// Scales an energy-per-operation value from the reference voltage to
+    /// `voltage`.
+    #[must_use]
+    pub fn scale_energy(&self, energy_at_reference: f64, voltage: f64) -> f64 {
+        energy_at_reference * (voltage / self.reference_voltage).powf(self.exponent)
+    }
+
+    /// Scales an efficiency value (inverse energy) from the reference voltage
+    /// to `voltage`.
+    #[must_use]
+    pub fn scale_efficiency(&self, efficiency_at_reference: f64, voltage: f64) -> f64 {
+        efficiency_at_reference / (voltage / self.reference_voltage).powf(self.exponent)
+    }
+
+    /// Scales a power value assuming the same workload (energy × fixed rate).
+    #[must_use]
+    pub fn scale_power(&self, power_at_reference: f64, voltage: f64) -> f64 {
+        self.scale_energy(power_at_reference, voltage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scaling_reproduces_the_paper_09v_numbers() {
+        let scaling = VoltageScaling::default();
+        let energy = scaling.scale_energy(0.221, 0.9);
+        assert!((energy - 0.248).abs() < 1e-3, "0.9 V energy {energy} should be ~0.248 pJ");
+        let eff = scaling.scale_efficiency(4.54, 0.9);
+        assert!((eff - 4.05).abs() < 0.05, "0.9 V efficiency {eff} should be ~4.03 TSOP/s/W");
+    }
+
+    #[test]
+    fn reference_voltage_is_identity() {
+        let scaling = VoltageScaling::default();
+        assert!((scaling.scale_energy(0.221, 0.8) - 0.221).abs() < 1e-12);
+        assert!((scaling.scale_efficiency(4.54, 0.8) - 4.54).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_scaling_is_stronger_than_calibrated() {
+        let calibrated = VoltageScaling::default();
+        let quadratic = VoltageScaling::quadratic();
+        assert!(quadratic.scale_energy(0.221, 0.9) > calibrated.scale_energy(0.221, 0.9));
+        assert!(calibrated.exponent < 1.5);
+    }
+
+    #[test]
+    fn lower_voltage_lowers_energy() {
+        let scaling = VoltageScaling::default();
+        assert!(scaling.scale_energy(0.221, 0.7) < 0.221);
+        assert!(scaling.scale_power(11.29, 0.7) < 11.29);
+    }
+}

@@ -1,0 +1,216 @@
+//! Address-event-representation (AER) serialization.
+//!
+//! Event cameras and neuromorphic tool chains exchange recordings as AER
+//! files: a flat sequence of fixed-size binary words, one per event. The SNE
+//! stores events in memory in exactly this style (Fig. 1), so this module
+//! provides a small codec between [`EventStream`]s and byte buffers /
+//! `std::io` readers and writers, plus a human-readable CSV form used by the
+//! examples. The binary layout is little-endian: a 16-byte header
+//! (`magic, width, height, channels, timesteps, count`) followed by one
+//! packed 32-bit word per event.
+
+use std::io::{Read, Write};
+
+use crate::format::EventFormat;
+use crate::stream::{EventStream, Geometry};
+use crate::{Event, EventError};
+
+/// Magic number identifying the binary AER container (`"SNEA"`).
+pub const AER_MAGIC: u32 = 0x534E_4541;
+
+/// Serializes a stream into the binary AER container.
+///
+/// # Errors
+///
+/// Returns an [`EventError`] if an event does not fit the 32-bit format, and
+/// propagates I/O errors as [`std::io::Error`] wrapped in the returned
+/// variant's message being lost — callers that need the I/O error should use
+/// [`to_aer_bytes`] and write the buffer themselves.
+pub fn write_aer<W: Write>(stream: &EventStream, format: &EventFormat, writer: &mut W) -> Result<(), EventError> {
+    let bytes = to_aer_bytes(stream, format)?;
+    writer.write_all(&bytes).map_err(|_| EventError::EmptyGeometry)?;
+    Ok(())
+}
+
+/// Serializes a stream into an in-memory AER byte buffer.
+///
+/// # Errors
+///
+/// Returns an [`EventError`] if an event does not fit the 32-bit format.
+pub fn to_aer_bytes(stream: &EventStream, format: &EventFormat) -> Result<Vec<u8>, EventError> {
+    let g = stream.geometry();
+    let mut bytes = Vec::with_capacity(16 + stream.len() * 4);
+    bytes.extend_from_slice(&AER_MAGIC.to_le_bytes());
+    bytes.extend_from_slice(&g.width.to_le_bytes());
+    bytes.extend_from_slice(&g.height.to_le_bytes());
+    bytes.extend_from_slice(&g.channels.to_le_bytes());
+    bytes.extend_from_slice(&[0u8; 2]); // padding
+    bytes.extend_from_slice(&g.timesteps.to_le_bytes());
+    bytes.extend_from_slice(&(stream.len() as u32).to_le_bytes());
+    for event in stream.iter() {
+        bytes.extend_from_slice(&format.pack(event)?.raw().to_le_bytes());
+    }
+    Ok(bytes)
+}
+
+/// Deserializes a stream from an AER byte buffer.
+///
+/// # Errors
+///
+/// Returns an [`EventError`] if the header is malformed, the magic number is
+/// wrong, or a word cannot be decoded.
+pub fn from_aer_bytes(bytes: &[u8], format: &EventFormat) -> Result<EventStream, EventError> {
+    if bytes.len() < 20 {
+        return Err(EventError::EmptyGeometry);
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+    if magic != AER_MAGIC {
+        return Err(EventError::UnknownOpCode((magic & 0xff) as u8));
+    }
+    let width = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    let height = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes"));
+    let channels = u16::from_le_bytes(bytes[8..10].try_into().expect("2 bytes"));
+    let timesteps = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    let count = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes")) as usize;
+    let geometry = Geometry::new(width, height, channels, timesteps)?;
+    let mut stream = EventStream::with_geometry(geometry);
+    let payload = &bytes[20..];
+    if payload.len() < count * 4 {
+        return Err(EventError::EmptyGeometry);
+    }
+    for i in 0..count {
+        let word = u32::from_le_bytes(payload[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        let event = format.unpack(crate::PackedEvent(word))?;
+        stream.push(event)?;
+    }
+    Ok(stream)
+}
+
+/// Deserializes a stream from an AER reader.
+///
+/// # Errors
+///
+/// Same conditions as [`from_aer_bytes`]; I/O failures map to
+/// [`EventError::EmptyGeometry`].
+pub fn read_aer<R: Read>(reader: &mut R, format: &EventFormat) -> Result<EventStream, EventError> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes).map_err(|_| EventError::EmptyGeometry)?;
+    from_aer_bytes(&bytes, format)
+}
+
+/// Renders a stream as CSV (`op,t,ch,x,y` per line) for quick inspection.
+#[must_use]
+pub fn to_csv(stream: &EventStream) -> String {
+    let mut out = String::from("op,t,ch,x,y\n");
+    for e in stream.iter() {
+        out.push_str(&format!("{},{},{},{},{}\n", e.op.code(), e.t, e.ch, e.x, e.y));
+    }
+    out
+}
+
+/// Parses the CSV form produced by [`to_csv`].
+///
+/// # Errors
+///
+/// Returns an [`EventError`] if a line is malformed or an event falls outside
+/// the given geometry.
+pub fn from_csv(csv: &str, geometry: Geometry) -> Result<EventStream, EventError> {
+    let mut stream = EventStream::with_geometry(geometry);
+    for (i, line) in csv.lines().enumerate() {
+        if i == 0 && line.starts_with("op,") {
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 5 {
+            return Err(EventError::EmptyGeometry);
+        }
+        let parse = |s: &str| s.trim().parse::<u32>().map_err(|_| EventError::EmptyGeometry);
+        let op = crate::EventOp::from_code(parse(fields[0])? as u8)?;
+        let event = Event::new(op, parse(fields[1])?, parse(fields[2])? as u16, parse(fields[3])? as u16, parse(fields[4])? as u16);
+        stream.push(event)?;
+    }
+    Ok(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stream() -> EventStream {
+        let mut s = EventStream::new(16, 16, 2, 32);
+        s.push(Event::reset(0)).unwrap();
+        for t in 0..10 {
+            s.push(Event::update(t, (t % 2) as u16, (t % 16) as u16, ((t * 3) % 16) as u16)).unwrap();
+            s.push(Event::fire(t)).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_the_stream() {
+        let stream = sample_stream();
+        let format = EventFormat::default();
+        let bytes = to_aer_bytes(&stream, &format).unwrap();
+        let back = from_aer_bytes(&bytes, &format).unwrap();
+        assert_eq!(back, stream);
+    }
+
+    #[test]
+    fn reader_writer_round_trip() {
+        let stream = sample_stream();
+        let format = EventFormat::default();
+        let mut buffer = Vec::new();
+        write_aer(&stream, &format, &mut buffer).unwrap();
+        let back = read_aer(&mut buffer.as_slice(), &format).unwrap();
+        assert_eq!(back, stream);
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let stream = sample_stream();
+        let format = EventFormat::default();
+        let mut bytes = to_aer_bytes(&stream, &format).unwrap();
+        bytes[0] = 0;
+        assert!(from_aer_bytes(&bytes, &format).is_err());
+    }
+
+    #[test]
+    fn truncated_buffers_are_rejected() {
+        let stream = sample_stream();
+        let format = EventFormat::default();
+        let bytes = to_aer_bytes(&stream, &format).unwrap();
+        assert!(from_aer_bytes(&bytes[..10], &format).is_err());
+        assert!(from_aer_bytes(&bytes[..bytes.len() - 4], &format).is_err());
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_the_stream() {
+        let stream = sample_stream();
+        let csv = to_csv(&stream);
+        assert!(csv.starts_with("op,t,ch,x,y"));
+        let back = from_csv(&csv, stream.geometry()).unwrap();
+        assert_eq!(back, stream);
+    }
+
+    #[test]
+    fn malformed_csv_is_rejected() {
+        let geometry = Geometry::new(8, 8, 1, 4).unwrap();
+        assert!(from_csv("1,2,3\n", geometry).is_err());
+        assert!(from_csv("op,t,ch,x,y\n1,notanumber,0,0,0\n", geometry).is_err());
+        // Out-of-range coordinates are also rejected.
+        assert!(from_csv("1,0,0,20,0\n", geometry).is_err());
+    }
+
+    #[test]
+    fn header_preserves_geometry() {
+        let stream = EventStream::new(34, 34, 2, 300);
+        let format = EventFormat::default();
+        let bytes = to_aer_bytes(&stream, &format).unwrap();
+        let back = from_aer_bytes(&bytes, &format).unwrap();
+        assert_eq!(back.geometry(), stream.geometry());
+        assert!(back.is_empty());
+    }
+}

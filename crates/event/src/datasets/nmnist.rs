@@ -1,0 +1,254 @@
+//! NMNIST-like synthetic dataset.
+//!
+//! NMNIST is produced by showing MNIST digits to a DVS camera mounted on a
+//! pan/tilt unit that performs three micro-saccades; events appear at the
+//! digit edges as the digit moves across the sensor. This surrogate renders
+//! each digit from a 5×7 stroke font, upscales it to the 34×34 NMNIST
+//! resolution, moves it along the classic three-saccade triangle and emits
+//! ON/OFF events at the edge transitions.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use super::{sample_rng, EventDataset, LabeledStream};
+use crate::noise::{apply_noise, NoiseConfig};
+use crate::stream::{EventStream, Geometry};
+use crate::Event;
+
+/// 5×7 bitmap font for the digits 0–9 (row-major, one string per row).
+const DIGIT_FONT: [[&str; 7]; 10] = [
+    [" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "], // 0
+    ["  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "], // 1
+    [" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"], // 2
+    [" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "], // 3
+    ["   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "], // 4
+    ["#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "], // 5
+    [" ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### "], // 6
+    ["#####", "    #", "   # ", "  #  ", " #   ", " #   ", " #   "], // 7
+    [" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "], // 8
+    [" ### ", "#   #", "#   #", " ####", "    #", "    #", " ### "], // 9
+];
+
+/// A digit moving along the NMNIST three-saccade trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SaccadeDigit {
+    /// Digit value, 0–9.
+    pub digit: u8,
+    /// Integer upscaling factor applied to the 5×7 font bitmap.
+    pub scale: u16,
+}
+
+impl SaccadeDigit {
+    /// Returns `true` if the font bitmap of this digit is set at `(col, row)`
+    /// in font coordinates (0..5, 0..7).
+    #[must_use]
+    pub fn font_pixel(&self, col: u16, row: u16) -> bool {
+        if self.digit > 9 || col >= 5 || row >= 7 {
+            return false;
+        }
+        DIGIT_FONT[usize::from(self.digit)][usize::from(row)]
+            .as_bytes()
+            .get(usize::from(col))
+            .map(|&b| b == b'#')
+            .unwrap_or(false)
+    }
+
+    /// Returns `true` if the upscaled digit, placed with its top-left corner
+    /// at `(ox, oy)`, covers the sensor pixel `(x, y)`.
+    #[must_use]
+    pub fn covers(&self, x: i32, y: i32, ox: i32, oy: i32) -> bool {
+        let scale = i32::from(self.scale.max(1));
+        let col = (x - ox) / scale;
+        let row = (y - oy) / scale;
+        if (x - ox) < 0 || (y - oy) < 0 || col >= 5 || row >= 7 {
+            return false;
+        }
+        self.font_pixel(col as u16, row as u16)
+    }
+}
+
+/// Offset of the digit at timestep `t` following a triangular three-saccade
+/// trajectory of the given amplitude (pixels), one saccade per third of the
+/// sample duration.
+fn saccade_offset(t: u32, timesteps: u32, amplitude: i32) -> (i32, i32) {
+    let third = (timesteps / 3).max(1);
+    let phase = t / third; // 0, 1, 2 (clamped)
+    let progress = f64::from(t % third) / f64::from(third);
+    let a = f64::from(amplitude);
+    // Triangle: (0,0) -> (a, a) -> (-a, a) -> back to (0, 0).
+    let (from, to) = match phase {
+        0 => ((0.0, 0.0), (a, a)),
+        1 => ((a, a), (-a, a)),
+        _ => ((-a, a), (0.0, 0.0)),
+    };
+    let x = from.0 + (to.0 - from.0) * progress;
+    let y = from.1 + (to.1 - from.1) * progress;
+    (x.round() as i32, y.round() as i32)
+}
+
+/// The NMNIST-like synthetic dataset (10 classes, 34×34, 2 polarities).
+///
+/// # Example
+///
+/// ```
+/// use sne_event::datasets::{EventDataset, NmnistDataset};
+///
+/// let dataset = NmnistDataset::new(60, 42);
+/// let sample = dataset.sample(7);
+/// assert_eq!(sample.label, 7);
+/// assert!(sample.stream.spike_count() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NmnistDataset {
+    geometry: Geometry,
+    noise: NoiseConfig,
+    saccade_amplitude: i32,
+    seed: u64,
+}
+
+impl NmnistDataset {
+    /// NMNIST sensor resolution (34×34 pixels).
+    pub const RESOLUTION: u16 = 34;
+
+    /// Creates the dataset with the standard 34×34 geometry and default noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timesteps` is zero.
+    #[must_use]
+    pub fn new(timesteps: u32, seed: u64) -> Self {
+        Self::with_noise(timesteps, NoiseConfig::default(), seed)
+    }
+
+    /// Creates the dataset with an explicit noise configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timesteps` is zero.
+    #[must_use]
+    pub fn with_noise(timesteps: u32, noise: NoiseConfig, seed: u64) -> Self {
+        let geometry = Geometry::new(Self::RESOLUTION, Self::RESOLUTION, 2, timesteps)
+            .expect("NMNIST geometry must be non-zero");
+        Self { geometry, noise, saccade_amplitude: 3, seed }
+    }
+
+    /// Generates one sample of a specific digit.
+    #[must_use]
+    pub fn sample_digit(&self, digit: u8, index: u64) -> EventStream {
+        let mut rng = sample_rng(self.seed ^ (u64::from(digit) << 40), index);
+        let g = self.geometry;
+        let digit = SaccadeDigit { digit: digit.min(9), scale: 4 };
+        // Random base placement so different samples of the same digit differ.
+        let base_x = rng.gen_range(2..=6);
+        let base_y = rng.gen_range(1..=4);
+
+        let mut stream = EventStream::with_geometry(g);
+        let mut previous = vec![false; g.spatial_size()];
+        for t in 0..g.timesteps {
+            let (dx, dy) = saccade_offset(t, g.timesteps, self.saccade_amplitude);
+            for y in 0..g.height {
+                for x in 0..g.width {
+                    let idx = usize::from(y) * usize::from(g.width) + usize::from(x);
+                    let bright =
+                        digit.covers(i32::from(x), i32::from(y), base_x + dx, base_y + dy);
+                    if bright != previous[idx] {
+                        let ch = u16::from(!bright); // ON = 0, OFF = 1
+                        stream.push_unchecked(Event::update(t, ch, x, y));
+                    }
+                    previous[idx] = bright;
+                }
+            }
+        }
+        apply_noise(&stream, &self.noise, &mut rng)
+    }
+}
+
+impl EventDataset for NmnistDataset {
+    fn num_classes(&self) -> usize {
+        10
+    }
+
+    fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    fn sample(&self, index: u64) -> LabeledStream {
+        let label = (index % 10) as usize;
+        LabeledStream { stream: self.sample_digit(label as u8, index), label }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn font_has_ten_digits_of_five_by_seven() {
+        for digit in 0..10u8 {
+            let d = SaccadeDigit { digit, scale: 1 };
+            let set: usize = (0..7)
+                .flat_map(|row| (0..5).map(move |col| (col, row)))
+                .filter(|&(c, r)| d.font_pixel(c, r))
+                .count();
+            assert!(set >= 7, "digit {digit} has implausibly few pixels ({set})");
+        }
+    }
+
+    #[test]
+    fn font_pixel_out_of_range_is_false() {
+        let d = SaccadeDigit { digit: 0, scale: 1 };
+        assert!(!d.font_pixel(5, 0));
+        assert!(!d.font_pixel(0, 7));
+        assert!(!SaccadeDigit { digit: 10, scale: 1 }.font_pixel(0, 0));
+    }
+
+    #[test]
+    fn covers_respects_scale_and_offset() {
+        let d = SaccadeDigit { digit: 1, scale: 2 };
+        // Digit 1 has a '#' at font (2, 0); scaled by 2 and offset by (10, 10)
+        // it covers sensor pixels (14..16, 10..12).
+        assert!(d.covers(14, 10, 10, 10));
+        assert!(d.covers(15, 11, 10, 10));
+        assert!(!d.covers(9, 10, 10, 10));
+    }
+
+    #[test]
+    fn saccade_returns_to_origin() {
+        let (x0, y0) = saccade_offset(0, 90, 3);
+        assert_eq!((x0, y0), (0, 0));
+        let (x_end, y_end) = saccade_offset(89, 90, 3);
+        // Near the end of the third saccade the digit is back close to origin.
+        assert!(x_end.abs() <= 3 && y_end <= 3);
+    }
+
+    #[test]
+    fn dataset_covers_ten_classes_at_34x34() {
+        let d = NmnistDataset::new(60, 5);
+        assert_eq!(d.num_classes(), 10);
+        assert_eq!(d.geometry().width, 34);
+        assert_eq!(d.geometry().height, 34);
+    }
+
+    #[test]
+    fn every_digit_produces_valid_events() {
+        let d = NmnistDataset::new(60, 5);
+        for digit in 0..10u8 {
+            let s = d.sample_digit(digit, 0);
+            assert!(s.spike_count() > 0, "digit {digit} produced no events");
+            assert!(s.validate_all().is_ok());
+        }
+    }
+
+    #[test]
+    fn samples_are_deterministic_and_labels_match_digits() {
+        let d = NmnistDataset::new(60, 5);
+        assert_eq!(d.sample(23), d.sample(23));
+        assert_eq!(d.sample(23).label, 3);
+    }
+
+    #[test]
+    fn different_digits_produce_different_streams() {
+        let d = NmnistDataset::new(60, 5);
+        assert_ne!(d.sample_digit(0, 0), d.sample_digit(1, 0));
+    }
+}

@@ -1,0 +1,156 @@
+//! Ordering utilities for event streams.
+//!
+//! The SNE consumes events strictly in time order (Listing 1: the outermost
+//! hardware-managed loop spans the time dimension). The streamer stores
+//! events linearly in memory, so host software must order them before
+//! programming a transfer. These helpers provide the canonical orderings and
+//! checks used throughout the workspace.
+
+use crate::{Event, EventOp};
+
+/// Canonical orderings for event sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventOrder {
+    /// Time-major: sort by timestamp only (stable within a timestep).
+    Time,
+    /// Time, then channel, then row-major spatial position.
+    TimeChannelRaster,
+    /// Time, then raster position, then channel (used by the dense tensor view).
+    TimeRasterChannel,
+}
+
+/// Sorts events in place according to the requested order.
+pub fn sort_events(events: &mut [Event], order: EventOrder) {
+    match order {
+        EventOrder::Time => events.sort_by_key(|e| e.t),
+        EventOrder::TimeChannelRaster => events.sort_by_key(|e| (e.t, e.ch, e.y, e.x)),
+        EventOrder::TimeRasterChannel => events.sort_by_key(|e| (e.t, e.y, e.x, e.ch)),
+    }
+}
+
+/// Returns `true` if timestamps are non-decreasing.
+#[must_use]
+pub fn is_time_ordered(events: &[Event]) -> bool {
+    events.windows(2).all(|w| w[0].t <= w[1].t)
+}
+
+/// Returns `true` if the sequence is a well-formed SNE operation sequence:
+///
+/// * it starts with a `RST_OP`,
+/// * timestamps are non-decreasing,
+/// * every timestep that contains spikes is closed by a `FIRE_OP` at the same
+///   timestep appearing after those spikes.
+#[must_use]
+pub fn is_valid_op_sequence(events: &[Event]) -> bool {
+    if events.first().map(|e| e.op) != Some(EventOp::Reset) {
+        return false;
+    }
+    if !is_time_ordered(events) {
+        return false;
+    }
+    // For each timestep with spikes, a FIRE_OP must follow the last spike.
+    let mut last_spike_index = std::collections::HashMap::new();
+    let mut fire_index = std::collections::HashMap::new();
+    for (i, e) in events.iter().enumerate() {
+        match e.op {
+            EventOp::Update => {
+                last_spike_index.insert(e.t, i);
+            }
+            EventOp::Fire => {
+                fire_index.insert(e.t, i);
+            }
+            EventOp::Reset => {}
+        }
+    }
+    last_spike_index.iter().all(|(t, &spike_i)| matches!(fire_index.get(t), Some(&fire_i) if fire_i > spike_i))
+}
+
+/// Splits an ordered sequence into per-timestep chunks (spikes only).
+#[must_use]
+pub fn chunk_by_timestep(events: &[Event]) -> Vec<(u32, Vec<Event>)> {
+    let mut chunks: Vec<(u32, Vec<Event>)> = Vec::new();
+    for e in events.iter().filter(|e| e.is_spike()) {
+        match chunks.last_mut() {
+            Some((t, chunk)) if *t == e.t => chunk.push(*e),
+            _ => chunks.push((e.t, vec![*e])),
+        }
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_sort_is_stable_within_timestep() {
+        let mut events = vec![
+            Event::update(1, 0, 9, 9),
+            Event::update(0, 0, 5, 5),
+            Event::update(0, 0, 1, 1),
+        ];
+        sort_events(&mut events, EventOrder::Time);
+        assert_eq!(events[0].address(), (5, 5));
+        assert_eq!(events[1].address(), (1, 1));
+        assert_eq!(events[2].t, 1);
+    }
+
+    #[test]
+    fn raster_sort_orders_by_row_then_column() {
+        let mut events = vec![
+            Event::update(0, 0, 3, 1),
+            Event::update(0, 0, 1, 1),
+            Event::update(0, 0, 2, 0),
+        ];
+        sort_events(&mut events, EventOrder::TimeChannelRaster);
+        assert_eq!(events[0].address(), (2, 0));
+        assert_eq!(events[1].address(), (1, 1));
+        assert_eq!(events[2].address(), (3, 1));
+    }
+
+    #[test]
+    fn op_sequence_validation_requires_leading_reset() {
+        let events = vec![Event::update(0, 0, 0, 0), Event::fire(0)];
+        assert!(!is_valid_op_sequence(&events));
+    }
+
+    #[test]
+    fn op_sequence_validation_requires_fire_after_spikes() {
+        let good = vec![Event::reset(0), Event::update(0, 0, 0, 0), Event::fire(0)];
+        assert!(is_valid_op_sequence(&good));
+        let missing_fire = vec![Event::reset(0), Event::update(0, 0, 0, 0)];
+        assert!(!is_valid_op_sequence(&missing_fire));
+        let fire_before_spike = vec![Event::reset(0), Event::fire(0), Event::update(0, 0, 0, 0)];
+        assert!(!is_valid_op_sequence(&fire_before_spike));
+    }
+
+    #[test]
+    fn op_sequence_validation_rejects_unordered_time() {
+        let events = vec![Event::reset(0), Event::update(2, 0, 0, 0), Event::update(1, 0, 0, 0)];
+        assert!(!is_valid_op_sequence(&events));
+    }
+
+    #[test]
+    fn chunking_groups_consecutive_timesteps() {
+        let events = vec![
+            Event::reset(0),
+            Event::update(0, 0, 0, 0),
+            Event::update(0, 0, 1, 1),
+            Event::fire(0),
+            Event::update(2, 0, 2, 2),
+            Event::fire(2),
+        ];
+        let chunks = chunk_by_timestep(&events);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].0, 0);
+        assert_eq!(chunks[0].1.len(), 2);
+        assert_eq!(chunks[1].0, 2);
+        assert_eq!(chunks[1].1.len(), 1);
+    }
+
+    #[test]
+    fn empty_sequences_are_time_ordered_but_not_valid_ops() {
+        assert!(is_time_ordered(&[]));
+        assert!(!is_valid_op_sequence(&[]));
+    }
+}

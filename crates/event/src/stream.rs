@@ -1,0 +1,487 @@
+//! Time-ordered event streams with feature-map geometry.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::stats::ActivityStats;
+use crate::{Event, EventError};
+
+/// Geometry of the feature map an event stream refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Geometry {
+    /// Feature-map width in pixels/neurons.
+    pub width: u16,
+    /// Feature-map height in pixels/neurons.
+    pub height: u16,
+    /// Number of channels (e.g. 2 polarities for a DVS sensor).
+    pub channels: u16,
+    /// Number of timesteps of the inference window.
+    pub timesteps: u32,
+}
+
+impl Geometry {
+    /// Creates a geometry, validating that no dimension is zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventError::EmptyGeometry`] if any dimension is zero.
+    pub fn new(width: u16, height: u16, channels: u16, timesteps: u32) -> Result<Self, EventError> {
+        if width == 0 || height == 0 || channels == 0 || timesteps == 0 {
+            return Err(EventError::EmptyGeometry);
+        }
+        Ok(Self { width, height, channels, timesteps })
+    }
+
+    /// Number of spatial positions (`width * height`).
+    #[must_use]
+    pub fn spatial_size(&self) -> usize {
+        usize::from(self.width) * usize::from(self.height)
+    }
+
+    /// Number of neurons/pixels per timestep (`width * height * channels`).
+    #[must_use]
+    pub fn frame_size(&self) -> usize {
+        self.spatial_size() * usize::from(self.channels)
+    }
+
+    /// Total number of spatio-temporal positions.
+    #[must_use]
+    pub fn volume(&self) -> usize {
+        self.frame_size() * self.timesteps as usize
+    }
+}
+
+impl fmt::Display for Geometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{} over {} timesteps", self.channels, self.height, self.width, self.timesteps)
+    }
+}
+
+/// A time-ordered sequence of events produced by (or destined to) one
+/// feature map.
+///
+/// Events are stored in insertion order; helpers are provided to check and
+/// restore time ordering (the SNE consumes its input stream strictly in time
+/// order, see Listing 1 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use sne_event::{Event, EventStream};
+///
+/// let mut stream = EventStream::new(16, 16, 2, 50);
+/// for t in 0..5 {
+///     stream.push(Event::update(t, 0, 3, 4))?;
+/// }
+/// assert_eq!(stream.len(), 5);
+/// assert!((stream.activity() - 5.0 / (16.0 * 16.0 * 2.0 * 50.0)).abs() < 1e-9);
+/// # Ok::<(), sne_event::EventError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventStream {
+    geometry: Geometry,
+    events: Vec<Event>,
+}
+
+impl EventStream {
+    /// Creates an empty stream for a `width x height x channels` feature map
+    /// observed over `timesteps` timesteps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero; use [`EventStream::with_geometry`]
+    /// with a validated [`Geometry`] to avoid the panic.
+    #[must_use]
+    pub fn new(width: u16, height: u16, channels: u16, timesteps: u32) -> Self {
+        let geometry = Geometry::new(width, height, channels, timesteps)
+            .expect("stream geometry must be non-zero");
+        Self::with_geometry(geometry)
+    }
+
+    /// Creates an empty stream from a validated geometry.
+    #[must_use]
+    pub fn with_geometry(geometry: Geometry) -> Self {
+        Self { geometry, events: Vec::new() }
+    }
+
+    /// Geometry of the feature map this stream refers to.
+    #[must_use]
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Number of events in the stream (all operations included).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if the stream contains no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Appends an event, validating it against the stream geometry.
+    ///
+    /// Only `UPDATE_OP` events are checked spatially; `RST_OP` and `FIRE_OP`
+    /// carry no meaningful address.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the event's coordinates, channel or timestamp fall
+    /// outside the stream geometry.
+    pub fn push(&mut self, event: Event) -> Result<(), EventError> {
+        self.validate(&event)?;
+        self.events.push(event);
+        Ok(())
+    }
+
+    /// Appends an event without validation.
+    ///
+    /// Intended for generators that construct events known to be in range;
+    /// invalid events will surface later as validation or simulation errors.
+    pub fn push_unchecked(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// Validates a single event against the stream geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the event's coordinates, channel or timestamp fall
+    /// outside the stream geometry.
+    pub fn validate(&self, event: &Event) -> Result<(), EventError> {
+        let g = self.geometry;
+        if event.t >= g.timesteps {
+            return Err(EventError::TimestampOutOfRange { t: event.t, timesteps: g.timesteps });
+        }
+        if event.op.carries_address() {
+            if event.ch >= g.channels {
+                return Err(EventError::ChannelOutOfRange { ch: event.ch, channels: g.channels });
+            }
+            if event.x >= g.width || event.y >= g.height {
+                return Err(EventError::CoordinateOutOfRange {
+                    x: event.x,
+                    y: event.y,
+                    width: g.width,
+                    height: g.height,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates every event in the stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation error encountered.
+    pub fn validate_all(&self) -> Result<(), EventError> {
+        self.events.iter().try_for_each(|e| self.validate(e))
+    }
+
+    /// Iterates over the events in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// Events as a slice, in insertion order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Consumes the stream and returns the underlying event vector.
+    #[must_use]
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+
+    /// Returns `true` if event timestamps are non-decreasing.
+    #[must_use]
+    pub fn is_time_ordered(&self) -> bool {
+        self.events.windows(2).all(|w| w[0].t <= w[1].t)
+    }
+
+    /// Stably sorts the events by timestamp (preserving intra-timestep order).
+    pub fn sort_by_time(&mut self) {
+        self.events.sort_by_key(|e| e.t);
+    }
+
+    /// Number of input spikes (`UPDATE_OP` events only).
+    #[must_use]
+    pub fn spike_count(&self) -> usize {
+        self.events.iter().filter(|e| e.is_spike()).count()
+    }
+
+    /// Fraction of active spatio-temporal positions: spikes divided by the
+    /// stream volume (`width*height*channels*timesteps`).
+    ///
+    /// This is the quantity the paper calls *input activity* (1.2 %–4.9 % for
+    /// IBM DVS-Gesture).
+    #[must_use]
+    pub fn activity(&self) -> f64 {
+        self.spike_count() as f64 / self.geometry.volume() as f64
+    }
+
+    /// Computes per-timestep activity statistics.
+    #[must_use]
+    pub fn stats(&self) -> ActivityStats {
+        ActivityStats::from_stream(self)
+    }
+
+    /// Spikes occurring at timestep `t`, in insertion order.
+    #[must_use]
+    pub fn spikes_at(&self, t: u32) -> Vec<Event> {
+        self.events.iter().filter(|e| e.is_spike() && e.t == t).copied().collect()
+    }
+
+    /// Groups spikes by timestep: element `t` of the returned vector holds the
+    /// spikes of timestep `t`.
+    #[must_use]
+    pub fn spikes_by_timestep(&self) -> Vec<Vec<Event>> {
+        let mut buckets = vec![Vec::new(); self.geometry.timesteps as usize];
+        for e in self.events.iter().filter(|e| e.is_spike()) {
+            buckets[e.t as usize].push(*e);
+        }
+        buckets
+    }
+
+    /// Builds the full operation sequence the SNE consumes for this stream:
+    /// one `RST_OP`, then for each timestep its spikes followed by one
+    /// `FIRE_OP` (paper §III-C / Fig. 3).
+    #[must_use]
+    pub fn to_op_sequence(&self) -> Vec<Event> {
+        let mut ops = Vec::with_capacity(self.spike_count() + self.geometry.timesteps as usize + 1);
+        ops.push(Event::reset(0));
+        for (t, spikes) in self.spikes_by_timestep().into_iter().enumerate() {
+            ops.extend(spikes);
+            ops.push(Event::fire(t as u32));
+        }
+        ops
+    }
+
+    /// Merges another stream into this one (the other stream must share the
+    /// same geometry); the result is re-sorted by time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventError::EmptyGeometry`] if the geometries differ, since a
+    /// merged stream with mismatched geometry would be meaningless.
+    pub fn merge(&mut self, other: &EventStream) -> Result<(), EventError> {
+        if self.geometry != other.geometry {
+            return Err(EventError::EmptyGeometry);
+        }
+        self.events.extend_from_slice(&other.events);
+        self.sort_by_time();
+        Ok(())
+    }
+
+    /// Restricts the stream to the half-open timestep window `[start, end)`,
+    /// rebasing timestamps so the window starts at 0.
+    #[must_use]
+    pub fn window(&self, start: u32, end: u32) -> EventStream {
+        let end = end.min(self.geometry.timesteps);
+        let timesteps = end.saturating_sub(start).max(1);
+        let geometry = Geometry { timesteps, ..self.geometry };
+        let mut out = EventStream::with_geometry(geometry);
+        for e in &self.events {
+            if e.t >= start && e.t < end {
+                out.events.push(Event { t: e.t - start, ..*e });
+            }
+        }
+        out
+    }
+
+    /// Downscales the spatial resolution by an integer factor, merging events
+    /// that land on the same coarse pixel within the same timestep.
+    #[must_use]
+    pub fn downscale(&self, factor: u16) -> EventStream {
+        let factor = factor.max(1);
+        let geometry = Geometry {
+            width: (self.geometry.width / factor).max(1),
+            height: (self.geometry.height / factor).max(1),
+            ..self.geometry
+        };
+        let mut out = EventStream::with_geometry(geometry);
+        let mut seen = std::collections::HashSet::new();
+        for e in &self.events {
+            if !e.is_spike() {
+                out.events.push(*e);
+                continue;
+            }
+            let x = (e.x / factor).min(geometry.width - 1);
+            let y = (e.y / factor).min(geometry.height - 1);
+            if seen.insert((e.t, e.ch, x, y)) {
+                out.events.push(Event { x, y, ..*e });
+            }
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a EventStream {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl IntoIterator for EventStream {
+    type Item = Event;
+    type IntoIter = std::vec::IntoIter<Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+impl Extend<Event> for EventStream {
+    fn extend<T: IntoIterator<Item = Event>>(&mut self, iter: T) {
+        self.events.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventOp;
+
+    fn stream() -> EventStream {
+        EventStream::new(8, 8, 2, 10)
+    }
+
+    #[test]
+    fn geometry_rejects_zero_dimensions() {
+        assert!(Geometry::new(0, 8, 2, 10).is_err());
+        assert!(Geometry::new(8, 0, 2, 10).is_err());
+        assert!(Geometry::new(8, 8, 0, 10).is_err());
+        assert!(Geometry::new(8, 8, 2, 0).is_err());
+    }
+
+    #[test]
+    fn geometry_volume_is_product_of_dimensions() {
+        let g = Geometry::new(8, 4, 2, 10).unwrap();
+        assert_eq!(g.spatial_size(), 32);
+        assert_eq!(g.frame_size(), 64);
+        assert_eq!(g.volume(), 640);
+    }
+
+    #[test]
+    fn push_validates_coordinates() {
+        let mut s = stream();
+        assert!(s.push(Event::update(0, 0, 7, 7)).is_ok());
+        assert!(s.push(Event::update(0, 0, 8, 0)).is_err());
+        assert!(s.push(Event::update(0, 2, 0, 0)).is_err());
+        assert!(s.push(Event::update(10, 0, 0, 0)).is_err());
+    }
+
+    #[test]
+    fn reset_and_fire_skip_spatial_validation() {
+        let mut s = stream();
+        assert!(s.push(Event::reset(0)).is_ok());
+        assert!(s.push(Event::fire(9)).is_ok());
+        assert!(s.push(Event::fire(10)).is_err());
+    }
+
+    #[test]
+    fn activity_counts_only_spikes() {
+        let mut s = stream();
+        s.push(Event::reset(0)).unwrap();
+        s.push(Event::update(0, 0, 1, 1)).unwrap();
+        s.push(Event::update(1, 1, 2, 2)).unwrap();
+        s.push(Event::fire(1)).unwrap();
+        assert_eq!(s.spike_count(), 2);
+        let expected = 2.0 / (8.0 * 8.0 * 2.0 * 10.0);
+        assert!((s.activity() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_ordering_detection_and_sort() {
+        let mut s = stream();
+        s.push(Event::update(5, 0, 0, 0)).unwrap();
+        s.push(Event::update(2, 0, 0, 0)).unwrap();
+        assert!(!s.is_time_ordered());
+        s.sort_by_time();
+        assert!(s.is_time_ordered());
+    }
+
+    #[test]
+    fn op_sequence_starts_with_reset_and_has_fire_per_timestep() {
+        let mut s = stream();
+        s.push(Event::update(0, 0, 1, 1)).unwrap();
+        s.push(Event::update(3, 0, 2, 2)).unwrap();
+        let ops = s.to_op_sequence();
+        assert_eq!(ops[0].op, EventOp::Reset);
+        let fires = ops.iter().filter(|e| e.op == EventOp::Fire).count();
+        assert_eq!(fires, 10);
+        let spikes = ops.iter().filter(|e| e.is_spike()).count();
+        assert_eq!(spikes, 2);
+        // Spikes must precede the FIRE_OP of their own timestep.
+        let fire_t0 = ops.iter().position(|e| e.op == EventOp::Fire && e.t == 0).unwrap();
+        let spike_t0 = ops.iter().position(|e| e.is_spike() && e.t == 0).unwrap();
+        assert!(spike_t0 < fire_t0);
+    }
+
+    #[test]
+    fn window_rebases_time() {
+        let mut s = stream();
+        s.push(Event::update(4, 0, 1, 1)).unwrap();
+        s.push(Event::update(7, 0, 1, 1)).unwrap();
+        let w = s.window(4, 8);
+        assert_eq!(w.geometry().timesteps, 4);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.as_slice()[0].t, 0);
+        assert_eq!(w.as_slice()[1].t, 3);
+    }
+
+    #[test]
+    fn merge_requires_identical_geometry() {
+        let mut a = stream();
+        let b = EventStream::new(16, 16, 2, 10);
+        assert!(a.merge(&b).is_err());
+        let mut c = stream();
+        c.push(Event::update(1, 0, 0, 0)).unwrap();
+        a.push(Event::update(3, 0, 0, 0)).unwrap();
+        a.merge(&c).unwrap();
+        assert_eq!(a.len(), 2);
+        assert!(a.is_time_ordered());
+    }
+
+    #[test]
+    fn downscale_merges_coincident_events() {
+        let mut s = EventStream::new(8, 8, 1, 4);
+        s.push(Event::update(0, 0, 0, 0)).unwrap();
+        s.push(Event::update(0, 0, 1, 1)).unwrap(); // same coarse pixel as (0,0) at factor 2
+        s.push(Event::update(0, 0, 4, 4)).unwrap();
+        let d = s.downscale(2);
+        assert_eq!(d.geometry().width, 4);
+        assert_eq!(d.spike_count(), 2);
+    }
+
+    #[test]
+    fn spikes_by_timestep_buckets_all_spikes() {
+        let mut s = stream();
+        s.push(Event::update(0, 0, 1, 1)).unwrap();
+        s.push(Event::update(0, 1, 2, 2)).unwrap();
+        s.push(Event::update(9, 0, 3, 3)).unwrap();
+        let buckets = s.spikes_by_timestep();
+        assert_eq!(buckets.len(), 10);
+        assert_eq!(buckets[0].len(), 2);
+        assert_eq!(buckets[9].len(), 1);
+        assert!(buckets[5].is_empty());
+    }
+
+    #[test]
+    fn extend_and_iterators_work() {
+        let mut s = stream();
+        s.extend([Event::update(0, 0, 1, 1), Event::update(1, 0, 2, 2)]);
+        assert_eq!(s.iter().count(), 2);
+        assert_eq!((&s).into_iter().count(), 2);
+        assert_eq!(s.clone().into_iter().count(), 2);
+        assert_eq!(s.into_events().len(), 2);
+    }
+}

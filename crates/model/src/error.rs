@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or running the functional model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// Two consecutive layers disagree on the tensor shape between them.
+    ShapeMismatch {
+        /// Human-readable location (layer index or name).
+        location: String,
+        /// Shape the producing side emits, as `(channels, height, width)`.
+        expected: (u16, u16, u16),
+        /// Shape the consuming side received.
+        found: (u16, u16, u16),
+    },
+    /// A layer parameter is invalid (zero kernel, zero channels, …).
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Explanation of the constraint that was violated.
+        reason: String,
+    },
+    /// The network has no layers.
+    EmptyNetwork,
+    /// A quantization scale is not positive or not finite.
+    InvalidScale(f32),
+    /// Training was asked to run with an empty dataset or zero batch size.
+    EmptyTrainingSet,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch { location, expected, found } => write!(
+                f,
+                "shape mismatch at {location}: expected {}x{}x{}, found {}x{}x{}",
+                expected.0, expected.1, expected.2, found.0, found.1, found.2
+            ),
+            Self::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            Self::EmptyNetwork => write!(f, "network has no layers"),
+            Self::InvalidScale(scale) => write!(f, "quantization scale {scale} must be positive and finite"),
+            Self::EmptyTrainingSet => write!(f, "training requires at least one sample and a non-zero batch size"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errors = [
+            ModelError::ShapeMismatch {
+                location: "layer 2".to_owned(),
+                expected: (32, 16, 16),
+                found: (32, 8, 8),
+            },
+            ModelError::InvalidParameter { name: "kernel", reason: "must be odd".to_owned() },
+            ModelError::EmptyNetwork,
+            ModelError::InvalidScale(-1.0),
+            ModelError::EmptyTrainingSet,
+        ];
+        for err in errors {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,186 @@
+//! A bank of identical stateful neurons addressed by a flat index.
+
+use serde::{Deserialize, Serialize};
+
+use super::NeuronConfig;
+use crate::neuron::LifParams;
+#[cfg(test)]
+use crate::neuron::SrmParams;
+
+/// A flat array of neurons sharing one [`NeuronConfig`].
+///
+/// For the quantized LIF configuration the membrane is kept as an
+/// integer-valued `f32` and saturated to the 8-bit hardware range after every
+/// arithmetic step, so the dynamics are bit-exact with the integer datapath
+/// of the cycle simulator as long as the synaptic weights are integer-valued.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct NeuronBank {
+    config: NeuronConfig,
+    membrane: Vec<f32>,
+    /// Synaptic currents; only used by the SRM configuration.
+    current: Vec<f32>,
+}
+
+impl NeuronBank {
+    pub(crate) fn new(config: NeuronConfig, count: usize) -> Self {
+        let current = match config {
+            NeuronConfig::Srm(_) => vec![0.0; count],
+            NeuronConfig::Lif(_) => Vec::new(),
+        };
+        Self { config, membrane: vec![0.0; count], current }
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn len(&self) -> usize {
+        self.membrane.len()
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn config(&self) -> NeuronConfig {
+        self.config
+    }
+
+    pub(crate) fn membrane(&self, index: usize) -> f32 {
+        self.membrane[index]
+    }
+
+    /// Accumulates one synaptic contribution into neuron `index`.
+    pub(crate) fn integrate(&mut self, index: usize, weight: f32) {
+        match self.config {
+            NeuronConfig::Lif(params) => {
+                let next = self.membrane[index] + weight;
+                self.membrane[index] = clamp_lif(next, params);
+            }
+            NeuronConfig::Srm(_) => {
+                self.current[index] += weight;
+            }
+        }
+    }
+
+    /// Ends the current timestep for every neuron: applies leak/decay, checks
+    /// the firing condition and resets fired neurons. The returned vector has
+    /// one entry per neuron (`true` = spike emitted).
+    pub(crate) fn fire_all(&mut self) -> Vec<bool> {
+        match self.config {
+            NeuronConfig::Lif(params) => self
+                .membrane
+                .iter_mut()
+                .map(|v| {
+                    *v = clamp_lif(*v - f32::from(params.leak), params);
+                    if *v >= f32::from(params.threshold) {
+                        *v = 0.0;
+                        true
+                    } else {
+                        false
+                    }
+                })
+                .collect(),
+            NeuronConfig::Srm(params) => {
+                let decay_m = params.membrane_decay();
+                let decay_s = params.synapse_decay();
+                self.membrane
+                    .iter_mut()
+                    .zip(self.current.iter_mut())
+                    .map(|(v, i)| {
+                        *v = *v * decay_m + *i;
+                        *i *= decay_s;
+                        if *v >= params.threshold {
+                            *v -= params.refractory_drop;
+                            true
+                        } else {
+                            false
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Resets every neuron to its rest state.
+    pub(crate) fn reset(&mut self) {
+        self.membrane.iter_mut().for_each(|v| *v = 0.0);
+        self.current.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+fn clamp_lif(value: f32, params: LifParams) -> f32 {
+    value.clamp(params.floor() as f32, params.ceiling() as f32)
+}
+
+/// Convenience constructors for the two reference configurations used in
+/// tests.
+#[cfg(test)]
+pub(crate) fn lif_config(leak: i16, threshold: i16) -> NeuronConfig {
+    NeuronConfig::Lif(LifParams { leak, threshold, ..LifParams::default() })
+}
+
+#[cfg(test)]
+pub(crate) fn srm_config(threshold: f32) -> NeuronConfig {
+    NeuronConfig::Srm(SrmParams { threshold, ..SrmParams::default() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lif_bank_matches_scalar_lif_neuron() {
+        use crate::neuron::{LifNeuron, Neuron};
+        let params = LifParams { leak: 2, threshold: 10, ..LifParams::default() };
+        let mut bank = NeuronBank::new(NeuronConfig::Lif(params), 1);
+        let mut scalar = LifNeuron::new(params);
+        let inputs = [5i32, 3, -4, 7, 7, 0, 6, 6, 6];
+        for &w in &inputs {
+            bank.integrate(0, w as f32);
+            scalar.integrate(w);
+            let bank_fired = bank.fire_all()[0];
+            let scalar_fired = scalar.fire_and_reset();
+            assert_eq!(bank_fired, scalar_fired);
+            assert_eq!(bank.membrane(0), scalar.state() as f32);
+        }
+    }
+
+    #[test]
+    fn srm_bank_matches_scalar_srm_neuron() {
+        use crate::neuron::{Neuron, SrmNeuron, SrmParams};
+        let params = SrmParams { threshold: 6.0, ..SrmParams::default() };
+        let mut bank = NeuronBank::new(NeuronConfig::Srm(params), 1);
+        let mut scalar = SrmNeuron::new(params);
+        for &w in &[4i32, 4, 0, 3, 8, 0, 0, 2] {
+            bank.integrate(0, w as f32);
+            scalar.integrate(w);
+            assert_eq!(bank.fire_all()[0], scalar.fire_and_reset());
+            assert!((bank.membrane(0) - scalar.membrane()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn reset_zeroes_all_neurons() {
+        let mut bank = NeuronBank::new(lif_config(0, 100), 4);
+        for i in 0..4 {
+            bank.integrate(i, 50.0);
+        }
+        bank.reset();
+        for i in 0..4 {
+            assert_eq!(bank.membrane(i), 0.0);
+        }
+    }
+
+    #[test]
+    fn saturation_is_applied_per_integration() {
+        let mut bank = NeuronBank::new(lif_config(0, 127), 1);
+        for _ in 0..40 {
+            bank.integrate(0, 7.0);
+        }
+        assert_eq!(bank.membrane(0), 127.0);
+    }
+
+    #[test]
+    fn srm_config_allocates_current_storage() {
+        let bank = NeuronBank::new(srm_config(4.0), 3);
+        assert_eq!(bank.len(), 3);
+        assert_eq!(bank.current.len(), 3);
+        let lif = NeuronBank::new(lif_config(1, 4), 3);
+        assert!(lif.current.is_empty());
+    }
+}

@@ -1,0 +1,20 @@
+//! Event-driven network layers.
+//!
+//! Layers operate on one binary spike [`Frame`] per timestep and keep their
+//! neuron state across timesteps (paper §III-C: the state of each neuron is
+//! held across the whole inference and reset at the start of a new one).
+//!
+//! [`Frame`]: crate::tensor::Frame
+
+mod bank;
+mod conv;
+mod dense;
+mod pool;
+mod traits;
+
+pub(crate) use bank::NeuronBank;
+
+pub use conv::ConvLayer;
+pub use dense::DenseLayer;
+pub use pool::PoolLayer;
+pub use traits::{EventLayer, LayerKind, NeuronConfig};

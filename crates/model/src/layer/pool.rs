@@ -1,0 +1,189 @@
+//! Spatial spike pooling.
+
+use serde::{Deserialize, Serialize};
+
+use super::{EventLayer, LayerKind};
+use crate::tensor::{Frame, Shape};
+use crate::ModelError;
+
+/// A stateless spatial OR-pooling (max-pooling on binary spikes) layer.
+///
+/// The output neuron at `(c, oy, ox)` spikes in a timestep if any input
+/// neuron in its `window x window` region spikes in that timestep. This is
+/// the standard pooling used in spiking CNNs (spikes are binary, so max and
+/// OR coincide) and corresponds to the `pool 2x2` / `pool 4` stages of the
+/// paper's Fig. 6 topology.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolLayer {
+    input_shape: Shape,
+    window: u16,
+}
+
+impl PoolLayer {
+    /// Creates a pooling layer with a square window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if the window is zero or
+    /// larger than the input's spatial size.
+    pub fn new(input_shape: Shape, window: u16) -> Result<Self, ModelError> {
+        if window == 0 {
+            return Err(ModelError::InvalidParameter {
+                name: "window",
+                reason: "pooling window must be non-zero".to_owned(),
+            });
+        }
+        if window > input_shape.height || window > input_shape.width {
+            return Err(ModelError::InvalidParameter {
+                name: "window",
+                reason: format!(
+                    "pooling window {window} exceeds input spatial size {}x{}",
+                    input_shape.height, input_shape.width
+                ),
+            });
+        }
+        if input_shape.is_empty() {
+            return Err(ModelError::InvalidParameter {
+                name: "input_shape",
+                reason: format!("input shape {input_shape} has a zero dimension"),
+            });
+        }
+        Ok(Self { input_shape, window })
+    }
+
+    /// Pooling window size.
+    #[must_use]
+    pub fn window(&self) -> u16 {
+        self.window
+    }
+}
+
+impl EventLayer for PoolLayer {
+    fn input_shape(&self) -> Shape {
+        self.input_shape
+    }
+
+    fn output_shape(&self) -> Shape {
+        Shape::new(
+            self.input_shape.channels,
+            self.input_shape.height / self.window,
+            self.input_shape.width / self.window,
+        )
+    }
+
+    fn step(&mut self, input: &Frame) -> Frame {
+        assert_eq!(input.shape(), self.input_shape, "pool layer input shape mismatch");
+        let out_shape = self.output_shape();
+        let mut output = Frame::zeros(out_shape);
+        for (c, y, x) in input.spikes() {
+            let oy = y / self.window;
+            let ox = x / self.window;
+            if oy < out_shape.height && ox < out_shape.width {
+                output.set(c, oy, ox, true);
+            }
+        }
+        output
+    }
+
+    fn reset(&mut self) {}
+
+    fn synaptic_ops(&self, input: &Frame) -> u64 {
+        // Pooling performs one (weightless) accumulation per input spike that
+        // falls inside the pooled region.
+        let out_shape = self.output_shape();
+        input
+            .spikes()
+            .filter(|&(_, y, x)| y / self.window < out_shape.height && x / self.window < out_shape.width)
+            .count() as u64
+    }
+
+    fn num_neurons(&self) -> usize {
+        self.output_shape().len()
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Pooling
+    }
+
+    fn describe(&self) -> String {
+        format!("pool {}x{}", self.window, self.window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_or_oversized_windows() {
+        let shape = Shape::new(2, 8, 8);
+        assert!(PoolLayer::new(shape, 0).is_err());
+        assert!(PoolLayer::new(shape, 9).is_err());
+        assert!(PoolLayer::new(Shape::new(0, 8, 8), 2).is_err());
+        assert!(PoolLayer::new(shape, 8).is_ok());
+    }
+
+    #[test]
+    fn output_shape_divides_spatial_size() {
+        let l = PoolLayer::new(Shape::new(32, 16, 16), 2).unwrap();
+        assert_eq!(l.output_shape(), Shape::new(32, 8, 8));
+        // Non-divisible sizes floor, like the paper's pool stages.
+        let l = PoolLayer::new(Shape::new(32, 17, 17), 2).unwrap();
+        assert_eq!(l.output_shape(), Shape::new(32, 8, 8));
+    }
+
+    #[test]
+    fn any_spike_in_window_sets_output() {
+        let mut l = PoolLayer::new(Shape::new(1, 4, 4), 2).unwrap();
+        let mut input = Frame::zeros(Shape::new(1, 4, 4));
+        input.set(0, 1, 1, true);
+        input.set(0, 3, 2, true);
+        let out = l.step(&input);
+        assert!(out.get(0, 0, 0));
+        assert!(out.get(0, 1, 1));
+        assert_eq!(out.spike_count(), 2);
+    }
+
+    #[test]
+    fn multiple_spikes_in_window_collapse_to_one() {
+        let mut l = PoolLayer::new(Shape::new(1, 4, 4), 2).unwrap();
+        let mut input = Frame::zeros(Shape::new(1, 4, 4));
+        input.set(0, 0, 0, true);
+        input.set(0, 0, 1, true);
+        input.set(0, 1, 0, true);
+        input.set(0, 1, 1, true);
+        let out = l.step(&input);
+        assert_eq!(out.spike_count(), 1);
+    }
+
+    #[test]
+    fn spikes_outside_floored_region_are_dropped() {
+        // 5x5 input pooled by 2 gives a 2x2 output; row/column 4 is dropped.
+        let mut l = PoolLayer::new(Shape::new(1, 5, 5), 2).unwrap();
+        let mut input = Frame::zeros(Shape::new(1, 5, 5));
+        input.set(0, 4, 4, true);
+        let out = l.step(&input);
+        assert_eq!(out.spike_count(), 0);
+        assert_eq!(l.synaptic_ops(&input), 0);
+    }
+
+    #[test]
+    fn synaptic_ops_count_in_region_spikes() {
+        let l = PoolLayer::new(Shape::new(1, 4, 4), 2).unwrap();
+        let mut input = Frame::zeros(Shape::new(1, 4, 4));
+        input.set(0, 0, 0, true);
+        input.set(0, 2, 3, true);
+        assert_eq!(l.synaptic_ops(&input), 2);
+    }
+
+    #[test]
+    fn pooling_is_stateless() {
+        let mut l = PoolLayer::new(Shape::new(1, 4, 4), 2).unwrap();
+        l.reset();
+        let input = Frame::zeros(Shape::new(1, 4, 4));
+        assert_eq!(l.step(&input).spike_count(), 0);
+        assert_eq!(l.kind(), LayerKind::Pooling);
+        assert_eq!(l.describe(), "pool 2x2");
+        assert_eq!(l.window(), 2);
+    }
+}

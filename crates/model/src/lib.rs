@@ -1,0 +1,53 @@
+//! Functional (software) reference model of the SNE's event-based
+//! convolutional neural networks.
+//!
+//! The crate provides the golden model the cycle-level simulator is checked
+//! against, plus everything needed to reproduce the paper's accuracy
+//! benchmark (§IV-B):
+//!
+//! * [`neuron`] — the quantized linear-leak LIF neuron implemented by the SNE
+//!   (4-bit weights, 8-bit saturating state) and the SRM baseline neuron used
+//!   by the SLAYER comparison.
+//! * [`quant`] — 4-bit weight quantization and 8-bit state arithmetic.
+//! * [`layer`] — event-driven convolution, pooling and fully-connected layers
+//!   operating on binary spike frames.
+//! * [`network`] / [`topology`] — sequential eCNN networks and the paper's
+//!   Fig. 6 topology builder.
+//! * [`inference`] — spike-count classification, per-layer activity
+//!   measurement (the quantity that drives the energy model) and accuracy
+//!   evaluation.
+//! * [`train`] — a rate-based surrogate trainer standing in for the SLAYER
+//!   framework (see `DESIGN.md` §4), able to train both the SRM baseline and
+//!   the quantized SNE-LIF-4b variant of the same network.
+//!
+//! # Example
+//!
+//! ```
+//! use sne_model::neuron::{LifNeuron, LifParams, Neuron};
+//!
+//! let params = LifParams { leak: 1, threshold: 8, ..LifParams::default() };
+//! let mut neuron = LifNeuron::new(params);
+//! // Three strong inputs push the membrane over the threshold.
+//! for _ in 0..3 {
+//!     neuron.integrate(4);
+//! }
+//! assert!(neuron.fire_and_reset());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod inference;
+pub mod layer;
+pub mod network;
+pub mod neuron;
+pub mod quant;
+pub mod tensor;
+pub mod topology;
+pub mod train;
+
+mod error;
+
+pub use error::ModelError;
+pub use network::Network;
+pub use tensor::{Frame, RateMap, Shape};

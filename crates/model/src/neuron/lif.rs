@@ -1,0 +1,270 @@
+//! Quantized linear-leak LIF neuron (the SNE hardware neuron).
+
+use serde::{Deserialize, Serialize};
+
+use super::Neuron;
+use crate::quant::{self, STATE_MAX, STATE_MIN};
+
+/// Parameters of the quantized SNE LIF neuron.
+///
+/// The paper's membrane update is `V[t+1] = -L + Σ_j W_ij S_j[t]` with the
+/// firing rule `S[t] = Θ(V[t] - V_th)` (§III-B). The hardware stores the
+/// membrane in 8 bits and the weights in 4 bits; both leak and threshold are
+/// programmable per layer through the register interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LifParams {
+    /// Linear leak subtracted at every timestep (`L` in the paper).
+    pub leak: i16,
+    /// Firing threshold (`V_th` in the paper).
+    pub threshold: i16,
+    /// If `true`, the membrane saturates at the 8-bit limits after every
+    /// arithmetic step, matching the hardware datapath. If `false`, the
+    /// membrane is a free 32-bit integer (useful for headroom experiments).
+    pub saturate: bool,
+    /// If `true`, the membrane is clamped at zero from below instead of the
+    /// negative 8-bit limit (some SNN formulations forbid negative
+    /// potentials; the SNE allows them, so the default is `false`).
+    pub non_negative: bool,
+}
+
+impl Default for LifParams {
+    fn default() -> Self {
+        Self { leak: 1, threshold: 16, saturate: true, non_negative: false }
+    }
+}
+
+impl LifParams {
+    /// Lower bound of the membrane under the current clamping rules.
+    #[must_use]
+    pub fn floor(&self) -> i32 {
+        if self.non_negative {
+            0
+        } else if self.saturate {
+            i32::from(STATE_MIN)
+        } else {
+            i32::MIN / 2
+        }
+    }
+
+    /// Upper bound of the membrane under the current clamping rules.
+    #[must_use]
+    pub fn ceiling(&self) -> i32 {
+        if self.saturate {
+            i32::from(STATE_MAX)
+        } else {
+            i32::MAX / 2
+        }
+    }
+}
+
+/// The quantized linear-leak LIF neuron of the SNE (paper §III-B).
+///
+/// # Example
+///
+/// ```
+/// use sne_model::neuron::{LifNeuron, LifParams, Neuron};
+///
+/// let mut n = LifNeuron::new(LifParams { leak: 0, threshold: 10, ..LifParams::default() });
+/// n.integrate(6);
+/// assert!(!n.fire_and_reset());
+/// n.integrate(6);
+/// assert!(n.fire_and_reset());
+/// assert_eq!(n.membrane(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LifNeuron {
+    params: LifParams,
+    state: i32,
+}
+
+impl LifNeuron {
+    /// Creates a neuron with zero membrane potential.
+    #[must_use]
+    pub fn new(params: LifParams) -> Self {
+        Self { params, state: 0 }
+    }
+
+    /// The neuron's parameters.
+    #[must_use]
+    pub fn params(&self) -> LifParams {
+        self.params
+    }
+
+    /// Raw integer membrane potential.
+    #[must_use]
+    pub fn state(&self) -> i32 {
+        self.state
+    }
+
+    /// Applies the linear leak for `elapsed` timesteps in one step.
+    ///
+    /// This models the time-of-last-update (TLU) mechanism of the SNE
+    /// Cluster (paper §III-D.4): when a neuron is not touched for several
+    /// timesteps, the accumulated leak is applied lazily on the next access.
+    /// Because the leak only drives the membrane toward the floor, applying
+    /// it lazily is equivalent to applying it every timestep.
+    pub fn leak_for(&mut self, elapsed: u32) {
+        if elapsed == 0 || self.params.leak == 0 {
+            return;
+        }
+        let total = i64::from(self.params.leak) * i64::from(elapsed);
+        let next = i64::from(self.state) - total;
+        self.state = self.clamp(next);
+    }
+
+    fn clamp(&self, value: i64) -> i32 {
+        quant::clamp_i64(value, i64::from(self.params.floor()), i64::from(self.params.ceiling()))
+    }
+
+    /// Returns `true` if the membrane is at or above the firing threshold.
+    #[must_use]
+    pub fn above_threshold(&self) -> bool {
+        self.state >= i32::from(self.params.threshold)
+    }
+}
+
+impl Neuron for LifNeuron {
+    fn integrate(&mut self, weight: i32) {
+        let next = i64::from(self.state) + i64::from(weight);
+        self.state = self.clamp(next);
+    }
+
+    fn fire_and_reset(&mut self) -> bool {
+        // Leak for exactly one timestep, then check the threshold.
+        self.leak_for(1);
+        if self.above_threshold() {
+            self.state = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn reset(&mut self) {
+        self.state = 0;
+    }
+
+    fn membrane(&self) -> f32 {
+        self.state as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn neuron(leak: i16, threshold: i16) -> LifNeuron {
+        LifNeuron::new(LifParams { leak, threshold, ..LifParams::default() })
+    }
+
+    #[test]
+    fn integrates_and_fires_at_threshold() {
+        let mut n = neuron(0, 10);
+        n.integrate(5);
+        assert!(!n.fire_and_reset());
+        n.integrate(5);
+        assert!(n.fire_and_reset());
+        assert_eq!(n.state(), 0);
+    }
+
+    #[test]
+    fn leak_pulls_membrane_down_every_timestep() {
+        let mut n = neuron(2, 100);
+        n.integrate(10);
+        assert!(!n.fire_and_reset()); // 10 - 2 = 8
+        assert_eq!(n.state(), 8);
+        assert!(!n.fire_and_reset()); // 8 - 2 = 6
+        assert_eq!(n.state(), 6);
+    }
+
+    #[test]
+    fn membrane_saturates_at_8_bit_limits() {
+        let mut n = neuron(0, 127);
+        for _ in 0..100 {
+            n.integrate(7);
+        }
+        assert_eq!(n.state(), i32::from(STATE_MAX));
+        let mut m = neuron(0, 127);
+        for _ in 0..100 {
+            m.integrate(-8);
+        }
+        assert_eq!(m.state(), i32::from(STATE_MIN));
+    }
+
+    #[test]
+    fn lazy_leak_equals_per_step_leak() {
+        // Applying leak lazily over N idle timesteps must match applying it
+        // step by step, including at the saturation floor.
+        for &initial in &[100i32, 10, -100, -120] {
+            for elapsed in 0u32..10 {
+                let params = LifParams { leak: 3, threshold: 127, ..LifParams::default() };
+                let mut lazy = LifNeuron::new(params);
+                lazy.state = initial;
+                lazy.leak_for(elapsed);
+
+                let mut steps = LifNeuron::new(params);
+                steps.state = initial;
+                for _ in 0..elapsed {
+                    steps.leak_for(1);
+                }
+                assert_eq!(lazy.state(), steps.state(), "initial {initial}, elapsed {elapsed}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_negative_mode_clamps_at_zero() {
+        let mut n = LifNeuron::new(LifParams {
+            leak: 5,
+            threshold: 50,
+            non_negative: true,
+            ..LifParams::default()
+        });
+        n.integrate(3);
+        let _ = n.fire_and_reset();
+        assert_eq!(n.state(), 0);
+        n.integrate(-10);
+        assert_eq!(n.state(), 0);
+    }
+
+    #[test]
+    fn unsaturated_mode_exceeds_8_bits() {
+        let mut n = LifNeuron::new(LifParams {
+            leak: 0,
+            threshold: 1000,
+            saturate: false,
+            ..LifParams::default()
+        });
+        for _ in 0..100 {
+            n.integrate(7);
+        }
+        assert_eq!(n.state(), 700);
+    }
+
+    #[test]
+    fn reset_clears_membrane() {
+        let mut n = neuron(0, 100);
+        n.integrate(50);
+        n.reset();
+        assert_eq!(n.state(), 0);
+        assert_eq!(n.membrane(), 0.0);
+    }
+
+    #[test]
+    fn firing_resets_membrane_to_zero() {
+        let mut n = neuron(0, 5);
+        n.integrate(100);
+        assert!(n.fire_and_reset());
+        assert_eq!(n.state(), 0);
+        // Without new input the neuron must not fire again.
+        assert!(!n.fire_and_reset());
+    }
+
+    #[test]
+    fn zero_elapsed_leak_is_noop() {
+        let mut n = neuron(3, 100);
+        n.integrate(10);
+        n.leak_for(0);
+        assert_eq!(n.state(), 10);
+    }
+}

@@ -1,0 +1,54 @@
+//! Spiking neuron models.
+//!
+//! Two neuron models are provided, matching the comparison of paper §IV-B:
+//!
+//! * [`LifNeuron`] — the quantized linear-leak leaky-integrate-and-fire
+//!   neuron the SNE hardware implements (`SNE-LIF-4b`): 4-bit synaptic
+//!   weights, 8-bit saturating membrane state, programmable leak and
+//!   threshold, membrane reset to zero on firing.
+//! * [`SrmNeuron`] — a spike-response-model baseline with an exponentially
+//!   decaying membrane kernel, standing in for the default SLAYER SRM neuron
+//!   the paper trains as its reference.
+
+mod lif;
+mod srm;
+
+pub use lif::{LifNeuron, LifParams};
+pub use srm::{SrmNeuron, SrmParams};
+
+/// Common behaviour of stateful spiking neurons processed timestep by
+/// timestep.
+pub trait Neuron {
+    /// Accumulates one synaptic contribution into the membrane potential.
+    fn integrate(&mut self, weight: i32);
+
+    /// Advances the neuron to the end of the current timestep: applies the
+    /// leak/decay, checks the firing condition and resets the membrane if the
+    /// neuron fired. Returns `true` if an output spike was emitted.
+    fn fire_and_reset(&mut self) -> bool;
+
+    /// Resets the membrane potential (the `RST_OP` of the SNE).
+    fn reset(&mut self);
+
+    /// Current membrane potential, in the neuron's native scale.
+    fn membrane(&self) -> f32;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let mut neurons: Vec<Box<dyn Neuron>> = vec![
+            Box::new(LifNeuron::new(LifParams::default())),
+            Box::new(SrmNeuron::new(SrmParams::default())),
+        ];
+        for n in &mut neurons {
+            n.integrate(100);
+            let _ = n.fire_and_reset();
+            n.reset();
+            assert_eq!(n.membrane(), 0.0);
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! The paper's network topology (Fig. 6) and a topology description type.
+//!
+//! Fig. 6 of the paper uses the stack
+//! `conv 2x32,3x3 → pool 2x2 → conv 32x32,3x3 → pool 2x2 → pool 4 → fc …x512
+//! → fc 512x11`. The spatial sizes follow from the input resolution; the
+//! builder here computes them automatically so the same topology can be
+//! instantiated for the 34x34 NMNIST-like input, the DVS-Gesture-like input
+//! or any reduced resolution used in tests.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::layer::{ConvLayer, DenseLayer, NeuronConfig, PoolLayer};
+use crate::network::Network;
+use crate::tensor::Shape;
+use crate::ModelError;
+
+/// One stage of a topology description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StageSpec {
+    /// Convolution to `out_channels` with a square `kernel`.
+    Conv {
+        /// Number of output channels.
+        out_channels: u16,
+        /// Square kernel size (odd).
+        kernel: u16,
+    },
+    /// Spatial pooling with a square `window`.
+    Pool {
+        /// Pooling window.
+        window: u16,
+    },
+    /// Fully-connected stage with `outputs` neurons.
+    Dense {
+        /// Number of output neurons.
+        outputs: u16,
+    },
+}
+
+/// A declarative topology: an input shape plus a list of stages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Shape of the input feature map.
+    pub input: Shape,
+    /// Stages in execution order.
+    pub stages: Vec<StageSpec>,
+}
+
+impl Topology {
+    /// The topology of the paper's Fig. 6 for an arbitrary square input
+    /// resolution: two 3×3 convolutions with 32 channels, interleaved 2×2
+    /// pooling, a final 4×4 pooling, a 512-neuron hidden FC layer and a
+    /// classifier FC layer.
+    #[must_use]
+    pub fn paper_fig6(input: Shape, classes: u16) -> Self {
+        Self {
+            input,
+            stages: vec![
+                StageSpec::Conv { out_channels: 32, kernel: 3 },
+                StageSpec::Pool { window: 2 },
+                StageSpec::Conv { out_channels: 32, kernel: 3 },
+                StageSpec::Pool { window: 2 },
+                StageSpec::Pool { window: 4 },
+                StageSpec::Dense { outputs: 512 },
+                StageSpec::Dense { outputs: classes },
+            ],
+        }
+    }
+
+    /// A reduced topology for fast tests: one convolution, one pooling and a
+    /// classifier layer.
+    #[must_use]
+    pub fn tiny(input: Shape, hidden_channels: u16, classes: u16) -> Self {
+        Self {
+            input,
+            stages: vec![
+                StageSpec::Conv { out_channels: hidden_channels, kernel: 3 },
+                StageSpec::Pool { window: 2 },
+                StageSpec::Dense { outputs: classes },
+            ],
+        }
+    }
+
+    /// Computes the shape after every stage (the last entry is the output
+    /// shape).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if a stage cannot be applied
+    /// to the shape it receives (e.g. pooling a 1×1 map by 2).
+    pub fn shapes(&self) -> Result<Vec<Shape>, ModelError> {
+        let mut shapes = vec![self.input];
+        let mut current = self.input;
+        for stage in &self.stages {
+            current = match *stage {
+                StageSpec::Conv { out_channels, .. } => {
+                    Shape::new(out_channels, current.height, current.width)
+                }
+                StageSpec::Pool { window } => {
+                    if window == 0 || window > current.height || window > current.width {
+                        return Err(ModelError::InvalidParameter {
+                            name: "window",
+                            reason: format!(
+                                "cannot pool a {}x{} map by {window}",
+                                current.height, current.width
+                            ),
+                        });
+                    }
+                    Shape::new(current.channels, current.height / window, current.width / window)
+                }
+                StageSpec::Dense { outputs } => Shape::new(outputs, 1, 1),
+            };
+            if current.is_empty() {
+                return Err(ModelError::InvalidParameter {
+                    name: "stage",
+                    reason: format!("stage {stage:?} produces an empty shape"),
+                });
+            }
+            shapes.push(current);
+        }
+        Ok(shapes)
+    }
+
+    /// Number of classes (outputs of the final stage).
+    #[must_use]
+    pub fn classes(&self) -> u16 {
+        match self.stages.last() {
+            Some(StageSpec::Dense { outputs }) => *outputs,
+            Some(StageSpec::Conv { out_channels, .. }) => *out_channels,
+            _ => self.input.channels,
+        }
+    }
+
+    /// Builds a spiking [`Network`] with all-zero weights and one
+    /// [`NeuronConfig`] shared by every stateful stage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer construction errors (invalid kernels, empty shapes…).
+    pub fn build(&self, config: NeuronConfig) -> Result<Network, ModelError> {
+        let shapes = self.shapes()?;
+        let mut network = Network::new(self.input);
+        for (stage, input_shape) in self.stages.iter().zip(shapes.iter()) {
+            match *stage {
+                StageSpec::Conv { out_channels, kernel } => {
+                    network.push(ConvLayer::new(*input_shape, out_channels, kernel, config)?)?;
+                }
+                StageSpec::Pool { window } => {
+                    network.push(PoolLayer::new(*input_shape, window)?)?;
+                }
+                StageSpec::Dense { outputs } => {
+                    network.push(DenseLayer::new(*input_shape, outputs, config)?)?;
+                }
+            }
+        }
+        Ok(network)
+    }
+
+    /// Builds a spiking network with random integer weights on the 4-bit
+    /// grid, useful for exercising the simulator without training.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer construction errors.
+    pub fn build_random<R: Rng>(&self, config: NeuronConfig, rng: &mut R) -> Result<Network, ModelError> {
+        let shapes = self.shapes()?;
+        let mut network = Network::new(self.input);
+        for (stage, input_shape) in self.stages.iter().zip(shapes.iter()) {
+            match *stage {
+                StageSpec::Conv { out_channels, kernel } => {
+                    let mut layer = ConvLayer::new(*input_shape, out_channels, kernel, config)?;
+                    let weights =
+                        (0..layer.weight_count()).map(|_| f32::from(rng.gen_range(-2i8..=4))).collect();
+                    layer.set_weights(weights)?;
+                    network.push(layer)?;
+                }
+                StageSpec::Pool { window } => {
+                    network.push(PoolLayer::new(*input_shape, window)?)?;
+                }
+                StageSpec::Dense { outputs } => {
+                    let mut layer = DenseLayer::new(*input_shape, outputs, config)?;
+                    let count = layer.inputs() * usize::from(outputs);
+                    let weights = (0..count).map(|_| f32::from(rng.gen_range(-2i8..=4))).collect();
+                    layer.set_weights(weights)?;
+                    network.push(layer)?;
+                }
+            }
+        }
+        Ok(network)
+    }
+
+    /// Total number of synaptic weights of the topology.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape computation errors.
+    pub fn weight_count(&self) -> Result<usize, ModelError> {
+        let shapes = self.shapes()?;
+        let mut total = 0usize;
+        for (stage, input_shape) in self.stages.iter().zip(shapes.iter()) {
+            total += match *stage {
+                StageSpec::Conv { out_channels, kernel } => {
+                    usize::from(out_channels)
+                        * usize::from(input_shape.channels)
+                        * usize::from(kernel)
+                        * usize::from(kernel)
+                }
+                StageSpec::Pool { .. } => 0,
+                StageSpec::Dense { outputs } => usize::from(outputs) * input_shape.len(),
+            };
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fig6_topology_has_seven_stages() {
+        let t = Topology::paper_fig6(Shape::new(2, 32, 32), 11);
+        assert_eq!(t.stages.len(), 7);
+        assert_eq!(t.classes(), 11);
+    }
+
+    #[test]
+    fn fig6_shapes_chain_for_a_32x32_input() {
+        let t = Topology::paper_fig6(Shape::new(2, 32, 32), 11);
+        let shapes = t.shapes().unwrap();
+        assert_eq!(shapes[1], Shape::new(32, 32, 32)); // conv
+        assert_eq!(shapes[2], Shape::new(32, 16, 16)); // pool 2
+        assert_eq!(shapes[3], Shape::new(32, 16, 16)); // conv
+        assert_eq!(shapes[4], Shape::new(32, 8, 8)); // pool 2
+        assert_eq!(shapes[5], Shape::new(32, 2, 2)); // pool 4
+        assert_eq!(shapes[6], Shape::new(512, 1, 1)); // fc
+        assert_eq!(shapes[7], Shape::new(11, 1, 1)); // fc classifier
+    }
+
+    #[test]
+    fn fig6_reproduces_paper_fc_size_for_144_input() {
+        // With a 144x144 input the flattened FC input is 9x9x32, the exact
+        // "fc 9x9x32 x 512" of Fig. 6.
+        let t = Topology::paper_fig6(Shape::new(2, 144, 144), 11);
+        let shapes = t.shapes().unwrap();
+        assert_eq!(shapes[5], Shape::new(32, 9, 9));
+    }
+
+    #[test]
+    fn too_small_inputs_are_rejected() {
+        let t = Topology::paper_fig6(Shape::new(2, 8, 8), 11);
+        assert!(t.shapes().is_err());
+    }
+
+    #[test]
+    fn build_produces_matching_network() {
+        let t = Topology::tiny(Shape::new(2, 8, 8), 4, 3);
+        let network = t.build(NeuronConfig::default_lif()).unwrap();
+        assert_eq!(network.len(), 3);
+        assert_eq!(network.output_shape(), Shape::new(3, 1, 1));
+    }
+
+    #[test]
+    fn build_random_produces_4bit_weights() {
+        let t = Topology::tiny(Shape::new(1, 8, 8), 2, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let network = t.build_random(NeuronConfig::default_lif(), &mut rng).unwrap();
+        assert_eq!(network.len(), 3);
+    }
+
+    #[test]
+    fn weight_count_matches_fig6_expectation() {
+        let t = Topology::paper_fig6(Shape::new(2, 32, 32), 11);
+        let count = t.weight_count().unwrap();
+        // conv1: 32*2*9 = 576, conv2: 32*32*9 = 9216, fc1: 128*512 = 65536, fc2: 512*11 = 5632
+        assert_eq!(count, 576 + 9216 + 65_536 + 5632);
+    }
+
+    #[test]
+    fn classes_fallback_without_dense_head() {
+        let t = Topology {
+            input: Shape::new(2, 8, 8),
+            stages: vec![StageSpec::Conv { out_channels: 7, kernel: 3 }],
+        };
+        assert_eq!(t.classes(), 7);
+    }
+}

@@ -1,0 +1,174 @@
+//! Conversion of trained rate networks into spiking networks.
+//!
+//! Two targets are supported, matching the two columns of paper Table I:
+//!
+//! * [`to_lif_network`] — the `SNE-LIF-4b` network: weights quantized to the
+//!   4-bit hardware grid, firing thresholds chosen as `round(1/scale)` so
+//!   that the spiking rates approximate the trained activations, zero leak.
+//!   The resulting network uses integer-valued weights and is bit-exact with
+//!   the cycle simulator's datapath.
+//! * [`to_srm_network`] — the floating-point SRM baseline: the trained
+//!   weights are used unchanged with near-ideal integrator dynamics
+//!   (subtractive reset at threshold 1), standing in for the SLAYER-trained
+//!   SRM reference.
+
+use serde::{Deserialize, Serialize};
+
+use super::rate::{RateLayer, RateNetwork};
+use crate::layer::{ConvLayer, DenseLayer, NeuronConfig, PoolLayer};
+use crate::network::Network;
+use crate::neuron::{LifParams, SrmParams};
+use crate::quant::QuantizedWeights;
+use crate::ModelError;
+
+/// Per-layer details of a quantized conversion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConversionReport {
+    /// Quantization scale of each stateful layer, in network order.
+    pub scales: Vec<f32>,
+    /// Firing threshold chosen for each stateful layer, in network order.
+    pub thresholds: Vec<i16>,
+    /// Worst-case absolute weight quantization error per stateful layer.
+    pub max_errors: Vec<f32>,
+}
+
+/// Converts a trained rate network into the quantized `SNE-LIF-4b` spiking
+/// network executed by the accelerator.
+///
+/// # Errors
+///
+/// Propagates layer-construction and shape errors.
+pub fn to_lif_network(rate: &RateNetwork) -> Result<(Network, ConversionReport), ModelError> {
+    let mut network = Network::new(rate.input_shape());
+    let mut report = ConversionReport { scales: Vec::new(), thresholds: Vec::new(), max_errors: Vec::new() };
+
+    for layer in rate.layers() {
+        match layer {
+            RateLayer::Conv { in_shape, out_channels, kernel, weights, .. } => {
+                let q = QuantizedWeights::from_floats(weights);
+                let threshold = threshold_from_scale(q.scale);
+                let params = LifParams { leak: 0, threshold, ..LifParams::default() };
+                let mut conv = ConvLayer::new(*in_shape, *out_channels, *kernel, NeuronConfig::Lif(params))?;
+                conv.set_weights(q.values.iter().map(|&v| f32::from(v)).collect())?;
+                report.scales.push(q.scale);
+                report.thresholds.push(threshold);
+                report.max_errors.push(q.max_error(weights));
+                network.push(conv)?;
+            }
+            RateLayer::Pool { in_shape, window } => {
+                network.push(PoolLayer::new(*in_shape, *window)?)?;
+            }
+            RateLayer::Dense { in_shape, outputs, weights, .. } => {
+                let q = QuantizedWeights::from_floats(weights);
+                let threshold = threshold_from_scale(q.scale);
+                let params = LifParams { leak: 0, threshold, ..LifParams::default() };
+                let mut dense = DenseLayer::new(*in_shape, *outputs, NeuronConfig::Lif(params))?;
+                dense.set_weights(q.values.iter().map(|&v| f32::from(v)).collect())?;
+                report.scales.push(q.scale);
+                report.thresholds.push(threshold);
+                report.max_errors.push(q.max_error(weights));
+                network.push(dense)?;
+            }
+        }
+    }
+    Ok((network, report))
+}
+
+/// Converts a trained rate network into the floating-point SRM baseline
+/// spiking network.
+///
+/// # Errors
+///
+/// Propagates layer-construction and shape errors.
+pub fn to_srm_network(rate: &RateNetwork) -> Result<Network, ModelError> {
+    // Near-ideal integrator: negligible membrane decay, instantaneous
+    // synaptic kernel, subtractive reset at a unit threshold. This preserves
+    // the trained rates as faithfully as the SRM formulation allows.
+    let srm = SrmParams { tau_membrane: 1e6, tau_synapse: 1e-3, threshold: 1.0, refractory_drop: 1.0 };
+    let config = NeuronConfig::Srm(srm);
+    let mut network = Network::new(rate.input_shape());
+    for layer in rate.layers() {
+        match layer {
+            RateLayer::Conv { in_shape, out_channels, kernel, weights, .. } => {
+                let mut conv = ConvLayer::new(*in_shape, *out_channels, *kernel, config)?;
+                conv.set_weights(weights.clone())?;
+                network.push(conv)?;
+            }
+            RateLayer::Pool { in_shape, window } => {
+                network.push(PoolLayer::new(*in_shape, *window)?)?;
+            }
+            RateLayer::Dense { in_shape, outputs, weights, .. } => {
+                let mut dense = DenseLayer::new(*in_shape, *outputs, config)?;
+                dense.set_weights(weights.clone())?;
+                network.push(dense)?;
+            }
+        }
+    }
+    Ok(network)
+}
+
+/// Maps a quantization scale to a hardware firing threshold: the trained
+/// activation saturates at 1.0, which corresponds to `1/scale` in quantized
+/// units; the threshold is clamped to the representable 8-bit state range.
+fn threshold_from_scale(scale: f32) -> i16 {
+    let ideal = (1.0 / scale.max(f32::MIN_POSITIVE)).round();
+    ideal.clamp(1.0, 127.0) as i16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Shape;
+    use crate::topology::Topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sne_event::{Event, EventStream};
+
+    fn trained_like_network() -> RateNetwork {
+        let topology = Topology::tiny(Shape::new(2, 8, 8), 4, 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        RateNetwork::from_topology(&topology, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn lif_conversion_produces_integer_weights_and_valid_thresholds() {
+        let rate = trained_like_network();
+        let (network, report) = to_lif_network(&rate).unwrap();
+        assert_eq!(network.len(), 3);
+        assert_eq!(report.scales.len(), 2);
+        assert!(report.thresholds.iter().all(|&t| (1..=127).contains(&t)));
+        assert!(report.max_errors.iter().all(|&e| e >= 0.0));
+    }
+
+    #[test]
+    fn srm_conversion_preserves_float_weights() {
+        let rate = trained_like_network();
+        let network = to_srm_network(&rate).unwrap();
+        assert_eq!(network.len(), 3);
+        assert_eq!(network.output_shape(), Shape::new(3, 1, 1));
+    }
+
+    #[test]
+    fn converted_networks_run_on_event_streams() {
+        let rate = trained_like_network();
+        let (mut lif, _) = to_lif_network(&rate).unwrap();
+        let mut srm = to_srm_network(&rate).unwrap();
+        let mut stream = EventStream::new(8, 8, 2, 12);
+        for t in 0..12 {
+            stream.push(Event::update(t, 0, 3, 3)).unwrap();
+            stream.push(Event::update(t, 1, 4, 4)).unwrap();
+        }
+        let lif_result = lif.run_stream(&stream).unwrap();
+        let srm_result = srm.run_stream(&stream).unwrap();
+        assert_eq!(lif_result.output_spike_counts.len(), 3);
+        assert_eq!(srm_result.output_spike_counts.len(), 3);
+    }
+
+    #[test]
+    fn threshold_from_scale_clamps_to_state_range() {
+        assert_eq!(threshold_from_scale(1.0), 1);
+        assert_eq!(threshold_from_scale(0.1), 10);
+        assert_eq!(threshold_from_scale(0.001), 127);
+        assert_eq!(threshold_from_scale(100.0), 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! Softmax and cross-entropy loss.
+
+/// Numerically-stable softmax.
+#[must_use]
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum.max(f32::MIN_POSITIVE)).collect()
+}
+
+/// Cross-entropy of a probability vector against a one-hot target class.
+///
+/// Returns a large finite value rather than infinity when the target
+/// probability underflows.
+#[must_use]
+pub fn cross_entropy(probabilities: &[f32], target: usize) -> f32 {
+    probabilities
+        .get(target)
+        .map(|&p| -(p.max(1e-12)).ln())
+        .unwrap_or(30.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let p = softmax(&[1000.0, 1001.0]);
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_of_empty_is_empty() {
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn cross_entropy_is_low_for_confident_correct_predictions() {
+        let p = softmax(&[10.0, 0.0, 0.0]);
+        assert!(cross_entropy(&p, 0) < 0.01);
+        assert!(cross_entropy(&p, 1) > 1.0);
+    }
+
+    #[test]
+    fn cross_entropy_handles_out_of_range_targets() {
+        let p = softmax(&[0.0, 0.0]);
+        assert!(cross_entropy(&p, 5).is_finite());
+    }
+
+    #[test]
+    fn cross_entropy_never_returns_infinity() {
+        assert!(cross_entropy(&[0.0, 1.0], 0).is_finite());
+    }
+}

@@ -1,0 +1,218 @@
+//! Rate-based surrogate trainer.
+//!
+//! The paper trains its networks with SLAYER (PyTorch, GPU). This module is
+//! the Rust stand-in: networks are trained in floating point on *spike rates*
+//! (spike counts averaged over the inference window) with a hard-sigmoid
+//! surrogate activation, then converted to spiking networks — either the
+//! quantized `SNE-LIF-4b` variant the accelerator executes or the `SRM`
+//! float baseline — so that the comparison of paper Table I (baseline vs
+//! quantized accelerator network) is preserved.
+//!
+//! The trainer is intentionally small (plain SGD with momentum, no data
+//! augmentation); it is sized for the synthetic surrogate datasets of
+//! `sne-event::datasets`, not for the real DVS recordings.
+
+mod convert;
+mod loss;
+mod optimizer;
+mod rate;
+
+pub use convert::{to_lif_network, to_srm_network, ConversionReport};
+pub use loss::{cross_entropy, softmax};
+pub use optimizer::SgdOptimizer;
+pub use rate::{RateLayer, RateNetwork};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use sne_event::datasets::EventDataset;
+use sne_event::EventTensor;
+
+use crate::topology::Topology;
+use crate::ModelError;
+
+/// Hyper-parameters of the rate-based trainer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training range.
+    pub epochs: usize,
+    /// Samples per parameter update.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// Seed for weight initialization.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { epochs: 5, batch_size: 8, learning_rate: 0.05, momentum: 0.9, seed: 42 }
+    }
+}
+
+/// Per-epoch training metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean cross-entropy loss over the epoch.
+    pub mean_loss: f32,
+    /// Training accuracy over the epoch.
+    pub accuracy: f64,
+}
+
+/// A trained rate network together with its training history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainOutcome {
+    /// The trained floating-point network.
+    pub network: RateNetwork,
+    /// The topology the network was built from.
+    pub topology: Topology,
+    /// Per-epoch statistics.
+    pub history: Vec<EpochStats>,
+}
+
+/// Converts a labeled event stream into the rate-coded input vector the
+/// trainer consumes (per-position mean spike rate over the window).
+#[must_use]
+pub fn rate_input(stream: &sne_event::EventStream) -> Vec<f32> {
+    let tensor = EventTensor::from_stream(stream);
+    let g = tensor.geometry();
+    tensor
+        .spike_counts_per_position()
+        .iter()
+        .map(|&c| c as f32 / g.timesteps as f32)
+        .collect()
+}
+
+/// Trains a topology on a dataset index range with the rate-based surrogate.
+///
+/// # Errors
+///
+/// Returns [`ModelError::EmptyTrainingSet`] if the training range or the batch
+/// size is empty, and propagates topology/shape errors.
+pub fn train<D: EventDataset>(
+    topology: &Topology,
+    dataset: &D,
+    train_indices: std::ops::Range<u64>,
+    config: &TrainConfig,
+) -> Result<TrainOutcome, ModelError> {
+    if train_indices.is_empty() || config.batch_size == 0 || config.epochs == 0 {
+        return Err(ModelError::EmptyTrainingSet);
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut network = RateNetwork::from_topology(topology, &mut rng)?;
+    let mut optimizer = SgdOptimizer::new(config.learning_rate, config.momentum, network.parameter_count());
+    let classes = topology.classes() as usize;
+
+    let mut history = Vec::with_capacity(config.epochs);
+    for epoch in 0..config.epochs {
+        let mut loss_sum = 0.0f32;
+        let mut correct = 0usize;
+        let mut seen = 0usize;
+        let mut in_batch = 0usize;
+
+        for index in train_indices.clone() {
+            let sample = dataset.sample(index);
+            let input = rate_input(&sample.stream);
+            let logits = network.forward(&input)?;
+            let probs = softmax(&logits);
+            loss_sum += cross_entropy(&probs, sample.label);
+            if argmax(&logits) == sample.label {
+                correct += 1;
+            }
+            // dL/dlogits for softmax + cross-entropy.
+            let mut grad: Vec<f32> = probs;
+            if sample.label < classes {
+                grad[sample.label] -= 1.0;
+            }
+            network.backward(&grad)?;
+            seen += 1;
+            in_batch += 1;
+            if in_batch == config.batch_size {
+                network.apply_gradients(&mut optimizer, in_batch);
+                in_batch = 0;
+            }
+        }
+        if in_batch > 0 {
+            network.apply_gradients(&mut optimizer, in_batch);
+        }
+        history.push(EpochStats {
+            epoch,
+            mean_loss: loss_sum / seen as f32,
+            accuracy: correct as f64 / seen as f64,
+        });
+    }
+
+    Ok(TrainOutcome { network, topology: topology.clone(), history })
+}
+
+pub(crate) fn argmax(values: &[f32]) -> usize {
+    let mut best = 0usize;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Shape;
+    use sne_event::datasets::{MotionPattern, PatternDataset};
+
+    fn dataset() -> PatternDataset {
+        PatternDataset::new(
+            16,
+            16,
+            2,
+            20,
+            vec![
+                MotionPattern::TranslatingBar { speed: 1.5, width: 3 },
+                MotionPattern::PulsingRing { period: 10.0, max_radius_fraction: 0.8 },
+            ],
+            11,
+        )
+    }
+
+    #[test]
+    fn rate_input_has_one_entry_per_position() {
+        let sample = dataset().sample(0);
+        let input = rate_input(&sample.stream);
+        assert_eq!(input.len(), 16 * 16 * 2);
+        assert!(input.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(input.iter().any(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn training_reduces_loss_on_a_separable_task() {
+        let topology = Topology::tiny(Shape::new(2, 16, 16), 4, 2);
+        let config = TrainConfig { epochs: 4, batch_size: 4, learning_rate: 0.1, ..Default::default() };
+        let outcome = train(&topology, &dataset(), 0..16, &config).unwrap();
+        assert_eq!(outcome.history.len(), 4);
+        let first = outcome.history.first().unwrap().mean_loss;
+        let last = outcome.history.last().unwrap().mean_loss;
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn empty_training_range_is_rejected() {
+        let topology = Topology::tiny(Shape::new(2, 16, 16), 4, 2);
+        assert!(matches!(
+            train(&topology, &dataset(), 0..0, &TrainConfig::default()),
+            Err(ModelError::EmptyTrainingSet)
+        ));
+        let zero_batch = TrainConfig { batch_size: 0, ..Default::default() };
+        assert!(train(&topology, &dataset(), 0..4, &zero_batch).is_err());
+    }
+
+    #[test]
+    fn argmax_returns_first_max() {
+        assert_eq!(argmax(&[0.1, 0.9, 0.9]), 1);
+        assert_eq!(argmax(&[]), 0);
+    }
+}

@@ -1,0 +1,555 @@
+//! Floating-point rate network with backpropagation.
+//!
+//! The rate network mirrors a [`Topology`] layer for layer but operates on
+//! real-valued spike *rates* instead of binary spikes. Hidden stateful layers
+//! use the hard-sigmoid surrogate activation `relu1(x) = clamp(x, 0, 1)`
+//! (a spiking neuron's rate is bounded by one spike per timestep), the final
+//! dense layer is linear and feeds the softmax of the trainer.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use super::SgdOptimizer;
+use crate::tensor::Shape;
+use crate::topology::{StageSpec, Topology};
+use crate::ModelError;
+
+/// Hard-sigmoid activation (the surrogate rate transfer function).
+#[must_use]
+pub(crate) fn relu1(x: f32) -> f32 {
+    x.clamp(0.0, 1.0)
+}
+
+/// Derivative of [`relu1`] (1 inside the linear region, 0 outside).
+#[must_use]
+pub(crate) fn relu1_grad(x: f32) -> f32 {
+    if (0.0..=1.0).contains(&x) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// One layer of the rate network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RateLayer {
+    /// Stride-1 "same" convolution with hard-sigmoid activation.
+    Conv {
+        /// Input shape.
+        in_shape: Shape,
+        /// Number of output channels.
+        out_channels: u16,
+        /// Square kernel size.
+        kernel: u16,
+        /// Weights in `[out][in][kh][kw]` layout.
+        weights: Vec<f32>,
+        /// Accumulated gradients, same layout as `weights`.
+        grads: Vec<f32>,
+        /// Input of the last forward pass.
+        last_input: Vec<f32>,
+        /// Pre-activation of the last forward pass.
+        last_preact: Vec<f32>,
+    },
+    /// Average pooling (the rate-domain counterpart of spike OR-pooling).
+    Pool {
+        /// Input shape.
+        in_shape: Shape,
+        /// Pooling window.
+        window: u16,
+    },
+    /// Fully-connected layer; linear when `is_output`, hard-sigmoid otherwise.
+    Dense {
+        /// Input shape (flattened internally).
+        in_shape: Shape,
+        /// Number of output neurons.
+        outputs: u16,
+        /// Weights in `[out][in]` layout.
+        weights: Vec<f32>,
+        /// Accumulated gradients, same layout as `weights`.
+        grads: Vec<f32>,
+        /// Input of the last forward pass.
+        last_input: Vec<f32>,
+        /// Pre-activation of the last forward pass.
+        last_preact: Vec<f32>,
+        /// `true` for the classifier head (linear output).
+        is_output: bool,
+    },
+}
+
+impl RateLayer {
+    /// Shape of the layer output.
+    #[must_use]
+    pub fn output_shape(&self) -> Shape {
+        match self {
+            RateLayer::Conv { in_shape, out_channels, .. } => {
+                Shape::new(*out_channels, in_shape.height, in_shape.width)
+            }
+            RateLayer::Pool { in_shape, window } => {
+                Shape::new(in_shape.channels, in_shape.height / window, in_shape.width / window)
+            }
+            RateLayer::Dense { outputs, .. } => Shape::new(*outputs, 1, 1),
+        }
+    }
+
+    /// Trainable weights of the layer (empty for pooling).
+    #[must_use]
+    pub fn weights(&self) -> &[f32] {
+        match self {
+            RateLayer::Conv { weights, .. } | RateLayer::Dense { weights, .. } => weights,
+            RateLayer::Pool { .. } => &[],
+        }
+    }
+
+    fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        match self {
+            RateLayer::Conv { in_shape, out_channels, kernel, weights, last_input, last_preact, .. } => {
+                let out_shape = Shape::new(*out_channels, in_shape.height, in_shape.width);
+                let half = i32::from(*kernel / 2);
+                let mut pre = vec![0.0f32; out_shape.len()];
+                for oc in 0..*out_channels {
+                    for oy in 0..in_shape.height {
+                        for ox in 0..in_shape.width {
+                            let mut acc = 0.0f32;
+                            for ic in 0..in_shape.channels {
+                                for ky in 0..*kernel {
+                                    for kx in 0..*kernel {
+                                        let iy = i32::from(oy) + i32::from(ky) - half;
+                                        let ix = i32::from(ox) + i32::from(kx) - half;
+                                        if iy < 0
+                                            || ix < 0
+                                            || iy >= i32::from(in_shape.height)
+                                            || ix >= i32::from(in_shape.width)
+                                        {
+                                            continue;
+                                        }
+                                        let w_idx = ((usize::from(oc) * usize::from(in_shape.channels)
+                                            + usize::from(ic))
+                                            * usize::from(*kernel)
+                                            + usize::from(ky))
+                                            * usize::from(*kernel)
+                                            + usize::from(kx);
+                                        acc += weights[w_idx]
+                                            * input[in_shape.index(ic, iy as u16, ix as u16)];
+                                    }
+                                }
+                            }
+                            pre[out_shape.index(oc, oy, ox)] = acc;
+                        }
+                    }
+                }
+                *last_input = input.to_vec();
+                *last_preact = pre.clone();
+                pre.iter().map(|&v| relu1(v)).collect()
+            }
+            RateLayer::Pool { in_shape, window } => {
+                let out_shape =
+                    Shape::new(in_shape.channels, in_shape.height / *window, in_shape.width / *window);
+                let mut out = vec![0.0f32; out_shape.len()];
+                let area = f32::from(*window) * f32::from(*window);
+                for c in 0..in_shape.channels {
+                    for y in 0..out_shape.height {
+                        for x in 0..out_shape.width {
+                            let mut acc = 0.0;
+                            for dy in 0..*window {
+                                for dx in 0..*window {
+                                    acc += input[in_shape.index(c, y * *window + dy, x * *window + dx)];
+                                }
+                            }
+                            out[out_shape.index(c, y, x)] = acc / area;
+                        }
+                    }
+                }
+                out
+            }
+            RateLayer::Dense { in_shape, outputs, weights, last_input, last_preact, is_output, .. } => {
+                let inputs = in_shape.len();
+                let mut pre = vec![0.0f32; usize::from(*outputs)];
+                for (o, out) in pre.iter_mut().enumerate() {
+                    let row = &weights[o * inputs..(o + 1) * inputs];
+                    *out = row.iter().zip(input).map(|(&w, &x)| w * x).sum();
+                }
+                *last_input = input.to_vec();
+                *last_preact = pre.clone();
+                if *is_output {
+                    pre
+                } else {
+                    pre.iter().map(|&v| relu1(v)).collect()
+                }
+            }
+        }
+    }
+
+    /// Backpropagates `grad_output`, accumulating weight gradients and
+    /// returning the gradient with respect to the layer input.
+    fn backward(&mut self, grad_output: &[f32]) -> Vec<f32> {
+        match self {
+            RateLayer::Conv { in_shape, out_channels, kernel, weights, grads, last_input, last_preact } => {
+                let out_shape = Shape::new(*out_channels, in_shape.height, in_shape.width);
+                let half = i32::from(*kernel / 2);
+                let mut grad_input = vec![0.0f32; in_shape.len()];
+                for oc in 0..*out_channels {
+                    for oy in 0..in_shape.height {
+                        for ox in 0..in_shape.width {
+                            let o_idx = out_shape.index(oc, oy, ox);
+                            let gpre = grad_output[o_idx] * relu1_grad(last_preact[o_idx]);
+                            if gpre == 0.0 {
+                                continue;
+                            }
+                            for ic in 0..in_shape.channels {
+                                for ky in 0..*kernel {
+                                    for kx in 0..*kernel {
+                                        let iy = i32::from(oy) + i32::from(ky) - half;
+                                        let ix = i32::from(ox) + i32::from(kx) - half;
+                                        if iy < 0
+                                            || ix < 0
+                                            || iy >= i32::from(in_shape.height)
+                                            || ix >= i32::from(in_shape.width)
+                                        {
+                                            continue;
+                                        }
+                                        let w_idx = ((usize::from(oc) * usize::from(in_shape.channels)
+                                            + usize::from(ic))
+                                            * usize::from(*kernel)
+                                            + usize::from(ky))
+                                            * usize::from(*kernel)
+                                            + usize::from(kx);
+                                        let i_idx = in_shape.index(ic, iy as u16, ix as u16);
+                                        grads[w_idx] += gpre * last_input[i_idx];
+                                        grad_input[i_idx] += gpre * weights[w_idx];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                grad_input
+            }
+            RateLayer::Pool { in_shape, window } => {
+                let out_shape =
+                    Shape::new(in_shape.channels, in_shape.height / *window, in_shape.width / *window);
+                let mut grad_input = vec![0.0f32; in_shape.len()];
+                let area = f32::from(*window) * f32::from(*window);
+                for c in 0..in_shape.channels {
+                    for y in 0..out_shape.height {
+                        for x in 0..out_shape.width {
+                            let g = grad_output[out_shape.index(c, y, x)] / area;
+                            for dy in 0..*window {
+                                for dx in 0..*window {
+                                    grad_input
+                                        [in_shape.index(c, y * *window + dy, x * *window + dx)] += g;
+                                }
+                            }
+                        }
+                    }
+                }
+                grad_input
+            }
+            RateLayer::Dense { in_shape, outputs, weights, grads, last_input, last_preact, is_output } => {
+                let inputs = in_shape.len();
+                let mut grad_input = vec![0.0f32; inputs];
+                for o in 0..usize::from(*outputs) {
+                    let gpre = if *is_output {
+                        grad_output[o]
+                    } else {
+                        grad_output[o] * relu1_grad(last_preact[o])
+                    };
+                    if gpre == 0.0 {
+                        continue;
+                    }
+                    for i in 0..inputs {
+                        grads[o * inputs + i] += gpre * last_input[i];
+                        grad_input[i] += gpre * weights[o * inputs + i];
+                    }
+                }
+                grad_input
+            }
+        }
+    }
+}
+
+/// A sequential floating-point rate network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateNetwork {
+    input_shape: Shape,
+    layers: Vec<RateLayer>,
+}
+
+impl RateNetwork {
+    /// Builds a rate network from a topology with random (He-style) weight
+    /// initialization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology shape errors.
+    pub fn from_topology<R: Rng>(topology: &Topology, rng: &mut R) -> Result<Self, ModelError> {
+        let shapes = topology.shapes()?;
+        let mut layers = Vec::with_capacity(topology.stages.len());
+        for (i, (stage, in_shape)) in topology.stages.iter().zip(shapes.iter()).enumerate() {
+            let is_last = i + 1 == topology.stages.len();
+            match *stage {
+                StageSpec::Conv { out_channels, kernel } => {
+                    let fan_in = usize::from(in_shape.channels) * usize::from(kernel) * usize::from(kernel);
+                    let count = usize::from(out_channels) * fan_in;
+                    let limit = (6.0 / fan_in as f32).sqrt();
+                    let weights = (0..count).map(|_| rng.gen_range(-limit..limit)).collect();
+                    layers.push(RateLayer::Conv {
+                        in_shape: *in_shape,
+                        out_channels,
+                        kernel,
+                        weights,
+                        grads: vec![0.0; count],
+                        last_input: Vec::new(),
+                        last_preact: Vec::new(),
+                    });
+                }
+                StageSpec::Pool { window } => {
+                    layers.push(RateLayer::Pool { in_shape: *in_shape, window });
+                }
+                StageSpec::Dense { outputs } => {
+                    let fan_in = in_shape.len();
+                    let count = usize::from(outputs) * fan_in;
+                    let limit = (6.0 / fan_in as f32).sqrt();
+                    let weights = (0..count).map(|_| rng.gen_range(-limit..limit)).collect();
+                    layers.push(RateLayer::Dense {
+                        in_shape: *in_shape,
+                        outputs,
+                        weights,
+                        grads: vec![0.0; count],
+                        last_input: Vec::new(),
+                        last_preact: Vec::new(),
+                        is_output: is_last,
+                    });
+                }
+            }
+        }
+        Ok(Self { input_shape: topology.input, layers })
+    }
+
+    /// Shape of the input rate map.
+    #[must_use]
+    pub fn input_shape(&self) -> Shape {
+        self.input_shape
+    }
+
+    /// The layers of the network.
+    #[must_use]
+    pub fn layers(&self) -> &[RateLayer] {
+        &self.layers
+    }
+
+    /// Number of trainable parameters.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(|l| l.weights().len()).sum()
+    }
+
+    /// Forward pass over a flattened `[C, H, W]` rate input; returns the
+    /// logits of the classifier head.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ShapeMismatch`] if the input length does not
+    /// match the input shape.
+    pub fn forward(&mut self, input: &[f32]) -> Result<Vec<f32>, ModelError> {
+        if input.len() != self.input_shape.len() {
+            return Err(ModelError::ShapeMismatch {
+                location: "rate network input".to_owned(),
+                expected: self.input_shape.as_tuple(),
+                found: (1, 1, input.len() as u16),
+            });
+        }
+        let mut activation = input.to_vec();
+        for layer in &mut self.layers {
+            activation = layer.forward(&activation);
+        }
+        Ok(activation)
+    }
+
+    /// Backward pass from the gradient of the loss with respect to the logits.
+    /// Gradients accumulate until [`RateNetwork::apply_gradients`] is called.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ShapeMismatch`] if the gradient length does not
+    /// match the classifier output.
+    pub fn backward(&mut self, grad_logits: &[f32]) -> Result<(), ModelError> {
+        let out_len = self.layers.last().map(|l| l.output_shape().len()).unwrap_or(0);
+        if grad_logits.len() != out_len {
+            return Err(ModelError::ShapeMismatch {
+                location: "rate network output gradient".to_owned(),
+                expected: (1, 1, out_len as u16),
+                found: (1, 1, grad_logits.len() as u16),
+            });
+        }
+        let mut grad = grad_logits.to_vec();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        Ok(())
+    }
+
+    /// Applies the accumulated gradients (averaged over `batch_size` samples)
+    /// with the given optimizer and clears them.
+    pub fn apply_gradients(&mut self, optimizer: &mut SgdOptimizer, batch_size: usize) {
+        let scale = 1.0 / batch_size.max(1) as f32;
+        let mut params = Vec::with_capacity(self.parameter_count());
+        let mut grads = Vec::with_capacity(self.parameter_count());
+        for layer in &self.layers {
+            match layer {
+                RateLayer::Conv { weights, grads: g, .. } | RateLayer::Dense { weights, grads: g, .. } => {
+                    params.extend_from_slice(weights);
+                    grads.extend(g.iter().map(|&v| v * scale));
+                }
+                RateLayer::Pool { .. } => {}
+            }
+        }
+        optimizer.step(&mut params, &grads);
+        let mut offset = 0usize;
+        for layer in &mut self.layers {
+            match layer {
+                RateLayer::Conv { weights, grads: g, .. } | RateLayer::Dense { weights, grads: g, .. } => {
+                    let len = weights.len();
+                    weights.copy_from_slice(&params[offset..offset + len]);
+                    offset += len;
+                    g.iter_mut().for_each(|v| *v = 0.0);
+                }
+                RateLayer::Pool { .. } => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_topology() -> Topology {
+        Topology::tiny(Shape::new(1, 6, 6), 2, 3)
+    }
+
+    fn network(seed: u64) -> RateNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RateNetwork::from_topology(&tiny_topology(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn forward_produces_class_logits() {
+        let mut net = network(1);
+        let input = vec![0.5; 36];
+        let logits = net.forward(&input).unwrap();
+        assert_eq!(logits.len(), 3);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn forward_rejects_wrong_input_length() {
+        let mut net = network(1);
+        assert!(net.forward(&vec![0.0; 10]).is_err());
+    }
+
+    #[test]
+    fn backward_rejects_wrong_gradient_length() {
+        let mut net = network(1);
+        let _ = net.forward(&vec![0.1; 36]).unwrap();
+        assert!(net.backward(&[0.0; 2]).is_err());
+        assert!(net.backward(&[0.0; 3]).is_ok());
+    }
+
+    #[test]
+    fn gradient_check_on_dense_layer() {
+        // Finite-difference check of dL/dw for a single dense weight, with
+        // L = logits[0] (so dL/dlogits = [1, 0, 0]).
+        let mut net = network(2);
+        let input: Vec<f32> = (0..36).map(|i| (i as f32) / 72.0).collect();
+        let _ = net.forward(&input).unwrap();
+        net.backward(&[1.0, 0.0, 0.0]).unwrap();
+        // Pick the classifier layer (last) and its first weight.
+        let (analytic, numeric) = {
+            let layer_index = net.layers.len() - 1;
+            let analytic = match &net.layers[layer_index] {
+                RateLayer::Dense { grads, .. } => grads[0],
+                _ => panic!("expected dense"),
+            };
+            let eps = 1e-3f32;
+            let mut plus = net.clone();
+            if let RateLayer::Dense { weights, .. } = &mut plus.layers[layer_index] {
+                weights[0] += eps;
+            }
+            let mut minus = net.clone();
+            if let RateLayer::Dense { weights, .. } = &mut minus.layers[layer_index] {
+                weights[0] -= eps;
+            }
+            let lp = plus.forward(&input).unwrap()[0];
+            let lm = minus.forward(&input).unwrap()[0];
+            (analytic, (lp - lm) / (2.0 * eps))
+        };
+        assert!(
+            (analytic - numeric).abs() < 1e-2,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn gradient_check_on_conv_layer() {
+        let mut net = network(3);
+        let input: Vec<f32> = (0..36).map(|i| ((i % 7) as f32) / 10.0).collect();
+        let _ = net.forward(&input).unwrap();
+        net.backward(&[0.5, -0.5, 1.0]).unwrap();
+        let loss = |n: &mut RateNetwork, input: &[f32]| {
+            let l = n.forward(input).unwrap();
+            0.5 * l[0] - 0.5 * l[1] + l[2]
+        };
+        let analytic = match &net.layers[0] {
+            RateLayer::Conv { grads, .. } => grads[4],
+            _ => panic!("expected conv"),
+        };
+        let eps = 1e-3f32;
+        let mut plus = net.clone();
+        if let RateLayer::Conv { weights, .. } = &mut plus.layers[0] {
+            weights[4] += eps;
+        }
+        let mut minus = net.clone();
+        if let RateLayer::Conv { weights, .. } = &mut minus.layers[0] {
+            weights[4] -= eps;
+        }
+        let numeric = (loss(&mut plus, &input) - loss(&mut minus, &input)) / (2.0 * eps);
+        assert!(
+            (analytic - numeric).abs() < 1e-2,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn apply_gradients_changes_weights_and_clears_grads() {
+        let mut net = network(4);
+        let mut opt = SgdOptimizer::new(0.1, 0.0, net.parameter_count());
+        let input = vec![0.3; 36];
+        let _ = net.forward(&input).unwrap();
+        net.backward(&[1.0, 0.0, 0.0]).unwrap();
+        let before: Vec<f32> = net.layers()[0].weights().to_vec();
+        net.apply_gradients(&mut opt, 1);
+        let after: Vec<f32> = net.layers()[0].weights().to_vec();
+        assert_ne!(before, after);
+        if let RateLayer::Conv { grads, .. } = &net.layers[0] {
+            assert!(grads.iter().all(|&g| g == 0.0));
+        }
+    }
+
+    #[test]
+    fn relu1_and_its_gradient() {
+        assert_eq!(relu1(-0.5), 0.0);
+        assert_eq!(relu1(0.5), 0.5);
+        assert_eq!(relu1(1.5), 1.0);
+        assert_eq!(relu1_grad(-0.5), 0.0);
+        assert_eq!(relu1_grad(0.5), 1.0);
+        assert_eq!(relu1_grad(1.5), 0.0);
+    }
+
+    #[test]
+    fn parameter_count_matches_topology() {
+        let net = network(5);
+        assert_eq!(net.parameter_count(), tiny_topology().weight_count().unwrap());
+    }
+}

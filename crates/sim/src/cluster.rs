@@ -1,0 +1,241 @@
+//! The Cluster: a time-division-multiplexed LIF datapath.
+//!
+//! Each Cluster implements 64 TDM neurons with a single combinational LIF
+//! datapath (paper §III-D.4): neuron states live in a latch-based,
+//! double-buffered memory that sustains one state update per cycle; a
+//! time-of-last-update (TLU) register allows the cluster to skip membrane
+//! updates across timesteps without input activity; units that are not
+//! addressed by the current event are clock-gated.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mapping::LifHardwareParams;
+
+/// Per-cluster activity counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ClusterCounters {
+    /// Synaptic operations (membrane accumulations) performed.
+    pub synaptic_ops: u64,
+    /// Fire scans executed.
+    pub fire_scans: u64,
+    /// Fire scans skipped thanks to the TLU mechanism.
+    pub skipped_scans: u64,
+    /// Output spikes emitted.
+    pub spikes: u64,
+}
+
+/// One SNE cluster: `neurons` TDM LIF neurons sharing a datapath.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// 8-bit membrane states (stored widened for convenience).
+    states: Vec<i16>,
+    /// Leak steps accumulated while scans were skipped (TLU lazy catch-up).
+    pending_leak_steps: u32,
+    /// `true` once an update arrived since the last executed fire scan.
+    dirty: bool,
+    counters: ClusterCounters,
+}
+
+impl Cluster {
+    /// Creates a cluster with `neurons` TDM neurons, all at rest.
+    #[must_use]
+    pub fn new(neurons: usize) -> Self {
+        Self { states: vec![0; neurons], pending_leak_steps: 0, dirty: false, counters: ClusterCounters::default() }
+    }
+
+    /// Number of TDM neurons.
+    #[must_use]
+    pub fn neurons(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Membrane state of a local neuron.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn state(&self, index: usize) -> i16 {
+        self.states[index]
+    }
+
+    /// Activity counters.
+    #[must_use]
+    pub fn counters(&self) -> ClusterCounters {
+        self.counters
+    }
+
+    /// Resets all membranes and the TLU bookkeeping (`RST_OP`).
+    pub fn reset(&mut self) {
+        self.states.iter_mut().for_each(|s| *s = 0);
+        self.pending_leak_steps = 0;
+        self.dirty = false;
+    }
+
+    /// Applies any leak owed from skipped fire scans. Called before the
+    /// cluster state is observed or modified.
+    fn catch_up(&mut self, params: LifHardwareParams) {
+        if self.pending_leak_steps == 0 || params.leak == 0 {
+            self.pending_leak_steps = 0;
+            return;
+        }
+        let total = i32::from(params.leak) * self.pending_leak_steps as i32;
+        for state in &mut self.states {
+            *state = clamp_state(i32::from(*state) - total);
+        }
+        self.pending_leak_steps = 0;
+    }
+
+    /// Accumulates a synaptic weight into the local neuron `index`
+    /// (one state update, one cycle on the datapath).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn integrate(&mut self, index: usize, weight: i8, params: LifHardwareParams) {
+        self.catch_up(params);
+        self.states[index] = clamp_state(i32::from(self.states[index]) + i32::from(weight));
+        self.dirty = true;
+        self.counters.synaptic_ops += 1;
+    }
+
+    /// Executes (or skips) the fire scan that closes a timestep.
+    ///
+    /// When `tlu_enabled` is set and no update arrived since the last scan,
+    /// the scan is skipped: the leak is deferred (it can only lower the
+    /// membrane, so no spike can be missed) and no cycles are spent. The
+    /// returned vector holds the local indices of the neurons that fired.
+    pub fn fire_scan(&mut self, params: LifHardwareParams, tlu_enabled: bool) -> Vec<usize> {
+        if tlu_enabled && !self.dirty {
+            self.pending_leak_steps += 1;
+            self.counters.skipped_scans += 1;
+            return Vec::new();
+        }
+        self.catch_up(params);
+        self.counters.fire_scans += 1;
+        let mut fired = Vec::new();
+        for (i, state) in self.states.iter_mut().enumerate() {
+            *state = clamp_state(i32::from(*state) - i32::from(params.leak));
+            if *state >= params.threshold {
+                *state = 0;
+                fired.push(i);
+            }
+        }
+        self.counters.spikes += fired.len() as u64;
+        self.dirty = false;
+        fired
+    }
+}
+
+/// Saturates a value to the 8-bit membrane range of the hardware.
+fn clamp_state(value: i32) -> i16 {
+    value.clamp(i32::from(i8::MIN), i32::from(i8::MAX)) as i16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PARAMS: LifHardwareParams = LifHardwareParams { leak: 1, threshold: 10 };
+
+    #[test]
+    fn integrate_accumulates_and_saturates() {
+        let mut c = Cluster::new(4);
+        let params = LifHardwareParams { leak: 0, threshold: 127 };
+        for _ in 0..40 {
+            c.integrate(0, 7, params);
+        }
+        assert_eq!(c.state(0), 127);
+        for _ in 0..80 {
+            c.integrate(1, -8, params);
+        }
+        assert_eq!(c.state(1), -128);
+        assert_eq!(c.counters().synaptic_ops, 120);
+    }
+
+    #[test]
+    fn fire_scan_applies_leak_and_threshold() {
+        let mut c = Cluster::new(2);
+        c.integrate(0, 7, PARAMS);
+        c.integrate(0, 6, PARAMS); // state 13
+        let fired = c.fire_scan(PARAMS, true);
+        // 13 - 1 = 12 >= 10: fires and resets.
+        assert_eq!(fired, vec![0]);
+        assert_eq!(c.state(0), 0);
+        assert_eq!(c.counters().spikes, 1);
+    }
+
+    #[test]
+    fn tlu_skips_scans_without_updates_and_catches_up_leak() {
+        let mut reference = Cluster::new(1);
+        let mut lazy = Cluster::new(1);
+        let params = LifHardwareParams { leak: 2, threshold: 100 };
+        reference.integrate(0, 50, params);
+        lazy.integrate(0, 50, params);
+        // Reference executes every scan; lazy skips idle ones.
+        for _ in 0..5 {
+            let _ = reference.fire_scan(params, false);
+            let _ = lazy.fire_scan(params, true);
+        }
+        // One scan executed + 4 skipped on the lazy cluster.
+        assert_eq!(lazy.counters().skipped_scans, 4);
+        // A new update forces the catch-up; states must agree.
+        reference.integrate(0, 3, params);
+        lazy.integrate(0, 3, params);
+        assert_eq!(reference.state(0), lazy.state(0));
+    }
+
+    #[test]
+    fn tlu_never_misses_a_spike() {
+        // A neuron left exactly below threshold cannot fire during idle
+        // timesteps, so skipping scans is functionally safe.
+        let mut c = Cluster::new(1);
+        let params = LifHardwareParams { leak: 0, threshold: 10 };
+        c.integrate(0, 9, params);
+        let _ = c.fire_scan(params, true);
+        for _ in 0..10 {
+            assert!(c.fire_scan(params, true).is_empty());
+        }
+        c.integrate(0, 1, params);
+        assert_eq!(c.fire_scan(params, true), vec![0]);
+    }
+
+    #[test]
+    fn disabled_tlu_scans_every_timestep() {
+        let mut c = Cluster::new(1);
+        for _ in 0..5 {
+            let _ = c.fire_scan(PARAMS, false);
+        }
+        assert_eq!(c.counters().fire_scans, 5);
+        assert_eq!(c.counters().skipped_scans, 0);
+    }
+
+    #[test]
+    fn reset_clears_state_and_bookkeeping() {
+        let mut c = Cluster::new(2);
+        c.integrate(0, 5, PARAMS);
+        let _ = c.fire_scan(PARAMS, true);
+        let _ = c.fire_scan(PARAMS, true); // skipped, pending leak
+        c.reset();
+        assert_eq!(c.state(0), 0);
+        assert_eq!(c.state(1), 0);
+        // After reset a scan without updates is skipped again (not dirty).
+        assert!(c.fire_scan(PARAMS, true).is_empty());
+    }
+
+    #[test]
+    fn lazy_and_eager_leak_agree_at_the_saturation_floor() {
+        let params = LifHardwareParams { leak: 3, threshold: 100 };
+        let mut eager = Cluster::new(1);
+        let mut lazy = Cluster::new(1);
+        eager.integrate(0, -120, params);
+        lazy.integrate(0, -120, params);
+        for _ in 0..10 {
+            let _ = eager.fire_scan(params, false);
+            let _ = lazy.fire_scan(params, true);
+        }
+        eager.integrate(0, 5, params);
+        lazy.integrate(0, 5, params);
+        assert_eq!(eager.state(0), lazy.state(0));
+    }
+}

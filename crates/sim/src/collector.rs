@@ -1,0 +1,149 @@
+//! Output event collector.
+//!
+//! The collector packs the sparse output streams of the slices (or of the
+//! clusters inside one slice) into a single time-synchronized stream toward
+//! the crossbar and memory (paper §III-D.3). Because slice activity is
+//! sparse, a single output streamer provides more than enough bandwidth; the
+//! collector's job is round-robin arbitration.
+
+use serde::{Deserialize, Serialize};
+use sne_event::Event;
+
+/// Round-robin arbiter merging several sparse event queues.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Collector {
+    num_ports: usize,
+    next_port: usize,
+    merged_events: u64,
+    arbitration_cycles: u64,
+}
+
+impl Collector {
+    /// Creates a collector with `num_ports` input ports.
+    #[must_use]
+    pub fn new(num_ports: usize) -> Self {
+        Self { num_ports, next_port: 0, merged_events: 0, arbitration_cycles: 0 }
+    }
+
+    /// Number of input ports.
+    #[must_use]
+    pub fn num_ports(&self) -> usize {
+        self.num_ports
+    }
+
+    /// Merges per-port event queues into one stream.
+    ///
+    /// Arbitration is round-robin starting from the port after the last one
+    /// served; each granted event costs one arbitration cycle. The input
+    /// queues are drained.
+    pub fn merge(&mut self, queues: &mut [Vec<Event>]) -> Vec<Event> {
+        assert_eq!(queues.len(), self.num_ports, "collector port count mismatch");
+        let total: usize = queues.iter().map(Vec::len).sum();
+        let mut merged = Vec::with_capacity(total);
+        let mut cursors = vec![0usize; queues.len()];
+        while merged.len() < total {
+            // Visit ports round-robin starting at `next_port`.
+            let mut granted = false;
+            for offset in 0..self.num_ports {
+                let port = (self.next_port + offset) % self.num_ports;
+                if cursors[port] < queues[port].len() {
+                    merged.push(queues[port][cursors[port]]);
+                    cursors[port] += 1;
+                    self.next_port = (port + 1) % self.num_ports;
+                    self.merged_events += 1;
+                    self.arbitration_cycles += 1;
+                    granted = true;
+                    break;
+                }
+            }
+            if !granted {
+                break;
+            }
+        }
+        for queue in queues.iter_mut() {
+            queue.clear();
+        }
+        merged
+    }
+
+    /// Total events merged so far.
+    #[must_use]
+    pub fn merged_events(&self) -> u64 {
+        self.merged_events
+    }
+
+    /// Total arbitration cycles spent.
+    #[must_use]
+    pub fn arbitration_cycles(&self) -> u64 {
+        self.arbitration_cycles
+    }
+
+    /// Clears the counters.
+    pub fn reset_counters(&mut self) {
+        self.merged_events = 0;
+        self.arbitration_cycles = 0;
+        self.next_port = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_drains_all_queues() {
+        let mut collector = Collector::new(3);
+        let mut queues = vec![
+            vec![Event::update(0, 0, 0, 0), Event::update(1, 0, 0, 0)],
+            vec![Event::update(0, 1, 1, 1)],
+            Vec::new(),
+        ];
+        let merged = collector.merge(&mut queues);
+        assert_eq!(merged.len(), 3);
+        assert!(queues.iter().all(Vec::is_empty));
+        assert_eq!(collector.merged_events(), 3);
+        assert_eq!(collector.arbitration_cycles(), 3);
+    }
+
+    #[test]
+    fn round_robin_interleaves_ports() {
+        let mut collector = Collector::new(2);
+        let mut queues = vec![
+            vec![Event::update(0, 0, 10, 0), Event::update(0, 0, 11, 0)],
+            vec![Event::update(0, 1, 20, 0), Event::update(0, 1, 21, 0)],
+        ];
+        let merged = collector.merge(&mut queues);
+        // Starting at port 0, grants alternate 0, 1, 0, 1.
+        assert_eq!(merged[0].x, 10);
+        assert_eq!(merged[1].x, 20);
+        assert_eq!(merged[2].x, 11);
+        assert_eq!(merged[3].x, 21);
+    }
+
+    #[test]
+    fn empty_queues_produce_empty_stream() {
+        let mut collector = Collector::new(4);
+        let mut queues = vec![Vec::new(); 4];
+        assert!(collector.merge(&mut queues).is_empty());
+        assert_eq!(collector.merged_events(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "port count mismatch")]
+    fn wrong_port_count_panics() {
+        let mut collector = Collector::new(2);
+        let mut queues = vec![Vec::new()];
+        let _ = collector.merge(&mut queues);
+    }
+
+    #[test]
+    fn counters_reset() {
+        let mut collector = Collector::new(1);
+        let mut queues = vec![vec![Event::fire(0)]];
+        let _ = collector.merge(&mut queues);
+        collector.reset_counters();
+        assert_eq!(collector.merged_events(), 0);
+        assert_eq!(collector.arbitration_cycles(), 0);
+        assert_eq!(collector.num_ports(), 1);
+    }
+}

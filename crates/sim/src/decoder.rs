@@ -1,0 +1,87 @@
+//! Event operation decoder.
+//!
+//! Before dispatching an input event to the clusters, a slice decodes the
+//! event operation to decide how the datapath behaves (paper §III-D.4):
+//! `RST_OP` activates every cluster and clears all membranes, `UPDATE_OP`
+//! goes through the address filter, `FIRE_OP` triggers the threshold scan.
+
+use serde::{Deserialize, Serialize};
+use sne_event::{Event, EventOp};
+
+/// Decoded slice action for one input event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SliceAction {
+    /// Clear every neuron state of the slice.
+    ResetAll {
+        /// Timestamp at which the reset is issued.
+        time: u32,
+    },
+    /// Update the neurons whose receptive field contains the event address.
+    UpdateReceptiveField {
+        /// Timestamp of the input spike.
+        time: u32,
+        /// Input channel of the spike (weight-set selector).
+        channel: u16,
+        /// Horizontal address of the spike.
+        x: u16,
+        /// Vertical address of the spike.
+        y: u16,
+    },
+    /// Scan all neurons and emit output events for those above threshold.
+    FireScan {
+        /// Timestamp the scan closes.
+        time: u32,
+    },
+}
+
+/// Stateless decoder with a decode counter (for activity accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Decoder {
+    decoded: u64,
+}
+
+impl Decoder {
+    /// Creates a decoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decodes one event into the slice action it triggers.
+    pub fn decode(&mut self, event: &Event) -> SliceAction {
+        self.decoded += 1;
+        match event.op {
+            EventOp::Reset => SliceAction::ResetAll { time: event.t },
+            EventOp::Update => SliceAction::UpdateReceptiveField {
+                time: event.t,
+                channel: event.ch,
+                x: event.x,
+                y: event.y,
+            },
+            EventOp::Fire => SliceAction::FireScan { time: event.t },
+        }
+    }
+
+    /// Number of events decoded so far.
+    #[must_use]
+    pub fn decoded(&self) -> u64 {
+        self.decoded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_all_three_operations() {
+        let mut d = Decoder::new();
+        assert_eq!(d.decode(&Event::reset(3)), SliceAction::ResetAll { time: 3 });
+        assert_eq!(
+            d.decode(&Event::update(5, 1, 7, 9)),
+            SliceAction::UpdateReceptiveField { time: 5, channel: 1, x: 7, y: 9 }
+        );
+        assert_eq!(d.decode(&Event::fire(5)), SliceAction::FireScan { time: 5 });
+        assert_eq!(d.decoded(), 3);
+    }
+}

@@ -1,0 +1,548 @@
+//! The top-level SNE engine.
+//!
+//! The engine owns the slices, the crossbar, the streamers, the collector and
+//! the register file, and executes one mapped layer at a time over an input
+//! event stream (the time-multiplexed operating mode of paper §III-D.5; the
+//! layer-per-slice pipelined mode is built on top of this in the `sne` crate
+//! by chaining layer runs through memory).
+//!
+//! Timing model (cycle-approximate, calibrated on the paper's figures):
+//!
+//! * one consumed `UPDATE_OP` costs [`SneConfig::cycles_per_event`] cycles
+//!   (48 → 120 ns at 400 MHz), during which every addressed cluster performs
+//!   one state update per cycle;
+//! * a `FIRE_OP` costs one TDM scan of [`SneConfig::neurons_per_cluster`]
+//!   cycles unless every cluster skipped it via the TLU, in which case it
+//!   costs a single sequencer cycle;
+//! * a `RST_OP` costs one cycle (all clusters clear in parallel);
+//! * streamer stalls (memory slower than the consumption rate) add to the
+//!   total cycle count.
+
+use sne_event::stream::Geometry;
+use sne_event::{Event, EventFormat, EventOp, EventStream};
+
+use crate::collector::Collector;
+use crate::config::SneConfig;
+use crate::mapping::LayerMapping;
+use crate::memory::MemoryModel;
+use crate::regfile::{Register, RegisterFile};
+use crate::slice::Slice;
+use crate::stats::CycleStats;
+use crate::streamer::Streamer;
+use crate::trace::{Trace, TraceRecord};
+use crate::xbar::{CrossBar, XbarPort};
+use crate::SimError;
+
+/// Result of running one layer on the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerRunOutput {
+    /// Output events produced by the layer (spikes of the output feature map).
+    pub output: EventStream,
+    /// Cycle and activity accounting of the run.
+    pub stats: CycleStats,
+}
+
+/// The SNE engine.
+#[derive(Debug)]
+pub struct Engine {
+    config: SneConfig,
+    regfile: RegisterFile,
+    xbar: CrossBar,
+    collector: Collector,
+    slices: Vec<Slice>,
+    memory: MemoryModel,
+    format: EventFormat,
+    trace: Trace,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    #[must_use]
+    pub fn new(config: SneConfig) -> Self {
+        let slices = (0..config.num_slices).map(|_| Slice::new(&config)).collect();
+        Self {
+            regfile: RegisterFile::new(),
+            xbar: CrossBar::new(config.num_slices, config.broadcast),
+            collector: Collector::new(config.num_slices),
+            slices,
+            memory: MemoryModel::new(config.memory_latency, 2),
+            format: EventFormat::default(),
+            trace: Trace::disabled(),
+            config,
+        }
+    }
+
+    /// The engine configuration.
+    #[must_use]
+    pub fn config(&self) -> &SneConfig {
+        &self.config
+    }
+
+    /// The configuration register file (for host-style programming).
+    #[must_use]
+    pub fn regfile_mut(&mut self) -> &mut RegisterFile {
+        &mut self.regfile
+    }
+
+    /// Enables execution tracing with the given record capacity.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Trace::with_capacity(capacity);
+    }
+
+    /// The execution trace collected so far.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Number of mapping passes needed to run `mapping` on this engine.
+    #[must_use]
+    pub fn passes_for(&self, mapping: &LayerMapping) -> usize {
+        let per_pass = self.config.num_slices * self.config.neurons_per_slice();
+        mapping.total_output_neurons().div_ceil(per_pass)
+    }
+
+    /// Runs one mapped layer over an input event stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid, the mapping does not
+    /// fit the filter buffer, or an event addresses a position outside the
+    /// mapped input feature map.
+    pub fn run_layer(&mut self, mapping: &LayerMapping, input: &EventStream) -> Result<LayerRunOutput, SimError> {
+        self.config.validate()?;
+        // When the layer's weight sets fit the per-slice filter buffer they
+        // are loaded once per pass; otherwise (large fully-connected layers)
+        // the weights are streamed from memory per event, which costs extra
+        // memory words and, if the fetch exceeds the event-consumption
+        // window, stall cycles.
+        let weights_resident = mapping.weight_sets() <= self.config.weight_buffer_sets;
+        for event in input.iter().filter(|e| e.is_spike()) {
+            mapping.validate_event(event)?;
+        }
+        self.program_registers(mapping, input)?;
+        self.xbar.reset_counters();
+        self.collector.reset_counters();
+
+        let params = mapping.params();
+        let op_sequence = input.to_op_sequence();
+        let timesteps = input.geometry().timesteps;
+        // The double-buffered latch state memory sustains one state update per
+        // cycle; a single-ported memory (the ablation case) needs a read cycle
+        // and a write-back cycle per update.
+        let state_access_factor: u64 = if self.config.double_buffered_state { 1 } else { 2 };
+
+        let mut stats = CycleStats::new();
+        // Model the input DMA: pack the operation sequence into memory words
+        // and stream them in through the 16-word FIFO. If the stream does not
+        // fit the 32-bit format (e.g. very long synthetic runs), fall back to
+        // pure word counting.
+        let (in_reads, in_stalls) = self.model_input_dma(&op_sequence);
+
+        let total_neurons = mapping.total_output_neurons();
+        let neurons_per_slice = self.config.neurons_per_slice();
+        let per_pass = self.config.num_slices * neurons_per_slice;
+        let passes = total_neurons.div_ceil(per_pass);
+
+        let out_shape = mapping.output_shape();
+        let mut output_events: Vec<Event> = Vec::new();
+
+        for pass in 0..passes {
+            stats.passes += 1;
+            self.trace.push(TraceRecord::PassStart {
+                pass,
+                channels: (0..out_shape.channels)
+                    .filter(|&c| {
+                        let first = out_shape.index(c, 0, 0);
+                        first >= pass * per_pass && first < (pass + 1) * per_pass
+                    })
+                    .collect(),
+            });
+            // Assign neuron ranges to slices for this pass.
+            let mut active_slices = Vec::new();
+            for (s, slice) in self.slices.iter_mut().enumerate() {
+                let base = pass * per_pass + s * neurons_per_slice;
+                let count = neurons_per_slice.min(total_neurons.saturating_sub(base));
+                slice.configure_pass(base.min(total_neurons), count);
+                if count > 0 {
+                    active_slices.push(s);
+                }
+            }
+            stats.streamer_reads += in_reads;
+            stats.stall_cycles += in_stalls;
+            stats.total_cycles += in_stalls;
+
+            let mut queues: Vec<Vec<Event>> = vec![Vec::new(); self.config.num_slices];
+            for op in &op_sequence {
+                match op.op {
+                    EventOp::Reset => {
+                        let _ = self.xbar.broadcast(XbarPort::StreamerIn);
+                        for &s in &active_slices {
+                            self.slices[s].reset();
+                        }
+                        stats.reset_cycles += 1;
+                        stats.total_cycles += 1;
+                        self.trace.push(TraceRecord::Reset { time: op.t });
+                    }
+                    EventOp::Update => {
+                        let _ = self.xbar.broadcast(XbarPort::StreamerIn);
+                        stats.input_events += 1;
+                        let event_cost =
+                            u64::from(self.config.cycles_per_event) * state_access_factor;
+                        stats.update_cycles += event_cost;
+                        stats.total_cycles += event_cost;
+                        let mut event_ops = 0u64;
+                        for &s in &active_slices {
+                            let range = self.slices[s].assigned_range();
+                            let contributions = mapping.contributions_in_range(op, range);
+                            let outcome = self.slices[s].process_update(
+                                &contributions,
+                                params,
+                                self.config.clock_gating,
+                            );
+                            stats.synaptic_ops += outcome.synaptic_ops;
+                            event_ops += outcome.synaptic_ops;
+                            stats.active_cluster_cycles +=
+                                outcome.active_clusters * u64::from(self.config.cycles_per_event);
+                            stats.gated_cluster_cycles +=
+                                outcome.gated_clusters * u64::from(self.config.cycles_per_event);
+                        }
+                        if !weights_resident {
+                            // Weights streamed per event: 8 packed 4-bit
+                            // weights per 32-bit memory word (Fig. 1).
+                            let words = event_ops.div_ceil(8);
+                            stats.streamer_reads += words;
+                            let budget = u64::from(self.config.cycles_per_event) * state_access_factor;
+                            if words > budget {
+                                let stall = words - budget;
+                                stats.stall_cycles += stall;
+                                stats.total_cycles += stall;
+                            }
+                        }
+                        self.trace.push(TraceRecord::EventConsumed {
+                            time: op.t,
+                            channel: op.ch,
+                            address: (op.x, op.y),
+                            synaptic_ops: event_ops,
+                        });
+                    }
+                    EventOp::Fire => {
+                        let mut any_scanned = false;
+                        let mut emitted = 0u64;
+                        for &s in &active_slices {
+                            let outcome = self.slices[s].process_fire(params, self.config.tlu_enabled);
+                            any_scanned |= outcome.scanned_clusters > 0;
+                            stats.tlu_skipped_updates += outcome.skipped_clusters
+                                * self.config.neurons_per_cluster as u64;
+                            for neuron in outcome.fired {
+                                let (c, y, x) = mapping.output_position(neuron);
+                                queues[s].push(Event::update(op.t, c, x, y));
+                                emitted += 1;
+                            }
+                        }
+                        let fire_cost = if any_scanned {
+                            self.config.neurons_per_cluster as u64 * state_access_factor
+                        } else {
+                            1
+                        };
+                        // State updates performed during an executed scan are
+                        // synaptic-side bookkeeping, not SOPs; only cycle cost
+                        // is accounted here.
+                        stats.fire_cycles += fire_cost;
+                        stats.total_cycles += fire_cost;
+                        stats.output_events += emitted;
+                        let merged = self.collector.merge(&mut queues);
+                        for _ in &merged {
+                            let _ = self.xbar.route(XbarPort::Collector, XbarPort::StreamerOut);
+                        }
+                        output_events.extend(merged);
+                        self.trace.push(TraceRecord::FireScan { time: op.t, emitted });
+                    }
+                }
+            }
+        }
+
+        // Model the output DMA.
+        let (out_writes, out_stalls) = self.model_output_dma(&output_events);
+        stats.streamer_writes += out_writes;
+        stats.stall_cycles += out_stalls;
+        stats.total_cycles += out_stalls;
+        stats.xbar_transfers = self.xbar.transfers();
+        stats.collector_events = self.collector.merged_events();
+
+        let geometry = Geometry::new(
+            out_shape.width.max(1),
+            out_shape.height.max(1),
+            out_shape.channels.max(1),
+            timesteps,
+        )
+        .map_err(|e| SimError::MalformedOpSequence(e.to_string()))?;
+        let mut output = EventStream::with_geometry(geometry);
+        output.extend(output_events);
+        output.sort_by_time();
+
+        Ok(LayerRunOutput { output, stats })
+    }
+
+    fn program_registers(&mut self, mapping: &LayerMapping, input: &EventStream) -> Result<(), SimError> {
+        let params = mapping.params();
+        let in_shape = mapping.input_shape();
+        let kernel = match mapping {
+            LayerMapping::Conv { kernel, .. } => u32::from(*kernel),
+            LayerMapping::Dense { .. } => 0,
+        };
+        let features = u32::from(self.config.tlu_enabled)
+            | (u32::from(self.config.clock_gating) << 1)
+            | (u32::from(self.config.broadcast) << 2);
+        self.regfile.set(Register::Control, 1)?;
+        self.regfile.set(Register::Leak, params.leak as u32)?;
+        self.regfile.set(Register::Threshold, params.threshold as u32)?;
+        self.regfile.set(Register::ActiveSlices, self.config.num_slices as u32)?;
+        self.regfile.set(Register::LayerWidth, u32::from(in_shape.width))?;
+        self.regfile.set(Register::LayerHeight, u32::from(in_shape.height))?;
+        self.regfile.set(Register::LayerChannels, u32::from(in_shape.channels))?;
+        self.regfile.set(Register::KernelSize, kernel)?;
+        self.regfile.set(Register::Features, features)?;
+        self.regfile.set(Register::EventBase, input.len() as u32)?;
+        Ok(())
+    }
+
+    /// Streams the operation sequence through the input DMA model, returning
+    /// `(words_read, stall_cycles)`.
+    fn model_input_dma(&mut self, ops: &[Event]) -> (u64, u64) {
+        match self.format.pack_all(ops) {
+            Ok(words) => {
+                self.memory.load_events(words);
+                let mut streamer = Streamer::new(
+                    self.format,
+                    self.config.streamer_fifo_depth,
+                    self.config.cycles_per_event,
+                );
+                match streamer.stream_in(&mut self.memory, self.config.num_streamers as u32) {
+                    Ok(result) => (result.words_read, result.stall_cycles),
+                    Err(_) => (ops.len() as u64, 0),
+                }
+            }
+            Err(_) => (ops.len() as u64, 0),
+        }
+    }
+
+    /// Streams the produced output events through the output DMA model,
+    /// returning `(words_written, stall_cycles)`.
+    fn model_output_dma(&mut self, events: &[Event]) -> (u64, u64) {
+        let mut memory = MemoryModel::new(self.config.memory_latency, 2);
+        let mut streamer = Streamer::new(
+            self.format,
+            self.config.streamer_fifo_depth,
+            self.config.cycles_per_event,
+        );
+        match streamer.stream_out(events, &mut memory, self.config.num_streamers as u32) {
+            Ok(result) => (result.words_written, result.stall_cycles),
+            Err(_) => (events.len() as u64, 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{LifHardwareParams, MapShape};
+
+    fn small_config() -> SneConfig {
+        SneConfig {
+            num_slices: 2,
+            clusters_per_slice: 4,
+            neurons_per_cluster: 8,
+            ..SneConfig::default()
+        }
+    }
+
+    /// 1 input channel, 4x4 map, 2 output channels, all-ones 3x3 kernels,
+    /// threshold 1 so every touched neuron fires at the end of the timestep.
+    fn conv_mapping(threshold: i16) -> LayerMapping {
+        let mut weights = vec![1i8; 9];
+        weights.extend(vec![1i8; 9]);
+        LayerMapping::conv(
+            MapShape::new(1, 4, 4),
+            2,
+            3,
+            weights,
+            LifHardwareParams { leak: 0, threshold },
+        )
+        .unwrap()
+    }
+
+    fn single_spike_stream() -> EventStream {
+        let mut s = EventStream::new(4, 4, 1, 3);
+        s.push(Event::update(0, 0, 2, 2)).unwrap();
+        s
+    }
+
+    #[test]
+    fn single_event_produces_receptive_field_spikes() {
+        let mut engine = Engine::new(small_config());
+        let mapping = conv_mapping(1);
+        let result = engine.run_layer(&mapping, &single_spike_stream()).unwrap();
+        // A centre spike with all-ones kernel and threshold 1 makes the full
+        // 3x3 receptive field fire in both output channels.
+        assert_eq!(result.output.spike_count(), 18);
+        assert_eq!(result.stats.input_events, 1);
+        assert_eq!(result.stats.synaptic_ops, 18);
+        assert!(result.output.iter().all(|e| e.t == 0));
+    }
+
+    #[test]
+    fn cycle_count_follows_events_and_timesteps() {
+        let mut engine = Engine::new(small_config());
+        let mapping = conv_mapping(100); // nothing fires
+        let mut stream = EventStream::new(4, 4, 1, 10);
+        for t in 0..5 {
+            stream.push(Event::update(t, 0, 1, 1)).unwrap();
+        }
+        let result = engine.run_layer(&mapping, &stream).unwrap();
+        let cfg = small_config();
+        // 5 events * 48 cycles of update time.
+        assert_eq!(result.stats.update_cycles, 5 * u64::from(cfg.cycles_per_event));
+        // 5 timesteps execute a scan (8 cycles), 5 idle timesteps cost 1 cycle.
+        assert_eq!(result.stats.fire_cycles, 5 * 8 + 5);
+        assert_eq!(result.stats.reset_cycles, 1);
+        assert_eq!(result.stats.output_events, 0);
+    }
+
+    #[test]
+    fn energy_proportionality_cycles_scale_with_events() {
+        let mut engine = Engine::new(small_config());
+        let mapping = conv_mapping(100);
+        let run = |engine: &mut Engine, n: u32| {
+            let mut stream = EventStream::new(4, 4, 1, 50);
+            for t in 0..n {
+                stream.push(Event::update(t % 50, 0, 1, 1)).unwrap();
+            }
+            engine.run_layer(&mapping, &stream).unwrap().stats
+        };
+        let few = run(&mut engine, 10);
+        let many = run(&mut engine, 40);
+        let delta_cycles = many.update_cycles - few.update_cycles;
+        assert_eq!(delta_cycles, 30 * 48);
+        assert!(many.synaptic_ops > few.synaptic_ops);
+    }
+
+    #[test]
+    fn multi_pass_when_layer_exceeds_capacity() {
+        // Engine capacity: 2 slices * 32 neurons = 64; layer has 2*16=32 per
+        // channel * 8 channels = 128 neurons -> 2 passes.
+        let mut engine = Engine::new(small_config());
+        let weights = vec![1i8; 8 * 9];
+        let mapping = LayerMapping::conv(
+            MapShape::new(1, 4, 4),
+            8,
+            3,
+            weights,
+            LifHardwareParams { leak: 0, threshold: 1 },
+        )
+        .unwrap();
+        assert_eq!(engine.passes_for(&mapping), 2);
+        let result = engine.run_layer(&mapping, &single_spike_stream()).unwrap();
+        assert_eq!(result.stats.passes, 2);
+        // All 8 output channels observed the spike.
+        assert_eq!(result.output.spike_count(), 8 * 9);
+    }
+
+    #[test]
+    fn non_resident_weights_are_streamed_per_event() {
+        // A dense layer with 16 input positions needs 16 weight sets; with a
+        // 2-set filter buffer the weights are streamed from memory per event,
+        // which shows up as additional streamer reads.
+        let mapping = |_: ()| {
+            LayerMapping::dense(MapShape::new(1, 4, 4), 4, vec![1; 64], LifHardwareParams::default())
+                .unwrap()
+        };
+        let mut stream = EventStream::new(4, 4, 1, 2);
+        stream.push(Event::update(0, 0, 1, 1)).unwrap();
+        stream.push(Event::update(1, 0, 2, 2)).unwrap();
+
+        let mut small_buffer = Engine::new(SneConfig { weight_buffer_sets: 2, ..small_config() });
+        let mut big_buffer = Engine::new(SneConfig { weight_buffer_sets: 256, ..small_config() });
+        let streamed = small_buffer.run_layer(&mapping(()), &stream).unwrap();
+        let resident = big_buffer.run_layer(&mapping(()), &stream).unwrap();
+        assert!(streamed.stats.streamer_reads > resident.stats.streamer_reads);
+        // Functional results are identical either way.
+        assert_eq!(streamed.output, resident.output);
+    }
+
+    #[test]
+    fn out_of_range_events_are_rejected() {
+        let mut engine = Engine::new(small_config());
+        let mapping = conv_mapping(1);
+        let mut stream = EventStream::new(8, 8, 1, 2);
+        stream.push(Event::update(0, 0, 7, 7)).unwrap();
+        assert!(matches!(engine.run_layer(&mapping, &stream), Err(SimError::EventOutOfRange { .. })));
+    }
+
+    #[test]
+    fn registers_reflect_the_programmed_layer() {
+        let mut engine = Engine::new(small_config());
+        let mapping = conv_mapping(5);
+        let _ = engine.run_layer(&mapping, &single_spike_stream()).unwrap();
+        assert_eq!(engine.regfile_mut().get(Register::Threshold).unwrap(), 5);
+        assert_eq!(engine.regfile_mut().get(Register::KernelSize).unwrap(), 3);
+        assert_eq!(engine.regfile_mut().get(Register::LayerWidth).unwrap(), 4);
+        assert_eq!(engine.regfile_mut().get(Register::ActiveSlices).unwrap(), 2);
+    }
+
+    #[test]
+    fn trace_records_pass_events_and_fires() {
+        let mut engine = Engine::new(small_config());
+        engine.enable_trace(128);
+        let mapping = conv_mapping(1);
+        let _ = engine.run_layer(&mapping, &single_spike_stream()).unwrap();
+        let records = engine.trace().records();
+        assert!(records.iter().any(|r| matches!(r, TraceRecord::PassStart { .. })));
+        assert!(records.iter().any(|r| matches!(r, TraceRecord::EventConsumed { .. })));
+        assert!(records.iter().any(|r| matches!(r, TraceRecord::FireScan { .. })));
+    }
+
+    #[test]
+    fn dense_layer_runs_end_to_end() {
+        let mut engine = Engine::new(small_config());
+        // 2x2 input, 4 outputs, weight 2 everywhere, threshold 2: every input
+        // spike makes all outputs fire at the end of its timestep.
+        let mapping = LayerMapping::dense(
+            MapShape::new(1, 2, 2),
+            4,
+            vec![2; 16],
+            LifHardwareParams { leak: 0, threshold: 2 },
+        )
+        .unwrap();
+        let mut stream = EventStream::new(2, 2, 1, 3);
+        stream.push(Event::update(1, 0, 0, 0)).unwrap();
+        let result = engine.run_layer(&mapping, &stream).unwrap();
+        assert_eq!(result.output.spike_count(), 4);
+        assert!(result.output.iter().all(|e| e.t == 1));
+        assert_eq!(result.stats.synaptic_ops, 4);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_run_time() {
+        let mut engine = Engine::new(SneConfig { num_slices: 0, ..SneConfig::default() });
+        let mapping = conv_mapping(1);
+        assert!(engine.run_layer(&mapping, &single_spike_stream()).is_err());
+    }
+
+    #[test]
+    fn tlu_reduces_fire_cycles_on_sparse_streams() {
+        let sparse_stream = || {
+            let mut s = EventStream::new(4, 4, 1, 100);
+            s.push(Event::update(0, 0, 2, 2)).unwrap();
+            s
+        };
+        let mapping = conv_mapping(100);
+        let mut with_tlu = Engine::new(SneConfig { tlu_enabled: true, ..small_config() });
+        let mut without_tlu = Engine::new(SneConfig { tlu_enabled: false, ..small_config() });
+        let a = with_tlu.run_layer(&mapping, &sparse_stream()).unwrap().stats;
+        let b = without_tlu.run_layer(&mapping, &sparse_stream()).unwrap().stats;
+        assert!(a.fire_cycles < b.fire_cycles);
+        assert!(a.tlu_skipped_updates > 0);
+        assert_eq!(b.tlu_skipped_updates, 0);
+    }
+}

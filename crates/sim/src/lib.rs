@@ -1,0 +1,67 @@
+//! Cycle-approximate hardware simulator of the SNE accelerator.
+//!
+//! The simulator models the architecture of paper Fig. 2 at the granularity
+//! the evaluation section reasons about:
+//!
+//! * [`cluster::Cluster`] — the TDM LIF datapath: 64 time-multiplexed
+//!   neurons, 8-bit saturating state, double-buffered state memory (one
+//!   update per cycle), per-cluster time-of-last-update (TLU) register,
+//!   clock gating of idle units, output FIFO.
+//! * [`slice::Slice`] — 16 clusters, the sequencer producing TDM addresses,
+//!   the operation decoder, the address filter/shift that maps input events
+//!   onto receptive fields, and the per-slice weight buffer.
+//! * [`xbar::CrossBar`] — the synaptic crossbar routing event/weight streams
+//!   between streamers, slices and the collector (point-to-point and
+//!   broadcast modes).
+//! * [`streamer::Streamer`] — the DMA engines with their 16-word FIFOs and a
+//!   latency/contention [`memory::MemoryModel`].
+//! * [`collector::Collector`] — arbitration of sparse slice outputs into a
+//!   single stream.
+//! * [`regfile::RegisterFile`] — the APB-style configuration interface.
+//! * [`engine::Engine`] — the top level: maps eCNN layers onto slices
+//!   ([`mapping::LayerMapping`]), runs the event stream and accounts cycles,
+//!   synaptic operations and per-component activity ([`stats::CycleStats`]).
+//!
+//! The simulator is *functionally exact* with respect to the quantized LIF
+//! dynamics (it produces bit-identical output events to the functional model
+//! in `sne-model`) and *cycle-approximate* with respect to timing: it applies
+//! the paper's published per-event costs (48 cycles per consumed input event,
+//! one state update per cluster per cycle) rather than modelling every
+//! pipeline register.
+//!
+//! # Example
+//!
+//! ```
+//! use sne_sim::config::SneConfig;
+//! use sne_sim::engine::Engine;
+//!
+//! let config = SneConfig::default();
+//! let engine = Engine::new(config);
+//! assert_eq!(engine.config().num_slices, 8);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cluster;
+pub mod collector;
+pub mod config;
+pub mod decoder;
+pub mod engine;
+pub mod mapping;
+pub mod memory;
+pub mod regfile;
+pub mod sequencer;
+pub mod slice;
+pub mod stats;
+pub mod streamer;
+pub mod trace;
+pub mod xbar;
+
+mod error;
+
+pub use config::SneConfig;
+pub use engine::{Engine, LayerRunOutput};
+pub use error::SimError;
+pub use mapping::{LayerMapping, LifHardwareParams};
+pub use stats::CycleStats;

@@ -1,0 +1,205 @@
+//! APB-style register interface.
+//!
+//! The SNE is integrated as a memory-mapped peripheral and programmed through
+//! a register interface (paper §III-D, "Conf reg & Reg IF"). The register map
+//! below covers the parameters the evaluation exercises: LIF leak and
+//! threshold, the number of active slices, the layer geometry of the current
+//! mapping and the feature toggles used by the ablation benches.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::SimError;
+
+/// Register addresses of the SNE configuration space (word-aligned offsets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u32)]
+pub enum Register {
+    /// Engine identification word (read-only).
+    Id = 0x00,
+    /// Global enable.
+    Control = 0x04,
+    /// LIF leak value `L` for the mapped layer.
+    Leak = 0x08,
+    /// LIF firing threshold `V_th` for the mapped layer.
+    Threshold = 0x0C,
+    /// Number of slices activated for the current run.
+    ActiveSlices = 0x10,
+    /// Input feature-map width of the mapped layer.
+    LayerWidth = 0x14,
+    /// Input feature-map height of the mapped layer.
+    LayerHeight = 0x18,
+    /// Input channel count of the mapped layer.
+    LayerChannels = 0x1C,
+    /// Kernel size of the mapped layer (0 for fully-connected).
+    KernelSize = 0x20,
+    /// Feature toggles (bit 0: TLU, bit 1: clock gating, bit 2: broadcast).
+    Features = 0x24,
+    /// Base address of the weight buffer in external memory.
+    WeightBase = 0x28,
+    /// Base address of the input event buffer in external memory.
+    EventBase = 0x2C,
+}
+
+impl Register {
+    /// All registers, in address order.
+    pub const ALL: [Register; 12] = [
+        Register::Id,
+        Register::Control,
+        Register::Leak,
+        Register::Threshold,
+        Register::ActiveSlices,
+        Register::LayerWidth,
+        Register::LayerHeight,
+        Register::LayerChannels,
+        Register::KernelSize,
+        Register::Features,
+        Register::WeightBase,
+        Register::EventBase,
+    ];
+
+    /// Register from its address offset.
+    #[must_use]
+    pub fn from_address(address: u32) -> Option<Self> {
+        Self::ALL.iter().copied().find(|r| *r as u32 == address)
+    }
+}
+
+/// Identification value returned by [`Register::Id`] (ASCII "SNE1").
+pub const SNE_ID: u32 = 0x534E_4531;
+
+/// The configuration register file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegisterFile {
+    values: BTreeMap<u32, u32>,
+    writes: u64,
+    reads: u64,
+}
+
+impl Default for RegisterFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RegisterFile {
+    /// Creates a register file with reset values.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut values = BTreeMap::new();
+        for reg in Register::ALL {
+            values.insert(reg as u32, 0);
+        }
+        values.insert(Register::Id as u32, SNE_ID);
+        values.insert(Register::ActiveSlices as u32, 1);
+        values.insert(Register::Features as u32, 0b111);
+        Self { values, writes: 0, reads: 0 }
+    }
+
+    /// Writes a register by address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownRegister`] for an unmapped address; writes
+    /// to the read-only [`Register::Id`] are ignored without error (matching
+    /// typical APB behaviour).
+    pub fn write(&mut self, address: u32, value: u32) -> Result<(), SimError> {
+        let Some(register) = Register::from_address(address) else {
+            return Err(SimError::UnknownRegister(address));
+        };
+        self.writes += 1;
+        if register != Register::Id {
+            self.values.insert(address, value);
+        }
+        Ok(())
+    }
+
+    /// Reads a register by address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownRegister`] for an unmapped address.
+    pub fn read(&mut self, address: u32) -> Result<u32, SimError> {
+        if Register::from_address(address).is_none() {
+            return Err(SimError::UnknownRegister(address));
+        }
+        self.reads += 1;
+        Ok(*self.values.get(&address).unwrap_or(&0))
+    }
+
+    /// Typed write helper.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RegisterFile::write`].
+    pub fn set(&mut self, register: Register, value: u32) -> Result<(), SimError> {
+        self.write(register as u32, value)
+    }
+
+    /// Typed read helper.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RegisterFile::read`].
+    pub fn get(&mut self, register: Register) -> Result<u32, SimError> {
+        self.read(register as u32)
+    }
+
+    /// Number of register writes performed (APB traffic accounting).
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of register reads performed.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_values_include_id_and_default_features() {
+        let mut rf = RegisterFile::new();
+        assert_eq!(rf.get(Register::Id).unwrap(), SNE_ID);
+        assert_eq!(rf.get(Register::ActiveSlices).unwrap(), 1);
+        assert_eq!(rf.get(Register::Features).unwrap(), 0b111);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut rf = RegisterFile::new();
+        rf.set(Register::Leak, 3).unwrap();
+        rf.set(Register::Threshold, 42).unwrap();
+        assert_eq!(rf.get(Register::Leak).unwrap(), 3);
+        assert_eq!(rf.get(Register::Threshold).unwrap(), 42);
+        assert_eq!(rf.writes(), 2);
+        assert_eq!(rf.reads(), 2);
+    }
+
+    #[test]
+    fn id_register_is_read_only() {
+        let mut rf = RegisterFile::new();
+        rf.set(Register::Id, 0xdead_beef).unwrap();
+        assert_eq!(rf.get(Register::Id).unwrap(), SNE_ID);
+    }
+
+    #[test]
+    fn unknown_addresses_are_rejected() {
+        let mut rf = RegisterFile::new();
+        assert!(matches!(rf.write(0x100, 1), Err(SimError::UnknownRegister(0x100))));
+        assert!(matches!(rf.read(0x101), Err(SimError::UnknownRegister(0x101))));
+    }
+
+    #[test]
+    fn register_from_address_round_trips() {
+        for reg in Register::ALL {
+            assert_eq!(Register::from_address(reg as u32), Some(reg));
+        }
+        assert_eq!(Register::from_address(0x99), None);
+    }
+}

@@ -1,0 +1,86 @@
+//! TDM neuron address sequencer.
+//!
+//! The sequencer orchestrates the synchronous execution of all clusters in a
+//! slice by providing the address of the current TDM neuron update (paper
+//! §III-D.4). For an `UPDATE_OP` it scans the receptive-field addresses the
+//! address filter selected; for a `FIRE_OP` it scans all TDM neurons so each
+//! one can be checked against the threshold.
+
+use serde::{Deserialize, Serialize};
+
+/// Generates the per-cycle TDM neuron addresses of one slice operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sequencer {
+    neurons_per_cluster: usize,
+    issued_addresses: u64,
+}
+
+impl Sequencer {
+    /// Creates a sequencer for clusters with `neurons_per_cluster` TDM neurons.
+    #[must_use]
+    pub fn new(neurons_per_cluster: usize) -> Self {
+        Self { neurons_per_cluster, issued_addresses: 0 }
+    }
+
+    /// Number of TDM neurons addressed per cluster.
+    #[must_use]
+    pub fn neurons_per_cluster(&self) -> usize {
+        self.neurons_per_cluster
+    }
+
+    /// Addresses scanned for an `UPDATE_OP` whose receptive field covers the
+    /// given local neuron addresses. One address is issued per cycle.
+    pub fn update_scan(&mut self, receptive_field: &[usize]) -> Vec<usize> {
+        let addresses: Vec<usize> = receptive_field
+            .iter()
+            .copied()
+            .filter(|&a| a < self.neurons_per_cluster)
+            .collect();
+        self.issued_addresses += addresses.len() as u64;
+        addresses
+    }
+
+    /// Addresses scanned for a `FIRE_OP` (all TDM neurons of the cluster).
+    pub fn fire_scan(&mut self) -> Vec<usize> {
+        self.issued_addresses += self.neurons_per_cluster as u64;
+        (0..self.neurons_per_cluster).collect()
+    }
+
+    /// Total addresses issued so far.
+    #[must_use]
+    pub fn issued_addresses(&self) -> u64 {
+        self.issued_addresses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fire_scan_covers_all_neurons() {
+        let mut s = Sequencer::new(64);
+        let scan = s.fire_scan();
+        assert_eq!(scan.len(), 64);
+        assert_eq!(scan[0], 0);
+        assert_eq!(scan[63], 63);
+        assert_eq!(s.issued_addresses(), 64);
+    }
+
+    #[test]
+    fn update_scan_filters_out_of_range_addresses() {
+        let mut s = Sequencer::new(64);
+        let scan = s.update_scan(&[3, 10, 64, 100]);
+        assert_eq!(scan, vec![3, 10]);
+        assert_eq!(s.issued_addresses(), 2);
+    }
+
+    #[test]
+    fn issued_addresses_accumulate() {
+        let mut s = Sequencer::new(8);
+        let _ = s.update_scan(&[0, 1, 2]);
+        let _ = s.fire_scan();
+        assert_eq!(s.issued_addresses(), 11);
+        assert_eq!(s.neurons_per_cluster(), 8);
+    }
+}

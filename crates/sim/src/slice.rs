@@ -1,0 +1,245 @@
+//! The Slice: 16 clusters orchestrated by a sequencer.
+//!
+//! A slice receives the input event stream (all clusters see the same event,
+//! paper §III-D.4), filters it against the addresses of the neurons it
+//! implements, shifts the addresses relative to each cluster's base and
+//! dispatches the state updates to the clusters. Output spikes are pushed
+//! into per-cluster FIFOs and drained by the slice collector.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::Cluster;
+use crate::config::SneConfig;
+use crate::mapping::{Contribution, LifHardwareParams};
+
+/// Statistics of one `UPDATE_OP` processed by a slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UpdateOutcome {
+    /// Synaptic operations performed by this slice for the event.
+    pub synaptic_ops: u64,
+    /// Clusters that were active during the event window.
+    pub active_clusters: u64,
+    /// Clusters that were clock-gated during the event window.
+    pub gated_clusters: u64,
+}
+
+/// Statistics of one `FIRE_OP` processed by a slice.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FireOutcome {
+    /// Global output-neuron indices that fired, in cluster/TDM order.
+    pub fired: Vec<usize>,
+    /// Clusters that executed the scan.
+    pub scanned_clusters: u64,
+    /// Clusters that skipped the scan thanks to the TLU.
+    pub skipped_clusters: u64,
+}
+
+/// One slice of the engine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Slice {
+    clusters: Vec<Cluster>,
+    neurons_per_cluster: usize,
+    /// Global output-neuron index of the first neuron mapped on this slice.
+    base: usize,
+    /// Number of output neurons mapped on this slice in the current pass.
+    assigned: usize,
+}
+
+impl Slice {
+    /// Creates a slice with the cluster geometry of `config`.
+    #[must_use]
+    pub fn new(config: &SneConfig) -> Self {
+        let clusters =
+            (0..config.clusters_per_slice).map(|_| Cluster::new(config.neurons_per_cluster)).collect();
+        Self { clusters, neurons_per_cluster: config.neurons_per_cluster, base: 0, assigned: 0 }
+    }
+
+    /// Number of clusters.
+    #[must_use]
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Maximum number of neurons the slice can implement.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.clusters.len() * self.neurons_per_cluster
+    }
+
+    /// Global output-neuron range currently mapped on this slice.
+    #[must_use]
+    pub fn assigned_range(&self) -> std::ops::Range<usize> {
+        self.base..self.base + self.assigned
+    }
+
+    /// Configures the slice for a mapping pass: neurons
+    /// `[base, base + count)` of the layer are implemented here. All neuron
+    /// state is reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the slice capacity.
+    pub fn configure_pass(&mut self, base: usize, count: usize) {
+        assert!(count <= self.capacity(), "pass assignment exceeds slice capacity");
+        self.base = base;
+        self.assigned = count;
+        self.reset();
+    }
+
+    /// Resets all neuron state (`RST_OP`).
+    pub fn reset(&mut self) {
+        for cluster in &mut self.clusters {
+            cluster.reset();
+        }
+    }
+
+    /// Processes one `UPDATE_OP`: the contributions (already filtered to this
+    /// slice's range by the address filter) are dispatched to the clusters.
+    pub fn process_update(
+        &mut self,
+        contributions: &[Contribution],
+        params: LifHardwareParams,
+        clock_gating: bool,
+    ) -> UpdateOutcome {
+        let mut touched = vec![false; self.clusters.len()];
+        let mut ops = 0u64;
+        for c in contributions {
+            debug_assert!(self.assigned_range().contains(&c.neuron));
+            let local = c.neuron - self.base;
+            let cluster_index = local / self.neurons_per_cluster;
+            let neuron_index = local % self.neurons_per_cluster;
+            self.clusters[cluster_index].integrate(neuron_index, c.weight, params);
+            touched[cluster_index] = true;
+            ops += 1;
+        }
+        let active = touched.iter().filter(|&&t| t).count() as u64;
+        let gated = if clock_gating {
+            self.clusters.len() as u64 - active
+        } else {
+            // Without clock gating every cluster toggles during the event window.
+            0
+        };
+        let active = if clock_gating { active } else { self.clusters.len() as u64 };
+        UpdateOutcome { synaptic_ops: ops, active_clusters: active, gated_clusters: gated }
+    }
+
+    /// Processes one `FIRE_OP`: every cluster scans its TDM neurons and emits
+    /// spikes for those above threshold. Returns global neuron indices.
+    pub fn process_fire(&mut self, params: LifHardwareParams, tlu_enabled: bool) -> FireOutcome {
+        let mut outcome = FireOutcome::default();
+        for (cluster_index, cluster) in self.clusters.iter_mut().enumerate() {
+            let cluster_base = self.base + cluster_index * self.neurons_per_cluster;
+            let before = cluster.counters().fire_scans;
+            let fired = cluster.fire_scan(params, tlu_enabled);
+            let executed = cluster.counters().fire_scans > before;
+            if executed {
+                outcome.scanned_clusters += 1;
+            } else {
+                outcome.skipped_clusters += 1;
+            }
+            for local in fired {
+                let global = cluster_base + local;
+                // Neurons beyond the assigned range are architectural padding
+                // (the last cluster of a pass may be partially used); they can
+                // never have received a contribution, so they never fire, but
+                // guard anyway.
+                if global < self.base + self.assigned {
+                    outcome.fired.push(global);
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Total synaptic operations performed by this slice's clusters.
+    #[must_use]
+    pub fn synaptic_ops(&self) -> u64 {
+        self.clusters.iter().map(|c| c.counters().synaptic_ops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::Contribution;
+
+    fn small_config() -> SneConfig {
+        SneConfig { clusters_per_slice: 4, neurons_per_cluster: 8, ..SneConfig::default() }
+    }
+
+    const PARAMS: LifHardwareParams = LifHardwareParams { leak: 0, threshold: 5 };
+
+    #[test]
+    fn capacity_is_clusters_times_neurons() {
+        let slice = Slice::new(&small_config());
+        assert_eq!(slice.num_clusters(), 4);
+        assert_eq!(slice.capacity(), 32);
+    }
+
+    #[test]
+    fn configure_pass_sets_range_and_resets() {
+        let mut slice = Slice::new(&small_config());
+        slice.configure_pass(64, 20);
+        assert_eq!(slice.assigned_range(), 64..84);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds slice capacity")]
+    fn oversized_pass_panics() {
+        let mut slice = Slice::new(&small_config());
+        slice.configure_pass(0, 33);
+    }
+
+    #[test]
+    fn update_routes_contributions_to_the_right_cluster() {
+        let mut slice = Slice::new(&small_config());
+        slice.configure_pass(0, 32);
+        let contributions = [
+            Contribution { neuron: 0, weight: 3 },
+            Contribution { neuron: 9, weight: 4 },  // cluster 1, neuron 1
+            Contribution { neuron: 31, weight: -2 }, // cluster 3, neuron 7
+        ];
+        let outcome = slice.process_update(&contributions, PARAMS, true);
+        assert_eq!(outcome.synaptic_ops, 3);
+        assert_eq!(outcome.active_clusters, 3);
+        assert_eq!(outcome.gated_clusters, 1);
+        assert_eq!(slice.synaptic_ops(), 3);
+    }
+
+    #[test]
+    fn update_respects_base_offset() {
+        let mut slice = Slice::new(&small_config());
+        slice.configure_pass(100, 32);
+        let contributions = [Contribution { neuron: 100, weight: 7 }];
+        let outcome = slice.process_update(&contributions, PARAMS, true);
+        assert_eq!(outcome.synaptic_ops, 1);
+        // Neuron 100 maps to cluster 0, local neuron 0; it should fire.
+        let fire = slice.process_fire(PARAMS, true);
+        assert_eq!(fire.fired, vec![100]);
+    }
+
+    #[test]
+    fn clock_gating_off_activates_every_cluster() {
+        let mut slice = Slice::new(&small_config());
+        slice.configure_pass(0, 32);
+        let contributions = [Contribution { neuron: 0, weight: 1 }];
+        let outcome = slice.process_update(&contributions, PARAMS, false);
+        assert_eq!(outcome.active_clusters, 4);
+        assert_eq!(outcome.gated_clusters, 0);
+    }
+
+    #[test]
+    fn fire_reports_scanned_and_skipped_clusters() {
+        let mut slice = Slice::new(&small_config());
+        slice.configure_pass(0, 32);
+        // Only cluster 0 receives an update.
+        let _ = slice.process_update(&[Contribution { neuron: 0, weight: 7 }], PARAMS, true);
+        let fire = slice.process_fire(PARAMS, true);
+        assert_eq!(fire.fired, vec![0]);
+        assert_eq!(fire.scanned_clusters, 1);
+        assert_eq!(fire.skipped_clusters, 3);
+        // Without TLU every cluster scans.
+        let fire = slice.process_fire(PARAMS, false);
+        assert_eq!(fire.scanned_clusters, 4);
+    }
+}

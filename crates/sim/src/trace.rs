@@ -1,0 +1,137 @@
+//! Optional execution trace.
+//!
+//! The trace records one entry per architectural operation (event consumed,
+//! fire scan, pass boundary). It is the debugging aid that replaces waveform
+//! inspection of the RTL; it is disabled by default because long runs would
+//! otherwise allocate unboundedly.
+
+use serde::{Deserialize, Serialize};
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceRecord {
+    /// A mapping pass started (output-channel group).
+    PassStart {
+        /// Pass index.
+        pass: usize,
+        /// Output channels processed in this pass.
+        channels: Vec<u16>,
+    },
+    /// An `UPDATE_OP` event was consumed.
+    EventConsumed {
+        /// Timestep of the event.
+        time: u32,
+        /// Input channel.
+        channel: u16,
+        /// Spatial address.
+        address: (u16, u16),
+        /// Synaptic operations the event caused.
+        synaptic_ops: u64,
+    },
+    /// A `FIRE_OP` scan completed.
+    FireScan {
+        /// Timestep the scan closed.
+        time: u32,
+        /// Output events emitted by the scan.
+        emitted: u64,
+    },
+    /// A `RST_OP` was processed.
+    Reset {
+        /// Timestep of the reset.
+        time: u32,
+    },
+}
+
+/// A bounded trace buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    enabled: bool,
+    capacity: usize,
+    records: Vec<TraceRecord>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a disabled trace (records are discarded).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { enabled: false, capacity: 0, records: Vec::new(), dropped: 0 }
+    }
+
+    /// Creates an enabled trace holding at most `capacity` records.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { enabled: true, capacity, records: Vec::with_capacity(capacity.min(4096)), dropped: 0 }
+    }
+
+    /// Returns `true` if records are being kept.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends a record (dropped when disabled or full).
+    pub fn push(&mut self, record: TraceRecord) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() < self.capacity {
+            self.records.push(record);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Recorded entries, in order.
+    #[must_use]
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of records dropped because the buffer was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_keeps_nothing() {
+        let mut t = Trace::disabled();
+        t.push(TraceRecord::Reset { time: 0 });
+        assert!(t.records().is_empty());
+        assert!(!t.is_enabled());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn enabled_trace_keeps_up_to_capacity() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..4 {
+            t.push(TraceRecord::Reset { time: i });
+        }
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.dropped(), 2);
+        assert!(t.is_enabled());
+    }
+
+    #[test]
+    fn records_preserve_order_and_payload() {
+        let mut t = Trace::with_capacity(8);
+        t.push(TraceRecord::PassStart { pass: 0, channels: vec![0, 1] });
+        t.push(TraceRecord::EventConsumed { time: 3, channel: 1, address: (4, 5), synaptic_ops: 9 });
+        t.push(TraceRecord::FireScan { time: 3, emitted: 2 });
+        assert_eq!(t.records().len(), 3);
+        assert!(matches!(t.records()[1], TraceRecord::EventConsumed { synaptic_ops: 9, .. }));
+    }
+}

@@ -1,0 +1,47 @@
+//! Layer-by-layer execution report: runs the reduced Fig. 6 network and
+//! shows how events, synaptic operations and cycles evolve through the
+//! pipeline — the data a designer would use to decide between the
+//! layer-per-slice and time-multiplexed mapping modes of §III-D.5.
+//!
+//! ```bash
+//! cargo run --release --example layer_pipeline
+//! ```
+
+use rand::SeedableRng;
+use sne_repro::prelude::*;
+
+fn main() -> Result<(), SneError> {
+    let topology = Topology::paper_fig6(Shape::new(2, 32, 32), 11);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+    let network = CompiledNetwork::random(&topology, &mut rng)?;
+    let input = proportionality::stream_with_activity((2, 32, 32), 64, 0.02, 6);
+
+    let mut accelerator = SneAccelerator::new(SneConfig::with_slices(8));
+    let result = accelerator.run(&network, &input)?;
+
+    println!("Fig. 6 network on a 32x32 input, 64 timesteps, 2 % input activity");
+    println!();
+    println!(
+        "{:<18} | {:>10} | {:>10} | {:>12} | {:>12} | {:>8}",
+        "layer", "in events", "out events", "SOPs", "cycles", "passes"
+    );
+    for layer in &result.layers {
+        println!(
+            "{:<18} | {:>10} | {:>10} | {:>12} | {:>12} | {:>8}",
+            layer.description,
+            layer.input_events,
+            layer.output_events,
+            layer.stats.synaptic_ops,
+            layer.stats.total_cycles,
+            layer.stats.passes
+        );
+    }
+    println!();
+    println!("total inference: {:.3} ms, {:.2} uJ, predicted class {}",
+        result.inference_time_ms, result.energy.energy_uj, result.predicted_class);
+    println!();
+    println!("Layers whose pass count is 1 fit entirely on the engine and could run");
+    println!("in the pipelined layer-per-slice mode; layers with more passes must be");
+    println!("time-multiplexed through external memory.");
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Quickstart: compile a small event-based CNN with random 4-bit weights,
+//! run one inference on the 8-slice SNE and print what the accelerator did.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use rand::SeedableRng;
+use sne_repro::prelude::*;
+
+fn main() -> Result<(), SneError> {
+    // 1. Describe the network: a reduced version of the paper's Fig. 6
+    //    topology on a 16x16 two-polarity input with 4 classes.
+    let topology = Topology::tiny(Shape::new(2, 16, 16), 8, 4);
+
+    // 2. Compile it for the accelerator (random quantized weights here; see
+    //    the dvs_gesture example for a trained network).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let network = CompiledNetwork::random(&topology, &mut rng)?;
+    println!(
+        "compiled {} accelerated layers, {} neurons total",
+        network.accelerated_layers(),
+        network.total_neurons()
+    );
+
+    // 3. Build an input event stream (2 % activity over 64 timesteps, the
+    //    order of magnitude a DVS camera produces).
+    let input = proportionality::stream_with_activity((2, 16, 16), 64, 0.02, 7);
+    println!("input stream: {} events ({:.2} % activity)", input.spike_count(), input.activity() * 100.0);
+
+    // 4. Run it on an 8-slice SNE.
+    let mut accelerator = SneAccelerator::new(SneConfig::with_slices(8));
+    let result = accelerator.run(&network, &input)?;
+
+    println!();
+    println!("predicted class        : {}", result.predicted_class);
+    println!("output spike counts    : {:?}", result.output_spike_counts);
+    println!("total cycles           : {}", result.stats.total_cycles);
+    println!("synaptic operations    : {}", result.stats.synaptic_ops);
+    println!("inference time         : {:.3} ms", result.inference_time_ms);
+    println!("inference rate         : {:.1} inf/s", result.inference_rate);
+    println!("energy per inference   : {:.2} uJ", result.energy.energy_uj);
+    println!("energy per operation   : {:.3} pJ/SOP", result.energy.energy_per_sop_pj);
+    println!();
+    println!("per-layer execution:");
+    for layer in &result.layers {
+        println!(
+            "  {:<16} | {:>8} input events | {:>8} output events | {:>10} cycles",
+            layer.description, layer.input_events, layer.output_events, layer.stats.total_cycles
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Slice-count scaling study (the Fig. 4 / Fig. 5 sweep, programmatically):
+//! area, peak power, peak performance and a measured workload for 1, 2, 4
+//! and 8 slices.
+//!
+//! ```bash
+//! cargo run --release --example slice_scaling
+//! ```
+
+use rand::SeedableRng;
+use sne_repro::prelude::*;
+
+fn main() -> Result<(), SneError> {
+    let area = AreaModel::default();
+    let power = PowerModel::default();
+    let performance = PerformanceModel::new();
+    let energy = EnergyModel::new();
+
+    let topology = Topology::tiny(Shape::new(2, 16, 16), 8, 11);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let network = CompiledNetwork::random(&topology, &mut rng)?;
+    let stream = proportionality::stream_with_activity((2, 16, 16), 64, 0.03, 4);
+
+    println!(
+        "{:>7} | {:>10} | {:>9} | {:>11} | {:>12} | {:>11} | {:>10}",
+        "slices", "area[kGE]", "power[mW]", "peak GSOP/s", "pJ/SOP (nom)", "time[ms]", "energy[uJ]"
+    );
+    for slices in [1usize, 2, 4, 8] {
+        let config = SneConfig::with_slices(slices);
+        let mut accelerator = SneAccelerator::new(config);
+        let result = accelerator.run(&network, &stream)?;
+        println!(
+            "{:>7} | {:>10.1} | {:>9.2} | {:>11.1} | {:>12.3} | {:>11.3} | {:>10.2}",
+            slices,
+            area.total_kge(&config),
+            power.peak_total_mw(&config),
+            performance.peak_gsops(&config),
+            energy.nominal_energy_per_sop_pj(&config),
+            result.inference_time_ms,
+            result.energy.energy_uj
+        );
+    }
+    println!();
+    println!("More slices finish the same workload in fewer passes (lower time) while");
+    println!("the nominal energy per operation decreases slightly as the fixed streamer");
+    println!("cost is amortized — the trends of Fig. 4 and Fig. 5.");
+    Ok(())
+}

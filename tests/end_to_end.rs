@@ -1,0 +1,155 @@
+//! End-to-end workflows: training, quantization, accelerator inference,
+//! energy proportionality and dataset reporting.
+
+use sne::compile::CompiledNetwork;
+use sne::proportionality::{activity_sweep, proportionality_correlation};
+use sne::report::DatasetReport;
+use sne::SneAccelerator;
+use sne_event::datasets::{EventDataset, MotionPattern, PatternDataset};
+use sne_model::inference::evaluate;
+use sne_model::topology::Topology;
+use sne_model::train::{to_lif_network, to_srm_network, train, TrainConfig};
+use sne_model::Shape;
+use sne_sim::SneConfig;
+
+fn two_class_dataset() -> PatternDataset {
+    PatternDataset::new(
+        16,
+        16,
+        2,
+        24,
+        vec![
+            MotionPattern::TranslatingBar { speed: 1.5, width: 3 },
+            MotionPattern::PulsingRing { period: 12.0, max_radius_fraction: 0.8 },
+        ],
+        99,
+    )
+}
+
+#[test]
+fn trained_network_beats_chance_on_the_accelerator() {
+    let dataset = two_class_dataset();
+    let topology = Topology::tiny(Shape::new(2, 16, 16), 4, 2);
+    let config = TrainConfig { epochs: 4, batch_size: 4, learning_rate: 0.1, ..TrainConfig::default() };
+    let outcome = train(&topology, &dataset, 0..24, &config).expect("training succeeds");
+
+    let network = CompiledNetwork::from_rate_network(&outcome.network).expect("compilation succeeds");
+    let mut accelerator = SneAccelerator::new(SneConfig::with_slices(8));
+
+    let mut results = Vec::new();
+    let mut correct = Vec::new();
+    for index in 24..40u64 {
+        let sample = dataset.sample(index);
+        let result = accelerator.run(&network, &sample.stream).expect("inference succeeds");
+        correct.push(result.predicted_class == sample.label);
+        results.push(result);
+    }
+    let report = DatasetReport::from_results("pattern", &results, &correct);
+    assert!(
+        report.accuracy > 0.6,
+        "trained accelerator accuracy {} should beat the 0.5 chance level",
+        report.accuracy
+    );
+    assert!(report.min_energy_uj > 0.0);
+    assert!(report.max_rate >= report.min_rate);
+}
+
+#[test]
+fn srm_baseline_and_quantized_network_have_comparable_accuracy() {
+    // The Table I comparison: quantizing to 4 bits should not collapse the
+    // accuracy relative to the SRM baseline trained the same way.
+    let dataset = two_class_dataset();
+    let topology = Topology::tiny(Shape::new(2, 16, 16), 4, 2);
+    let config = TrainConfig { epochs: 4, batch_size: 4, learning_rate: 0.1, ..TrainConfig::default() };
+    let outcome = train(&topology, &dataset, 0..24, &config).expect("training succeeds");
+
+    let mut srm = to_srm_network(&outcome.network).expect("SRM conversion succeeds");
+    let (mut lif, report) = to_lif_network(&outcome.network).expect("LIF conversion succeeds");
+    assert_eq!(report.scales.len(), 2);
+
+    let srm_eval = evaluate(&mut srm, &dataset, 24..40).expect("SRM evaluation succeeds");
+    let lif_eval = evaluate(&mut lif, &dataset, 24..40).expect("LIF evaluation succeeds");
+    assert!(srm_eval.accuracy() > 0.55, "SRM accuracy {}", srm_eval.accuracy());
+    assert!(lif_eval.accuracy() > 0.55, "LIF-4b accuracy {}", lif_eval.accuracy());
+    assert!(
+        (srm_eval.accuracy() - lif_eval.accuracy()).abs() <= 0.3,
+        "quantization should not change accuracy wildly: SRM {} vs LIF {}",
+        srm_eval.accuracy(),
+        lif_eval.accuracy()
+    );
+}
+
+#[test]
+fn energy_is_proportional_to_input_events() {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(4);
+    let topology = Topology::tiny(Shape::new(2, 12, 12), 4, 3);
+    let network = CompiledNetwork::random(&topology, &mut rng).expect("compilation succeeds");
+    let mut accelerator = SneAccelerator::new(SneConfig::with_slices(8));
+    let points = activity_sweep(&mut accelerator, &network, 40, &[0.005, 0.01, 0.02, 0.04], 8)
+        .expect("sweep succeeds");
+    assert!(points.windows(2).all(|w| w[0].input_events < w[1].input_events));
+    assert!(points.windows(2).all(|w| w[0].energy_uj < w[1].energy_uj));
+    let r = proportionality_correlation(&points);
+    assert!(r > 0.98, "events/cycles correlation {r} should be ~1");
+
+    // The first layer's cycle cost per input event is exactly the published
+    // 48-cycle consumption latency, independent of the activity level.
+    for p in &points {
+        assert!(p.synaptic_ops > 0);
+        assert!(p.cycles >= p.input_events * 48, "every event costs at least 48 cycles");
+    }
+}
+
+#[test]
+fn gesture_and_nmnist_surrogates_run_on_the_full_stack() {
+    use sne_event::datasets::{GestureDataset, NmnistDataset};
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(6);
+
+    let gesture = GestureDataset::new(16, 32, 3);
+    let network = CompiledNetwork::random(&Topology::tiny(Shape::new(2, 16, 16), 4, 11), &mut rng)
+        .expect("gesture network compiles");
+    let mut accelerator = SneAccelerator::new(SneConfig::with_slices(4));
+    let sample = gesture.sample(0);
+    let result = accelerator.run(&network, &sample.stream).expect("gesture inference succeeds");
+    assert!(result.predicted_class < 11);
+    assert!(result.stats.synaptic_ops > 0);
+
+    let nmnist = NmnistDataset::new(32, 4);
+    let network = CompiledNetwork::random(&Topology::tiny(Shape::new(2, 34, 34), 4, 10), &mut rng)
+        .expect("nmnist network compiles");
+    let sample = nmnist.sample(3);
+    let result = accelerator.run(&network, &sample.stream).expect("nmnist inference succeeds");
+    assert_eq!(result.output_spike_counts.len(), 10);
+}
+
+#[test]
+fn ablations_change_timing_but_not_results() {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(12);
+    let topology = Topology::tiny(Shape::new(2, 10, 10), 4, 3);
+    let network = CompiledNetwork::random(&topology, &mut rng).expect("compilation succeeds");
+    let stream = sne::proportionality::stream_with_activity((2, 10, 10), 30, 0.02, 5);
+
+    let base = SneConfig::with_slices(4);
+    let variants = [
+        SneConfig { tlu_enabled: false, ..base },
+        SneConfig { clock_gating: false, ..base },
+        SneConfig { broadcast: false, ..base },
+        SneConfig { double_buffered_state: false, ..base },
+    ];
+    let mut baseline_accel = SneAccelerator::new(base);
+    let baseline = baseline_accel.run(&network, &stream).expect("baseline run succeeds");
+    for config in variants {
+        let mut accelerator = SneAccelerator::new(config);
+        let result = accelerator.run(&network, &stream).expect("variant run succeeds");
+        assert_eq!(result.output_spike_counts, baseline.output_spike_counts);
+    }
+
+    // Specific timing effects.
+    let mut no_tlu = SneAccelerator::new(SneConfig { tlu_enabled: false, ..base });
+    let no_tlu_run = no_tlu.run(&network, &stream).expect("no-TLU run succeeds");
+    assert!(no_tlu_run.stats.fire_cycles >= baseline.stats.fire_cycles);
+
+    let mut single_port = SneAccelerator::new(SneConfig { double_buffered_state: false, ..base });
+    let single_port_run = single_port.run(&network, &stream).expect("single-port run succeeds");
+    assert!(single_port_run.stats.update_cycles > baseline.stats.update_cycles);
+}

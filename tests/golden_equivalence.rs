@@ -1,0 +1,218 @@
+//! Golden-model equivalence: the cycle-approximate simulator must produce
+//! bit-identical output events to the functional quantized-LIF model for any
+//! layer, input stream and engine configuration.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sne::compile::CompiledNetwork;
+use sne::SneAccelerator;
+use sne_event::{Event, EventStream, EventTensor};
+use sne_model::layer::{ConvLayer, DenseLayer, EventLayer, NeuronConfig};
+use sne_model::neuron::LifParams;
+use sne_model::topology::Topology;
+use sne_model::{Frame, Shape};
+use sne_sim::mapping::{LayerMapping, LifHardwareParams, MapShape};
+use sne_sim::{Engine, SneConfig};
+
+/// Runs a single conv layer both on the functional model and on the engine
+/// and compares the produced output spikes as `(t, c, y, x)` sets.
+fn conv_outputs_match(seed: u64, slices: usize, activity: f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let input_shape = Shape::new(2, 6, 6);
+    let out_channels = 3u16;
+    let kernel = 3u16;
+    let leak = rng.gen_range(0..=2) as i16;
+    let threshold = rng.gen_range(3..=10) as i16;
+
+    // Random 4-bit weights shared by both implementations.
+    let weight_count = usize::from(out_channels) * 2 * 9;
+    let weights: Vec<i8> = (0..weight_count).map(|_| rng.gen_range(-4i8..=5)).collect();
+
+    // Functional model.
+    let params = LifParams { leak, threshold, ..LifParams::default() };
+    let mut model_layer =
+        ConvLayer::new(input_shape, out_channels, kernel, NeuronConfig::Lif(params)).unwrap();
+    model_layer.set_weights(weights.iter().map(|&w| f32::from(w)).collect()).unwrap();
+
+    // Hardware mapping.
+    let mapping = LayerMapping::conv(
+        MapShape::new(2, 6, 6),
+        out_channels,
+        kernel,
+        weights,
+        LifHardwareParams { leak, threshold },
+    )
+    .unwrap();
+
+    // Random input stream.
+    let timesteps = 12u32;
+    let mut stream = EventStream::new(6, 6, 2, timesteps);
+    for t in 0..timesteps {
+        for c in 0..2 {
+            for y in 0..6 {
+                for x in 0..6 {
+                    if rng.gen::<f64>() < activity {
+                        stream.push(Event::update(t, c, x, y)).unwrap();
+                    }
+                }
+            }
+        }
+    }
+
+    // Model run: process the dense tensor timestep by timestep.
+    let tensor = EventTensor::from_stream(&stream);
+    let mut model_spikes = std::collections::BTreeSet::new();
+    for t in 0..timesteps {
+        let mut frame = Frame::zeros(input_shape);
+        for c in 0..2 {
+            for y in 0..6 {
+                for x in 0..6 {
+                    if tensor.get(t, c, x, y).unwrap_or(false) {
+                        frame.set(c, y, x, true);
+                    }
+                }
+            }
+        }
+        let out = model_layer.step(&frame);
+        for (c, y, x) in out.spikes() {
+            model_spikes.insert((t, c, y, x));
+        }
+    }
+
+    // Engine run.
+    let mut engine = Engine::new(SneConfig::with_slices(slices));
+    let result = engine.run_layer(&mapping, &stream).unwrap();
+    let engine_spikes: std::collections::BTreeSet<(u32, u16, u16, u16)> =
+        result.output.iter().map(|e| (e.t, e.ch, e.y, e.x)).collect();
+
+    assert_eq!(
+        model_spikes, engine_spikes,
+        "conv outputs diverge for seed {seed}, {slices} slices, activity {activity}"
+    );
+}
+
+#[test]
+fn conv_layer_matches_for_several_seeds_and_slice_counts() {
+    for seed in 0..6u64 {
+        for &slices in &[1usize, 2, 8] {
+            conv_outputs_match(seed, slices, 0.08);
+        }
+    }
+}
+
+#[test]
+fn conv_layer_matches_at_high_activity_with_saturation() {
+    // High activity drives membranes into the saturation region; both sides
+    // must clamp identically.
+    for seed in 20..24u64 {
+        conv_outputs_match(seed, 2, 0.5);
+    }
+}
+
+#[test]
+fn dense_layer_matches_the_functional_model() {
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let input_shape = Shape::new(2, 3, 3);
+        let outputs = 7u16;
+        let weights: Vec<i8> = (0..usize::from(outputs) * input_shape.len())
+            .map(|_| rng.gen_range(-5i8..=6))
+            .collect();
+        let threshold = rng.gen_range(2..=12) as i16;
+
+        let params = LifParams { leak: 1, threshold, ..LifParams::default() };
+        let mut model_layer =
+            DenseLayer::new(input_shape, outputs, NeuronConfig::Lif(params)).unwrap();
+        model_layer.set_weights(weights.iter().map(|&w| f32::from(w)).collect()).unwrap();
+        let mapping = LayerMapping::dense(
+            MapShape::new(2, 3, 3),
+            outputs,
+            weights,
+            LifHardwareParams { leak: 1, threshold },
+        )
+        .unwrap();
+
+        let timesteps = 10u32;
+        let mut stream = EventStream::new(3, 3, 2, timesteps);
+        for t in 0..timesteps {
+            for c in 0..2u16 {
+                for y in 0..3u16 {
+                    for x in 0..3u16 {
+                        if rng.gen::<f64>() < 0.2 {
+                            stream.push(Event::update(t, c, x, y)).unwrap();
+                        }
+                    }
+                }
+            }
+        }
+
+        let tensor = EventTensor::from_stream(&stream);
+        let mut model_spikes = std::collections::BTreeSet::new();
+        for t in 0..timesteps {
+            let mut frame = Frame::zeros(input_shape);
+            for c in 0..2 {
+                for y in 0..3 {
+                    for x in 0..3 {
+                        if tensor.get(t, c, x, y).unwrap_or(false) {
+                            frame.set(c, y, x, true);
+                        }
+                    }
+                }
+            }
+            let out = model_layer.step(&frame);
+            for (c, y, x) in out.spikes() {
+                model_spikes.insert((t, c, y, x));
+            }
+        }
+
+        let mut engine = Engine::new(SneConfig::with_slices(1));
+        let result = engine.run_layer(&mapping, &stream).unwrap();
+        let engine_spikes: std::collections::BTreeSet<(u32, u16, u16, u16)> =
+            result.output.iter().map(|e| (e.t, e.ch, e.y, e.x)).collect();
+        assert_eq!(model_spikes, engine_spikes, "dense outputs diverge for seed {seed}");
+    }
+}
+
+#[test]
+fn whole_network_matches_the_golden_model() {
+    // End-to-end: compiled multi-layer network on the accelerator vs the
+    // golden functional network rebuilt from the same mappings.
+    let mut rng = StdRng::seed_from_u64(77);
+    let topology = Topology::tiny(Shape::new(2, 8, 8), 4, 5);
+    let network = CompiledNetwork::random(&topology, &mut rng).unwrap();
+    let mut golden = network.golden_network().unwrap();
+    let mut accelerator = SneAccelerator::new(SneConfig::with_slices(4));
+
+    for seed in 0..5u64 {
+        let stream = sne::proportionality::stream_with_activity((2, 8, 8), 20, 0.06, seed);
+        let hardware = accelerator.run(&network, &stream).unwrap();
+        let reference = golden.run_stream(&stream).unwrap();
+        assert_eq!(
+            hardware.output_spike_counts, reference.output_spike_counts,
+            "network outputs diverge for stream seed {seed}"
+        );
+        assert_eq!(hardware.predicted_class, reference.predicted_class());
+    }
+}
+
+#[test]
+fn engine_output_is_independent_of_slice_count() {
+    // The number of slices changes timing, never functionality.
+    let mut rng = StdRng::seed_from_u64(99);
+    let topology = Topology::tiny(Shape::new(2, 8, 8), 4, 3);
+    let network = CompiledNetwork::random(&topology, &mut rng).unwrap();
+    let stream = sne::proportionality::stream_with_activity((2, 8, 8), 16, 0.05, 5);
+
+    let mut reference: Option<Vec<u32>> = None;
+    for slices in [1usize, 2, 4, 8] {
+        let mut accelerator = SneAccelerator::new(SneConfig::with_slices(slices));
+        let result = accelerator.run(&network, &stream).unwrap();
+        match &reference {
+            None => reference = Some(result.output_spike_counts),
+            Some(expected) => assert_eq!(
+                expected, &result.output_spike_counts,
+                "outputs change with {slices} slices"
+            ),
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! simulator invariants.
+
+use proptest::prelude::*;
+use sne_event::{Event, EventFormat, EventOp, EventStream};
+use sne_model::neuron::{LifNeuron, LifParams, Neuron};
+use sne_model::quant::{calibrate_scale, quantize_weight, QuantizedWeights, WEIGHT_MAX, WEIGHT_MIN};
+use sne_sim::cluster::Cluster;
+use sne_sim::mapping::{LayerMapping, LifHardwareParams, MapShape};
+use sne_sim::{Engine, SneConfig};
+
+fn arbitrary_op() -> impl Strategy<Value = EventOp> {
+    prop_oneof![Just(EventOp::Reset), Just(EventOp::Update), Just(EventOp::Fire)]
+}
+
+proptest! {
+    /// Packing an event into the 32-bit memory word and unpacking it must be
+    /// the identity for any field values that fit the format.
+    #[test]
+    fn event_pack_unpack_round_trips(
+        op in arbitrary_op(),
+        t in 0u32..256,
+        ch in 0u16..64,
+        x in 0u16..256,
+        y in 0u16..256,
+    ) {
+        let format = EventFormat::default();
+        let event = Event::new(op, t, ch, x, y);
+        let unpacked = format.unpack(format.pack(&event).unwrap()).unwrap();
+        prop_assert_eq!(unpacked, event);
+    }
+
+    /// Quantization never leaves the 4-bit grid and its round-trip error is
+    /// bounded by half a scale step for in-range weights.
+    #[test]
+    fn quantization_stays_on_grid_and_is_accurate(weights in prop::collection::vec(-2.0f32..2.0, 1..64)) {
+        let q = QuantizedWeights::from_floats(&weights);
+        prop_assert!(q.values.iter().all(|&v| (WEIGHT_MIN..=WEIGHT_MAX).contains(&v)));
+        prop_assert!(q.max_error(&weights) <= q.scale / 2.0 + 1e-6);
+    }
+
+    /// The calibrated scale always allows the largest-magnitude weight to be
+    /// represented without clipping more than half a step.
+    #[test]
+    fn calibration_covers_the_weight_range(weights in prop::collection::vec(-10.0f32..10.0, 1..32)) {
+        let scale = calibrate_scale(&weights);
+        prop_assert!(scale > 0.0);
+        let max_abs = weights.iter().fold(0.0f32, |a, &w| a.max(w.abs()));
+        let q = quantize_weight(max_abs, scale).unwrap();
+        prop_assert!(q == WEIGHT_MAX || max_abs == 0.0);
+    }
+
+    /// The LIF membrane never leaves the hardware state range, whatever the
+    /// input sequence.
+    #[test]
+    fn lif_membrane_stays_in_8_bit_range(
+        inputs in prop::collection::vec(-8i32..=7, 1..200),
+        leak in 0i16..4,
+        threshold in 1i16..100,
+    ) {
+        let mut neuron = LifNeuron::new(LifParams { leak, threshold, ..LifParams::default() });
+        for (i, &w) in inputs.iter().enumerate() {
+            neuron.integrate(w);
+            prop_assert!((-128..=127).contains(&neuron.state()));
+            if i % 3 == 2 {
+                let _ = neuron.fire_and_reset();
+                prop_assert!((-128..=127).contains(&neuron.state()));
+            }
+        }
+    }
+
+    /// Skipping fire scans with the TLU (lazy leak) is functionally identical
+    /// to scanning every timestep, for any update/idle pattern.
+    #[test]
+    fn tlu_lazy_leak_is_equivalent_to_eager_leak(
+        pattern in prop::collection::vec(prop::option::weighted(0.3, -6i8..=7), 1..100),
+        leak in 0i16..4,
+        threshold in 2i16..40,
+    ) {
+        let params = LifHardwareParams { leak, threshold };
+        let mut eager = Cluster::new(1);
+        let mut lazy = Cluster::new(1);
+        for step in &pattern {
+            if let Some(w) = step {
+                eager.integrate(0, *w, params);
+                lazy.integrate(0, *w, params);
+            }
+            let fired_eager = !eager.fire_scan(params, false).is_empty();
+            let fired_lazy = !lazy.fire_scan(params, true).is_empty();
+            prop_assert_eq!(fired_eager, fired_lazy);
+        }
+        // Force both to materialize any pending leak, then compare states.
+        eager.integrate(0, 0, params);
+        lazy.integrate(0, 0, params);
+        prop_assert_eq!(eager.state(0), lazy.state(0));
+    }
+
+    /// Stream statistics: activity is always in [0, 1] and equals
+    /// spikes / volume.
+    #[test]
+    fn stream_activity_is_consistent(
+        spikes in prop::collection::vec((0u32..20, 0u16..2, 0u16..8, 0u16..8), 0..100)
+    ) {
+        let mut stream = EventStream::new(8, 8, 2, 20);
+        for (t, c, x, y) in spikes {
+            stream.push(Event::update(t, c, x, y)).unwrap();
+        }
+        let activity = stream.activity();
+        prop_assert!((0.0..=1.0).contains(&activity));
+        let volume = 8.0 * 8.0 * 2.0 * 20.0;
+        prop_assert!((activity - stream.spike_count() as f64 / volume).abs() < 1e-12);
+        let stats = stream.stats();
+        prop_assert_eq!(stats.total_spikes, stream.spike_count());
+    }
+
+    /// Engine invariant: cycles and synaptic operations grow monotonically
+    /// with the number of input events, and the SOP count never exceeds
+    /// events × receptive field × output channels.
+    #[test]
+    fn engine_cycles_scale_with_events(event_count in 1usize..40) {
+        let mapping = LayerMapping::conv(
+            MapShape::new(1, 6, 6),
+            2,
+            3,
+            vec![1i8; 18],
+            LifHardwareParams { leak: 0, threshold: 50 },
+        ).unwrap();
+        let mut stream = EventStream::new(6, 6, 1, 50);
+        for i in 0..event_count {
+            stream.push(Event::update((i % 50) as u32, 0, (i % 6) as u16, ((i / 6) % 6) as u16)).unwrap();
+        }
+        let mut engine = Engine::new(SneConfig { num_slices: 1, clusters_per_slice: 2, neurons_per_cluster: 64, ..SneConfig::default() });
+        let result = engine.run_layer(&mapping, &stream).unwrap();
+        prop_assert_eq!(result.stats.input_events as usize, event_count);
+        prop_assert!(result.stats.update_cycles as usize == event_count * 48);
+        prop_assert!(result.stats.synaptic_ops <= (event_count * 9 * 2) as u64);
+        prop_assert!(result.stats.synaptic_ops >= (event_count * 4 * 2) as u64);
+    }
+}
