@@ -2,8 +2,8 @@
 //! gating, broadcast crossbar).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use sne_bench::{benchmark_network, workload};
 use sne::SneAccelerator;
+use sne_bench::{benchmark_network, workload};
 use sne_sim::SneConfig;
 
 fn ablations(c: &mut Criterion) {
@@ -12,9 +12,27 @@ fn ablations(c: &mut Criterion) {
     let base = SneConfig::with_slices(8);
     let variants: [(&str, SneConfig); 4] = [
         ("baseline", base),
-        ("no_tlu", SneConfig { tlu_enabled: false, ..base }),
-        ("no_clock_gating", SneConfig { clock_gating: false, ..base }),
-        ("no_broadcast", SneConfig { broadcast: false, ..base }),
+        (
+            "no_tlu",
+            SneConfig {
+                tlu_enabled: false,
+                ..base
+            },
+        ),
+        (
+            "no_clock_gating",
+            SneConfig {
+                clock_gating: false,
+                ..base
+            },
+        ),
+        (
+            "no_broadcast",
+            SneConfig {
+                broadcast: false,
+                ..base
+            },
+        ),
     ];
     let mut group = c.benchmark_group("ablations");
     group.sample_size(15);
@@ -22,7 +40,9 @@ fn ablations(c: &mut Criterion) {
         group.bench_function(label, |b| {
             let mut accelerator = SneAccelerator::new(config);
             b.iter(|| {
-                let result = accelerator.run(black_box(&network), black_box(&stream)).unwrap();
+                let result = accelerator
+                    .run(black_box(&network), black_box(&stream))
+                    .unwrap();
                 black_box((result.stats.total_cycles, result.stats.fire_cycles))
             });
         });

@@ -2,8 +2,8 @@
 //! sweep (one full layer run per iteration).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use sne_bench::{benchmark_network, workload, SLICE_SWEEP};
 use sne::SneAccelerator;
+use sne_bench::{benchmark_network, workload, SLICE_SWEEP};
 use sne_sim::SneConfig;
 
 fn engine_throughput(c: &mut Criterion) {
@@ -15,7 +15,9 @@ fn engine_throughput(c: &mut Criterion) {
         group.bench_function(format!("{slices}_slices"), |b| {
             let mut accelerator = SneAccelerator::new(SneConfig::with_slices(slices));
             b.iter(|| {
-                let result = accelerator.run(black_box(&network), black_box(&stream)).unwrap();
+                let result = accelerator
+                    .run(black_box(&network), black_box(&stream))
+                    .unwrap();
                 black_box(result.stats.total_cycles)
             });
         });

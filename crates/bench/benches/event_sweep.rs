@@ -2,8 +2,8 @@
 //! energy-proportionality sweep).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use sne_bench::{benchmark_network, workload};
 use sne::SneAccelerator;
+use sne_bench::{benchmark_network, workload};
 use sne_sim::SneConfig;
 
 fn event_sweep(c: &mut Criterion) {
@@ -18,7 +18,9 @@ fn event_sweep(c: &mut Criterion) {
             |b, stream| {
                 let mut accelerator = SneAccelerator::new(SneConfig::with_slices(8));
                 b.iter(|| {
-                    let result = accelerator.run(black_box(&network), black_box(stream)).unwrap();
+                    let result = accelerator
+                        .run(black_box(&network), black_box(stream))
+                        .unwrap();
                     black_box(result.energy.energy_uj)
                 });
             },

@@ -1,8 +1,8 @@
 //! Ablation report: effect of the SNE design choices (TLU skip, clock
 //! gating, crossbar broadcast) on cycles and power.
 
-use sne_bench::{benchmark_network, workload};
 use sne::SneAccelerator;
+use sne_bench::{benchmark_network, workload};
 use sne_energy::PowerModel;
 use sne_sim::SneConfig;
 
@@ -10,7 +10,9 @@ fn run(label: &str, config: SneConfig) {
     let network = benchmark_network(16, 8, 11, 5);
     let mut accelerator = SneAccelerator::new(config);
     let stream = workload(16, 100, 0.02, 31);
-    let result = accelerator.run(&network, &stream).expect("ablation run succeeds");
+    let result = accelerator
+        .run(&network, &stream)
+        .expect("ablation run succeeds");
     let power = PowerModel::default().average_power_mw(&config, &result.stats);
     println!(
         "{label:<28} | cycles {:>10} | fire cycles {:>8} | utilization {:>5.1}% | xbar transfers {:>8} | {:6.2} mW | {:8.2} uJ",
@@ -28,10 +30,34 @@ fn main() {
     println!();
     let base = SneConfig::with_slices(8);
     run("baseline (all features)", base);
-    run("no TLU skip", SneConfig { tlu_enabled: false, ..base });
-    run("no clock gating", SneConfig { clock_gating: false, ..base });
-    run("no broadcast xbar", SneConfig { broadcast: false, ..base });
-    run("single-ported state memory", SneConfig { double_buffered_state: false, ..base });
+    run(
+        "no TLU skip",
+        SneConfig {
+            tlu_enabled: false,
+            ..base
+        },
+    );
+    run(
+        "no clock gating",
+        SneConfig {
+            clock_gating: false,
+            ..base
+        },
+    );
+    run(
+        "no broadcast xbar",
+        SneConfig {
+            broadcast: false,
+            ..base
+        },
+    );
+    run(
+        "single-ported state memory",
+        SneConfig {
+            double_buffered_state: false,
+            ..base
+        },
+    );
     println!();
     println!("Interpretation: the TLU reduces FIRE_OP scan cycles on sparse inputs,");
     println!("clock gating lowers the active cluster fraction (and therefore power),");

@@ -2,13 +2,15 @@
 //! rate and energy per inference at the 1.2 % and 4.9 % activity extremes
 //! measured on IBM DVS-Gesture.
 
-use sne_bench::{fig6_network, workload, DVS_GESTURE_ACTIVITY_RANGE};
 use sne::SneAccelerator;
+use sne_bench::{fig6_network, workload, DVS_GESTURE_ACTIVITY_RANGE};
 use sne_sim::SneConfig;
 
 fn main() {
     println!("§IV-B — best/worst case inference time, rate and energy (8 slices)");
-    println!("paper reference: 7.1 ms / 23.12 ms, 141 / 43 inf/s, 80 / 261 uJ at 1.2% / 4.9% activity");
+    println!(
+        "paper reference: 7.1 ms / 23.12 ms, 141 / 43 inf/s, 80 / 261 uJ at 1.2% / 4.9% activity"
+    );
     println!();
 
     // Reduced-resolution Fig. 6 network: the absolute times differ from the
@@ -21,7 +23,9 @@ fn main() {
     let mut rows = Vec::new();
     for (label, activity) in [("best case (1.2%)", best), ("worst case (4.9%)", worst)] {
         let stream = workload(32, 100, activity, 17);
-        let result = accelerator.run(&network, &stream).expect("inference succeeds");
+        let result = accelerator
+            .run(&network, &stream)
+            .expect("inference succeeds");
         println!(
             "{label:<18} | events {:>7} | {:8.3} ms | {:7.1} inf/s | {:8.2} uJ | {:.3} pJ/SOP",
             result.input_events(),

@@ -8,7 +8,11 @@ use sne_energy::dse::{format_design_point, SweepSpace};
 fn main() {
     let space = SweepSpace::default();
     let mut points = space.evaluate();
-    points.sort_by(|a, b| a.area_kge.partial_cmp(&b.area_kge).unwrap_or(std::cmp::Ordering::Equal));
+    points.sort_by(|a, b| {
+        a.area_kge
+            .partial_cmp(&b.area_kge)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     println!("Design-space exploration ({} configurations)", points.len());
     println!();
@@ -18,7 +22,11 @@ fn main() {
     }
 
     let mut front = space.pareto_front();
-    front.sort_by(|a, b| a.area_kge.partial_cmp(&b.area_kge).unwrap_or(std::cmp::Ordering::Equal));
+    front.sort_by(|a, b| {
+        a.area_kge
+            .partial_cmp(&b.area_kge)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     println!();
     println!("Pareto front (max GSOP/s, min area):");
     for point in &front {
@@ -26,7 +34,9 @@ fn main() {
     }
     println!();
     println!("The published 8-slice, 16-cluster, 64-neuron instance sits on the front:");
-    let paper = points.iter().find(|p| p.slices == 8 && p.clusters_per_slice == 16 && p.neurons_per_cluster == 64);
+    let paper = points
+        .iter()
+        .find(|p| p.slices == 8 && p.clusters_per_slice == 16 && p.neurons_per_cluster == 64);
     if let Some(point) = paper {
         println!("  {}", format_design_point(point));
     }

@@ -2,8 +2,8 @@
 //! time-multiplexed execution through external memory versus pipelined
 //! layer-per-slice execution through the C-XBAR.
 
-use sne_bench::{benchmark_network, workload};
 use sne::SneAccelerator;
+use sne_bench::{benchmark_network, workload};
 use sne_sim::SneConfig;
 
 fn main() {
@@ -13,8 +13,12 @@ fn main() {
     let stream = workload(16, 100, 0.02, 41);
     let mut accelerator = SneAccelerator::new(SneConfig::with_slices(8));
 
-    let tm = accelerator.run(&network, &stream).expect("time-multiplexed run succeeds");
-    let pipelined = accelerator.run_pipelined(&network, &stream).expect("pipelined run succeeds");
+    let tm = accelerator
+        .run(&network, &stream)
+        .expect("time-multiplexed run succeeds");
+    let pipelined = accelerator
+        .run_pipelined(&network, &stream)
+        .expect("pipelined run succeeds");
 
     for (label, result) in [("time-multiplexed", &tm), ("pipelined", &pipelined)] {
         println!(

@@ -31,26 +31,40 @@ struct DatasetOutcome {
 fn run_dataset<D: EventDataset>(name: &str, dataset: &D, topology: &Topology) -> DatasetOutcome {
     let train_range = 0..40u64;
     let test_range = 40..60u64;
-    let config = TrainConfig { epochs: 3, batch_size: 8, learning_rate: 0.08, ..TrainConfig::default() };
+    let config = TrainConfig {
+        epochs: 3,
+        batch_size: 8,
+        learning_rate: 0.08,
+        ..TrainConfig::default()
+    };
     let outcome = train(topology, dataset, train_range, &config).expect("training succeeds");
 
     // SRM baseline accuracy (functional model).
     let mut srm = to_srm_network(&outcome.network).expect("SRM conversion succeeds");
-    let srm_eval = evaluate(&mut srm, dataset, test_range.clone()).expect("SRM evaluation succeeds");
+    let srm_eval =
+        evaluate(&mut srm, dataset, test_range.clone()).expect("SRM evaluation succeeds");
 
     // Quantized SNE-LIF-4b accuracy, measured on the cycle-accurate engine.
-    let compiled = CompiledNetwork::from_rate_network(&outcome.network).expect("compilation succeeds");
+    let compiled =
+        CompiledNetwork::from_rate_network(&outcome.network).expect("compilation succeeds");
     let mut accelerator = SneAccelerator::new(SneConfig::with_slices(8));
     let mut results = Vec::new();
     let mut correct = Vec::new();
     for index in test_range {
         let sample = dataset.sample(index);
-        let result = accelerator.run(&compiled, &sample.stream).expect("inference succeeds");
+        let result = accelerator
+            .run(&compiled, &sample.stream)
+            .expect("inference succeeds");
         correct.push(result.predicted_class == sample.label);
         results.push(result);
     }
     let report = DatasetReport::from_results(name, &results, &correct);
-    DatasetOutcome { name: name.to_owned(), srm_accuracy: srm_eval.accuracy(), lif_accuracy: report.accuracy, report }
+    DatasetOutcome {
+        name: name.to_owned(),
+        srm_accuracy: srm_eval.accuracy(),
+        lif_accuracy: report.accuracy,
+        report,
+    }
 }
 
 fn main() {

@@ -28,8 +28,17 @@ pub const DVS_GESTURE_ACTIVITY_RANGE: (f64, f64) = (0.012, 0.049);
 /// Panics if the topology cannot be compiled (it always can for the
 /// resolutions used by the benches).
 #[must_use]
-pub fn benchmark_network(resolution: u16, hidden_channels: u16, classes: u16, seed: u64) -> CompiledNetwork {
-    let topology = Topology::tiny(Shape::new(2, resolution, resolution), hidden_channels, classes);
+pub fn benchmark_network(
+    resolution: u16,
+    hidden_channels: u16,
+    classes: u16,
+    seed: u64,
+) -> CompiledNetwork {
+    let topology = Topology::tiny(
+        Shape::new(2, resolution, resolution),
+        hidden_channels,
+        classes,
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     CompiledNetwork::random(&topology, &mut rng).expect("benchmark topology compiles")
 }
@@ -51,7 +60,12 @@ pub fn fig6_network(resolution: u16, classes: u16, seed: u64) -> CompiledNetwork
 /// activity for a square two-polarity input.
 #[must_use]
 pub fn workload(resolution: u16, timesteps: u32, activity: f64, seed: u64) -> EventStream {
-    sne::proportionality::stream_with_activity((2, resolution, resolution), timesteps, activity, seed)
+    sne::proportionality::stream_with_activity(
+        (2, resolution, resolution),
+        timesteps,
+        activity,
+        seed,
+    )
 }
 
 /// The worst-case power-benchmark layer of §IV-A.2: every input event causes
@@ -68,8 +82,16 @@ pub fn full_activity_mapping(config: &SneConfig) -> sne_sim::LayerMapping {
     let outputs = config.total_neurons().min(usize::from(u16::MAX)) as u16;
     let input = MapShape::new(1, 1, 16);
     let weights = vec![1i8; usize::from(outputs) * input.len()];
-    sne_sim::LayerMapping::dense(input, outputs, weights, LifHardwareParams { leak: 0, threshold: 100 })
-        .expect("full-activity mapping is valid")
+    sne_sim::LayerMapping::dense(
+        input,
+        outputs,
+        weights,
+        LifHardwareParams {
+            leak: 0,
+            threshold: 100,
+        },
+    )
+    .expect("full-activity mapping is valid")
 }
 
 /// Input stream for the power benchmark: events spread over 100 timesteps
@@ -88,7 +110,10 @@ pub fn full_activity_stream(events_per_timestep: usize) -> EventStream {
 /// Convenience: one accelerator per slice count of the sweep.
 #[must_use]
 pub fn accelerator_sweep() -> Vec<(usize, SneAccelerator)> {
-    SLICE_SWEEP.iter().map(|&s| (s, SneAccelerator::new(SneConfig::with_slices(s)))).collect()
+    SLICE_SWEEP
+        .iter()
+        .map(|&s| (s, SneAccelerator::new(SneConfig::with_slices(s))))
+        .collect()
 }
 
 #[cfg(test)]

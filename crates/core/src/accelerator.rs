@@ -50,7 +50,11 @@ impl SneAccelerator {
     ///
     /// Returns [`SneError::GeometryMismatch`] if the stream does not match
     /// the network input, and propagates simulator errors.
-    pub fn run(&mut self, network: &CompiledNetwork, input: &EventStream) -> Result<InferenceResult, SneError> {
+    pub fn run(
+        &mut self,
+        network: &CompiledNetwork,
+        input: &EventStream,
+    ) -> Result<InferenceResult, SneError> {
         let g = input.geometry();
         let expected = network.input_shape();
         if (g.channels, g.height, g.width) != expected {
@@ -74,7 +78,10 @@ impl SneAccelerator {
                 Stage::Pool { window, .. } => {
                     stream = stream.downscale(*window);
                 }
-                Stage::Accelerated { mapping, description } => {
+                Stage::Accelerated {
+                    mapping,
+                    description,
+                } => {
                     let input_events = stream.spike_count() as u64;
                     let run = self.engine.run_layer(mapping, &stream)?;
                     let output_events = run.output.spike_count() as u64;
@@ -190,7 +197,10 @@ impl SneAccelerator {
                 Stage::Pool { window, .. } => {
                     stream = stream.downscale(*window);
                 }
-                Stage::Accelerated { mapping, description } => {
+                Stage::Accelerated {
+                    mapping,
+                    description,
+                } => {
                     let slices = base_share + usize::from(layer_index < remainder);
                     let available = slices * config.neurons_per_slice();
                     if mapping.total_output_neurons() > available {
@@ -200,7 +210,10 @@ impl SneAccelerator {
                             available_neurons: available,
                         });
                     }
-                    let mut engine = Engine::new(SneConfig { num_slices: slices, ..config });
+                    let mut engine = Engine::new(SneConfig {
+                        num_slices: slices,
+                        ..config
+                    });
                     let input_events = stream.spike_count() as u64;
                     let run = engine.run_layer(mapping, &stream)?;
                     let output_events = run.output.spike_count() as u64;
@@ -283,7 +296,14 @@ mod tests {
         let mut stream = EventStream::new(8, 8, 2, 16);
         for t in 0..16 {
             for i in 0..spikes_per_timestep {
-                stream.push(Event::update(t, (i % 2) as u16, (i % 8) as u16, ((i * 3) % 8) as u16)).unwrap();
+                stream
+                    .push(Event::update(
+                        t,
+                        (i % 2) as u16,
+                        (i % 8) as u16,
+                        ((i * 3) % 8) as u16,
+                    ))
+                    .unwrap();
             }
         }
         stream
@@ -370,11 +390,9 @@ mod tests {
         // The Fig. 6 network at 32x32 has a 32*32*32 = 32768-neuron conv
         // layer, which cannot fit the 4096 neurons of its 4-slice allocation.
         let mut rng = StdRng::seed_from_u64(2);
-        let network = CompiledNetwork::random(
-            &Topology::paper_fig6(Shape::new(2, 32, 32), 11),
-            &mut rng,
-        )
-        .unwrap();
+        let network =
+            CompiledNetwork::random(&Topology::paper_fig6(Shape::new(2, 32, 32), 11), &mut rng)
+                .unwrap();
         let stream = EventStream::new(32, 32, 2, 4);
         let mut accelerator = SneAccelerator::new(SneConfig::with_slices(8));
         assert!(matches!(

@@ -77,7 +77,13 @@ impl CompiledNetwork {
         let mut classes = input.channels;
         for layer in rate.layers() {
             match layer {
-                RateLayer::Conv { in_shape, out_channels, kernel, weights, .. } => {
+                RateLayer::Conv {
+                    in_shape,
+                    out_channels,
+                    kernel,
+                    weights,
+                    ..
+                } => {
                     let q = QuantizedWeights::from_floats(weights);
                     let params = LifHardwareParams {
                         leak: 0,
@@ -101,9 +107,17 @@ impl CompiledNetwork {
                     classes = *out_channels;
                 }
                 RateLayer::Pool { in_shape, window } => {
-                    stages.push(Stage::Pool { window: *window, input: in_shape.as_tuple() });
+                    stages.push(Stage::Pool {
+                        window: *window,
+                        input: in_shape.as_tuple(),
+                    });
                 }
-                RateLayer::Dense { in_shape, outputs, weights, .. } => {
+                RateLayer::Dense {
+                    in_shape,
+                    outputs,
+                    weights,
+                    ..
+                } => {
                     let q = QuantizedWeights::from_floats(weights);
                     let params = LifHardwareParams {
                         leak: 0,
@@ -127,7 +141,12 @@ impl CompiledNetwork {
         if stages.iter().all(|s| s.mapping().is_none()) {
             return Err(SneError::EmptyNetwork);
         }
-        Ok(Self { input_shape: input.as_tuple(), output_classes: classes, stages, scales })
+        Ok(Self {
+            input_shape: input.as_tuple(),
+            output_classes: classes,
+            stages,
+            scales,
+        })
     }
 
     /// Compiles a topology with random integer weights on the 4-bit grid —
@@ -144,13 +163,19 @@ impl CompiledNetwork {
         let mut classes = topology.input.channels;
         for (spec, in_shape) in topology.stages.iter().zip(shapes.iter()) {
             match *spec {
-                StageSpec::Conv { out_channels, kernel } => {
+                StageSpec::Conv {
+                    out_channels,
+                    kernel,
+                } => {
                     let count = usize::from(out_channels)
                         * usize::from(in_shape.channels)
                         * usize::from(kernel)
                         * usize::from(kernel);
                     let weights: Vec<i8> = (0..count).map(|_| rng.gen_range(-2i8..=4)).collect();
-                    let params = LifHardwareParams { leak: 1, threshold: 8 };
+                    let params = LifHardwareParams {
+                        leak: 1,
+                        threshold: 8,
+                    };
                     let mapping = LayerMapping::conv(
                         map_shape(*in_shape),
                         out_channels,
@@ -169,12 +194,18 @@ impl CompiledNetwork {
                     classes = out_channels;
                 }
                 StageSpec::Pool { window } => {
-                    stages.push(Stage::Pool { window, input: in_shape.as_tuple() });
+                    stages.push(Stage::Pool {
+                        window,
+                        input: in_shape.as_tuple(),
+                    });
                 }
                 StageSpec::Dense { outputs } => {
                     let count = usize::from(outputs) * in_shape.len();
                     let weights: Vec<i8> = (0..count).map(|_| rng.gen_range(-2i8..=4)).collect();
-                    let params = LifHardwareParams { leak: 1, threshold: 8 };
+                    let params = LifHardwareParams {
+                        leak: 1,
+                        threshold: 8,
+                    };
                     let mapping =
                         LayerMapping::dense(map_shape(*in_shape), outputs, weights, params)?;
                     stages.push(Stage::Accelerated {
@@ -189,7 +220,12 @@ impl CompiledNetwork {
         if stages.iter().all(|s| s.mapping().is_none()) {
             return Err(SneError::EmptyNetwork);
         }
-        Ok(Self { input_shape: topology.input.as_tuple(), output_classes: classes, stages, scales })
+        Ok(Self {
+            input_shape: topology.input.as_tuple(),
+            output_classes: classes,
+            stages,
+            scales,
+        })
     }
 
     /// Input shape expected by the network, `(channels, height, width)`.
@@ -225,7 +261,11 @@ impl CompiledNetwork {
     /// Total number of neurons mapped onto the accelerator.
     #[must_use]
     pub fn total_neurons(&self) -> usize {
-        self.stages.iter().filter_map(Stage::mapping).map(LayerMapping::total_output_neurons).sum()
+        self.stages
+            .iter()
+            .filter_map(Stage::mapping)
+            .map(LayerMapping::total_output_neurons)
+            .sum()
     }
 
     /// Rebuilds the equivalent golden-model spiking network (quantized LIF
@@ -248,7 +288,13 @@ impl CompiledNetwork {
                     network.push(PoolLayer::new(shape, *window).map_err(SneError::from)?)?;
                 }
                 Stage::Accelerated { mapping, .. } => match mapping {
-                    LayerMapping::Conv { input, out_channels, kernel, weights, params } => {
+                    LayerMapping::Conv {
+                        input,
+                        out_channels,
+                        kernel,
+                        weights,
+                        params,
+                    } => {
                         let shape = Shape::new(input.channels, input.height, input.width);
                         let config = NeuronConfig::Lif(LifParams {
                             leak: params.leak,
@@ -262,7 +308,12 @@ impl CompiledNetwork {
                             .map_err(SneError::from)?;
                         network.push(layer)?;
                     }
-                    LayerMapping::Dense { input, outputs, weights, params } => {
+                    LayerMapping::Dense {
+                        input,
+                        outputs,
+                        weights,
+                        params,
+                    } => {
                         let shape = Shape::new(input.channels, input.height, input.width);
                         let config = NeuronConfig::Lif(LifParams {
                             leak: params.leak,
@@ -288,7 +339,9 @@ fn map_shape(shape: Shape) -> MapShape {
 }
 
 fn threshold_from_scale(scale: f32) -> i16 {
-    (1.0 / scale.max(f32::MIN_POSITIVE)).round().clamp(1.0, 127.0) as i16
+    (1.0 / scale.max(f32::MIN_POSITIVE))
+        .round()
+        .clamp(1.0, 127.0) as i16
 }
 
 #[cfg(test)]

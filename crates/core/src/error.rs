@@ -104,7 +104,10 @@ mod tests {
     fn display_is_nonempty() {
         let errors = [
             SneError::Model(ModelError::EmptyNetwork),
-            SneError::GeometryMismatch { expected: (2, 32, 32), found: (2, 16, 16) },
+            SneError::GeometryMismatch {
+                expected: (2, 32, 32),
+                found: (2, 16, 16),
+            },
             SneError::EmptyNetwork,
         ];
         for e in errors {

@@ -72,8 +72,12 @@ pub fn activity_sweep(
 ) -> Result<Vec<ProportionalityPoint>, SneError> {
     let mut points = Vec::with_capacity(activities.len());
     for (i, &activity) in activities.iter().enumerate() {
-        let stream =
-            stream_with_activity(network.input_shape(), timesteps, activity, seed ^ (i as u64) << 16);
+        let stream = stream_with_activity(
+            network.input_shape(),
+            timesteps,
+            activity,
+            seed ^ (i as u64) << 16,
+        );
         let events = stream.spike_count() as u64;
         let result = accelerator.run(network, &stream)?;
         points.push(ProportionalityPoint {
@@ -137,7 +141,10 @@ mod tests {
     fn stream_activity_tracks_the_request() {
         let stream = stream_with_activity((2, 16, 16), 40, 0.05, 9);
         let measured = stream.activity();
-        assert!((measured - 0.05).abs() < 0.02, "measured activity {measured}");
+        assert!(
+            (measured - 0.05).abs() < 0.02,
+            "measured activity {measured}"
+        );
     }
 
     #[test]

@@ -34,7 +34,11 @@ impl DatasetReport {
     /// Panics if `results` and `correct` have different lengths.
     #[must_use]
     pub fn from_results(dataset: &str, results: &[InferenceResult], correct: &[bool]) -> Self {
-        assert_eq!(results.len(), correct.len(), "one correctness flag per result");
+        assert_eq!(
+            results.len(),
+            correct.len(),
+            "one correctness flag per result"
+        );
         let samples = results.len();
         let accuracy = if samples == 0 {
             0.0
@@ -65,7 +69,11 @@ impl DatasetReport {
             max_energy_uj: max_energy,
             min_rate,
             max_rate,
-            mean_activity: if samples == 0 { 0.0 } else { activity / samples as f64 },
+            mean_activity: if samples == 0 {
+                0.0
+            } else {
+                activity / samples as f64
+            },
         }
     }
 
@@ -97,7 +105,10 @@ mod tests {
             output_spike_counts: vec![1],
             stats: CycleStats::default(),
             layers: Vec::new(),
-            energy: EnergyReport { energy_uj, ..EnergyReport::default() },
+            energy: EnergyReport {
+                energy_uj,
+                ..EnergyReport::default()
+            },
             inference_time_ms: 1.0,
             inference_rate: rate,
             mean_activity: activity,

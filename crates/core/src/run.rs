@@ -72,7 +72,10 @@ mod tests {
                 output_events: 7,
                 output_activity: 0.01,
             }],
-            energy: EnergyReport { energy_uj: 80.0, ..EnergyReport::default() },
+            energy: EnergyReport {
+                energy_uj: 80.0,
+                ..EnergyReport::default()
+            },
             inference_time_ms: 7.1,
             inference_rate: 140.8,
             mean_activity: 0.02,

@@ -141,15 +141,9 @@ fn calibration_table() -> [CalibrationPoint; 4] {
 }
 
 /// The area model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct AreaModel {
     technology: TechnologyParams,
-}
-
-impl Default for AreaModel {
-    fn default() -> Self {
-        Self { technology: TechnologyParams::default() }
-    }
 }
 
 impl AreaModel {
@@ -181,10 +175,12 @@ impl AreaModel {
         // geometry relative to the paper's 16 clusters × 64 neurons.
         let neuron_scale = (config.clusters_per_slice * config.neurons_per_cluster) as f64
             / (baseline.clusters_per_slice * baseline.neurons_per_cluster) as f64;
-        let cluster_scale =
-            config.clusters_per_slice as f64 / baseline.clusters_per_slice as f64;
+        let cluster_scale = config.clusters_per_slice as f64 / baseline.clusters_per_slice as f64;
 
-        let exact = table.iter().find(|p| p.slices == config.num_slices).map(|p| p.breakdown);
+        let exact = table
+            .iter()
+            .find(|p| p.slices == config.num_slices)
+            .map(|p| p.breakdown);
         let mut breakdown = exact.unwrap_or_else(|| self.interpolate(config.num_slices));
         // Streamer area scales with the number of streamers (2 in the paper).
         breakdown.streamers *= config.num_streamers as f64 / baseline.num_streamers as f64;
@@ -245,12 +241,7 @@ mod tests {
     #[test]
     fn published_points_are_reproduced_exactly() {
         let model = AreaModel::default();
-        let expected_totals = [
-            (1usize, 249.7),
-            (2, 454.7),
-            (4, 862.5),
-            (8, 1680.7),
-        ];
+        let expected_totals = [(1usize, 249.7), (2, 454.7), (4, 862.5), (8, 1680.7)];
         for (slices, total) in expected_totals {
             let b = model.breakdown(&SneConfig::with_slices(slices));
             assert!(
@@ -300,14 +291,20 @@ mod tests {
     fn neuron_area_matches_table_ii() {
         let model = AreaModel::default();
         let area = model.neuron_area_um2(&SneConfig::with_slices(8));
-        assert!((area - 19.9).abs() < 0.5, "neuron area {area} should be close to 19.9 um2");
+        assert!(
+            (area - 19.9).abs() < 0.5,
+            "neuron area {area} should be close to 19.9 um2"
+        );
     }
 
     #[test]
     fn doubling_neurons_scales_memory() {
         let model = AreaModel::default();
         let base = model.breakdown(&SneConfig::with_slices(8));
-        let big = model.breakdown(&SneConfig { neurons_per_cluster: 128, ..SneConfig::with_slices(8) });
+        let big = model.breakdown(&SneConfig {
+            neurons_per_cluster: 128,
+            ..SneConfig::with_slices(8)
+        });
         assert!((big.memory / base.memory - 2.0).abs() < 1e-9);
         assert_eq!(big.clusters, base.clusters);
     }
@@ -319,6 +316,9 @@ mod tests {
         let mm2 = model.total_mm2(&config);
         let kge = model.total_kge(&config);
         assert!((mm2 - model.technology().kge_to_mm2(kge)).abs() < 1e-12);
-        assert!(mm2 > 0.1 && mm2 < 1.0, "8-slice SNE should be a fraction of a mm2, got {mm2}");
+        assert!(
+            mm2 > 0.1 && mm2 < 1.0,
+            "8-slice SNE should be a fraction of a mm2, got {mm2}"
+        );
     }
 }

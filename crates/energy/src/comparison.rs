@@ -263,7 +263,8 @@ mod tests {
 
     #[test]
     fn efficiency_improvement_is_about_3_55x() {
-        let improvement = efficiency_improvement_over(&SneConfig::with_slices(8), "Tianjic").unwrap();
+        let improvement =
+            efficiency_improvement_over(&SneConfig::with_slices(8), "Tianjic").unwrap();
         assert!(
             (improvement - 3.55).abs() < 0.05,
             "improvement over Tianjic should be ~3.55x, got {improvement}"

@@ -45,7 +45,10 @@ impl EnergyModel {
     /// Creates the energy model from an explicit power model.
     #[must_use]
     pub fn with_power_model(power: PowerModel) -> Self {
-        Self { power, performance: PerformanceModel::new() }
+        Self {
+            power,
+            performance: PerformanceModel::new(),
+        }
     }
 
     /// The underlying power model.
@@ -80,8 +83,11 @@ impl EnergyModel {
         } else {
             energy_uj * 1e6 / stats.synaptic_ops as f64
         };
-        let efficiency_tsops_w =
-            if energy_per_sop_pj > 0.0 { 1.0 / energy_per_sop_pj } else { 0.0 };
+        let efficiency_tsops_w = if energy_per_sop_pj > 0.0 {
+            1.0 / energy_per_sop_pj
+        } else {
+            0.0
+        };
         EnergyReport {
             average_power_mw,
             duration_ms,
@@ -112,7 +118,10 @@ mod tests {
         let config = SneConfig::with_slices(8);
         assert!((model.nominal_energy_per_sop_pj(&config) - 0.221).abs() < 1e-9);
         let eff = model.nominal_efficiency_tsops_w(&config);
-        assert!((eff - 4.52).abs() < 0.05, "efficiency {eff} should be ~4.5 TSOP/s/W");
+        assert!(
+            (eff - 4.52).abs() < 0.05,
+            "efficiency {eff} should be ~4.5 TSOP/s/W"
+        );
     }
 
     #[test]
@@ -164,8 +173,14 @@ mod tests {
         // Paper: 7.1 ms best case -> 80 µJ, 23.12 ms worst case -> 261 µJ.
         let best = model.inference_energy_uj(&config, 7.1);
         let worst = model.inference_energy_uj(&config, 23.12);
-        assert!((best - 80.0).abs() < 2.0, "best-case energy {best} should be ~80 uJ");
-        assert!((worst - 261.0).abs() < 4.0, "worst-case energy {worst} should be ~261 uJ");
+        assert!(
+            (best - 80.0).abs() < 2.0,
+            "best-case energy {best} should be ~80 uJ"
+        );
+        assert!(
+            (worst - 261.0).abs() < 4.0,
+            "worst-case energy {worst} should be ~261 uJ"
+        );
     }
 
     #[test]

@@ -86,9 +86,17 @@ mod tests {
         let model = PerformanceModel::new();
         let config = SneConfig::with_slices(8);
         // Fully-active run: 128 SOPs per cycle.
-        let stats = CycleStats { total_cycles: 1_000, synaptic_ops: 128_000, ..CycleStats::default() };
+        let stats = CycleStats {
+            total_cycles: 1_000,
+            synaptic_ops: 128_000,
+            ..CycleStats::default()
+        };
         assert!((model.utilization(&config, &stats) - 1.0).abs() < 1e-9);
-        let half = CycleStats { total_cycles: 1_000, synaptic_ops: 64_000, ..CycleStats::default() };
+        let half = CycleStats {
+            total_cycles: 1_000,
+            synaptic_ops: 64_000,
+            ..CycleStats::default()
+        };
         assert!((model.utilization(&config, &half) - 0.5).abs() < 1e-9);
     }
 
@@ -97,7 +105,10 @@ mod tests {
         let model = PerformanceModel::new();
         let config = SneConfig::default();
         // 7.1 ms at 400 MHz = 2.84e6 cycles -> ~141 inf/s.
-        let stats = CycleStats { total_cycles: 2_840_000, ..CycleStats::default() };
+        let stats = CycleStats {
+            total_cycles: 2_840_000,
+            ..CycleStats::default()
+        };
         let ms = model.inference_time_ms(&config, &stats);
         assert!((ms - 7.1).abs() < 0.01);
         assert!((model.inference_rate(&config, &stats) - 140.8).abs() < 1.0);

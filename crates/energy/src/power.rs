@@ -72,7 +72,11 @@ impl PowerModel {
     /// Creates a power model with explicit technology parameters.
     #[must_use]
     pub fn new(technology: TechnologyParams) -> Self {
-        Self { technology, area: AreaModel::new(technology), ..Self::default() }
+        Self {
+            technology,
+            area: AreaModel::new(technology),
+            ..Self::default()
+        }
     }
 
     /// Technology parameters in use.
@@ -84,7 +88,10 @@ impl PowerModel {
     /// Published (or interpolated) energy per SOP at full activity, in pJ.
     #[must_use]
     pub fn energy_per_sop_pj(&self, config: &SneConfig) -> f64 {
-        if let Some(&(_, e)) = ENERGY_PER_SOP_PJ.iter().find(|(s, _)| *s == config.num_slices) {
+        if let Some(&(_, e)) = ENERGY_PER_SOP_PJ
+            .iter()
+            .find(|(s, _)| *s == config.num_slices)
+        {
             return e;
         }
         // Fixed-plus-amortized model: E(s) = E_inf + K / s, fitted on the
@@ -157,14 +164,19 @@ mod tests {
     fn eight_slice_peak_power_matches_table_ii() {
         let model = PowerModel::default();
         let power = model.peak_total_mw(&SneConfig::with_slices(8));
-        assert!((power - 11.29).abs() < 0.05, "8-slice power {power} should be ~11.29 mW");
+        assert!(
+            (power - 11.29).abs() < 0.05,
+            "8-slice power {power} should be ~11.29 mW"
+        );
     }
 
     #[test]
     fn power_scales_with_slices_like_fig5a() {
         let model = PowerModel::default();
-        let powers: Vec<f64> =
-            [1, 2, 4, 8].iter().map(|&s| model.peak_total_mw(&SneConfig::with_slices(s))).collect();
+        let powers: Vec<f64> = [1, 2, 4, 8]
+            .iter()
+            .map(|&s| model.peak_total_mw(&SneConfig::with_slices(s)))
+            .collect();
         // Monotonically increasing, roughly ×2 per doubling.
         assert!(powers.windows(2).all(|w| w[1] > w[0]));
         assert!((powers[3] / powers[2] - 2.0).abs() < 0.2);

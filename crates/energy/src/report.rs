@@ -64,7 +64,10 @@ pub fn format_table1_row(
 #[must_use]
 pub fn format_platform_row(record: &PlatformRecord) -> String {
     fn opt_f(v: Option<f64>, width: usize, precision: usize) -> String {
-        v.map_or_else(|| format!("{:>width$}", "-"), |x| format!("{x:>width$.precision$}"))
+        v.map_or_else(
+            || format!("{:>width$}", "-"),
+            |x| format!("{x:>width$.precision$}"),
+        )
     }
     fn opt_u(v: Option<u64>, width: usize) -> String {
         v.map_or_else(|| format!("{:>width$}", "-"), |x| format!("{x:>width$}"))
@@ -123,7 +126,8 @@ mod tests {
 
     #[test]
     fn power_row_contains_dynamic_and_leakage() {
-        let breakdown = PowerModel::default().breakdown_at_activity(&SneConfig::with_slices(4), 1.0);
+        let breakdown =
+            PowerModel::default().breakdown_at_activity(&SneConfig::with_slices(4), 1.0);
         let row = format_power_row(4, &breakdown);
         assert!(row.contains("dynamic"));
         assert!(row.contains("leakage"));

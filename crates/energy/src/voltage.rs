@@ -24,7 +24,10 @@ impl Default for VoltageScaling {
     fn default() -> Self {
         // Calibrated so that 0.221 pJ/SOP at 0.8 V becomes 0.248 pJ/SOP at 0.9 V.
         let exponent = (0.248f64 / 0.221).ln() / (0.9f64 / 0.8).ln();
-        Self { reference_voltage: 0.8, exponent }
+        Self {
+            reference_voltage: 0.8,
+            exponent,
+        }
     }
 }
 
@@ -32,7 +35,10 @@ impl VoltageScaling {
     /// Ideal quadratic CMOS dynamic-energy scaling.
     #[must_use]
     pub fn quadratic() -> Self {
-        Self { reference_voltage: 0.8, exponent: 2.0 }
+        Self {
+            reference_voltage: 0.8,
+            exponent: 2.0,
+        }
     }
 
     /// Scales an energy-per-operation value from the reference voltage to
@@ -64,9 +70,15 @@ mod tests {
     fn default_scaling_reproduces_the_paper_09v_numbers() {
         let scaling = VoltageScaling::default();
         let energy = scaling.scale_energy(0.221, 0.9);
-        assert!((energy - 0.248).abs() < 1e-3, "0.9 V energy {energy} should be ~0.248 pJ");
+        assert!(
+            (energy - 0.248).abs() < 1e-3,
+            "0.9 V energy {energy} should be ~0.248 pJ"
+        );
         let eff = scaling.scale_efficiency(4.54, 0.9);
-        assert!((eff - 4.05).abs() < 0.05, "0.9 V efficiency {eff} should be ~4.03 TSOP/s/W");
+        assert!(
+            (eff - 4.05).abs() < 0.05,
+            "0.9 V efficiency {eff} should be ~4.03 TSOP/s/W"
+        );
     }
 
     #[test]

@@ -22,13 +22,18 @@ pub const AER_MAGIC: u32 = 0x534E_4541;
 ///
 /// # Errors
 ///
-/// Returns an [`EventError`] if an event does not fit the 32-bit format, and
-/// propagates I/O errors as [`std::io::Error`] wrapped in the returned
-/// variant's message being lost — callers that need the I/O error should use
-/// [`to_aer_bytes`] and write the buffer themselves.
-pub fn write_aer<W: Write>(stream: &EventStream, format: &EventFormat, writer: &mut W) -> Result<(), EventError> {
+/// Returns an [`EventError`] if an event does not fit the 32-bit format;
+/// I/O failures are propagated as [`EventError::Io`] carrying the source
+/// error's message.
+pub fn write_aer<W: Write>(
+    stream: &EventStream,
+    format: &EventFormat,
+    writer: &mut W,
+) -> Result<(), EventError> {
     let bytes = to_aer_bytes(stream, format)?;
-    writer.write_all(&bytes).map_err(|_| EventError::EmptyGeometry)?;
+    writer
+        .write_all(&bytes)
+        .map_err(|e| EventError::Io(e.to_string()))?;
     Ok(())
 }
 
@@ -61,11 +66,16 @@ pub fn to_aer_bytes(stream: &EventStream, format: &EventFormat) -> Result<Vec<u8
 /// wrong, or a word cannot be decoded.
 pub fn from_aer_bytes(bytes: &[u8], format: &EventFormat) -> Result<EventStream, EventError> {
     if bytes.len() < 20 {
-        return Err(EventError::EmptyGeometry);
+        return Err(EventError::Malformed(format!(
+            "buffer of {} bytes is shorter than the 20-byte header",
+            bytes.len()
+        )));
     }
     let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
     if magic != AER_MAGIC {
-        return Err(EventError::UnknownOpCode((magic & 0xff) as u8));
+        return Err(EventError::Malformed(format!(
+            "bad magic 0x{magic:08x}, expected 0x{AER_MAGIC:08x}"
+        )));
     }
     let width = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
     let height = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes"));
@@ -76,7 +86,10 @@ pub fn from_aer_bytes(bytes: &[u8], format: &EventFormat) -> Result<EventStream,
     let mut stream = EventStream::with_geometry(geometry);
     let payload = &bytes[20..];
     if payload.len() < count * 4 {
-        return Err(EventError::EmptyGeometry);
+        return Err(EventError::Malformed(format!(
+            "payload truncated: header promises {count} events but only {} bytes follow",
+            payload.len()
+        )));
     }
     for i in 0..count {
         let word = u32::from_le_bytes(payload[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
@@ -90,11 +103,13 @@ pub fn from_aer_bytes(bytes: &[u8], format: &EventFormat) -> Result<EventStream,
 ///
 /// # Errors
 ///
-/// Same conditions as [`from_aer_bytes`]; I/O failures map to
-/// [`EventError::EmptyGeometry`].
+/// Same conditions as [`from_aer_bytes`]; I/O failures are propagated as
+/// [`EventError::Io`].
 pub fn read_aer<R: Read>(reader: &mut R, format: &EventFormat) -> Result<EventStream, EventError> {
     let mut bytes = Vec::new();
-    reader.read_to_end(&mut bytes).map_err(|_| EventError::EmptyGeometry)?;
+    reader
+        .read_to_end(&mut bytes)
+        .map_err(|e| EventError::Io(e.to_string()))?;
     from_aer_bytes(&bytes, format)
 }
 
@@ -103,7 +118,14 @@ pub fn read_aer<R: Read>(reader: &mut R, format: &EventFormat) -> Result<EventSt
 pub fn to_csv(stream: &EventStream) -> String {
     let mut out = String::from("op,t,ch,x,y\n");
     for e in stream.iter() {
-        out.push_str(&format!("{},{},{},{},{}\n", e.op.code(), e.t, e.ch, e.x, e.y));
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            e.op.code(),
+            e.t,
+            e.ch,
+            e.x,
+            e.y
+        ));
     }
     out
 }
@@ -125,11 +147,25 @@ pub fn from_csv(csv: &str, geometry: Geometry) -> Result<EventStream, EventError
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 5 {
-            return Err(EventError::EmptyGeometry);
+            return Err(EventError::Malformed(format!(
+                "line {}: expected 5 fields, got {}",
+                i + 1,
+                fields.len()
+            )));
         }
-        let parse = |s: &str| s.trim().parse::<u32>().map_err(|_| EventError::EmptyGeometry);
+        let parse = |s: &str| {
+            s.trim().parse::<u32>().map_err(|_| {
+                EventError::Malformed(format!("line {}: {:?} is not a number", i + 1, s.trim()))
+            })
+        };
         let op = crate::EventOp::from_code(parse(fields[0])? as u8)?;
-        let event = Event::new(op, parse(fields[1])?, parse(fields[2])? as u16, parse(fields[3])? as u16, parse(fields[4])? as u16);
+        let event = Event::new(
+            op,
+            parse(fields[1])?,
+            parse(fields[2])? as u16,
+            parse(fields[3])? as u16,
+            parse(fields[4])? as u16,
+        );
         stream.push(event)?;
     }
     Ok(stream)
@@ -143,7 +179,13 @@ mod tests {
         let mut s = EventStream::new(16, 16, 2, 32);
         s.push(Event::reset(0)).unwrap();
         for t in 0..10 {
-            s.push(Event::update(t, (t % 2) as u16, (t % 16) as u16, ((t * 3) % 16) as u16)).unwrap();
+            s.push(Event::update(
+                t,
+                (t % 2) as u16,
+                (t % 16) as u16,
+                ((t * 3) % 16) as u16,
+            ))
+            .unwrap();
             s.push(Event::fire(t)).unwrap();
         }
         s
@@ -202,6 +244,37 @@ mod tests {
         assert!(from_csv("op,t,ch,x,y\n1,notanumber,0,0,0\n", geometry).is_err());
         // Out-of-range coordinates are also rejected.
         assert!(from_csv("1,0,0,20,0\n", geometry).is_err());
+    }
+
+    #[test]
+    fn parse_and_io_failures_name_the_cause() {
+        let geometry = Geometry::new(8, 8, 1, 4).unwrap();
+        match from_csv("1,notanumber,0,0,0\n", geometry) {
+            Err(EventError::Malformed(msg)) => assert!(msg.contains("notanumber"), "{msg}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        match from_aer_bytes(&[0u8; 4], &EventFormat::default()) {
+            Err(EventError::Malformed(msg)) => assert!(msg.contains("header"), "{msg}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+
+        struct FailingWriter;
+        impl Write for FailingWriter {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        match write_aer(
+            &sample_stream(),
+            &EventFormat::default(),
+            &mut FailingWriter,
+        ) {
+            Err(EventError::Io(msg)) => assert!(msg.contains("disk full"), "{msg}"),
+            other => panic!("expected Io, got {other:?}"),
+        }
     }
 
     #[test]

@@ -62,7 +62,10 @@ impl GestureClass {
     /// Numeric label of the class.
     #[must_use]
     pub fn label(self) -> usize {
-        Self::ALL.iter().position(|&c| c == self).expect("class is in ALL")
+        Self::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("class is in ALL")
     }
 
     /// Class from its numeric label.
@@ -75,13 +78,18 @@ impl GestureClass {
     #[must_use]
     pub fn pattern(self) -> MotionPattern {
         match self {
-            GestureClass::HandClap => MotionPattern::ConvergingBlobs { period: 16.0, blob_radius: 3 },
-            GestureClass::RightHandWave => {
-                MotionPattern::TranslatingBar { speed: 1.5, width: 3 }
-            }
-            GestureClass::LeftHandWave => {
-                MotionPattern::TranslatingBar { speed: -1.5, width: 3 }
-            }
+            GestureClass::HandClap => MotionPattern::ConvergingBlobs {
+                period: 16.0,
+                blob_radius: 3,
+            },
+            GestureClass::RightHandWave => MotionPattern::TranslatingBar {
+                speed: 1.5,
+                width: 3,
+            },
+            GestureClass::LeftHandWave => MotionPattern::TranslatingBar {
+                speed: -1.5,
+                width: 3,
+            },
             GestureClass::RightArmRollCw => MotionPattern::OrbitingBlob {
                 angular_speed: 0.35,
                 radius_fraction: 0.65,
@@ -112,9 +120,10 @@ impl GestureClass {
                 amplitude_fraction: 0.5,
                 blob_radius: 4,
             },
-            GestureClass::ArmCircle => {
-                MotionPattern::PulsingRing { period: 20.0, max_radius_fraction: 0.85 }
-            }
+            GestureClass::ArmCircle => MotionPattern::PulsingRing {
+                period: 20.0,
+                max_radius_fraction: 0.85,
+            },
             GestureClass::Other => MotionPattern::RandomFlicker { rate: 0.012 },
         }
     }
@@ -160,7 +169,11 @@ impl GestureDataset {
     pub fn with_noise(resolution: u16, timesteps: u32, noise: NoiseConfig, seed: u64) -> Self {
         let geometry = Geometry::new(resolution, resolution, 2, timesteps)
             .expect("gesture dataset geometry must be non-zero");
-        Self { geometry, noise, seed }
+        Self {
+            geometry,
+            noise,
+            seed,
+        }
     }
 
     /// Generates one sample of a specific gesture class.
@@ -185,7 +198,10 @@ impl EventDataset for GestureDataset {
     fn sample(&self, index: u64) -> LabeledStream {
         let label = (index % GestureClass::ALL.len() as u64) as usize;
         let class = GestureClass::from_label(label).expect("label in range");
-        LabeledStream { stream: self.sample_class(class, index), label }
+        LabeledStream {
+            stream: self.sample_class(class, index),
+            label,
+        }
     }
 }
 
@@ -215,7 +231,10 @@ mod tests {
         for class in GestureClass::ALL {
             let stream = d.sample_class(class, 0);
             assert!(stream.spike_count() > 0, "{class:?} produced no events");
-            assert!(stream.validate_all().is_ok(), "{class:?} produced invalid events");
+            assert!(
+                stream.validate_all().is_ok(),
+                "{class:?} produced invalid events"
+            );
         }
     }
 

@@ -71,7 +71,11 @@ impl DatasetSplit {
     pub fn gesture_protocol(total: u64) -> Self {
         let train = total * 65 / 100;
         let validation = total * 10 / 100;
-        Self { train, validation, test: total - train - validation }
+        Self {
+            train,
+            validation,
+            test: total - train - validation,
+        }
     }
 
     /// Split matching the paper's NMNIST protocol: 75 % / 10 % / 15 %.
@@ -79,7 +83,11 @@ impl DatasetSplit {
     pub fn nmnist_protocol(total: u64) -> Self {
         let train = total * 75 / 100;
         let validation = total * 10 / 100;
-        Self { train, validation, test: total - train - validation }
+        Self {
+            train,
+            validation,
+            test: total - train - validation,
+        }
     }
 
     /// Total number of samples in the split.

@@ -17,16 +17,36 @@ use crate::Event;
 
 /// 5×7 bitmap font for the digits 0–9 (row-major, one string per row).
 const DIGIT_FONT: [[&str; 7]; 10] = [
-    [" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "], // 0
-    ["  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "], // 1
-    [" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"], // 2
-    [" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "], // 3
-    ["   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "], // 4
-    ["#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "], // 5
-    [" ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### "], // 6
-    ["#####", "    #", "   # ", "  #  ", " #   ", " #   ", " #   "], // 7
-    [" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "], // 8
-    [" ### ", "#   #", "#   #", " ####", "    #", "    #", " ### "], // 9
+    [
+        " ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### ",
+    ], // 0
+    [
+        "  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### ",
+    ], // 1
+    [
+        " ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####",
+    ], // 2
+    [
+        " ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### ",
+    ], // 3
+    [
+        "   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # ",
+    ], // 4
+    [
+        "#####", "#    ", "#### ", "    #", "    #", "#   #", " ### ",
+    ], // 5
+    [
+        " ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### ",
+    ], // 6
+    [
+        "#####", "    #", "   # ", "  #  ", " #   ", " #   ", " #   ",
+    ], // 7
+    [
+        " ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### ",
+    ], // 8
+    [
+        " ### ", "#   #", "#   #", " ####", "    #", "    #", " ### ",
+    ], // 9
 ];
 
 /// A digit moving along the NMNIST three-saccade trajectory.
@@ -129,7 +149,12 @@ impl NmnistDataset {
     pub fn with_noise(timesteps: u32, noise: NoiseConfig, seed: u64) -> Self {
         let geometry = Geometry::new(Self::RESOLUTION, Self::RESOLUTION, 2, timesteps)
             .expect("NMNIST geometry must be non-zero");
-        Self { geometry, noise, saccade_amplitude: 3, seed }
+        Self {
+            geometry,
+            noise,
+            saccade_amplitude: 3,
+            seed,
+        }
     }
 
     /// Generates one sample of a specific digit.
@@ -137,7 +162,10 @@ impl NmnistDataset {
     pub fn sample_digit(&self, digit: u8, index: u64) -> EventStream {
         let mut rng = sample_rng(self.seed ^ (u64::from(digit) << 40), index);
         let g = self.geometry;
-        let digit = SaccadeDigit { digit: digit.min(9), scale: 4 };
+        let digit = SaccadeDigit {
+            digit: digit.min(9),
+            scale: 4,
+        };
         // Random base placement so different samples of the same digit differ.
         let base_x = rng.gen_range(2..=6);
         let base_y = rng.gen_range(1..=4);
@@ -149,8 +177,7 @@ impl NmnistDataset {
             for y in 0..g.height {
                 for x in 0..g.width {
                     let idx = usize::from(y) * usize::from(g.width) + usize::from(x);
-                    let bright =
-                        digit.covers(i32::from(x), i32::from(y), base_x + dx, base_y + dy);
+                    let bright = digit.covers(i32::from(x), i32::from(y), base_x + dx, base_y + dy);
                     if bright != previous[idx] {
                         let ch = u16::from(!bright); // ON = 0, OFF = 1
                         stream.push_unchecked(Event::update(t, ch, x, y));
@@ -174,7 +201,10 @@ impl EventDataset for NmnistDataset {
 
     fn sample(&self, index: u64) -> LabeledStream {
         let label = (index % 10) as usize;
-        LabeledStream { stream: self.sample_digit(label as u8, index), label }
+        LabeledStream {
+            stream: self.sample_digit(label as u8, index),
+            label,
+        }
     }
 }
 
@@ -199,7 +229,11 @@ mod tests {
         let d = SaccadeDigit { digit: 0, scale: 1 };
         assert!(!d.font_pixel(5, 0));
         assert!(!d.font_pixel(0, 7));
-        assert!(!SaccadeDigit { digit: 10, scale: 1 }.font_pixel(0, 0));
+        assert!(!SaccadeDigit {
+            digit: 10,
+            scale: 1
+        }
+        .font_pixel(0, 0));
     }
 
     #[test]

@@ -84,29 +84,43 @@ impl MotionPattern {
                     0.0
                 }
             }
-            MotionPattern::OrbitingBlob { angular_speed, radius_fraction, blob_radius } => {
+            MotionPattern::OrbitingBlob {
+                angular_speed,
+                radius_fraction,
+                blob_radius,
+            } => {
                 let angle = phase * std::f64::consts::TAU + angular_speed * tf;
                 let cx = w / 2.0 + radius_fraction * (w / 2.0) * angle.cos();
                 let cy = h / 2.0 + radius_fraction * (h / 2.0) * angle.sin();
                 blob(xf, yf, cx, cy, f64::from(blob_radius))
             }
-            MotionPattern::OscillatingBlob { period, amplitude_fraction, blob_radius } => {
+            MotionPattern::OscillatingBlob {
+                period,
+                amplitude_fraction,
+                blob_radius,
+            } => {
                 let cy = h / 2.0
-                    + amplitude_fraction * (h / 2.0)
+                    + amplitude_fraction
+                        * (h / 2.0)
                         * (std::f64::consts::TAU * (tf / period + phase)).sin();
                 let cx = w / 2.0;
                 blob(xf, yf, cx, cy, f64::from(blob_radius))
             }
-            MotionPattern::ConvergingBlobs { period, blob_radius } => {
-                let sep = (w / 4.0)
-                    * (1.0 + (std::f64::consts::TAU * (tf / period + phase)).cos())
-                    / 2.0;
+            MotionPattern::ConvergingBlobs {
+                period,
+                blob_radius,
+            } => {
+                let sep =
+                    (w / 4.0) * (1.0 + (std::f64::consts::TAU * (tf / period + phase)).cos()) / 2.0;
                 let cy = h / 2.0;
                 let left = blob(xf, yf, w / 2.0 - sep - 1.0, cy, f64::from(blob_radius));
                 let right = blob(xf, yf, w / 2.0 + sep + 1.0, cy, f64::from(blob_radius));
                 left.max(right)
             }
-            MotionPattern::PulsingRing { period, max_radius_fraction } => {
+            MotionPattern::PulsingRing {
+                period,
+                max_radius_fraction,
+            } => {
                 let radius = max_radius_fraction
                     * (w.min(h) / 2.0)
                     * (0.5 + 0.5 * (std::f64::consts::TAU * (tf / period + phase)).sin());
@@ -217,10 +231,17 @@ impl PatternDataset {
         patterns: Vec<MotionPattern>,
         seed: u64,
     ) -> Self {
-        assert!(!patterns.is_empty(), "a pattern dataset needs at least one class");
+        assert!(
+            !patterns.is_empty(),
+            "a pattern dataset needs at least one class"
+        );
         let geometry = Geometry::new(width, height, channels, timesteps)
             .expect("pattern dataset geometry must be non-zero");
-        Self { geometry, patterns, seed }
+        Self {
+            geometry,
+            patterns,
+            seed,
+        }
     }
 
     /// The motion patterns (classes) of this dataset.
@@ -236,7 +257,10 @@ impl PatternDataset {
         let label = (index % self.patterns.len() as u64) as usize;
         let phase: f64 = rng.gen();
         let stream = self.patterns[label].render(self.geometry, phase, &mut rng);
-        PatternSample { labeled: LabeledStream { stream, label }, phase }
+        PatternSample {
+            labeled: LabeledStream { stream, label },
+            phase,
+        }
     }
 }
 
@@ -266,11 +290,28 @@ mod tests {
 
     fn patterns() -> Vec<MotionPattern> {
         vec![
-            MotionPattern::TranslatingBar { speed: 1.0, width: 3 },
-            MotionPattern::OrbitingBlob { angular_speed: 0.25, radius_fraction: 0.6, blob_radius: 3 },
-            MotionPattern::OscillatingBlob { period: 20.0, amplitude_fraction: 0.7, blob_radius: 3 },
-            MotionPattern::ConvergingBlobs { period: 20.0, blob_radius: 3 },
-            MotionPattern::PulsingRing { period: 20.0, max_radius_fraction: 0.8 },
+            MotionPattern::TranslatingBar {
+                speed: 1.0,
+                width: 3,
+            },
+            MotionPattern::OrbitingBlob {
+                angular_speed: 0.25,
+                radius_fraction: 0.6,
+                blob_radius: 3,
+            },
+            MotionPattern::OscillatingBlob {
+                period: 20.0,
+                amplitude_fraction: 0.7,
+                blob_radius: 3,
+            },
+            MotionPattern::ConvergingBlobs {
+                period: 20.0,
+                blob_radius: 3,
+            },
+            MotionPattern::PulsingRing {
+                period: 20.0,
+                max_radius_fraction: 0.8,
+            },
         ]
     }
 
@@ -288,8 +329,7 @@ mod tests {
     #[test]
     fn flicker_rate_controls_activity() {
         let mut rng = StdRng::seed_from_u64(11);
-        let sparse =
-            MotionPattern::RandomFlicker { rate: 0.01 }.render(geometry(), 0.0, &mut rng);
+        let sparse = MotionPattern::RandomFlicker { rate: 0.01 }.render(geometry(), 0.0, &mut rng);
         let dense = MotionPattern::RandomFlicker { rate: 0.2 }.render(geometry(), 0.0, &mut rng);
         assert!(dense.spike_count() > sparse.spike_count());
     }
@@ -327,7 +367,10 @@ mod tests {
 
     #[test]
     fn translating_bar_moves_over_time() {
-        let p = MotionPattern::TranslatingBar { speed: 1.0, width: 2 };
+        let p = MotionPattern::TranslatingBar {
+            speed: 1.0,
+            width: 2,
+        };
         let g = geometry();
         // The bar centre at phase 0 starts at x = 0 and moves right.
         assert!(p.intensity(g, 0, 0, 0, 0.0) > 0.5);

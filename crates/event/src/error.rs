@@ -52,12 +52,24 @@ pub enum EventError {
     UnknownOpCode(u8),
     /// A stream geometry parameter is zero.
     EmptyGeometry,
+    /// An underlying I/O operation failed while reading or writing AER data.
+    ///
+    /// Carries the source error's message (the enum is `Clone + Eq`, so the
+    /// non-cloneable [`std::io::Error`] itself cannot be stored).
+    Io(String),
+    /// Serialized AER data (binary container or CSV) is malformed.
+    Malformed(String),
 }
 
 impl fmt::Display for EventError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::CoordinateOutOfRange { x, y, width, height } => write!(
+            Self::CoordinateOutOfRange {
+                x,
+                y,
+                width,
+                height,
+            } => write!(
                 f,
                 "event coordinate ({x}, {y}) outside feature map {width}x{height}"
             ),
@@ -68,13 +80,21 @@ impl fmt::Display for EventError {
                 write!(f, "event timestamp {t} outside {timesteps} timesteps")
             }
             Self::FieldOverflow { field, value, bits } => {
-                write!(f, "value {value} of field `{field}` does not fit in {bits} bits")
+                write!(
+                    f,
+                    "value {value} of field `{field}` does not fit in {bits} bits"
+                )
             }
             Self::InvalidFormat { total_bits } => {
-                write!(f, "event format bit widths sum to {total_bits}, expected 32")
+                write!(
+                    f,
+                    "event format bit widths sum to {total_bits}, expected 32"
+                )
             }
             Self::UnknownOpCode(code) => write!(f, "unknown event operation code {code}"),
             Self::EmptyGeometry => write!(f, "stream geometry must be non-zero"),
+            Self::Io(message) => write!(f, "aer i/o failed: {message}"),
+            Self::Malformed(message) => write!(f, "malformed aer data: {message}"),
         }
     }
 }
@@ -88,13 +108,27 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errors = [
-            EventError::CoordinateOutOfRange { x: 40, y: 2, width: 32, height: 32 },
+            EventError::CoordinateOutOfRange {
+                x: 40,
+                y: 2,
+                width: 32,
+                height: 32,
+            },
             EventError::ChannelOutOfRange { ch: 3, channels: 2 },
-            EventError::TimestampOutOfRange { t: 200, timesteps: 100 },
-            EventError::FieldOverflow { field: "x", value: 300, bits: 8 },
+            EventError::TimestampOutOfRange {
+                t: 200,
+                timesteps: 100,
+            },
+            EventError::FieldOverflow {
+                field: "x",
+                value: 300,
+                bits: 8,
+            },
             EventError::InvalidFormat { total_bits: 30 },
             EventError::UnknownOpCode(7),
             EventError::EmptyGeometry,
+            EventError::Io("disk full".into()),
+            EventError::Malformed("line 3: expected 5 fields".into()),
         ];
         for err in errors {
             let msg = err.to_string();

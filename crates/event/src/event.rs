@@ -77,7 +77,10 @@ impl Event {
     /// Returns a copy of the event shifted in time by `delta` timesteps.
     #[must_use]
     pub fn delayed(&self, delta: u32) -> Self {
-        Self { t: self.t + delta, ..*self }
+        Self {
+            t: self.t + delta,
+            ..*self
+        }
     }
 
     /// Returns a copy of the event translated by `(dx, dy)` with saturating
@@ -92,7 +95,11 @@ impl Event {
 
 impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}@t={} ch={} ({}, {})", self.op, self.t, self.ch, self.x, self.y)
+        write!(
+            f,
+            "{}@t={} ch={} ({}, {})",
+            self.op, self.t, self.ch, self.x, self.y
+        )
     }
 }
 

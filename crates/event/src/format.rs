@@ -82,7 +82,13 @@ pub struct EventFormat {
 impl Default for EventFormat {
     fn default() -> Self {
         // 2 op + 8 time + 6 channel + 8 x + 8 y = 32 bits.
-        Self { op_bits: 2, t_bits: 8, ch_bits: 6, x_bits: 8, y_bits: 8 }
+        Self {
+            op_bits: 2,
+            t_bits: 8,
+            ch_bits: 6,
+            x_bits: 8,
+            y_bits: 8,
+        }
     }
 }
 
@@ -93,12 +99,24 @@ impl EventFormat {
     ///
     /// Returns [`EventError::InvalidFormat`] if the widths do not sum to 32
     /// bits or any width is zero.
-    pub fn new(op_bits: u8, t_bits: u8, ch_bits: u8, x_bits: u8, y_bits: u8) -> Result<Self, EventError> {
+    pub fn new(
+        op_bits: u8,
+        t_bits: u8,
+        ch_bits: u8,
+        x_bits: u8,
+        y_bits: u8,
+    ) -> Result<Self, EventError> {
         let total = op_bits + t_bits + ch_bits + x_bits + y_bits;
         if total != 32 || [op_bits, t_bits, ch_bits, x_bits, y_bits].contains(&0) {
             return Err(EventError::InvalidFormat { total_bits: total });
         }
-        Ok(Self { op_bits, t_bits, ch_bits, x_bits, y_bits })
+        Ok(Self {
+            op_bits,
+            t_bits,
+            ch_bits,
+            x_bits,
+            y_bits,
+        })
     }
 
     /// Format sized for large feature maps (fewer timestamp bits, wider
@@ -244,7 +262,10 @@ mod tests {
     #[test]
     fn default_format_uses_all_32_bits() {
         let f = EventFormat::default();
-        assert_eq!(f.op_bits() + f.t_bits() + f.ch_bits() + f.x_bits() + f.y_bits(), 32);
+        assert_eq!(
+            f.op_bits() + f.t_bits() + f.ch_bits() + f.x_bits() + f.y_bits(),
+            32
+        );
     }
 
     #[test]

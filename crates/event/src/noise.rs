@@ -25,7 +25,11 @@ pub struct NoiseConfig {
 
 impl Default for NoiseConfig {
     fn default() -> Self {
-        Self { background_rate: 1e-4, hot_pixels: 0, jitter: 0 }
+        Self {
+            background_rate: 1e-4,
+            hot_pixels: 0,
+            jitter: 0,
+        }
     }
 }
 
@@ -33,14 +37,22 @@ impl NoiseConfig {
     /// A completely clean sensor (no noise at all).
     #[must_use]
     pub fn clean() -> Self {
-        Self { background_rate: 0.0, hot_pixels: 0, jitter: 0 }
+        Self {
+            background_rate: 0.0,
+            hot_pixels: 0,
+            jitter: 0,
+        }
     }
 
     /// A noisy sensor: strong background activity, a few hot pixels and ±1
     /// timestep of jitter.
     #[must_use]
     pub fn noisy() -> Self {
-        Self { background_rate: 1e-3, hot_pixels: 3, jitter: 1 }
+        Self {
+            background_rate: 1e-3,
+            hot_pixels: 3,
+            jitter: 1,
+        }
     }
 }
 
@@ -150,7 +162,11 @@ mod tests {
     fn background_noise_adds_events() {
         let s = base_stream();
         let mut rng = StdRng::seed_from_u64(2);
-        let config = NoiseConfig { background_rate: 1e-3, hot_pixels: 0, jitter: 0 };
+        let config = NoiseConfig {
+            background_rate: 1e-3,
+            hot_pixels: 0,
+            jitter: 0,
+        };
         let noisy = apply_noise(&s, &config, &mut rng);
         assert!(noisy.spike_count() > s.spike_count());
         assert!(noisy.validate_all().is_ok());
@@ -160,7 +176,11 @@ mod tests {
     fn hot_pixels_fire_every_timestep() {
         let s = EventStream::new(16, 16, 2, 30);
         let mut rng = StdRng::seed_from_u64(3);
-        let config = NoiseConfig { background_rate: 0.0, hot_pixels: 2, jitter: 0 };
+        let config = NoiseConfig {
+            background_rate: 0.0,
+            hot_pixels: 2,
+            jitter: 0,
+        };
         let noisy = apply_noise(&s, &config, &mut rng);
         assert_eq!(noisy.spike_count(), 2 * 30);
         assert!(noisy.validate_all().is_ok());
@@ -170,7 +190,11 @@ mod tests {
     fn jitter_keeps_timestamps_in_range() {
         let s = base_stream();
         let mut rng = StdRng::seed_from_u64(4);
-        let config = NoiseConfig { background_rate: 0.0, hot_pixels: 0, jitter: 3 };
+        let config = NoiseConfig {
+            background_rate: 0.0,
+            hot_pixels: 0,
+            jitter: 3,
+        };
         let noisy = apply_noise(&s, &config, &mut rng);
         assert_eq!(noisy.spike_count(), s.spike_count());
         assert!(noisy.validate_all().is_ok());

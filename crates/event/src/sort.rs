@@ -62,7 +62,9 @@ pub fn is_valid_op_sequence(events: &[Event]) -> bool {
             EventOp::Reset => {}
         }
     }
-    last_spike_index.iter().all(|(t, &spike_i)| matches!(fire_index.get(t), Some(&fire_i) if fire_i > spike_i))
+    last_spike_index
+        .iter()
+        .all(|(t, &spike_i)| matches!(fire_index.get(t), Some(&fire_i) if fire_i > spike_i))
 }
 
 /// Splits an ordered sequence into per-timestep chunks (spikes only).
@@ -126,7 +128,11 @@ mod tests {
 
     #[test]
     fn op_sequence_validation_rejects_unordered_time() {
-        let events = vec![Event::reset(0), Event::update(2, 0, 0, 0), Event::update(1, 0, 0, 0)];
+        let events = vec![
+            Event::reset(0),
+            Event::update(2, 0, 0, 0),
+            Event::update(1, 0, 0, 0),
+        ];
         assert!(!is_valid_op_sequence(&events));
     }
 

@@ -29,7 +29,12 @@ impl Geometry {
         if width == 0 || height == 0 || channels == 0 || timesteps == 0 {
             return Err(EventError::EmptyGeometry);
         }
-        Ok(Self { width, height, channels, timesteps })
+        Ok(Self {
+            width,
+            height,
+            channels,
+            timesteps,
+        })
     }
 
     /// Number of spatial positions (`width * height`).
@@ -53,7 +58,11 @@ impl Geometry {
 
 impl fmt::Display for Geometry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}x{}x{} over {} timesteps", self.channels, self.height, self.width, self.timesteps)
+        write!(
+            f,
+            "{}x{}x{} over {} timesteps",
+            self.channels, self.height, self.width, self.timesteps
+        )
     }
 }
 
@@ -101,7 +110,10 @@ impl EventStream {
     /// Creates an empty stream from a validated geometry.
     #[must_use]
     pub fn with_geometry(geometry: Geometry) -> Self {
-        Self { geometry, events: Vec::new() }
+        Self {
+            geometry,
+            events: Vec::new(),
+        }
     }
 
     /// Geometry of the feature map this stream refers to.
@@ -154,11 +166,17 @@ impl EventStream {
     pub fn validate(&self, event: &Event) -> Result<(), EventError> {
         let g = self.geometry;
         if event.t >= g.timesteps {
-            return Err(EventError::TimestampOutOfRange { t: event.t, timesteps: g.timesteps });
+            return Err(EventError::TimestampOutOfRange {
+                t: event.t,
+                timesteps: g.timesteps,
+            });
         }
         if event.op.carries_address() {
             if event.ch >= g.channels {
-                return Err(EventError::ChannelOutOfRange { ch: event.ch, channels: g.channels });
+                return Err(EventError::ChannelOutOfRange {
+                    ch: event.ch,
+                    channels: g.channels,
+                });
             }
             if event.x >= g.width || event.y >= g.height {
                 return Err(EventError::CoordinateOutOfRange {
@@ -234,7 +252,11 @@ impl EventStream {
     /// Spikes occurring at timestep `t`, in insertion order.
     #[must_use]
     pub fn spikes_at(&self, t: u32) -> Vec<Event> {
-        self.events.iter().filter(|e| e.is_spike() && e.t == t).copied().collect()
+        self.events
+            .iter()
+            .filter(|e| e.is_spike() && e.t == t)
+            .copied()
+            .collect()
     }
 
     /// Groups spikes by timestep: element `t` of the returned vector holds the
@@ -284,11 +306,17 @@ impl EventStream {
     pub fn window(&self, start: u32, end: u32) -> EventStream {
         let end = end.min(self.geometry.timesteps);
         let timesteps = end.saturating_sub(start).max(1);
-        let geometry = Geometry { timesteps, ..self.geometry };
+        let geometry = Geometry {
+            timesteps,
+            ..self.geometry
+        };
         let mut out = EventStream::with_geometry(geometry);
         for e in &self.events {
             if e.t >= start && e.t < end {
-                out.events.push(Event { t: e.t - start, ..*e });
+                out.events.push(Event {
+                    t: e.t - start,
+                    ..*e
+                });
             }
         }
         out
@@ -421,7 +449,10 @@ mod tests {
         let spikes = ops.iter().filter(|e| e.is_spike()).count();
         assert_eq!(spikes, 2);
         // Spikes must precede the FIRE_OP of their own timestep.
-        let fire_t0 = ops.iter().position(|e| e.op == EventOp::Fire && e.t == 0).unwrap();
+        let fire_t0 = ops
+            .iter()
+            .position(|e| e.op == EventOp::Fire && e.t == 0)
+            .unwrap();
         let spike_t0 = ops.iter().position(|e| e.is_spike() && e.t == 0).unwrap();
         assert!(spike_t0 < fire_t0);
     }

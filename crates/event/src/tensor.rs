@@ -24,7 +24,10 @@ impl EventTensor {
     /// Creates an all-zero tensor with the given geometry.
     #[must_use]
     pub fn zeros(geometry: Geometry) -> Self {
-        Self { data: vec![false; geometry.volume()], geometry }
+        Self {
+            data: vec![false; geometry.volume()],
+            geometry,
+        }
     }
 
     /// Geometry (shape) of the tensor.
@@ -59,13 +62,24 @@ impl EventTensor {
     pub fn set(&mut self, t: u32, ch: u16, x: u16, y: u16, value: bool) -> Result<(), EventError> {
         let g = self.geometry;
         if t >= g.timesteps {
-            return Err(EventError::TimestampOutOfRange { t, timesteps: g.timesteps });
+            return Err(EventError::TimestampOutOfRange {
+                t,
+                timesteps: g.timesteps,
+            });
         }
         if ch >= g.channels {
-            return Err(EventError::ChannelOutOfRange { ch, channels: g.channels });
+            return Err(EventError::ChannelOutOfRange {
+                ch,
+                channels: g.channels,
+            });
         }
         if x >= g.width || y >= g.height {
-            return Err(EventError::CoordinateOutOfRange { x, y, width: g.width, height: g.height });
+            return Err(EventError::CoordinateOutOfRange {
+                x,
+                y,
+                width: g.width,
+                height: g.height,
+            });
         }
         let idx = self.index(t, ch, x, y);
         self.data[idx] = value;
@@ -222,7 +236,8 @@ mod tests {
             t.set(time, 0, 2, 1, true).unwrap();
         }
         let counts = t.spike_counts_per_position();
-        let pos = (0 * 3 + 1) * 4 + 2;
+        let (ch, y, x) = (0usize, 1usize, 2usize);
+        let pos = (ch * 3 + y) * 4 + x;
         assert_eq!(counts[pos], 5);
         assert_eq!(counts.iter().sum::<u32>(), 5);
     }

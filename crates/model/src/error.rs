@@ -32,7 +32,11 @@ pub enum ModelError {
 impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::ShapeMismatch { location, expected, found } => write!(
+            Self::ShapeMismatch {
+                location,
+                expected,
+                found,
+            } => write!(
                 f,
                 "shape mismatch at {location}: expected {}x{}x{}, found {}x{}x{}",
                 expected.0, expected.1, expected.2, found.0, found.1, found.2
@@ -41,8 +45,13 @@ impl fmt::Display for ModelError {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
             Self::EmptyNetwork => write!(f, "network has no layers"),
-            Self::InvalidScale(scale) => write!(f, "quantization scale {scale} must be positive and finite"),
-            Self::EmptyTrainingSet => write!(f, "training requires at least one sample and a non-zero batch size"),
+            Self::InvalidScale(scale) => {
+                write!(f, "quantization scale {scale} must be positive and finite")
+            }
+            Self::EmptyTrainingSet => write!(
+                f,
+                "training requires at least one sample and a non-zero batch size"
+            ),
         }
     }
 }
@@ -61,7 +70,10 @@ mod tests {
                 expected: (32, 16, 16),
                 found: (32, 8, 8),
             },
-            ModelError::InvalidParameter { name: "kernel", reason: "must be odd".to_owned() },
+            ModelError::InvalidParameter {
+                name: "kernel",
+                reason: "must be odd".to_owned(),
+            },
             ModelError::EmptyNetwork,
             ModelError::InvalidScale(-1.0),
             ModelError::EmptyTrainingSet,

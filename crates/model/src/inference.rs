@@ -57,7 +57,10 @@ impl Evaluation {
 /// # Errors
 ///
 /// Propagates [`Network::run`] errors (shape mismatch, empty network).
-pub fn classify(network: &mut Network, stream: &sne_event::EventStream) -> Result<Classification, ModelError> {
+pub fn classify(
+    network: &mut Network,
+    stream: &sne_event::EventStream,
+) -> Result<Classification, ModelError> {
     let result = network.run_stream(stream)?;
     Ok(classification_from(&result))
 }
@@ -131,8 +134,8 @@ mod tests {
     use crate::Shape;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use sne_event::datasets::{EventDataset, PatternDataset};
     use sne_event::datasets::MotionPattern;
+    use sne_event::datasets::{EventDataset, PatternDataset};
     use sne_event::{Event, EventStream};
 
     fn dataset() -> PatternDataset {
@@ -142,8 +145,15 @@ mod tests {
             2,
             20,
             vec![
-                MotionPattern::TranslatingBar { speed: 1.0, width: 2 },
-                MotionPattern::OrbitingBlob { angular_speed: 0.3, radius_fraction: 0.6, blob_radius: 2 },
+                MotionPattern::TranslatingBar {
+                    speed: 1.0,
+                    width: 2,
+                },
+                MotionPattern::OrbitingBlob {
+                    angular_speed: 0.3,
+                    radius_fraction: 0.6,
+                    blob_radius: 2,
+                },
             ],
             3,
         )
@@ -181,7 +191,10 @@ mod tests {
     #[test]
     fn empty_range_is_rejected() {
         let mut net = network();
-        assert!(matches!(evaluate(&mut net, &dataset(), 5..5), Err(ModelError::EmptyTrainingSet)));
+        assert!(matches!(
+            evaluate(&mut net, &dataset(), 5..5),
+            Err(ModelError::EmptyTrainingSet)
+        ));
     }
 
     #[test]

@@ -27,7 +27,11 @@ impl NeuronBank {
             NeuronConfig::Srm(_) => vec![0.0; count],
             NeuronConfig::Lif(_) => Vec::new(),
         };
-        Self { config, membrane: vec![0.0; count], current }
+        Self {
+            config,
+            membrane: vec![0.0; count],
+            current,
+        }
     }
 
     #[allow(dead_code)]
@@ -111,12 +115,19 @@ fn clamp_lif(value: f32, params: LifParams) -> f32 {
 /// tests.
 #[cfg(test)]
 pub(crate) fn lif_config(leak: i16, threshold: i16) -> NeuronConfig {
-    NeuronConfig::Lif(LifParams { leak, threshold, ..LifParams::default() })
+    NeuronConfig::Lif(LifParams {
+        leak,
+        threshold,
+        ..LifParams::default()
+    })
 }
 
 #[cfg(test)]
 pub(crate) fn srm_config(threshold: f32) -> NeuronConfig {
-    NeuronConfig::Srm(SrmParams { threshold, ..SrmParams::default() })
+    NeuronConfig::Srm(SrmParams {
+        threshold,
+        ..SrmParams::default()
+    })
 }
 
 #[cfg(test)]
@@ -126,7 +137,11 @@ mod tests {
     #[test]
     fn lif_bank_matches_scalar_lif_neuron() {
         use crate::neuron::{LifNeuron, Neuron};
-        let params = LifParams { leak: 2, threshold: 10, ..LifParams::default() };
+        let params = LifParams {
+            leak: 2,
+            threshold: 10,
+            ..LifParams::default()
+        };
         let mut bank = NeuronBank::new(NeuronConfig::Lif(params), 1);
         let mut scalar = LifNeuron::new(params);
         let inputs = [5i32, 3, -4, 7, 7, 0, 6, 6, 6];
@@ -143,7 +158,10 @@ mod tests {
     #[test]
     fn srm_bank_matches_scalar_srm_neuron() {
         use crate::neuron::{Neuron, SrmNeuron, SrmParams};
-        let params = SrmParams { threshold: 6.0, ..SrmParams::default() };
+        let params = SrmParams {
+            threshold: 6.0,
+            ..SrmParams::default()
+        };
         let mut bank = NeuronBank::new(NeuronConfig::Srm(params), 1);
         let mut scalar = SrmNeuron::new(params);
         for &w in &[4i32, 4, 0, 3, 8, 0, 0, 2] {

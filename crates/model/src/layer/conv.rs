@@ -113,7 +113,11 @@ impl ConvLayer {
         if weights.len() != self.weights.len() {
             return Err(ModelError::InvalidParameter {
                 name: "weights",
-                reason: format!("expected {} weights, got {}", self.weights.len(), weights.len()),
+                reason: format!(
+                    "expected {} weights, got {}",
+                    self.weights.len(),
+                    weights.len()
+                ),
             });
         }
         self.weights = weights;
@@ -177,11 +181,19 @@ impl EventLayer for ConvLayer {
     }
 
     fn output_shape(&self) -> Shape {
-        Shape::new(self.out_channels, self.input_shape.height, self.input_shape.width)
+        Shape::new(
+            self.out_channels,
+            self.input_shape.height,
+            self.input_shape.width,
+        )
     }
 
     fn step(&mut self, input: &Frame) -> Frame {
-        assert_eq!(input.shape(), self.input_shape, "conv layer input shape mismatch");
+        assert_eq!(
+            input.shape(),
+            self.input_shape,
+            "conv layer input shape mismatch"
+        );
         let out_shape = self.output_shape();
         let half = i32::from(self.kernel / 2);
 
@@ -229,7 +241,10 @@ impl EventLayer for ConvLayer {
     }
 
     fn synaptic_ops(&self, input: &Frame) -> u64 {
-        input.spikes().map(|(_, y, x)| self.updates_per_spike(y, x)).sum()
+        input
+            .spikes()
+            .map(|(_, y, x)| self.updates_per_spike(y, x))
+            .sum()
     }
 
     fn num_neurons(&self) -> usize {
@@ -254,7 +269,11 @@ mod tests {
     use crate::neuron::LifParams;
 
     fn lif(leak: i16, threshold: i16) -> NeuronConfig {
-        NeuronConfig::Lif(LifParams { leak, threshold, ..LifParams::default() })
+        NeuronConfig::Lif(LifParams {
+            leak,
+            threshold,
+            ..LifParams::default()
+        })
     }
 
     fn layer(threshold: i16) -> ConvLayer {

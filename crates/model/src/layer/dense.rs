@@ -43,7 +43,12 @@ impl DenseLayer {
             });
         }
         let weights = vec![0.0; usize::from(outputs) * input_shape.len()];
-        Ok(Self { input_shape, outputs, weights, neurons: NeuronBank::new(config, usize::from(outputs)) })
+        Ok(Self {
+            input_shape,
+            outputs,
+            weights,
+            neurons: NeuronBank::new(config, usize::from(outputs)),
+        })
     }
 
     /// Number of output neurons.
@@ -94,7 +99,11 @@ impl DenseLayer {
         if weights.len() != self.weights.len() {
             return Err(ModelError::InvalidParameter {
                 name: "weights",
-                reason: format!("expected {} weights, got {}", self.weights.len(), weights.len()),
+                reason: format!(
+                    "expected {} weights, got {}",
+                    self.weights.len(),
+                    weights.len()
+                ),
             });
         }
         self.weights = weights;
@@ -122,7 +131,11 @@ impl EventLayer for DenseLayer {
     }
 
     fn step(&mut self, input: &Frame) -> Frame {
-        assert_eq!(input.shape(), self.input_shape, "dense layer input shape mismatch");
+        assert_eq!(
+            input.shape(),
+            self.input_shape,
+            "dense layer input shape mismatch"
+        );
         let inputs = self.inputs();
         for (c, y, x) in input.spikes() {
             let in_idx = self.input_shape.index(c, y, x);
@@ -168,7 +181,11 @@ mod tests {
     use crate::neuron::LifParams;
 
     fn lif(leak: i16, threshold: i16) -> NeuronConfig {
-        NeuronConfig::Lif(LifParams { leak, threshold, ..LifParams::default() })
+        NeuronConfig::Lif(LifParams {
+            leak,
+            threshold,
+            ..LifParams::default()
+        })
     }
 
     #[test]
@@ -247,7 +264,10 @@ mod tests {
         let mut l = DenseLayer::new(
             Shape::new(1, 1, 1),
             1,
-            NeuronConfig::Srm(crate::neuron::SrmParams { threshold: 3.0, ..Default::default() }),
+            NeuronConfig::Srm(crate::neuron::SrmParams {
+                threshold: 3.0,
+                ..Default::default()
+            }),
         )
         .unwrap();
         l.set_weight(0, 0, 4.0);

@@ -48,7 +48,10 @@ impl PoolLayer {
                 reason: format!("input shape {input_shape} has a zero dimension"),
             });
         }
-        Ok(Self { input_shape, window })
+        Ok(Self {
+            input_shape,
+            window,
+        })
     }
 
     /// Pooling window size.
@@ -72,7 +75,11 @@ impl EventLayer for PoolLayer {
     }
 
     fn step(&mut self, input: &Frame) -> Frame {
-        assert_eq!(input.shape(), self.input_shape, "pool layer input shape mismatch");
+        assert_eq!(
+            input.shape(),
+            self.input_shape,
+            "pool layer input shape mismatch"
+        );
         let out_shape = self.output_shape();
         let mut output = Frame::zeros(out_shape);
         for (c, y, x) in input.spikes() {
@@ -93,7 +100,9 @@ impl EventLayer for PoolLayer {
         let out_shape = self.output_shape();
         input
             .spikes()
-            .filter(|&(_, y, x)| y / self.window < out_shape.height && x / self.window < out_shape.width)
+            .filter(|&(_, y, x)| {
+                y / self.window < out_shape.height && x / self.window < out_shape.width
+            })
             .count() as u64
     }
 

@@ -57,8 +57,11 @@ impl RunResult {
     /// paper reports as "network activity", 1.2 %–4.9 % on DVS-Gesture).
     #[must_use]
     pub fn mean_activity(&self) -> f64 {
-        let stateful: Vec<&LayerRunStats> =
-            self.layers.iter().filter(|l| l.kind != LayerKind::Pooling).collect();
+        let stateful: Vec<&LayerRunStats> = self
+            .layers
+            .iter()
+            .filter(|l| l.kind != LayerKind::Pooling)
+            .collect();
         if stateful.is_empty() {
             0.0
         } else {
@@ -91,7 +94,10 @@ impl std::fmt::Debug for Network {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Network")
             .field("input_shape", &self.input_shape)
-            .field("layers", &self.layers.iter().map(|l| l.describe()).collect::<Vec<_>>())
+            .field(
+                "layers",
+                &self.layers.iter().map(|l| l.describe()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -100,7 +106,10 @@ impl Network {
     /// Creates an empty network accepting frames of the given shape.
     #[must_use]
     pub fn new(input_shape: Shape) -> Self {
-        Self { input_shape, layers: Vec::new() }
+        Self {
+            input_shape,
+            layers: Vec::new(),
+        }
     }
 
     /// Appends a layer, checking that its input shape matches the current
@@ -132,7 +141,9 @@ impl Network {
     /// network).
     #[must_use]
     pub fn output_shape(&self) -> Shape {
-        self.layers.last().map_or(self.input_shape, |l| l.output_shape())
+        self.layers
+            .last()
+            .map_or(self.input_shape, |l| l.output_shape())
     }
 
     /// Number of layers.
@@ -245,7 +256,11 @@ impl Network {
 
         for stat in &mut stats {
             let denom = stat.neurons as f64 * f64::from(g.timesteps);
-            stat.output_activity = if denom > 0.0 { stat.output_spikes as f64 / denom } else { 0.0 };
+            stat.output_activity = if denom > 0.0 {
+                stat.output_spikes as f64 / denom
+            } else {
+                0.0
+            };
         }
         let total_synaptic_ops = stats.iter().map(|s| s.synaptic_ops).sum();
         Ok(RunResult {
@@ -276,7 +291,11 @@ mod tests {
     use sne_event::Event;
 
     fn lif(leak: i16, threshold: i16) -> NeuronConfig {
-        NeuronConfig::Lif(LifParams { leak, threshold, ..LifParams::default() })
+        NeuronConfig::Lif(LifParams {
+            leak,
+            threshold,
+            ..LifParams::default()
+        })
     }
 
     fn small_network() -> Network {
@@ -286,7 +305,8 @@ mod tests {
         let weights: Vec<f32> = vec![1.0; conv.weight_count()];
         conv.set_weights(weights).unwrap();
         n.push(conv).unwrap();
-        n.push(PoolLayer::new(Shape::new(2, 4, 4), 2).unwrap()).unwrap();
+        n.push(PoolLayer::new(Shape::new(2, 4, 4), 2).unwrap())
+            .unwrap();
         let mut dense = DenseLayer::new(Shape::new(2, 2, 2), 3, lif(0, 1)).unwrap();
         let weights: Vec<f32> = vec![1.0; 8 * 3];
         dense.set_weights(weights).unwrap();
@@ -298,7 +318,8 @@ mod tests {
     fn push_checks_shape_chaining() {
         let input = Shape::new(1, 4, 4);
         let mut n = Network::new(input);
-        n.push(ConvLayer::new(input, 2, 3, NeuronConfig::default_lif()).unwrap()).unwrap();
+        n.push(ConvLayer::new(input, 2, 3, NeuronConfig::default_lif()).unwrap())
+            .unwrap();
         // Wrong input shape must be rejected.
         let bad = PoolLayer::new(Shape::new(1, 4, 4), 2).unwrap();
         assert!(matches!(n.push(bad), Err(ModelError::ShapeMismatch { .. })));
@@ -317,14 +338,20 @@ mod tests {
     fn empty_network_cannot_run() {
         let mut n = Network::new(Shape::new(1, 4, 4));
         let stream = EventStream::new(4, 4, 1, 5);
-        assert!(matches!(n.run_stream(&stream), Err(ModelError::EmptyNetwork)));
+        assert!(matches!(
+            n.run_stream(&stream),
+            Err(ModelError::EmptyNetwork)
+        ));
     }
 
     #[test]
     fn run_rejects_mismatched_geometry() {
         let mut n = small_network();
         let stream = EventStream::new(8, 8, 1, 5);
-        assert!(matches!(n.run_stream(&stream), Err(ModelError::ShapeMismatch { .. })));
+        assert!(matches!(
+            n.run_stream(&stream),
+            Err(ModelError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -367,7 +394,10 @@ mod tests {
             input_spikes: 0,
         };
         assert_eq!(result.predicted_class(), 1);
-        let tie = RunResult { output_spike_counts: vec![5, 5, 3], ..result };
+        let tie = RunResult {
+            output_spike_counts: vec![5, 5, 3],
+            ..result
+        };
         assert_eq!(tie.predicted_class(), 0);
     }
 

@@ -29,7 +29,12 @@ pub struct LifParams {
 
 impl Default for LifParams {
     fn default() -> Self {
-        Self { leak: 1, threshold: 16, saturate: true, non_negative: false }
+        Self {
+            leak: 1,
+            threshold: 16,
+            saturate: true,
+            non_negative: false,
+        }
     }
 }
 
@@ -113,7 +118,11 @@ impl LifNeuron {
     }
 
     fn clamp(&self, value: i64) -> i32 {
-        quant::clamp_i64(value, i64::from(self.params.floor()), i64::from(self.params.ceiling()))
+        quant::clamp_i64(
+            value,
+            i64::from(self.params.floor()),
+            i64::from(self.params.ceiling()),
+        )
     }
 
     /// Returns `true` if the membrane is at or above the firing threshold.
@@ -154,7 +163,11 @@ mod tests {
     use super::*;
 
     fn neuron(leak: i16, threshold: i16) -> LifNeuron {
-        LifNeuron::new(LifParams { leak, threshold, ..LifParams::default() })
+        LifNeuron::new(LifParams {
+            leak,
+            threshold,
+            ..LifParams::default()
+        })
     }
 
     #[test]
@@ -197,7 +210,11 @@ mod tests {
         // step by step, including at the saturation floor.
         for &initial in &[100i32, 10, -100, -120] {
             for elapsed in 0u32..10 {
-                let params = LifParams { leak: 3, threshold: 127, ..LifParams::default() };
+                let params = LifParams {
+                    leak: 3,
+                    threshold: 127,
+                    ..LifParams::default()
+                };
                 let mut lazy = LifNeuron::new(params);
                 lazy.state = initial;
                 lazy.leak_for(elapsed);
@@ -207,7 +224,11 @@ mod tests {
                 for _ in 0..elapsed {
                     steps.leak_for(1);
                 }
-                assert_eq!(lazy.state(), steps.state(), "initial {initial}, elapsed {elapsed}");
+                assert_eq!(
+                    lazy.state(),
+                    steps.state(),
+                    "initial {initial}, elapsed {elapsed}"
+                );
             }
         }
     }

@@ -28,7 +28,12 @@ pub struct SrmParams {
 
 impl Default for SrmParams {
     fn default() -> Self {
-        Self { tau_membrane: 10.0, tau_synapse: 5.0, threshold: 16.0, refractory_drop: 16.0 }
+        Self {
+            tau_membrane: 10.0,
+            tau_synapse: 5.0,
+            threshold: 16.0,
+            refractory_drop: 16.0,
+        }
     }
 }
 
@@ -68,7 +73,11 @@ impl SrmNeuron {
     /// Creates a neuron at rest.
     #[must_use]
     pub fn new(params: SrmParams) -> Self {
-        Self { params, membrane: 0.0, synaptic_current: 0.0 }
+        Self {
+            params,
+            membrane: 0.0,
+            synaptic_current: 0.0,
+        }
     }
 
     /// The neuron's parameters.
@@ -117,7 +126,10 @@ mod tests {
 
     #[test]
     fn membrane_decays_exponentially() {
-        let params = SrmParams { threshold: 1000.0, ..SrmParams::default() };
+        let params = SrmParams {
+            threshold: 1000.0,
+            ..SrmParams::default()
+        };
         let mut n = SrmNeuron::new(params);
         n.integrate(100);
         // Let the synaptic current fade, then the membrane must decay
@@ -138,8 +150,11 @@ mod tests {
 
     #[test]
     fn fires_above_threshold_with_subtractive_reset() {
-        let params =
-            SrmParams { threshold: 5.0, refractory_drop: 5.0, ..SrmParams::default() };
+        let params = SrmParams {
+            threshold: 5.0,
+            refractory_drop: 5.0,
+            ..SrmParams::default()
+        };
         let mut n = SrmNeuron::new(params);
         n.integrate(20);
         assert!(n.fire_and_reset());

@@ -104,14 +104,20 @@ impl QuantizedWeights {
     /// Returns [`ModelError::InvalidScale`] if `scale` is not positive and
     /// finite.
     pub fn with_scale(weights: &[f32], scale: f32) -> Result<Self, ModelError> {
-        let values = weights.iter().map(|&w| quantize_weight(w, scale)).collect::<Result<_, _>>()?;
+        let values = weights
+            .iter()
+            .map(|&w| quantize_weight(w, scale))
+            .collect::<Result<_, _>>()?;
         Ok(Self { values, scale })
     }
 
     /// Reconstructed floating-point weights.
     #[must_use]
     pub fn to_floats(&self) -> Vec<f32> {
-        self.values.iter().map(|&v| dequantize_weight(v, self.scale)).collect()
+        self.values
+            .iter()
+            .map(|&v| dequantize_weight(v, self.scale))
+            .collect()
     }
 
     /// Worst-case absolute quantization error over the original weights.

@@ -23,7 +23,11 @@ impl Shape {
     /// Creates a shape.
     #[must_use]
     pub fn new(channels: u16, height: u16, width: u16) -> Self {
-        Self { channels, height, width }
+        Self {
+            channels,
+            height,
+            width,
+        }
     }
 
     /// Total number of elements.
@@ -80,7 +84,10 @@ impl Frame {
     /// Creates an all-zero frame.
     #[must_use]
     pub fn zeros(shape: Shape) -> Self {
-        Self { data: vec![false; shape.len()], shape }
+        Self {
+            data: vec![false; shape.len()],
+            shape,
+        }
     }
 
     /// Shape of the frame.
@@ -128,13 +135,17 @@ impl Frame {
     /// Iterates over the coordinates of set bits as `(c, y, x)`.
     pub fn spikes(&self) -> impl Iterator<Item = (u16, u16, u16)> + '_ {
         let shape = self.shape;
-        self.data.iter().enumerate().filter(|(_, &b)| b).map(move |(i, _)| {
-            let x = (i % usize::from(shape.width)) as u16;
-            let rest = i / usize::from(shape.width);
-            let y = (rest % usize::from(shape.height)) as u16;
-            let c = (rest / usize::from(shape.height)) as u16;
-            (c, y, x)
-        })
+        self.data
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(move |(i, _)| {
+                let x = (i % usize::from(shape.width)) as u16;
+                let rest = i / usize::from(shape.width);
+                let y = (rest % usize::from(shape.height)) as u16;
+                let c = (rest / usize::from(shape.height)) as u16;
+                (c, y, x)
+            })
     }
 
     /// Underlying data as a slice (row-major `[C, H, W]`).
@@ -155,7 +166,10 @@ impl RateMap {
     /// Creates an all-zero map.
     #[must_use]
     pub fn zeros(shape: Shape) -> Self {
-        Self { data: vec![0.0; shape.len()], shape }
+        Self {
+            data: vec![0.0; shape.len()],
+            shape,
+        }
     }
 
     /// Creates a map from raw data.
@@ -165,7 +179,11 @@ impl RateMap {
     /// Panics if `data.len() != shape.len()`.
     #[must_use]
     pub fn from_vec(shape: Shape, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), shape.len(), "rate map data does not match its shape");
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "rate map data does not match its shape"
+        );
         Self { shape, data }
     }
 

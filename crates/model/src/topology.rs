@@ -56,9 +56,15 @@ impl Topology {
         Self {
             input,
             stages: vec![
-                StageSpec::Conv { out_channels: 32, kernel: 3 },
+                StageSpec::Conv {
+                    out_channels: 32,
+                    kernel: 3,
+                },
                 StageSpec::Pool { window: 2 },
-                StageSpec::Conv { out_channels: 32, kernel: 3 },
+                StageSpec::Conv {
+                    out_channels: 32,
+                    kernel: 3,
+                },
                 StageSpec::Pool { window: 2 },
                 StageSpec::Pool { window: 4 },
                 StageSpec::Dense { outputs: 512 },
@@ -74,7 +80,10 @@ impl Topology {
         Self {
             input,
             stages: vec![
-                StageSpec::Conv { out_channels: hidden_channels, kernel: 3 },
+                StageSpec::Conv {
+                    out_channels: hidden_channels,
+                    kernel: 3,
+                },
                 StageSpec::Pool { window: 2 },
                 StageSpec::Dense { outputs: classes },
             ],
@@ -106,7 +115,11 @@ impl Topology {
                             ),
                         });
                     }
-                    Shape::new(current.channels, current.height / window, current.width / window)
+                    Shape::new(
+                        current.channels,
+                        current.height / window,
+                        current.width / window,
+                    )
                 }
                 StageSpec::Dense { outputs } => Shape::new(outputs, 1, 1),
             };
@@ -142,7 +155,10 @@ impl Topology {
         let mut network = Network::new(self.input);
         for (stage, input_shape) in self.stages.iter().zip(shapes.iter()) {
             match *stage {
-                StageSpec::Conv { out_channels, kernel } => {
+                StageSpec::Conv {
+                    out_channels,
+                    kernel,
+                } => {
                     network.push(ConvLayer::new(*input_shape, out_channels, kernel, config)?)?;
                 }
                 StageSpec::Pool { window } => {
@@ -162,15 +178,23 @@ impl Topology {
     /// # Errors
     ///
     /// Propagates layer construction errors.
-    pub fn build_random<R: Rng>(&self, config: NeuronConfig, rng: &mut R) -> Result<Network, ModelError> {
+    pub fn build_random<R: Rng>(
+        &self,
+        config: NeuronConfig,
+        rng: &mut R,
+    ) -> Result<Network, ModelError> {
         let shapes = self.shapes()?;
         let mut network = Network::new(self.input);
         for (stage, input_shape) in self.stages.iter().zip(shapes.iter()) {
             match *stage {
-                StageSpec::Conv { out_channels, kernel } => {
+                StageSpec::Conv {
+                    out_channels,
+                    kernel,
+                } => {
                     let mut layer = ConvLayer::new(*input_shape, out_channels, kernel, config)?;
-                    let weights =
-                        (0..layer.weight_count()).map(|_| f32::from(rng.gen_range(-2i8..=4))).collect();
+                    let weights = (0..layer.weight_count())
+                        .map(|_| f32::from(rng.gen_range(-2i8..=4)))
+                        .collect();
                     layer.set_weights(weights)?;
                     network.push(layer)?;
                 }
@@ -180,7 +204,9 @@ impl Topology {
                 StageSpec::Dense { outputs } => {
                     let mut layer = DenseLayer::new(*input_shape, outputs, config)?;
                     let count = layer.inputs() * usize::from(outputs);
-                    let weights = (0..count).map(|_| f32::from(rng.gen_range(-2i8..=4))).collect();
+                    let weights = (0..count)
+                        .map(|_| f32::from(rng.gen_range(-2i8..=4)))
+                        .collect();
                     layer.set_weights(weights)?;
                     network.push(layer)?;
                 }
@@ -199,7 +225,10 @@ impl Topology {
         let mut total = 0usize;
         for (stage, input_shape) in self.stages.iter().zip(shapes.iter()) {
             total += match *stage {
-                StageSpec::Conv { out_channels, kernel } => {
+                StageSpec::Conv {
+                    out_channels,
+                    kernel,
+                } => {
                     usize::from(out_channels)
                         * usize::from(input_shape.channels)
                         * usize::from(kernel)
@@ -266,7 +295,9 @@ mod tests {
     fn build_random_produces_4bit_weights() {
         let t = Topology::tiny(Shape::new(1, 8, 8), 2, 3);
         let mut rng = StdRng::seed_from_u64(1);
-        let network = t.build_random(NeuronConfig::default_lif(), &mut rng).unwrap();
+        let network = t
+            .build_random(NeuronConfig::default_lif(), &mut rng)
+            .unwrap();
         assert_eq!(network.len(), 3);
     }
 
@@ -282,7 +313,10 @@ mod tests {
     fn classes_fallback_without_dense_head() {
         let t = Topology {
             input: Shape::new(2, 8, 8),
-            stages: vec![StageSpec::Conv { out_channels: 7, kernel: 3 }],
+            stages: vec![StageSpec::Conv {
+                out_channels: 7,
+                kernel: 3,
+            }],
         };
         assert_eq!(t.classes(), 7);
     }

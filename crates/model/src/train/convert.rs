@@ -40,15 +40,30 @@ pub struct ConversionReport {
 /// Propagates layer-construction and shape errors.
 pub fn to_lif_network(rate: &RateNetwork) -> Result<(Network, ConversionReport), ModelError> {
     let mut network = Network::new(rate.input_shape());
-    let mut report = ConversionReport { scales: Vec::new(), thresholds: Vec::new(), max_errors: Vec::new() };
+    let mut report = ConversionReport {
+        scales: Vec::new(),
+        thresholds: Vec::new(),
+        max_errors: Vec::new(),
+    };
 
     for layer in rate.layers() {
         match layer {
-            RateLayer::Conv { in_shape, out_channels, kernel, weights, .. } => {
+            RateLayer::Conv {
+                in_shape,
+                out_channels,
+                kernel,
+                weights,
+                ..
+            } => {
                 let q = QuantizedWeights::from_floats(weights);
                 let threshold = threshold_from_scale(q.scale);
-                let params = LifParams { leak: 0, threshold, ..LifParams::default() };
-                let mut conv = ConvLayer::new(*in_shape, *out_channels, *kernel, NeuronConfig::Lif(params))?;
+                let params = LifParams {
+                    leak: 0,
+                    threshold,
+                    ..LifParams::default()
+                };
+                let mut conv =
+                    ConvLayer::new(*in_shape, *out_channels, *kernel, NeuronConfig::Lif(params))?;
                 conv.set_weights(q.values.iter().map(|&v| f32::from(v)).collect())?;
                 report.scales.push(q.scale);
                 report.thresholds.push(threshold);
@@ -58,10 +73,19 @@ pub fn to_lif_network(rate: &RateNetwork) -> Result<(Network, ConversionReport),
             RateLayer::Pool { in_shape, window } => {
                 network.push(PoolLayer::new(*in_shape, *window)?)?;
             }
-            RateLayer::Dense { in_shape, outputs, weights, .. } => {
+            RateLayer::Dense {
+                in_shape,
+                outputs,
+                weights,
+                ..
+            } => {
                 let q = QuantizedWeights::from_floats(weights);
                 let threshold = threshold_from_scale(q.scale);
-                let params = LifParams { leak: 0, threshold, ..LifParams::default() };
+                let params = LifParams {
+                    leak: 0,
+                    threshold,
+                    ..LifParams::default()
+                };
                 let mut dense = DenseLayer::new(*in_shape, *outputs, NeuronConfig::Lif(params))?;
                 dense.set_weights(q.values.iter().map(|&v| f32::from(v)).collect())?;
                 report.scales.push(q.scale);
@@ -84,12 +108,23 @@ pub fn to_srm_network(rate: &RateNetwork) -> Result<Network, ModelError> {
     // Near-ideal integrator: negligible membrane decay, instantaneous
     // synaptic kernel, subtractive reset at a unit threshold. This preserves
     // the trained rates as faithfully as the SRM formulation allows.
-    let srm = SrmParams { tau_membrane: 1e6, tau_synapse: 1e-3, threshold: 1.0, refractory_drop: 1.0 };
+    let srm = SrmParams {
+        tau_membrane: 1e6,
+        tau_synapse: 1e-3,
+        threshold: 1.0,
+        refractory_drop: 1.0,
+    };
     let config = NeuronConfig::Srm(srm);
     let mut network = Network::new(rate.input_shape());
     for layer in rate.layers() {
         match layer {
-            RateLayer::Conv { in_shape, out_channels, kernel, weights, .. } => {
+            RateLayer::Conv {
+                in_shape,
+                out_channels,
+                kernel,
+                weights,
+                ..
+            } => {
                 let mut conv = ConvLayer::new(*in_shape, *out_channels, *kernel, config)?;
                 conv.set_weights(weights.clone())?;
                 network.push(conv)?;
@@ -97,7 +132,12 @@ pub fn to_srm_network(rate: &RateNetwork) -> Result<Network, ModelError> {
             RateLayer::Pool { in_shape, window } => {
                 network.push(PoolLayer::new(*in_shape, *window)?)?;
             }
-            RateLayer::Dense { in_shape, outputs, weights, .. } => {
+            RateLayer::Dense {
+                in_shape,
+                outputs,
+                weights,
+                ..
+            } => {
                 let mut dense = DenseLayer::new(*in_shape, *outputs, config)?;
                 dense.set_weights(weights.clone())?;
                 network.push(dense)?;

@@ -9,7 +9,9 @@ pub fn softmax(logits: &[f32]) -> Vec<f32> {
     let max = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
     let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
     let sum: f32 = exps.iter().sum();
-    exps.iter().map(|&e| e / sum.max(f32::MIN_POSITIVE)).collect()
+    exps.iter()
+        .map(|&e| e / sum.max(f32::MIN_POSITIVE))
+        .collect()
 }
 
 /// Cross-entropy of a probability vector against a one-hot target class.

@@ -48,7 +48,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 5, batch_size: 8, learning_rate: 0.05, momentum: 0.9, seed: 42 }
+        Self {
+            epochs: 5,
+            batch_size: 8,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            seed: 42,
+        }
     }
 }
 
@@ -104,7 +110,11 @@ pub fn train<D: EventDataset>(
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut network = RateNetwork::from_topology(topology, &mut rng)?;
-    let mut optimizer = SgdOptimizer::new(config.learning_rate, config.momentum, network.parameter_count());
+    let mut optimizer = SgdOptimizer::new(
+        config.learning_rate,
+        config.momentum,
+        network.parameter_count(),
+    );
     let classes = topology.classes() as usize;
 
     let mut history = Vec::with_capacity(config.epochs);
@@ -146,7 +156,11 @@ pub fn train<D: EventDataset>(
         });
     }
 
-    Ok(TrainOutcome { network, topology: topology.clone(), history })
+    Ok(TrainOutcome {
+        network,
+        topology: topology.clone(),
+        history,
+    })
 }
 
 pub(crate) fn argmax(values: &[f32]) -> usize {
@@ -172,8 +186,14 @@ mod tests {
             2,
             20,
             vec![
-                MotionPattern::TranslatingBar { speed: 1.5, width: 3 },
-                MotionPattern::PulsingRing { period: 10.0, max_radius_fraction: 0.8 },
+                MotionPattern::TranslatingBar {
+                    speed: 1.5,
+                    width: 3,
+                },
+                MotionPattern::PulsingRing {
+                    period: 10.0,
+                    max_radius_fraction: 0.8,
+                },
             ],
             11,
         )
@@ -191,7 +211,12 @@ mod tests {
     #[test]
     fn training_reduces_loss_on_a_separable_task() {
         let topology = Topology::tiny(Shape::new(2, 16, 16), 4, 2);
-        let config = TrainConfig { epochs: 4, batch_size: 4, learning_rate: 0.1, ..Default::default() };
+        let config = TrainConfig {
+            epochs: 4,
+            batch_size: 4,
+            learning_rate: 0.1,
+            ..Default::default()
+        };
         let outcome = train(&topology, &dataset(), 0..16, &config).unwrap();
         assert_eq!(outcome.history.len(), 4);
         let first = outcome.history.first().unwrap().mean_loss;
@@ -206,7 +231,10 @@ mod tests {
             train(&topology, &dataset(), 0..0, &TrainConfig::default()),
             Err(ModelError::EmptyTrainingSet)
         ));
-        let zero_batch = TrainConfig { batch_size: 0, ..Default::default() };
+        let zero_batch = TrainConfig {
+            batch_size: 0,
+            ..Default::default()
+        };
         assert!(train(&topology, &dataset(), 0..4, &zero_batch).is_err());
     }
 

@@ -14,7 +14,11 @@ impl SgdOptimizer {
     /// Creates an optimizer for `parameter_count` parameters.
     #[must_use]
     pub fn new(learning_rate: f32, momentum: f32, parameter_count: usize) -> Self {
-        Self { learning_rate, momentum, velocity: vec![0.0; parameter_count] }
+        Self {
+            learning_rate,
+            momentum,
+            velocity: vec![0.0; parameter_count],
+        }
     }
 
     /// Learning rate currently in use.
@@ -35,9 +39,21 @@ impl SgdOptimizer {
     /// Panics if `parameters` and `gradients` do not have the length the
     /// optimizer was created with.
     pub fn step(&mut self, parameters: &mut [f32], gradients: &[f32]) {
-        assert_eq!(parameters.len(), self.velocity.len(), "parameter count mismatch");
-        assert_eq!(gradients.len(), self.velocity.len(), "gradient count mismatch");
-        for ((w, &g), v) in parameters.iter_mut().zip(gradients).zip(self.velocity.iter_mut()) {
+        assert_eq!(
+            parameters.len(),
+            self.velocity.len(),
+            "parameter count mismatch"
+        );
+        assert_eq!(
+            gradients.len(),
+            self.velocity.len(),
+            "gradient count mismatch"
+        );
+        for ((w, &g), v) in parameters
+            .iter_mut()
+            .zip(gradients)
+            .zip(self.velocity.iter_mut())
+        {
             *v = self.momentum * *v + g;
             *w -= self.learning_rate * *v;
         }

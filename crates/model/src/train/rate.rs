@@ -81,12 +81,16 @@ impl RateLayer {
     #[must_use]
     pub fn output_shape(&self) -> Shape {
         match self {
-            RateLayer::Conv { in_shape, out_channels, .. } => {
-                Shape::new(*out_channels, in_shape.height, in_shape.width)
-            }
-            RateLayer::Pool { in_shape, window } => {
-                Shape::new(in_shape.channels, in_shape.height / window, in_shape.width / window)
-            }
+            RateLayer::Conv {
+                in_shape,
+                out_channels,
+                ..
+            } => Shape::new(*out_channels, in_shape.height, in_shape.width),
+            RateLayer::Pool { in_shape, window } => Shape::new(
+                in_shape.channels,
+                in_shape.height / window,
+                in_shape.width / window,
+            ),
             RateLayer::Dense { outputs, .. } => Shape::new(*outputs, 1, 1),
         }
     }
@@ -102,7 +106,15 @@ impl RateLayer {
 
     fn forward(&mut self, input: &[f32]) -> Vec<f32> {
         match self {
-            RateLayer::Conv { in_shape, out_channels, kernel, weights, last_input, last_preact, .. } => {
+            RateLayer::Conv {
+                in_shape,
+                out_channels,
+                kernel,
+                weights,
+                last_input,
+                last_preact,
+                ..
+            } => {
                 let out_shape = Shape::new(*out_channels, in_shape.height, in_shape.width);
                 let half = i32::from(*kernel / 2);
                 let mut pre = vec![0.0f32; out_shape.len()];
@@ -122,7 +134,8 @@ impl RateLayer {
                                         {
                                             continue;
                                         }
-                                        let w_idx = ((usize::from(oc) * usize::from(in_shape.channels)
+                                        let w_idx = ((usize::from(oc)
+                                            * usize::from(in_shape.channels)
                                             + usize::from(ic))
                                             * usize::from(*kernel)
                                             + usize::from(ky))
@@ -142,8 +155,11 @@ impl RateLayer {
                 pre.iter().map(|&v| relu1(v)).collect()
             }
             RateLayer::Pool { in_shape, window } => {
-                let out_shape =
-                    Shape::new(in_shape.channels, in_shape.height / *window, in_shape.width / *window);
+                let out_shape = Shape::new(
+                    in_shape.channels,
+                    in_shape.height / *window,
+                    in_shape.width / *window,
+                );
                 let mut out = vec![0.0f32; out_shape.len()];
                 let area = f32::from(*window) * f32::from(*window);
                 for c in 0..in_shape.channels {
@@ -152,7 +168,8 @@ impl RateLayer {
                             let mut acc = 0.0;
                             for dy in 0..*window {
                                 for dx in 0..*window {
-                                    acc += input[in_shape.index(c, y * *window + dy, x * *window + dx)];
+                                    acc += input
+                                        [in_shape.index(c, y * *window + dy, x * *window + dx)];
                                 }
                             }
                             out[out_shape.index(c, y, x)] = acc / area;
@@ -161,7 +178,15 @@ impl RateLayer {
                 }
                 out
             }
-            RateLayer::Dense { in_shape, outputs, weights, last_input, last_preact, is_output, .. } => {
+            RateLayer::Dense {
+                in_shape,
+                outputs,
+                weights,
+                last_input,
+                last_preact,
+                is_output,
+                ..
+            } => {
                 let inputs = in_shape.len();
                 let mut pre = vec![0.0f32; usize::from(*outputs)];
                 for (o, out) in pre.iter_mut().enumerate() {
@@ -183,7 +208,15 @@ impl RateLayer {
     /// returning the gradient with respect to the layer input.
     fn backward(&mut self, grad_output: &[f32]) -> Vec<f32> {
         match self {
-            RateLayer::Conv { in_shape, out_channels, kernel, weights, grads, last_input, last_preact } => {
+            RateLayer::Conv {
+                in_shape,
+                out_channels,
+                kernel,
+                weights,
+                grads,
+                last_input,
+                last_preact,
+            } => {
                 let out_shape = Shape::new(*out_channels, in_shape.height, in_shape.width);
                 let half = i32::from(*kernel / 2);
                 let mut grad_input = vec![0.0f32; in_shape.len()];
@@ -207,7 +240,8 @@ impl RateLayer {
                                         {
                                             continue;
                                         }
-                                        let w_idx = ((usize::from(oc) * usize::from(in_shape.channels)
+                                        let w_idx = ((usize::from(oc)
+                                            * usize::from(in_shape.channels)
                                             + usize::from(ic))
                                             * usize::from(*kernel)
                                             + usize::from(ky))
@@ -225,8 +259,11 @@ impl RateLayer {
                 grad_input
             }
             RateLayer::Pool { in_shape, window } => {
-                let out_shape =
-                    Shape::new(in_shape.channels, in_shape.height / *window, in_shape.width / *window);
+                let out_shape = Shape::new(
+                    in_shape.channels,
+                    in_shape.height / *window,
+                    in_shape.width / *window,
+                );
                 let mut grad_input = vec![0.0f32; in_shape.len()];
                 let area = f32::from(*window) * f32::from(*window);
                 for c in 0..in_shape.channels {
@@ -236,7 +273,8 @@ impl RateLayer {
                             for dy in 0..*window {
                                 for dx in 0..*window {
                                     grad_input
-                                        [in_shape.index(c, y * *window + dy, x * *window + dx)] += g;
+                                        [in_shape.index(c, y * *window + dy, x * *window + dx)] +=
+                                        g;
                                 }
                             }
                         }
@@ -244,7 +282,15 @@ impl RateLayer {
                 }
                 grad_input
             }
-            RateLayer::Dense { in_shape, outputs, weights, grads, last_input, last_preact, is_output } => {
+            RateLayer::Dense {
+                in_shape,
+                outputs,
+                weights,
+                grads,
+                last_input,
+                last_preact,
+                is_output,
+            } => {
                 let inputs = in_shape.len();
                 let mut grad_input = vec![0.0f32; inputs];
                 for o in 0..usize::from(*outputs) {
@@ -287,8 +333,12 @@ impl RateNetwork {
         for (i, (stage, in_shape)) in topology.stages.iter().zip(shapes.iter()).enumerate() {
             let is_last = i + 1 == topology.stages.len();
             match *stage {
-                StageSpec::Conv { out_channels, kernel } => {
-                    let fan_in = usize::from(in_shape.channels) * usize::from(kernel) * usize::from(kernel);
+                StageSpec::Conv {
+                    out_channels,
+                    kernel,
+                } => {
+                    let fan_in =
+                        usize::from(in_shape.channels) * usize::from(kernel) * usize::from(kernel);
                     let count = usize::from(out_channels) * fan_in;
                     let limit = (6.0 / fan_in as f32).sqrt();
                     let weights = (0..count).map(|_| rng.gen_range(-limit..limit)).collect();
@@ -303,7 +353,10 @@ impl RateNetwork {
                     });
                 }
                 StageSpec::Pool { window } => {
-                    layers.push(RateLayer::Pool { in_shape: *in_shape, window });
+                    layers.push(RateLayer::Pool {
+                        in_shape: *in_shape,
+                        window,
+                    });
                 }
                 StageSpec::Dense { outputs } => {
                     let fan_in = in_shape.len();
@@ -322,7 +375,10 @@ impl RateNetwork {
                 }
             }
         }
-        Ok(Self { input_shape: topology.input, layers })
+        Ok(Self {
+            input_shape: topology.input,
+            layers,
+        })
     }
 
     /// Shape of the input rate map.
@@ -373,7 +429,11 @@ impl RateNetwork {
     /// Returns [`ModelError::ShapeMismatch`] if the gradient length does not
     /// match the classifier output.
     pub fn backward(&mut self, grad_logits: &[f32]) -> Result<(), ModelError> {
-        let out_len = self.layers.last().map(|l| l.output_shape().len()).unwrap_or(0);
+        let out_len = self
+            .layers
+            .last()
+            .map(|l| l.output_shape().len())
+            .unwrap_or(0);
         if grad_logits.len() != out_len {
             return Err(ModelError::ShapeMismatch {
                 location: "rate network output gradient".to_owned(),
@@ -396,7 +456,12 @@ impl RateNetwork {
         let mut grads = Vec::with_capacity(self.parameter_count());
         for layer in &self.layers {
             match layer {
-                RateLayer::Conv { weights, grads: g, .. } | RateLayer::Dense { weights, grads: g, .. } => {
+                RateLayer::Conv {
+                    weights, grads: g, ..
+                }
+                | RateLayer::Dense {
+                    weights, grads: g, ..
+                } => {
                     params.extend_from_slice(weights);
                     grads.extend(g.iter().map(|&v| v * scale));
                 }
@@ -407,7 +472,12 @@ impl RateNetwork {
         let mut offset = 0usize;
         for layer in &mut self.layers {
             match layer {
-                RateLayer::Conv { weights, grads: g, .. } | RateLayer::Dense { weights, grads: g, .. } => {
+                RateLayer::Conv {
+                    weights, grads: g, ..
+                }
+                | RateLayer::Dense {
+                    weights, grads: g, ..
+                } => {
                     let len = weights.len();
                     weights.copy_from_slice(&params[offset..offset + len]);
                     offset += len;
@@ -446,13 +516,13 @@ mod tests {
     #[test]
     fn forward_rejects_wrong_input_length() {
         let mut net = network(1);
-        assert!(net.forward(&vec![0.0; 10]).is_err());
+        assert!(net.forward(&[0.0; 10]).is_err());
     }
 
     #[test]
     fn backward_rejects_wrong_gradient_length() {
         let mut net = network(1);
-        let _ = net.forward(&vec![0.1; 36]).unwrap();
+        let _ = net.forward(&[0.1; 36]).unwrap();
         assert!(net.backward(&[0.0; 2]).is_err());
         assert!(net.backward(&[0.0; 3]).is_ok());
     }
@@ -550,6 +620,9 @@ mod tests {
     #[test]
     fn parameter_count_matches_topology() {
         let net = network(5);
-        assert_eq!(net.parameter_count(), tiny_topology().weight_count().unwrap());
+        assert_eq!(
+            net.parameter_count(),
+            tiny_topology().weight_count().unwrap()
+        );
     }
 }

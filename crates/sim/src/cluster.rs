@@ -40,7 +40,12 @@ impl Cluster {
     /// Creates a cluster with `neurons` TDM neurons, all at rest.
     #[must_use]
     pub fn new(neurons: usize) -> Self {
-        Self { states: vec![0; neurons], pending_leak_steps: 0, dirty: false, counters: ClusterCounters::default() }
+        Self {
+            states: vec![0; neurons],
+            pending_leak_steps: 0,
+            dirty: false,
+            counters: ClusterCounters::default(),
+        }
     }
 
     /// Number of TDM neurons.
@@ -136,12 +141,18 @@ fn clamp_state(value: i32) -> i16 {
 mod tests {
     use super::*;
 
-    const PARAMS: LifHardwareParams = LifHardwareParams { leak: 1, threshold: 10 };
+    const PARAMS: LifHardwareParams = LifHardwareParams {
+        leak: 1,
+        threshold: 10,
+    };
 
     #[test]
     fn integrate_accumulates_and_saturates() {
         let mut c = Cluster::new(4);
-        let params = LifHardwareParams { leak: 0, threshold: 127 };
+        let params = LifHardwareParams {
+            leak: 0,
+            threshold: 127,
+        };
         for _ in 0..40 {
             c.integrate(0, 7, params);
         }
@@ -169,7 +180,10 @@ mod tests {
     fn tlu_skips_scans_without_updates_and_catches_up_leak() {
         let mut reference = Cluster::new(1);
         let mut lazy = Cluster::new(1);
-        let params = LifHardwareParams { leak: 2, threshold: 100 };
+        let params = LifHardwareParams {
+            leak: 2,
+            threshold: 100,
+        };
         reference.integrate(0, 50, params);
         lazy.integrate(0, 50, params);
         // Reference executes every scan; lazy skips idle ones.
@@ -190,7 +204,10 @@ mod tests {
         // A neuron left exactly below threshold cannot fire during idle
         // timesteps, so skipping scans is functionally safe.
         let mut c = Cluster::new(1);
-        let params = LifHardwareParams { leak: 0, threshold: 10 };
+        let params = LifHardwareParams {
+            leak: 0,
+            threshold: 10,
+        };
         c.integrate(0, 9, params);
         let _ = c.fire_scan(params, true);
         for _ in 0..10 {
@@ -225,7 +242,10 @@ mod tests {
 
     #[test]
     fn lazy_and_eager_leak_agree_at_the_saturation_floor() {
-        let params = LifHardwareParams { leak: 3, threshold: 100 };
+        let params = LifHardwareParams {
+            leak: 3,
+            threshold: 100,
+        };
         let mut eager = Cluster::new(1);
         let mut lazy = Cluster::new(1);
         eager.integrate(0, -120, params);

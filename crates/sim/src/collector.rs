@@ -22,7 +22,12 @@ impl Collector {
     /// Creates a collector with `num_ports` input ports.
     #[must_use]
     pub fn new(num_ports: usize) -> Self {
-        Self { num_ports, next_port: 0, merged_events: 0, arbitration_cycles: 0 }
+        Self {
+            num_ports,
+            next_port: 0,
+            merged_events: 0,
+            arbitration_cycles: 0,
+        }
     }
 
     /// Number of input ports.
@@ -37,7 +42,11 @@ impl Collector {
     /// served; each granted event costs one arbitration cycle. The input
     /// queues are drained.
     pub fn merge(&mut self, queues: &mut [Vec<Event>]) -> Vec<Event> {
-        assert_eq!(queues.len(), self.num_ports, "collector port count mismatch");
+        assert_eq!(
+            queues.len(),
+            self.num_ports,
+            "collector port count mismatch"
+        );
         let total: usize = queues.iter().map(Vec::len).sum();
         let mut merged = Vec::with_capacity(total);
         let mut cursors = vec![0usize; queues.len()];

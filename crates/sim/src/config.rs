@@ -76,7 +76,10 @@ impl SneConfig {
     /// everything else (used by the Fig. 4/5 sweeps).
     #[must_use]
     pub fn with_slices(num_slices: usize) -> Self {
-        Self { num_slices, ..Self::default() }
+        Self {
+            num_slices,
+            ..Self::default()
+        }
     }
 
     /// Validates the configuration.
@@ -90,23 +93,54 @@ impl SneConfig {
             if cond {
                 Ok(())
             } else {
-                Err(SimError::InvalidConfig { name, reason: reason.to_owned() })
+                Err(SimError::InvalidConfig {
+                    name,
+                    reason: reason.to_owned(),
+                })
             }
         }
         require(self.num_slices > 0, "num_slices", "must be non-zero")?;
-        require(self.clusters_per_slice > 0, "clusters_per_slice", "must be non-zero")?;
-        require(self.neurons_per_cluster > 0, "neurons_per_cluster", "must be non-zero")?;
-        require(self.weight_bits > 0 && self.weight_bits <= 8, "weight_bits", "must be in 1..=8")?;
+        require(
+            self.clusters_per_slice > 0,
+            "clusters_per_slice",
+            "must be non-zero",
+        )?;
+        require(
+            self.neurons_per_cluster > 0,
+            "neurons_per_cluster",
+            "must be non-zero",
+        )?;
+        require(
+            self.weight_bits > 0 && self.weight_bits <= 8,
+            "weight_bits",
+            "must be in 1..=8",
+        )?;
         require(
             self.state_bits >= self.weight_bits && self.state_bits <= 32,
             "state_bits",
             "must be at least as wide as a weight and at most 32",
         )?;
-        require(self.weight_buffer_sets > 0, "weight_buffer_sets", "must be non-zero")?;
-        require(self.streamer_fifo_depth > 0, "streamer_fifo_depth", "must be non-zero")?;
-        require(self.cluster_fifo_depth > 0, "cluster_fifo_depth", "must be non-zero")?;
+        require(
+            self.weight_buffer_sets > 0,
+            "weight_buffer_sets",
+            "must be non-zero",
+        )?;
+        require(
+            self.streamer_fifo_depth > 0,
+            "streamer_fifo_depth",
+            "must be non-zero",
+        )?;
+        require(
+            self.cluster_fifo_depth > 0,
+            "cluster_fifo_depth",
+            "must be non-zero",
+        )?;
         require(self.num_streamers > 0, "num_streamers", "must be non-zero")?;
-        require(self.cycles_per_event > 0, "cycles_per_event", "must be non-zero")?;
+        require(
+            self.cycles_per_event > 0,
+            "cycles_per_event",
+            "must be non-zero",
+        )?;
         require(self.clock_mhz > 0.0, "clock_mhz", "must be positive")?;
         Ok(())
     }
@@ -177,18 +211,78 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        assert!(SneConfig { num_slices: 0, ..Default::default() }.validate().is_err());
-        assert!(SneConfig { clusters_per_slice: 0, ..Default::default() }.validate().is_err());
-        assert!(SneConfig { neurons_per_cluster: 0, ..Default::default() }.validate().is_err());
-        assert!(SneConfig { weight_bits: 0, ..Default::default() }.validate().is_err());
-        assert!(SneConfig { weight_bits: 9, ..Default::default() }.validate().is_err());
-        assert!(SneConfig { state_bits: 2, ..Default::default() }.validate().is_err());
-        assert!(SneConfig { cycles_per_event: 0, ..Default::default() }.validate().is_err());
-        assert!(SneConfig { clock_mhz: 0.0, ..Default::default() }.validate().is_err());
-        assert!(SneConfig { num_streamers: 0, ..Default::default() }.validate().is_err());
-        assert!(SneConfig { weight_buffer_sets: 0, ..Default::default() }.validate().is_err());
-        assert!(SneConfig { streamer_fifo_depth: 0, ..Default::default() }.validate().is_err());
-        assert!(SneConfig { cluster_fifo_depth: 0, ..Default::default() }.validate().is_err());
+        assert!(SneConfig {
+            num_slices: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SneConfig {
+            clusters_per_slice: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SneConfig {
+            neurons_per_cluster: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SneConfig {
+            weight_bits: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SneConfig {
+            weight_bits: 9,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SneConfig {
+            state_bits: 2,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SneConfig {
+            cycles_per_event: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SneConfig {
+            clock_mhz: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SneConfig {
+            num_streamers: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SneConfig {
+            weight_buffer_sets: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SneConfig {
+            streamer_fifo_depth: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SneConfig {
+            cluster_fifo_depth: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -76,10 +76,18 @@ mod tests {
     #[test]
     fn decodes_all_three_operations() {
         let mut d = Decoder::new();
-        assert_eq!(d.decode(&Event::reset(3)), SliceAction::ResetAll { time: 3 });
+        assert_eq!(
+            d.decode(&Event::reset(3)),
+            SliceAction::ResetAll { time: 3 }
+        );
         assert_eq!(
             d.decode(&Event::update(5, 1, 7, 9)),
-            SliceAction::UpdateReceptiveField { time: 5, channel: 1, x: 7, y: 9 }
+            SliceAction::UpdateReceptiveField {
+                time: 5,
+                channel: 1,
+                x: 7,
+                y: 9
+            }
         );
         assert_eq!(d.decode(&Event::fire(5)), SliceAction::FireScan { time: 5 });
         assert_eq!(d.decoded(), 3);

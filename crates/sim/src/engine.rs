@@ -59,7 +59,9 @@ impl Engine {
     /// Creates an engine with the given configuration.
     #[must_use]
     pub fn new(config: SneConfig) -> Self {
-        let slices = (0..config.num_slices).map(|_| Slice::new(&config)).collect();
+        let slices = (0..config.num_slices)
+            .map(|_| Slice::new(&config))
+            .collect();
         Self {
             regfile: RegisterFile::new(),
             xbar: CrossBar::new(config.num_slices, config.broadcast),
@@ -109,7 +111,11 @@ impl Engine {
     /// Returns an error if the configuration is invalid, the mapping does not
     /// fit the filter buffer, or an event addresses a position outside the
     /// mapped input feature map.
-    pub fn run_layer(&mut self, mapping: &LayerMapping, input: &EventStream) -> Result<LayerRunOutput, SimError> {
+    pub fn run_layer(
+        &mut self,
+        mapping: &LayerMapping,
+        input: &EventStream,
+    ) -> Result<LayerRunOutput, SimError> {
         self.config.validate()?;
         // When the layer's weight sets fit the per-slice filter buffer they
         // are loaded once per pass; otherwise (large fully-connected layers)
@@ -130,7 +136,11 @@ impl Engine {
         // The double-buffered latch state memory sustains one state update per
         // cycle; a single-ported memory (the ablation case) needs a read cycle
         // and a write-back cycle per update.
-        let state_access_factor: u64 = if self.config.double_buffered_state { 1 } else { 2 };
+        let state_access_factor: u64 = if self.config.double_buffered_state {
+            1
+        } else {
+            2
+        };
 
         let mut stats = CycleStats::new();
         // Model the input DMA: pack the operation sequence into memory words
@@ -212,7 +222,8 @@ impl Engine {
                             // weights per 32-bit memory word (Fig. 1).
                             let words = event_ops.div_ceil(8);
                             stats.streamer_reads += words;
-                            let budget = u64::from(self.config.cycles_per_event) * state_access_factor;
+                            let budget =
+                                u64::from(self.config.cycles_per_event) * state_access_factor;
                             if words > budget {
                                 let stall = words - budget;
                                 stats.stall_cycles += stall;
@@ -230,10 +241,11 @@ impl Engine {
                         let mut any_scanned = false;
                         let mut emitted = 0u64;
                         for &s in &active_slices {
-                            let outcome = self.slices[s].process_fire(params, self.config.tlu_enabled);
+                            let outcome =
+                                self.slices[s].process_fire(params, self.config.tlu_enabled);
                             any_scanned |= outcome.scanned_clusters > 0;
-                            stats.tlu_skipped_updates += outcome.skipped_clusters
-                                * self.config.neurons_per_cluster as u64;
+                            stats.tlu_skipped_updates +=
+                                outcome.skipped_clusters * self.config.neurons_per_cluster as u64;
                             for neuron in outcome.fired {
                                 let (c, y, x) = mapping.output_position(neuron);
                                 queues[s].push(Event::update(op.t, c, x, y));
@@ -256,7 +268,10 @@ impl Engine {
                             let _ = self.xbar.route(XbarPort::Collector, XbarPort::StreamerOut);
                         }
                         output_events.extend(merged);
-                        self.trace.push(TraceRecord::FireScan { time: op.t, emitted });
+                        self.trace.push(TraceRecord::FireScan {
+                            time: op.t,
+                            emitted,
+                        });
                     }
                 }
             }
@@ -284,7 +299,11 @@ impl Engine {
         Ok(LayerRunOutput { output, stats })
     }
 
-    fn program_registers(&mut self, mapping: &LayerMapping, input: &EventStream) -> Result<(), SimError> {
+    fn program_registers(
+        &mut self,
+        mapping: &LayerMapping,
+        input: &EventStream,
+    ) -> Result<(), SimError> {
         let params = mapping.params();
         let in_shape = mapping.input_shape();
         let kernel = match mapping {
@@ -296,11 +315,16 @@ impl Engine {
             | (u32::from(self.config.broadcast) << 2);
         self.regfile.set(Register::Control, 1)?;
         self.regfile.set(Register::Leak, params.leak as u32)?;
-        self.regfile.set(Register::Threshold, params.threshold as u32)?;
-        self.regfile.set(Register::ActiveSlices, self.config.num_slices as u32)?;
-        self.regfile.set(Register::LayerWidth, u32::from(in_shape.width))?;
-        self.regfile.set(Register::LayerHeight, u32::from(in_shape.height))?;
-        self.regfile.set(Register::LayerChannels, u32::from(in_shape.channels))?;
+        self.regfile
+            .set(Register::Threshold, params.threshold as u32)?;
+        self.regfile
+            .set(Register::ActiveSlices, self.config.num_slices as u32)?;
+        self.regfile
+            .set(Register::LayerWidth, u32::from(in_shape.width))?;
+        self.regfile
+            .set(Register::LayerHeight, u32::from(in_shape.height))?;
+        self.regfile
+            .set(Register::LayerChannels, u32::from(in_shape.channels))?;
         self.regfile.set(Register::KernelSize, kernel)?;
         self.regfile.set(Register::Features, features)?;
         self.regfile.set(Register::EventBase, input.len() as u32)?;
@@ -402,7 +426,10 @@ mod tests {
         let result = engine.run_layer(&mapping, &stream).unwrap();
         let cfg = small_config();
         // 5 events * 48 cycles of update time.
-        assert_eq!(result.stats.update_cycles, 5 * u64::from(cfg.cycles_per_event));
+        assert_eq!(
+            result.stats.update_cycles,
+            5 * u64::from(cfg.cycles_per_event)
+        );
         // 5 timesteps execute a scan (8 cycles), 5 idle timesteps cost 1 cycle.
         assert_eq!(result.stats.fire_cycles, 5 * 8 + 5);
         assert_eq!(result.stats.reset_cycles, 1);
@@ -438,7 +465,10 @@ mod tests {
             8,
             3,
             weights,
-            LifHardwareParams { leak: 0, threshold: 1 },
+            LifHardwareParams {
+                leak: 0,
+                threshold: 1,
+            },
         )
         .unwrap();
         assert_eq!(engine.passes_for(&mapping), 2);
@@ -454,15 +484,26 @@ mod tests {
         // 2-set filter buffer the weights are streamed from memory per event,
         // which shows up as additional streamer reads.
         let mapping = |_: ()| {
-            LayerMapping::dense(MapShape::new(1, 4, 4), 4, vec![1; 64], LifHardwareParams::default())
-                .unwrap()
+            LayerMapping::dense(
+                MapShape::new(1, 4, 4),
+                4,
+                vec![1; 64],
+                LifHardwareParams::default(),
+            )
+            .unwrap()
         };
         let mut stream = EventStream::new(4, 4, 1, 2);
         stream.push(Event::update(0, 0, 1, 1)).unwrap();
         stream.push(Event::update(1, 0, 2, 2)).unwrap();
 
-        let mut small_buffer = Engine::new(SneConfig { weight_buffer_sets: 2, ..small_config() });
-        let mut big_buffer = Engine::new(SneConfig { weight_buffer_sets: 256, ..small_config() });
+        let mut small_buffer = Engine::new(SneConfig {
+            weight_buffer_sets: 2,
+            ..small_config()
+        });
+        let mut big_buffer = Engine::new(SneConfig {
+            weight_buffer_sets: 256,
+            ..small_config()
+        });
         let streamed = small_buffer.run_layer(&mapping(()), &stream).unwrap();
         let resident = big_buffer.run_layer(&mapping(()), &stream).unwrap();
         assert!(streamed.stats.streamer_reads > resident.stats.streamer_reads);
@@ -476,7 +517,10 @@ mod tests {
         let mapping = conv_mapping(1);
         let mut stream = EventStream::new(8, 8, 1, 2);
         stream.push(Event::update(0, 0, 7, 7)).unwrap();
-        assert!(matches!(engine.run_layer(&mapping, &stream), Err(SimError::EventOutOfRange { .. })));
+        assert!(matches!(
+            engine.run_layer(&mapping, &stream),
+            Err(SimError::EventOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -497,9 +541,15 @@ mod tests {
         let mapping = conv_mapping(1);
         let _ = engine.run_layer(&mapping, &single_spike_stream()).unwrap();
         let records = engine.trace().records();
-        assert!(records.iter().any(|r| matches!(r, TraceRecord::PassStart { .. })));
-        assert!(records.iter().any(|r| matches!(r, TraceRecord::EventConsumed { .. })));
-        assert!(records.iter().any(|r| matches!(r, TraceRecord::FireScan { .. })));
+        assert!(records
+            .iter()
+            .any(|r| matches!(r, TraceRecord::PassStart { .. })));
+        assert!(records
+            .iter()
+            .any(|r| matches!(r, TraceRecord::EventConsumed { .. })));
+        assert!(records
+            .iter()
+            .any(|r| matches!(r, TraceRecord::FireScan { .. })));
     }
 
     #[test]
@@ -511,7 +561,10 @@ mod tests {
             MapShape::new(1, 2, 2),
             4,
             vec![2; 16],
-            LifHardwareParams { leak: 0, threshold: 2 },
+            LifHardwareParams {
+                leak: 0,
+                threshold: 2,
+            },
         )
         .unwrap();
         let mut stream = EventStream::new(2, 2, 1, 3);
@@ -524,7 +577,10 @@ mod tests {
 
     #[test]
     fn invalid_config_is_rejected_at_run_time() {
-        let mut engine = Engine::new(SneConfig { num_slices: 0, ..SneConfig::default() });
+        let mut engine = Engine::new(SneConfig {
+            num_slices: 0,
+            ..SneConfig::default()
+        });
         let mapping = conv_mapping(1);
         assert!(engine.run_layer(&mapping, &single_spike_stream()).is_err());
     }
@@ -537,10 +593,22 @@ mod tests {
             s
         };
         let mapping = conv_mapping(100);
-        let mut with_tlu = Engine::new(SneConfig { tlu_enabled: true, ..small_config() });
-        let mut without_tlu = Engine::new(SneConfig { tlu_enabled: false, ..small_config() });
-        let a = with_tlu.run_layer(&mapping, &sparse_stream()).unwrap().stats;
-        let b = without_tlu.run_layer(&mapping, &sparse_stream()).unwrap().stats;
+        let mut with_tlu = Engine::new(SneConfig {
+            tlu_enabled: true,
+            ..small_config()
+        });
+        let mut without_tlu = Engine::new(SneConfig {
+            tlu_enabled: false,
+            ..small_config()
+        });
+        let a = with_tlu
+            .run_layer(&mapping, &sparse_stream())
+            .unwrap()
+            .stats;
+        let b = without_tlu
+            .run_layer(&mapping, &sparse_stream())
+            .unwrap()
+            .stats;
         assert!(a.fire_cycles < b.fire_cycles);
         assert!(a.tlu_skipped_updates > 0);
         assert_eq!(b.tlu_skipped_updates, 0);

@@ -68,10 +68,22 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         let errors = [
-            SimError::InvalidConfig { name: "num_slices", reason: "must be non-zero".into() },
-            SimError::MappingDoesNotFit { required_neurons: 2048, available_neurons: 1024 },
-            SimError::WeightBufferOverflow { requested: 300, capacity: 256 },
-            SimError::EventOutOfRange { event: "(1,2)".into(), expected: "32x32".into() },
+            SimError::InvalidConfig {
+                name: "num_slices",
+                reason: "must be non-zero".into(),
+            },
+            SimError::MappingDoesNotFit {
+                required_neurons: 2048,
+                available_neurons: 1024,
+            },
+            SimError::WeightBufferOverflow {
+                requested: 300,
+                capacity: 256,
+            },
+            SimError::EventOutOfRange {
+                event: "(1,2)".into(),
+                expected: "32x32".into(),
+            },
             SimError::UnknownRegister(0x40),
             SimError::MalformedOpSequence("missing reset".into()),
         ];

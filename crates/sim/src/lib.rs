@@ -29,6 +29,39 @@
 //! one state update per cluster per cycle) rather than modelling every
 //! pipeline register.
 //!
+//! # Timing-model assumptions
+//!
+//! The cycle accounting in [`engine::Engine::run_layer`] rests on the
+//! following assumptions, calibrated on the paper's published figures:
+//!
+//! 1. **Per-event cost.** One consumed `UPDATE_OP` costs
+//!    [`SneConfig::cycles_per_event`] cycles (48 in the paper, i.e. 120 ns at
+//!    the 400 MHz [`SneConfig::clock_mhz`]), during which every addressed
+//!    cluster performs one state update per cycle. This is the paper's §IV-A
+//!    throughput anchor, not a per-register pipeline model.
+//! 2. **State memory ports.** The double-buffered latch state memory
+//!    ([`SneConfig::double_buffered_state`], the paper's design) sustains one
+//!    update per cycle; the single-ported ablation variant doubles the
+//!    per-update cost (read cycle + write-back cycle).
+//! 3. **Fire scans and the TLU.** A `FIRE_OP` costs one time-multiplexed scan
+//!    of [`SneConfig::neurons_per_cluster`] cycles per cluster, unless every
+//!    cluster can skip the scan via its time-of-last-update (TLU) register —
+//!    the lazy-leak optimization — in which case it costs a single sequencer
+//!    cycle. Lazy leak is *functionally* identical to an eager scan (checked
+//!    by a property test).
+//! 4. **Resets.** A `RST_OP` costs one cycle: all clusters clear their state
+//!    in parallel.
+//! 5. **Memory stalls.** Streamer DMAs move one packed 32-bit event word per
+//!    cycle through 16-word FIFOs backed by a latency/contention
+//!    [`memory::MemoryModel`]; when the memory cannot sustain the engine's
+//!    consumption rate (or weights must be streamed per event because a
+//!    layer's filters exceed [`SneConfig::weight_buffer_sets`]), the missing
+//!    cycles are added to the total as stalls.
+//! 6. **Clock gating.** Clusters not addressed by the current event are
+//!    clock-gated; [`stats::CycleStats`] accounts active versus gated
+//!    cluster-cycles, which is what makes the energy model in `sne-energy`
+//!    activity-proportional.
+//!
 //! # Example
 //!
 //! ```

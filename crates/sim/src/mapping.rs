@@ -28,7 +28,10 @@ pub struct LifHardwareParams {
 
 impl Default for LifHardwareParams {
     fn default() -> Self {
-        Self { leak: 0, threshold: 16 }
+        Self {
+            leak: 0,
+            threshold: 16,
+        }
     }
 }
 
@@ -47,7 +50,11 @@ impl MapShape {
     /// Creates a shape.
     #[must_use]
     pub fn new(channels: u16, height: u16, width: u16) -> Self {
-        Self { channels, height, width }
+        Self {
+            channels,
+            height,
+            width,
+        }
     }
 
     /// Total number of positions.
@@ -154,7 +161,13 @@ impl LayerMapping {
                 reason: format!("expected {expected} weights, got {}", weights.len()),
             });
         }
-        Ok(Self::Conv { input, out_channels, kernel, weights, params })
+        Ok(Self::Conv {
+            input,
+            out_channels,
+            kernel,
+            weights,
+            params,
+        })
     }
 
     /// Creates a fully-connected mapping.
@@ -182,7 +195,12 @@ impl LayerMapping {
                 reason: format!("expected {expected} weights, got {}", weights.len()),
             });
         }
-        Ok(Self::Dense { input, outputs, weights, params })
+        Ok(Self::Dense {
+            input,
+            outputs,
+            weights,
+            params,
+        })
     }
 
     /// Input feature-map shape.
@@ -197,7 +215,11 @@ impl LayerMapping {
     #[must_use]
     pub fn output_shape(&self) -> MapShape {
         match self {
-            Self::Conv { input, out_channels, .. } => MapShape::new(*out_channels, input.height, input.width),
+            Self::Conv {
+                input,
+                out_channels,
+                ..
+            } => MapShape::new(*out_channels, input.height, input.width),
             Self::Dense { outputs, .. } => MapShape::new(*outputs, 1, 1),
         }
     }
@@ -247,10 +269,20 @@ impl LayerMapping {
     /// `range` (the address filter + address shift of the slices assigned to
     /// that range). The returned neuron indices are global.
     #[must_use]
-    pub fn contributions_in_range(&self, event: &Event, range: std::ops::Range<usize>) -> Vec<Contribution> {
+    pub fn contributions_in_range(
+        &self,
+        event: &Event,
+        range: std::ops::Range<usize>,
+    ) -> Vec<Contribution> {
         let mut out = Vec::new();
         match self {
-            Self::Conv { input, out_channels, kernel, weights, .. } => {
+            Self::Conv {
+                input,
+                out_channels,
+                kernel,
+                weights,
+                ..
+            } => {
                 let out_shape = self.output_shape();
                 let half = i32::from(*kernel / 2);
                 for oc in 0..*out_channels {
@@ -275,17 +307,28 @@ impl LayerMapping {
                                 + usize::from(ky))
                                 * usize::from(*kernel)
                                 + usize::from(kx);
-                            out.push(Contribution { neuron, weight: weights[w_idx] });
+                            out.push(Contribution {
+                                neuron,
+                                weight: weights[w_idx],
+                            });
                         }
                     }
                 }
             }
-            Self::Dense { input, outputs, weights, .. } => {
+            Self::Dense {
+                input,
+                outputs,
+                weights,
+                ..
+            } => {
                 let in_idx = input.index(event.ch, event.y, event.x);
                 let inputs = input.len();
                 for o in 0..usize::from(*outputs) {
                     if range.contains(&o) {
-                        out.push(Contribution { neuron: o, weight: weights[o * inputs + in_idx] });
+                        out.push(Contribution {
+                            neuron: o,
+                            weight: weights[o * inputs + in_idx],
+                        });
                     }
                 }
             }
@@ -320,29 +363,65 @@ mod tests {
             2,
             3,
             weights,
-            LifHardwareParams { leak: 0, threshold: 4 },
+            LifHardwareParams {
+                leak: 0,
+                threshold: 4,
+            },
         )
         .unwrap()
     }
 
     #[test]
     fn conv_mapping_validates_geometry() {
-        assert!(LayerMapping::conv(MapShape::new(1, 4, 4), 2, 3, vec![0; 5], LifHardwareParams::default())
-            .is_err());
-        assert!(LayerMapping::conv(MapShape::new(1, 4, 4), 2, 2, vec![0; 8], LifHardwareParams::default())
-            .is_err());
-        assert!(LayerMapping::conv(MapShape::new(0, 4, 4), 2, 3, vec![], LifHardwareParams::default())
-            .is_err());
+        assert!(LayerMapping::conv(
+            MapShape::new(1, 4, 4),
+            2,
+            3,
+            vec![0; 5],
+            LifHardwareParams::default()
+        )
+        .is_err());
+        assert!(LayerMapping::conv(
+            MapShape::new(1, 4, 4),
+            2,
+            2,
+            vec![0; 8],
+            LifHardwareParams::default()
+        )
+        .is_err());
+        assert!(LayerMapping::conv(
+            MapShape::new(0, 4, 4),
+            2,
+            3,
+            vec![],
+            LifHardwareParams::default()
+        )
+        .is_err());
     }
 
     #[test]
     fn dense_mapping_validates_geometry() {
-        assert!(LayerMapping::dense(MapShape::new(1, 2, 2), 3, vec![0; 12], LifHardwareParams::default())
-            .is_ok());
-        assert!(LayerMapping::dense(MapShape::new(1, 2, 2), 3, vec![0; 11], LifHardwareParams::default())
-            .is_err());
-        assert!(LayerMapping::dense(MapShape::new(1, 2, 2), 0, vec![], LifHardwareParams::default())
-            .is_err());
+        assert!(LayerMapping::dense(
+            MapShape::new(1, 2, 2),
+            3,
+            vec![0; 12],
+            LifHardwareParams::default()
+        )
+        .is_ok());
+        assert!(LayerMapping::dense(
+            MapShape::new(1, 2, 2),
+            3,
+            vec![0; 11],
+            LifHardwareParams::default()
+        )
+        .is_err());
+        assert!(LayerMapping::dense(
+            MapShape::new(1, 2, 2),
+            0,
+            vec![],
+            LifHardwareParams::default()
+        )
+        .is_err());
     }
 
     #[test]
@@ -402,8 +481,13 @@ mod tests {
     #[test]
     fn dense_contributions_cover_all_outputs() {
         let weights: Vec<i8> = (0..12).map(|i| (i % 5) as i8 - 2).collect();
-        let m = LayerMapping::dense(MapShape::new(1, 2, 2), 3, weights.clone(), LifHardwareParams::default())
-            .unwrap();
+        let m = LayerMapping::dense(
+            MapShape::new(1, 2, 2),
+            3,
+            weights.clone(),
+            LifHardwareParams::default(),
+        )
+        .unwrap();
         let event = Event::update(0, 0, 1, 0); // flattened input index 1
         let contributions = m.contributions(&event);
         assert_eq!(contributions.len(), 3);

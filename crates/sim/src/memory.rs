@@ -25,7 +25,13 @@ impl MemoryModel {
     /// requestor contention penalty (cycles).
     #[must_use]
     pub fn new(latency: u32, contention_penalty: u32) -> Self {
-        Self { latency, contention_penalty, events: Vec::new(), reads: 0, writes: 0 }
+        Self {
+            latency,
+            contention_penalty,
+            events: Vec::new(),
+            reads: 0,
+            writes: 0,
+        }
     }
 
     /// Access latency in cycles for a single requestor.

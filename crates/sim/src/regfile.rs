@@ -93,7 +93,11 @@ impl RegisterFile {
         values.insert(Register::Id as u32, SNE_ID);
         values.insert(Register::ActiveSlices as u32, 1);
         values.insert(Register::Features as u32, 0b111);
-        Self { values, writes: 0, reads: 0 }
+        Self {
+            values,
+            writes: 0,
+            reads: 0,
+        }
     }
 
     /// Writes a register by address.
@@ -191,8 +195,14 @@ mod tests {
     #[test]
     fn unknown_addresses_are_rejected() {
         let mut rf = RegisterFile::new();
-        assert!(matches!(rf.write(0x100, 1), Err(SimError::UnknownRegister(0x100))));
-        assert!(matches!(rf.read(0x101), Err(SimError::UnknownRegister(0x101))));
+        assert!(matches!(
+            rf.write(0x100, 1),
+            Err(SimError::UnknownRegister(0x100))
+        ));
+        assert!(matches!(
+            rf.read(0x101),
+            Err(SimError::UnknownRegister(0x101))
+        ));
     }
 
     #[test]

@@ -19,7 +19,10 @@ impl Sequencer {
     /// Creates a sequencer for clusters with `neurons_per_cluster` TDM neurons.
     #[must_use]
     pub fn new(neurons_per_cluster: usize) -> Self {
-        Self { neurons_per_cluster, issued_addresses: 0 }
+        Self {
+            neurons_per_cluster,
+            issued_addresses: 0,
+        }
     }
 
     /// Number of TDM neurons addressed per cluster.

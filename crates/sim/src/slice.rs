@@ -49,9 +49,15 @@ impl Slice {
     /// Creates a slice with the cluster geometry of `config`.
     #[must_use]
     pub fn new(config: &SneConfig) -> Self {
-        let clusters =
-            (0..config.clusters_per_slice).map(|_| Cluster::new(config.neurons_per_cluster)).collect();
-        Self { clusters, neurons_per_cluster: config.neurons_per_cluster, base: 0, assigned: 0 }
+        let clusters = (0..config.clusters_per_slice)
+            .map(|_| Cluster::new(config.neurons_per_cluster))
+            .collect();
+        Self {
+            clusters,
+            neurons_per_cluster: config.neurons_per_cluster,
+            base: 0,
+            assigned: 0,
+        }
     }
 
     /// Number of clusters.
@@ -80,7 +86,10 @@ impl Slice {
     ///
     /// Panics if `count` exceeds the slice capacity.
     pub fn configure_pass(&mut self, base: usize, count: usize) {
-        assert!(count <= self.capacity(), "pass assignment exceeds slice capacity");
+        assert!(
+            count <= self.capacity(),
+            "pass assignment exceeds slice capacity"
+        );
         self.base = base;
         self.assigned = count;
         self.reset();
@@ -119,8 +128,16 @@ impl Slice {
             // Without clock gating every cluster toggles during the event window.
             0
         };
-        let active = if clock_gating { active } else { self.clusters.len() as u64 };
-        UpdateOutcome { synaptic_ops: ops, active_clusters: active, gated_clusters: gated }
+        let active = if clock_gating {
+            active
+        } else {
+            self.clusters.len() as u64
+        };
+        UpdateOutcome {
+            synaptic_ops: ops,
+            active_clusters: active,
+            gated_clusters: gated,
+        }
     }
 
     /// Processes one `FIRE_OP`: every cluster scans its TDM neurons and emits
@@ -154,7 +171,10 @@ impl Slice {
     /// Total synaptic operations performed by this slice's clusters.
     #[must_use]
     pub fn synaptic_ops(&self) -> u64 {
-        self.clusters.iter().map(|c| c.counters().synaptic_ops).sum()
+        self.clusters
+            .iter()
+            .map(|c| c.counters().synaptic_ops)
+            .sum()
     }
 }
 
@@ -164,10 +184,17 @@ mod tests {
     use crate::mapping::Contribution;
 
     fn small_config() -> SneConfig {
-        SneConfig { clusters_per_slice: 4, neurons_per_cluster: 8, ..SneConfig::default() }
+        SneConfig {
+            clusters_per_slice: 4,
+            neurons_per_cluster: 8,
+            ..SneConfig::default()
+        }
     }
 
-    const PARAMS: LifHardwareParams = LifHardwareParams { leak: 0, threshold: 5 };
+    const PARAMS: LifHardwareParams = LifHardwareParams {
+        leak: 0,
+        threshold: 5,
+    };
 
     #[test]
     fn capacity_is_clusters_times_neurons() {
@@ -195,9 +222,18 @@ mod tests {
         let mut slice = Slice::new(&small_config());
         slice.configure_pass(0, 32);
         let contributions = [
-            Contribution { neuron: 0, weight: 3 },
-            Contribution { neuron: 9, weight: 4 },  // cluster 1, neuron 1
-            Contribution { neuron: 31, weight: -2 }, // cluster 3, neuron 7
+            Contribution {
+                neuron: 0,
+                weight: 3,
+            },
+            Contribution {
+                neuron: 9,
+                weight: 4,
+            }, // cluster 1, neuron 1
+            Contribution {
+                neuron: 31,
+                weight: -2,
+            }, // cluster 3, neuron 7
         ];
         let outcome = slice.process_update(&contributions, PARAMS, true);
         assert_eq!(outcome.synaptic_ops, 3);
@@ -210,7 +246,10 @@ mod tests {
     fn update_respects_base_offset() {
         let mut slice = Slice::new(&small_config());
         slice.configure_pass(100, 32);
-        let contributions = [Contribution { neuron: 100, weight: 7 }];
+        let contributions = [Contribution {
+            neuron: 100,
+            weight: 7,
+        }];
         let outcome = slice.process_update(&contributions, PARAMS, true);
         assert_eq!(outcome.synaptic_ops, 1);
         // Neuron 100 maps to cluster 0, local neuron 0; it should fire.
@@ -222,7 +261,10 @@ mod tests {
     fn clock_gating_off_activates_every_cluster() {
         let mut slice = Slice::new(&small_config());
         slice.configure_pass(0, 32);
-        let contributions = [Contribution { neuron: 0, weight: 1 }];
+        let contributions = [Contribution {
+            neuron: 0,
+            weight: 1,
+        }];
         let outcome = slice.process_update(&contributions, PARAMS, false);
         assert_eq!(outcome.active_clusters, 4);
         assert_eq!(outcome.gated_clusters, 0);
@@ -233,7 +275,14 @@ mod tests {
         let mut slice = Slice::new(&small_config());
         slice.configure_pass(0, 32);
         // Only cluster 0 receives an update.
-        let _ = slice.process_update(&[Contribution { neuron: 0, weight: 7 }], PARAMS, true);
+        let _ = slice.process_update(
+            &[Contribution {
+                neuron: 0,
+                weight: 7,
+            }],
+            PARAMS,
+            true,
+        );
         let fire = slice.process_fire(PARAMS, true);
         assert_eq!(fire.fired, vec![0]);
         assert_eq!(fire.scanned_clusters, 1);

@@ -133,7 +133,10 @@ mod tests {
 
     #[test]
     fn duration_follows_clock() {
-        let s = CycleStats { total_cycles: 400_000, ..Default::default() };
+        let s = CycleStats {
+            total_cycles: 400_000,
+            ..Default::default()
+        };
         assert!((s.duration_ns(400.0) - 1_000_000.0).abs() < 1e-6);
         assert!((s.duration_ms(400.0) - 1.0).abs() < 1e-9);
     }
@@ -141,7 +144,11 @@ mod tests {
     #[test]
     fn achieved_gsops_counts_sops_per_nanosecond() {
         // 128 SOPs per cycle at 400 MHz = 51.2 GSOP/s.
-        let s = CycleStats { total_cycles: 1_000, synaptic_ops: 128_000, ..Default::default() };
+        let s = CycleStats {
+            total_cycles: 1_000,
+            synaptic_ops: 128_000,
+            ..Default::default()
+        };
         assert!((s.achieved_gsops(400.0) - 51.2).abs() < 1e-9);
     }
 

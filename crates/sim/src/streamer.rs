@@ -50,7 +50,12 @@ impl Streamer {
     /// the memory cannot sustain one word per interval.
     #[must_use]
     pub fn new(format: EventFormat, fifo_depth: usize, consume_interval: u32) -> Self {
-        Self { format, fifo_depth, fifo: VecDeque::with_capacity(fifo_depth), consume_interval }
+        Self {
+            format,
+            fifo_depth,
+            fifo: VecDeque::with_capacity(fifo_depth),
+            consume_interval,
+        }
     }
 
     /// Depth of the internal FIFO in events.
@@ -98,7 +103,11 @@ impl Streamer {
             events.push(event);
         }
         self.fifo.clear();
-        Ok(StreamInResult { events, words_read, stall_cycles })
+        Ok(StreamInResult {
+            events,
+            words_read,
+            stall_cycles,
+        })
     }
 
     /// Streams a buffer of events back to memory, encoding each one.
@@ -126,7 +135,10 @@ impl Streamer {
             }
             credit = credit.min(self.fifo_depth as i64 * i64::from(self.consume_interval));
         }
-        Ok(StreamOutResult { words_written, stall_cycles })
+        Ok(StreamOutResult {
+            words_written,
+            stall_cycles,
+        })
     }
 
     fn push_fifo(&mut self, event: Event) {

@@ -55,13 +55,23 @@ impl Trace {
     /// Creates a disabled trace (records are discarded).
     #[must_use]
     pub fn disabled() -> Self {
-        Self { enabled: false, capacity: 0, records: Vec::new(), dropped: 0 }
+        Self {
+            enabled: false,
+            capacity: 0,
+            records: Vec::new(),
+            dropped: 0,
+        }
     }
 
     /// Creates an enabled trace holding at most `capacity` records.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { enabled: true, capacity, records: Vec::with_capacity(capacity.min(4096)), dropped: 0 }
+        Self {
+            enabled: true,
+            capacity,
+            records: Vec::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
     }
 
     /// Returns `true` if records are being kept.
@@ -128,10 +138,27 @@ mod tests {
     #[test]
     fn records_preserve_order_and_payload() {
         let mut t = Trace::with_capacity(8);
-        t.push(TraceRecord::PassStart { pass: 0, channels: vec![0, 1] });
-        t.push(TraceRecord::EventConsumed { time: 3, channel: 1, address: (4, 5), synaptic_ops: 9 });
-        t.push(TraceRecord::FireScan { time: 3, emitted: 2 });
+        t.push(TraceRecord::PassStart {
+            pass: 0,
+            channels: vec![0, 1],
+        });
+        t.push(TraceRecord::EventConsumed {
+            time: 3,
+            channel: 1,
+            address: (4, 5),
+            synaptic_ops: 9,
+        });
+        t.push(TraceRecord::FireScan {
+            time: 3,
+            emitted: 2,
+        });
         assert_eq!(t.records().len(), 3);
-        assert!(matches!(t.records()[1], TraceRecord::EventConsumed { synaptic_ops: 9, .. }));
+        assert!(matches!(
+            t.records()[1],
+            TraceRecord::EventConsumed {
+                synaptic_ops: 9,
+                ..
+            }
+        ));
     }
 }

@@ -45,7 +45,13 @@ impl CrossBar {
     /// Creates a crossbar connected to `num_slices` slices.
     #[must_use]
     pub fn new(num_slices: usize, broadcast_enabled: bool) -> Self {
-        Self { num_slices, broadcast_enabled, transfers: 0, broadcast_transfers: 0, cycles: 0 }
+        Self {
+            num_slices,
+            broadcast_enabled,
+            transfers: 0,
+            broadcast_transfers: 0,
+            cycles: 0,
+        }
     }
 
     /// Number of slice ports.

@@ -17,7 +17,12 @@ fn main() -> Result<(), SneError> {
     let topology = Topology::tiny(Shape::new(2, 16, 16), 8, 11);
 
     // Train the floating-point rate network (stand-in for SLAYER).
-    let config = TrainConfig { epochs: 3, batch_size: 8, learning_rate: 0.08, ..TrainConfig::default() };
+    let config = TrainConfig {
+        epochs: 3,
+        batch_size: 8,
+        learning_rate: 0.08,
+        ..TrainConfig::default()
+    };
     println!("training on 44 synthetic gesture samples ...");
     let outcome = train(&topology, &dataset, 0..44, &config)?;
     for epoch in &outcome.history {

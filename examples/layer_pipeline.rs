@@ -37,8 +37,10 @@ fn main() -> Result<(), SneError> {
         );
     }
     println!();
-    println!("total inference: {:.3} ms, {:.2} uJ, predicted class {}",
-        result.inference_time_ms, result.energy.energy_uj, result.predicted_class);
+    println!(
+        "total inference: {:.3} ms, {:.2} uJ, predicted class {}",
+        result.inference_time_ms, result.energy.energy_uj, result.predicted_class
+    );
     println!();
     println!("Layers whose pass count is 1 fit entirely on the engine and could run");
     println!("in the pipelined layer-per-slice mode; layers with more passes must be");

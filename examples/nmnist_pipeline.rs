@@ -40,12 +40,19 @@ fn main() -> Result<(), SneError> {
             hardware.predicted_class,
             hardware.output_spike_counts.iter().sum::<u32>(),
             reference.predicted_class(),
-            if golden_counts == hardware.output_spike_counts { "bit-exact" } else { "MISMATCH" }
+            if golden_counts == hardware.output_spike_counts {
+                "bit-exact"
+            } else {
+                "MISMATCH"
+            }
         );
     }
 
     println!();
     println!("{matching}/{checked} inferences are bit-exact against the functional model");
-    println!("mean energy per inference: {:.2} uJ", total_energy / f64::from(checked));
+    println!(
+        "mean energy per inference: {:.2} uJ",
+        total_energy / f64::from(checked)
+    );
     Ok(())
 }

@@ -26,7 +26,11 @@ fn main() -> Result<(), SneError> {
     // 3. Build an input event stream (2 % activity over 64 timesteps, the
     //    order of magnitude a DVS camera produces).
     let input = proportionality::stream_with_activity((2, 16, 16), 64, 0.02, 7);
-    println!("input stream: {} events ({:.2} % activity)", input.spike_count(), input.activity() * 100.0);
+    println!(
+        "input stream: {} events ({:.2} % activity)",
+        input.spike_count(),
+        input.activity() * 100.0
+    );
 
     // 4. Run it on an 8-slice SNE.
     let mut accelerator = SneAccelerator::new(SneConfig::with_slices(8));
@@ -37,10 +41,19 @@ fn main() -> Result<(), SneError> {
     println!("output spike counts    : {:?}", result.output_spike_counts);
     println!("total cycles           : {}", result.stats.total_cycles);
     println!("synaptic operations    : {}", result.stats.synaptic_ops);
-    println!("inference time         : {:.3} ms", result.inference_time_ms);
-    println!("inference rate         : {:.1} inf/s", result.inference_rate);
+    println!(
+        "inference time         : {:.3} ms",
+        result.inference_time_ms
+    );
+    println!(
+        "inference rate         : {:.1} inf/s",
+        result.inference_rate
+    );
     println!("energy per inference   : {:.2} uJ", result.energy.energy_uj);
-    println!("energy per operation   : {:.3} pJ/SOP", result.energy.energy_per_sop_pj);
+    println!(
+        "energy per operation   : {:.3} pJ/SOP",
+        result.energy.energy_per_sop_pj
+    );
     println!();
     println!("per-layer execution:");
     for layer in &result.layers {

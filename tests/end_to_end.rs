@@ -19,8 +19,14 @@ fn two_class_dataset() -> PatternDataset {
         2,
         24,
         vec![
-            MotionPattern::TranslatingBar { speed: 1.5, width: 3 },
-            MotionPattern::PulsingRing { period: 12.0, max_radius_fraction: 0.8 },
+            MotionPattern::TranslatingBar {
+                speed: 1.5,
+                width: 3,
+            },
+            MotionPattern::PulsingRing {
+                period: 12.0,
+                max_radius_fraction: 0.8,
+            },
         ],
         99,
     )
@@ -30,17 +36,25 @@ fn two_class_dataset() -> PatternDataset {
 fn trained_network_beats_chance_on_the_accelerator() {
     let dataset = two_class_dataset();
     let topology = Topology::tiny(Shape::new(2, 16, 16), 4, 2);
-    let config = TrainConfig { epochs: 4, batch_size: 4, learning_rate: 0.1, ..TrainConfig::default() };
+    let config = TrainConfig {
+        epochs: 4,
+        batch_size: 4,
+        learning_rate: 0.1,
+        ..TrainConfig::default()
+    };
     let outcome = train(&topology, &dataset, 0..24, &config).expect("training succeeds");
 
-    let network = CompiledNetwork::from_rate_network(&outcome.network).expect("compilation succeeds");
+    let network =
+        CompiledNetwork::from_rate_network(&outcome.network).expect("compilation succeeds");
     let mut accelerator = SneAccelerator::new(SneConfig::with_slices(8));
 
     let mut results = Vec::new();
     let mut correct = Vec::new();
     for index in 24..40u64 {
         let sample = dataset.sample(index);
-        let result = accelerator.run(&network, &sample.stream).expect("inference succeeds");
+        let result = accelerator
+            .run(&network, &sample.stream)
+            .expect("inference succeeds");
         correct.push(result.predicted_class == sample.label);
         results.push(result);
     }
@@ -60,7 +74,12 @@ fn srm_baseline_and_quantized_network_have_comparable_accuracy() {
     // accuracy relative to the SRM baseline trained the same way.
     let dataset = two_class_dataset();
     let topology = Topology::tiny(Shape::new(2, 16, 16), 4, 2);
-    let config = TrainConfig { epochs: 4, batch_size: 4, learning_rate: 0.1, ..TrainConfig::default() };
+    let config = TrainConfig {
+        epochs: 4,
+        batch_size: 4,
+        learning_rate: 0.1,
+        ..TrainConfig::default()
+    };
     let outcome = train(&topology, &dataset, 0..24, &config).expect("training succeeds");
 
     let mut srm = to_srm_network(&outcome.network).expect("SRM conversion succeeds");
@@ -69,8 +88,16 @@ fn srm_baseline_and_quantized_network_have_comparable_accuracy() {
 
     let srm_eval = evaluate(&mut srm, &dataset, 24..40).expect("SRM evaluation succeeds");
     let lif_eval = evaluate(&mut lif, &dataset, 24..40).expect("LIF evaluation succeeds");
-    assert!(srm_eval.accuracy() > 0.55, "SRM accuracy {}", srm_eval.accuracy());
-    assert!(lif_eval.accuracy() > 0.55, "LIF-4b accuracy {}", lif_eval.accuracy());
+    assert!(
+        srm_eval.accuracy() > 0.55,
+        "SRM accuracy {}",
+        srm_eval.accuracy()
+    );
+    assert!(
+        lif_eval.accuracy() > 0.55,
+        "LIF-4b accuracy {}",
+        lif_eval.accuracy()
+    );
     assert!(
         (srm_eval.accuracy() - lif_eval.accuracy()).abs() <= 0.3,
         "quantization should not change accuracy wildly: SRM {} vs LIF {}",
@@ -85,9 +112,17 @@ fn energy_is_proportional_to_input_events() {
     let topology = Topology::tiny(Shape::new(2, 12, 12), 4, 3);
     let network = CompiledNetwork::random(&topology, &mut rng).expect("compilation succeeds");
     let mut accelerator = SneAccelerator::new(SneConfig::with_slices(8));
-    let points = activity_sweep(&mut accelerator, &network, 40, &[0.005, 0.01, 0.02, 0.04], 8)
-        .expect("sweep succeeds");
-    assert!(points.windows(2).all(|w| w[0].input_events < w[1].input_events));
+    let points = activity_sweep(
+        &mut accelerator,
+        &network,
+        40,
+        &[0.005, 0.01, 0.02, 0.04],
+        8,
+    )
+    .expect("sweep succeeds");
+    assert!(points
+        .windows(2)
+        .all(|w| w[0].input_events < w[1].input_events));
     assert!(points.windows(2).all(|w| w[0].energy_uj < w[1].energy_uj));
     let r = proportionality_correlation(&points);
     assert!(r > 0.98, "events/cycles correlation {r} should be ~1");
@@ -96,7 +131,10 @@ fn energy_is_proportional_to_input_events() {
     // 48-cycle consumption latency, independent of the activity level.
     for p in &points {
         assert!(p.synaptic_ops > 0);
-        assert!(p.cycles >= p.input_events * 48, "every event costs at least 48 cycles");
+        assert!(
+            p.cycles >= p.input_events * 48,
+            "every event costs at least 48 cycles"
+        );
     }
 }
 
@@ -110,7 +148,9 @@ fn gesture_and_nmnist_surrogates_run_on_the_full_stack() {
         .expect("gesture network compiles");
     let mut accelerator = SneAccelerator::new(SneConfig::with_slices(4));
     let sample = gesture.sample(0);
-    let result = accelerator.run(&network, &sample.stream).expect("gesture inference succeeds");
+    let result = accelerator
+        .run(&network, &sample.stream)
+        .expect("gesture inference succeeds");
     assert!(result.predicted_class < 11);
     assert!(result.stats.synaptic_ops > 0);
 
@@ -118,7 +158,9 @@ fn gesture_and_nmnist_surrogates_run_on_the_full_stack() {
     let network = CompiledNetwork::random(&Topology::tiny(Shape::new(2, 34, 34), 4, 10), &mut rng)
         .expect("nmnist network compiles");
     let sample = nmnist.sample(3);
-    let result = accelerator.run(&network, &sample.stream).expect("nmnist inference succeeds");
+    let result = accelerator
+        .run(&network, &sample.stream)
+        .expect("nmnist inference succeeds");
     assert_eq!(result.output_spike_counts.len(), 10);
 }
 
@@ -131,25 +173,49 @@ fn ablations_change_timing_but_not_results() {
 
     let base = SneConfig::with_slices(4);
     let variants = [
-        SneConfig { tlu_enabled: false, ..base },
-        SneConfig { clock_gating: false, ..base },
-        SneConfig { broadcast: false, ..base },
-        SneConfig { double_buffered_state: false, ..base },
+        SneConfig {
+            tlu_enabled: false,
+            ..base
+        },
+        SneConfig {
+            clock_gating: false,
+            ..base
+        },
+        SneConfig {
+            broadcast: false,
+            ..base
+        },
+        SneConfig {
+            double_buffered_state: false,
+            ..base
+        },
     ];
     let mut baseline_accel = SneAccelerator::new(base);
-    let baseline = baseline_accel.run(&network, &stream).expect("baseline run succeeds");
+    let baseline = baseline_accel
+        .run(&network, &stream)
+        .expect("baseline run succeeds");
     for config in variants {
         let mut accelerator = SneAccelerator::new(config);
-        let result = accelerator.run(&network, &stream).expect("variant run succeeds");
+        let result = accelerator
+            .run(&network, &stream)
+            .expect("variant run succeeds");
         assert_eq!(result.output_spike_counts, baseline.output_spike_counts);
     }
 
     // Specific timing effects.
-    let mut no_tlu = SneAccelerator::new(SneConfig { tlu_enabled: false, ..base });
+    let mut no_tlu = SneAccelerator::new(SneConfig {
+        tlu_enabled: false,
+        ..base
+    });
     let no_tlu_run = no_tlu.run(&network, &stream).expect("no-TLU run succeeds");
     assert!(no_tlu_run.stats.fire_cycles >= baseline.stats.fire_cycles);
 
-    let mut single_port = SneAccelerator::new(SneConfig { double_buffered_state: false, ..base });
-    let single_port_run = single_port.run(&network, &stream).expect("single-port run succeeds");
+    let mut single_port = SneAccelerator::new(SneConfig {
+        double_buffered_state: false,
+        ..base
+    });
+    let single_port_run = single_port
+        .run(&network, &stream)
+        .expect("single-port run succeeds");
     assert!(single_port_run.stats.update_cycles > baseline.stats.update_cycles);
 }

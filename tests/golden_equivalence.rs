@@ -29,10 +29,16 @@ fn conv_outputs_match(seed: u64, slices: usize, activity: f64) {
     let weights: Vec<i8> = (0..weight_count).map(|_| rng.gen_range(-4i8..=5)).collect();
 
     // Functional model.
-    let params = LifParams { leak, threshold, ..LifParams::default() };
+    let params = LifParams {
+        leak,
+        threshold,
+        ..LifParams::default()
+    };
     let mut model_layer =
         ConvLayer::new(input_shape, out_channels, kernel, NeuronConfig::Lif(params)).unwrap();
-    model_layer.set_weights(weights.iter().map(|&w| f32::from(w)).collect()).unwrap();
+    model_layer
+        .set_weights(weights.iter().map(|&w| f32::from(w)).collect())
+        .unwrap();
 
     // Hardware mapping.
     let mapping = LayerMapping::conv(
@@ -82,8 +88,11 @@ fn conv_outputs_match(seed: u64, slices: usize, activity: f64) {
     // Engine run.
     let mut engine = Engine::new(SneConfig::with_slices(slices));
     let result = engine.run_layer(&mapping, &stream).unwrap();
-    let engine_spikes: std::collections::BTreeSet<(u32, u16, u16, u16)> =
-        result.output.iter().map(|e| (e.t, e.ch, e.y, e.x)).collect();
+    let engine_spikes: std::collections::BTreeSet<(u32, u16, u16, u16)> = result
+        .output
+        .iter()
+        .map(|e| (e.t, e.ch, e.y, e.x))
+        .collect();
 
     assert_eq!(
         model_spikes, engine_spikes,
@@ -120,10 +129,16 @@ fn dense_layer_matches_the_functional_model() {
             .collect();
         let threshold = rng.gen_range(2..=12) as i16;
 
-        let params = LifParams { leak: 1, threshold, ..LifParams::default() };
+        let params = LifParams {
+            leak: 1,
+            threshold,
+            ..LifParams::default()
+        };
         let mut model_layer =
             DenseLayer::new(input_shape, outputs, NeuronConfig::Lif(params)).unwrap();
-        model_layer.set_weights(weights.iter().map(|&w| f32::from(w)).collect()).unwrap();
+        model_layer
+            .set_weights(weights.iter().map(|&w| f32::from(w)).collect())
+            .unwrap();
         let mapping = LayerMapping::dense(
             MapShape::new(2, 3, 3),
             outputs,
@@ -167,9 +182,15 @@ fn dense_layer_matches_the_functional_model() {
 
         let mut engine = Engine::new(SneConfig::with_slices(1));
         let result = engine.run_layer(&mapping, &stream).unwrap();
-        let engine_spikes: std::collections::BTreeSet<(u32, u16, u16, u16)> =
-            result.output.iter().map(|e| (e.t, e.ch, e.y, e.x)).collect();
-        assert_eq!(model_spikes, engine_spikes, "dense outputs diverge for seed {seed}");
+        let engine_spikes: std::collections::BTreeSet<(u32, u16, u16, u16)> = result
+            .output
+            .iter()
+            .map(|e| (e.t, e.ch, e.y, e.x))
+            .collect();
+        assert_eq!(
+            model_spikes, engine_spikes,
+            "dense outputs diverge for seed {seed}"
+        );
     }
 }
 

@@ -14,7 +14,10 @@ fn fig4_area_totals_match_the_paper() {
     for (slices, total_kge) in expected {
         let total = model.total_kge(&SneConfig::with_slices(slices));
         let relative_error = (total - total_kge).abs() / total_kge;
-        assert!(relative_error < 0.01, "{slices}-slice area {total} kGE vs paper {total_kge} kGE");
+        assert!(
+            relative_error < 0.01,
+            "{slices}-slice area {total} kGE vs paper {total_kge} kGE"
+        );
     }
 }
 
@@ -23,17 +26,26 @@ fn fig4_memory_is_the_dominant_component() {
     let model = AreaModel::default();
     for slices in [1, 2, 4, 8] {
         let b = model.breakdown(&SneConfig::with_slices(slices));
-        assert!(b.memory / b.total() > 0.3, "memory should be the largest share");
+        assert!(
+            b.memory / b.total() > 0.3,
+            "memory should be the largest share"
+        );
     }
 }
 
 #[test]
 fn fig5a_power_scales_with_slices_and_stays_dynamic_dominated() {
     let model = PowerModel::default();
-    let powers: Vec<f64> =
-        [1usize, 2, 4, 8].iter().map(|&s| model.peak_total_mw(&SneConfig::with_slices(s))).collect();
+    let powers: Vec<f64> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&s| model.peak_total_mw(&SneConfig::with_slices(s)))
+        .collect();
     assert!(powers.windows(2).all(|w| w[1] > w[0]));
-    assert!((powers[3] - 11.29).abs() < 0.1, "8-slice power {} vs paper 11.29 mW", powers[3]);
+    assert!(
+        (powers[3] - 11.29).abs() < 0.1,
+        "8-slice power {} vs paper 11.29 mW",
+        powers[3]
+    );
     for slices in [1usize, 2, 4, 8] {
         let b = PowerModel::default().breakdown_at_activity(&SneConfig::with_slices(slices), 1.0);
         assert!(b.dynamic() > b.leakage * 5.0);
@@ -52,7 +64,10 @@ fn fig5b_performance_and_energy_match_the_paper() {
     let config = SneConfig::with_slices(8);
     assert!((energy.nominal_energy_per_sop_pj(&config) - 0.221).abs() < 1e-6);
     let efficiency = energy.nominal_efficiency_tsops_w(&config);
-    assert!((efficiency - 4.54).abs() < 0.1, "efficiency {efficiency} vs paper 4.54 TSOP/s/W");
+    assert!(
+        (efficiency - 4.54).abs() < 0.1,
+        "efficiency {efficiency} vs paper 4.54 TSOP/s/W"
+    );
 }
 
 #[test]
@@ -64,11 +79,23 @@ fn table1_energy_and_rate_ranges_match_the_paper() {
     // 7.1 ms / 23.12 ms inference time at 400 MHz.
     let best = energy.inference_energy_uj(&config, 7.1);
     let worst = energy.inference_energy_uj(&config, 23.12);
-    assert!((best - 80.0).abs() < 2.5, "best-case {best} uJ vs paper 80 uJ");
-    assert!((worst - 261.0).abs() < 5.0, "worst-case {worst} uJ vs paper 261 uJ");
+    assert!(
+        (best - 80.0).abs() < 2.5,
+        "best-case {best} uJ vs paper 80 uJ"
+    );
+    assert!(
+        (worst - 261.0).abs() < 5.0,
+        "worst-case {worst} uJ vs paper 261 uJ"
+    );
 
-    let best_stats = sne_sim::CycleStats { total_cycles: 2_840_000, ..Default::default() };
-    let worst_stats = sne_sim::CycleStats { total_cycles: 9_248_000, ..Default::default() };
+    let best_stats = sne_sim::CycleStats {
+        total_cycles: 2_840_000,
+        ..Default::default()
+    };
+    let worst_stats = sne_sim::CycleStats {
+        total_cycles: 9_248_000,
+        ..Default::default()
+    };
     assert!((perf.inference_rate(&config, &best_stats) - 141.0).abs() < 1.0);
     assert!((perf.inference_rate(&config, &worst_stats) - 43.0).abs() < 1.0);
 }
@@ -89,7 +116,10 @@ fn table2_sne_row_and_improvement_match_the_paper() {
         }
     }
     let improvement = efficiency_improvement_over(&config, "Tianjic").unwrap();
-    assert!((improvement - 3.55).abs() < 0.06, "improvement {improvement} vs paper 3.55x");
+    assert!(
+        (improvement - 3.55).abs() < 0.06,
+        "improvement {improvement} vs paper 3.55x"
+    );
 }
 
 #[test]
@@ -99,8 +129,14 @@ fn voltage_extrapolation_matches_section_iv_c() {
     let config = SneConfig::with_slices(8);
     let e09 = scaling.scale_energy(energy.nominal_energy_per_sop_pj(&config), 0.9);
     let eff09 = scaling.scale_efficiency(energy.nominal_efficiency_tsops_w(&config), 0.9);
-    assert!((e09 - 0.248).abs() < 0.002, "0.9 V energy {e09} vs paper 0.248 pJ/SOP");
-    assert!((eff09 - 4.03).abs() < 0.06, "0.9 V efficiency {eff09} vs paper 4.03 TSOP/s/W");
+    assert!(
+        (e09 - 0.248).abs() < 0.002,
+        "0.9 V energy {e09} vs paper 0.248 pJ/SOP"
+    );
+    assert!(
+        (eff09 - 4.03).abs() < 0.06,
+        "0.9 V efficiency {eff09} vs paper 4.03 TSOP/s/W"
+    );
 }
 
 #[test]

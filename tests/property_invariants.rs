@@ -4,13 +4,19 @@
 use proptest::prelude::*;
 use sne_event::{Event, EventFormat, EventOp, EventStream};
 use sne_model::neuron::{LifNeuron, LifParams, Neuron};
-use sne_model::quant::{calibrate_scale, quantize_weight, QuantizedWeights, WEIGHT_MAX, WEIGHT_MIN};
+use sne_model::quant::{
+    calibrate_scale, quantize_weight, QuantizedWeights, WEIGHT_MAX, WEIGHT_MIN,
+};
 use sne_sim::cluster::Cluster;
 use sne_sim::mapping::{LayerMapping, LifHardwareParams, MapShape};
 use sne_sim::{Engine, SneConfig};
 
 fn arbitrary_op() -> impl Strategy<Value = EventOp> {
-    prop_oneof![Just(EventOp::Reset), Just(EventOp::Update), Just(EventOp::Fire)]
+    prop_oneof![
+        Just(EventOp::Reset),
+        Just(EventOp::Update),
+        Just(EventOp::Fire)
+    ]
 }
 
 proptest! {

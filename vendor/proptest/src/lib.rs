@@ -1,0 +1,157 @@
+//! Offline stand-in for `proptest` (see `vendor/README.md`).
+//!
+//! Implements the subset the repository's property tests use: the
+//! [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and [`prop_oneof!`]
+//! macros, the [`strategy::Strategy`] trait for ranges, tuples and
+//! [`strategy::Just`], plus [`collection::vec()`] and [`option::weighted`].
+//!
+//! Properties are genuinely exercised: each `#[test]` samples a fixed number
+//! of random cases (64 by default; the `PROPTEST_CASES` environment variable
+//! overrides) from its strategies with a seed derived from the test name, so
+//! failures are reproducible run over run. Unlike real proptest there is no
+//! shrinking — a failing case is reported as drawn.
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Mirror of the `proptest::prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Expands each `fn name(arg in strategy, ...) { body }` item into a unit
+/// test that samples the strategies for a fixed number of cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::case_count();
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for case in 0..cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(error) = outcome {
+                        panic!(
+                            "property `{}` failed on case {case}/{cases}: {error}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// `assert!` that fails the current property case instead of panicking
+/// directly, mirroring proptest's macro of the same name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        match $cond {
+            true => {}
+            false => {
+                return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                    ::std::concat!("assertion failed: ", ::std::stringify!($cond)),
+                ));
+            }
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        match $cond {
+            true => {}
+            false => {
+                return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                    ::std::format!($($fmt)*),
+                ));
+            }
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left != right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{:?}` != `{:?}` ({} != {})",
+                    left,
+                    right,
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Builds a strategy drawing uniformly from one of the listed strategies,
+/// all of which must produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strategy)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u32..10, y in -4i8..=4, f in 0.0f32..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-4..=4).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_respects_size_range(v in prop::collection::vec(0u8..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn oneof_and_option_cover_variants(
+            pick in prop_oneof![Just(1u8), Just(2u8), Just(3u8)],
+            maybe in prop::option::weighted(0.5, 0u16..4),
+        ) {
+            prop_assert!((1..=3).contains(&pick));
+            if let Some(value) = maybe {
+                prop_assert!(value < 4);
+            }
+        }
+
+        #[test]
+        fn tuples_sample_componentwise(t in (0u32..3, 10i32..13, 0.0f64..1.0)) {
+            prop_assert!(t.0 < 3);
+            prop_assert_eq!(t.1 / 10, 1);
+            prop_assert!(t.2 < 1.0);
+        }
+    }
+
+    #[test]
+    fn same_name_reproduces_the_same_cases() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::from_name("x");
+        let mut b = crate::test_runner::TestRng::from_name("x");
+        for _ in 0..50 {
+            assert_eq!((0u64..1000).sample(&mut a), (0u64..1000).sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! `Option` strategies (`prop::option`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Some(value)` with probability `probability` and
+/// `None` otherwise.
+pub fn weighted<S: Strategy>(probability: f64, inner: S) -> WeightedOption<S> {
+    assert!(
+        (0.0..=1.0).contains(&probability),
+        "probability must be in [0, 1]"
+    );
+    WeightedOption { probability, inner }
+}
+
+/// See [`weighted`].
+#[derive(Debug, Clone)]
+pub struct WeightedOption<S> {
+    probability: f64,
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for WeightedOption<S> {
+    type Value = Option<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.unit_f64() < self.probability {
+            Some(self.inner.sample(rng))
+        } else {
+            None
+        }
+    }
+}

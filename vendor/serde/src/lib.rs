@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! Exposes the `Serialize`/`Deserialize` trait *names* and the matching
+//! derive macros so `#[derive(serde::Serialize, serde::Deserialize)]`
+//! annotations compile. The traits are empty: nothing in this repository
+//! performs serialization yet, so no methods are needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

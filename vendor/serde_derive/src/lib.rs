@@ -1,0 +1,20 @@
+//! No-op stand-in for `serde_derive` (offline build, see `vendor/README.md`).
+//!
+//! The derive macros accept the same input as the real ones (including
+//! `#[serde(...)]` helper attributes) and expand to nothing: no code in this
+//! repository serializes values yet, so no trait impls are required — the
+//! derives only need to be *nameable* for the annotated types to compile.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
