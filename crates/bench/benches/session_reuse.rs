@@ -1,0 +1,71 @@
+//! Criterion bench: compile-once/run-many (`InferenceSession`) versus the
+//! per-call path that re-compiles the network and re-allocates the
+//! accelerator for every inference.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sne::session::InferenceSession;
+use sne::SneAccelerator;
+use sne_bench::{fig6_network, workload};
+use sne_sim::SneConfig;
+
+fn session_reuse(c: &mut Criterion) {
+    let stream = workload(32, 12, 0.01, 7);
+    let config = SneConfig::with_slices(8);
+    let mut group = c.benchmark_group("session_reuse");
+    group.sample_size(20);
+
+    // Old path: every inference compiles the network and builds a fresh
+    // accelerator (mapping construction + engine allocation per call).
+    group.bench_function("per_call_compile_and_run", |b| {
+        b.iter(|| {
+            let network = fig6_network(32, 11, 5);
+            let mut accelerator = SneAccelerator::new(config);
+            let result = accelerator
+                .run(black_box(&network), black_box(&stream))
+                .unwrap();
+            black_box(result.stats.total_cycles)
+        });
+    });
+
+    // Middle ground: compile once, but run through the one-shot accelerator.
+    group.bench_function("accelerator_reuse", |b| {
+        let network = fig6_network(32, 11, 5);
+        let mut accelerator = SneAccelerator::new(config);
+        b.iter(|| {
+            let result = accelerator
+                .run(black_box(&network), black_box(&stream))
+                .unwrap();
+            black_box(result.stats.total_cycles)
+        });
+    });
+
+    // New path: compile once, open one session, run many.
+    group.bench_function("session_infer", |b| {
+        let network = fig6_network(32, 11, 5);
+        let mut session = InferenceSession::new(network, config).unwrap();
+        b.iter(|| {
+            let result = session.infer(black_box(&stream)).unwrap();
+            black_box(result.stats.total_cycles)
+        });
+    });
+
+    // Streaming: the same feed consumed in 4-timestep chunks through one
+    // persistent session (state carried across chunks).
+    group.bench_function("session_push_chunks", |b| {
+        let network = fig6_network(32, 11, 5);
+        let mut session = InferenceSession::new(network, config).unwrap();
+        b.iter(|| {
+            session.reset();
+            let mut cycles = 0u64;
+            for chunk in stream.chunks(4) {
+                cycles += session.push(black_box(&chunk)).unwrap().stats.total_cycles;
+            }
+            black_box(cycles)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, session_reuse);
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Measures the compile-once/run-many speedup and emits a machine-readable
+//! `BENCH_session.json`, so the performance trajectory of the execution
+//! runtime is tracked from PR to PR.
+//!
+//! ```bash
+//! cargo run --release -p sne_bench --bin session_report             # full run
+//! cargo run --release -p sne_bench --bin session_report -- --smoke  # CI smoke
+//! cargo run --release -p sne_bench --bin session_report -- --out x.json
+//! ```
+
+use std::time::Instant;
+
+use sne::session::InferenceSession;
+use sne::SneAccelerator;
+use sne_bench::{fig6_network, workload};
+use sne_sim::SneConfig;
+
+struct PathResult {
+    name: &'static str,
+    mean_us: f64,
+    total_ms: f64,
+    iterations: u32,
+}
+
+fn measure(name: &'static str, iterations: u32, mut run: impl FnMut() -> u64) -> PathResult {
+    // One warm-up call keeps one-time costs out of the mean.
+    let _ = run();
+    let start = Instant::now();
+    let mut checksum = 0u64;
+    for _ in 0..iterations {
+        checksum = checksum.wrapping_add(run());
+    }
+    let elapsed = start.elapsed();
+    // Keep the checksum observable so the calls cannot be optimized away.
+    assert!(checksum > 0, "benchmark workload produced no cycles");
+    let total_ms = elapsed.as_secs_f64() * 1e3;
+    PathResult {
+        name,
+        mean_us: total_ms * 1e3 / f64::from(iterations),
+        total_ms,
+        iterations,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_session.json".to_owned());
+    let iterations: u32 = if smoke { 5 } else { 100 };
+
+    let config = SneConfig::with_slices(8);
+    let stream = workload(32, 12, 0.01, 7);
+
+    // Old path: compile + allocate + run, per call.
+    let per_call = measure("per_call_compile_and_run", iterations, || {
+        let network = fig6_network(32, 11, 5);
+        let mut accelerator = SneAccelerator::new(config);
+        accelerator
+            .run(&network, &stream)
+            .unwrap()
+            .stats
+            .total_cycles
+    });
+
+    // Middle ground: compile once, per-call accelerator entry point.
+    let network = fig6_network(32, 11, 5);
+    let mut accelerator = SneAccelerator::new(config);
+    let reference = accelerator.run(&network, &stream).unwrap();
+    let accel_reuse = measure("accelerator_reuse", iterations, || {
+        accelerator
+            .run(&network, &stream)
+            .unwrap()
+            .stats
+            .total_cycles
+    });
+
+    // New path: one persistent session, repeated inference.
+    let mut session = InferenceSession::new(network.clone(), config).unwrap();
+    let session_result = session.infer(&stream).unwrap();
+    let session_reuse = measure("session_infer", iterations, || {
+        session.infer(&stream).unwrap().stats.total_cycles
+    });
+
+    // Streaming: same feed in 4-timestep chunks through one session.
+    let mut streaming = InferenceSession::new(network, config).unwrap();
+    let session_push = measure("session_push_chunks", iterations, || {
+        streaming.reset();
+        stream
+            .chunks(4)
+            .map(|c| streaming.push(&c).unwrap().stats.total_cycles)
+            .sum()
+    });
+
+    let identical = reference.output_spike_counts == session_result.output_spike_counts
+        && reference.predicted_class == session_result.predicted_class;
+    let speedup = per_call.mean_us / session_reuse.mean_us;
+
+    let paths = [&per_call, &accel_reuse, &session_reuse, &session_push];
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"session_reuse\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    json.push_str(&format!("  \"iterations\": {},\n", iterations));
+    json.push_str(
+        "  \"workload\": {\"network\": \"fig6_32x32\", \"timesteps\": 12, \"activity\": 0.01, \"slices\": 8},\n",
+    );
+    json.push_str("  \"paths\": {\n");
+    for (i, p) in paths.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{\"mean_us\": {:.2}, \"total_ms\": {:.3}, \"iterations\": {}}}{}\n",
+            p.name,
+            p.mean_us,
+            p.total_ms,
+            p.iterations,
+            if i + 1 < paths.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"speedup_session_vs_per_call\": {:.3},\n",
+        speedup
+    ));
+    json.push_str(&format!("  \"functionally_identical\": {}\n", identical));
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_session.json");
+
+    println!("Session runtime — compile-once/run-many vs per-call (8 slices, Fig. 6 @ 32x32, 1 % activity)");
+    println!();
+    for p in paths {
+        println!("{:<26} {:>10.2} us/inference", p.name, p.mean_us);
+    }
+    println!();
+    println!("session vs per-call speedup: {speedup:.2}x (functionally identical: {identical})");
+    println!("wrote {out_path}");
+    assert!(
+        identical,
+        "session and accelerator paths must agree functionally"
+    );
+}

@@ -2,10 +2,13 @@
 
 use sne_energy::{EnergyModel, PerformanceModel};
 use sne_event::EventStream;
-use sne_sim::{CycleStats, Engine, SneConfig};
+use sne_sim::{Engine, SneConfig};
 
-use crate::compile::{CompiledNetwork, Stage};
-use crate::run::{InferenceResult, LayerExecution};
+use crate::compile::CompiledNetwork;
+use crate::run::InferenceResult;
+use crate::session::{
+    check_geometry, classify, pipeline_engines, pipeline_shares, run_stages, wavefront_makespan,
+};
 use crate::SneError;
 
 /// An SNE instance ready to run compiled networks.
@@ -46,6 +49,12 @@ impl SneAccelerator {
 
     /// Runs one inference over an input event stream.
     ///
+    /// Every call executes the compiled stages on this accelerator's engine,
+    /// starting from resting neuron state. For repeated inference on the same
+    /// network prefer an [`crate::session::InferenceSession`], which is what
+    /// this method routes through — the session additionally keeps the
+    /// per-layer state buffers alive across calls and supports streaming.
+    ///
     /// # Errors
     ///
     /// Returns [`SneError::GeometryMismatch`] if the stream does not match
@@ -55,86 +64,37 @@ impl SneAccelerator {
         network: &CompiledNetwork,
         input: &EventStream,
     ) -> Result<InferenceResult, SneError> {
-        let g = input.geometry();
-        let expected = network.input_shape();
-        if (g.channels, g.height, g.width) != expected {
-            return Err(SneError::GeometryMismatch {
-                expected,
-                found: (g.channels, g.height, g.width),
-            });
-        }
+        check_geometry(network, input)?;
         if network.accelerated_layers() == 0 {
             return Err(SneError::EmptyNetwork);
         }
 
         let config = *self.engine.config();
-        let mut stream = input.clone();
-        let mut total = CycleStats::new();
-        let mut layers = Vec::new();
-        let mut activity_sum = 0.0;
-
-        for stage in network.stages() {
-            match stage {
-                Stage::Pool { window, .. } => {
-                    stream = stream.downscale(*window);
-                }
-                Stage::Accelerated {
-                    mapping,
-                    description,
-                } => {
-                    let input_events = stream.spike_count() as u64;
-                    let run = self.engine.run_layer(mapping, &stream)?;
-                    let output_events = run.output.spike_count() as u64;
-                    let neurons = mapping.total_output_neurons() as f64;
-                    let timesteps = f64::from(stream.geometry().timesteps);
-                    let output_activity = if neurons * timesteps > 0.0 {
-                        output_events as f64 / (neurons * timesteps)
-                    } else {
-                        0.0
-                    };
-                    activity_sum += output_activity;
-                    total += run.stats;
-                    layers.push(LayerExecution {
-                        description: description.clone(),
-                        stats: run.stats,
-                        input_events,
-                        output_events,
-                        output_activity,
-                    });
-                    stream = run.output;
-                }
-            }
-        }
+        let outcome = run_stages(
+            std::slice::from_mut(&mut self.engine),
+            network,
+            input,
+            None,
+            false,
+        )?;
 
         // The final stream's neurons are the classes; count spikes per class.
-        let classes = usize::from(network.output_classes());
-        let mut counts = vec![0u32; classes];
-        for event in stream.iter().filter(|e| e.is_spike()) {
-            if usize::from(event.ch) < classes {
-                counts[usize::from(event.ch)] += 1;
-            }
-        }
-        let predicted_class = counts
-            .iter()
-            .enumerate()
-            .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-
-        let energy = self.energy.report(&config, &total);
-        let inference_time_ms = self.performance.inference_time_ms(&config, &total);
-        let inference_rate = self.performance.inference_rate(&config, &total);
-        let accelerated = network.accelerated_layers().max(1) as f64;
+        let (predicted_class, counts) =
+            classify(&outcome.stream, usize::from(network.output_classes()));
+        let energy = self.energy.report(&config, &outcome.total);
+        let inference_time_ms = self.performance.inference_time_ms(&config, &outcome.total);
+        let inference_rate = self.performance.inference_rate(&config, &outcome.total);
+        let mean_activity = outcome.mean_activity();
 
         Ok(InferenceResult {
             predicted_class,
             output_spike_counts: counts,
-            stats: total,
-            layers,
+            stats: outcome.total,
+            layers: outcome.layers,
             energy,
             inference_time_ms,
             inference_rate,
-            mean_activity: activity_sum / accelerated,
+            mean_activity,
         })
     }
 }
@@ -159,120 +119,40 @@ impl SneAccelerator {
         network: &CompiledNetwork,
         input: &EventStream,
     ) -> Result<InferenceResult, SneError> {
-        let g = input.geometry();
-        let expected = network.input_shape();
-        if (g.channels, g.height, g.width) != expected {
-            return Err(SneError::GeometryMismatch {
-                expected,
-                found: (g.channels, g.height, g.width),
-            });
-        }
-        let accelerated = network.accelerated_layers();
-        if accelerated == 0 {
-            return Err(SneError::EmptyNetwork);
-        }
+        check_geometry(network, input)?;
         let config = *self.engine.config();
-        if config.num_slices < accelerated {
-            return Err(SneError::PipelineDoesNotFit {
-                layer: "whole network".to_owned(),
-                required_neurons: accelerated * config.neurons_per_slice(),
-                available_neurons: config.num_slices * config.neurons_per_slice(),
-            });
-        }
-
         // Distribute the slices: every layer gets an equal share, the first
-        // `remainder` layers get one extra slice.
-        let base_share = config.num_slices / accelerated;
-        let remainder = config.num_slices % accelerated;
-
-        let mut stream = input.clone();
-        let mut total = CycleStats::new();
-        let mut makespan = 0u64;
-        let mut layers = Vec::new();
-        let mut activity_sum = 0.0;
-        let mut layer_index = 0usize;
-
-        for stage in network.stages() {
-            match stage {
-                Stage::Pool { window, .. } => {
-                    stream = stream.downscale(*window);
-                }
-                Stage::Accelerated {
-                    mapping,
-                    description,
-                } => {
-                    let slices = base_share + usize::from(layer_index < remainder);
-                    let available = slices * config.neurons_per_slice();
-                    if mapping.total_output_neurons() > available {
-                        return Err(SneError::PipelineDoesNotFit {
-                            layer: description.clone(),
-                            required_neurons: mapping.total_output_neurons(),
-                            available_neurons: available,
-                        });
-                    }
-                    let mut engine = Engine::new(SneConfig {
-                        num_slices: slices,
-                        ..config
-                    });
-                    let input_events = stream.spike_count() as u64;
-                    let run = engine.run_layer(mapping, &stream)?;
-                    let output_events = run.output.spike_count() as u64;
-                    let neurons = mapping.total_output_neurons() as f64;
-                    let timesteps = f64::from(stream.geometry().timesteps);
-                    let output_activity = if neurons * timesteps > 0.0 {
-                        output_events as f64 / (neurons * timesteps)
-                    } else {
-                        0.0
-                    };
-                    activity_sum += output_activity;
-                    makespan = makespan.max(run.stats.total_cycles);
-                    total += run.stats;
-                    layers.push(LayerExecution {
-                        description: description.clone(),
-                        stats: run.stats,
-                        input_events,
-                        output_events,
-                        output_activity,
-                    });
-                    stream = run.output;
-                    layer_index += 1;
-                }
-            }
-        }
+        // `num_slices % layers` layers get one extra slice. The one-shot
+        // entry point discards neuron state at the end, so run stateless;
+        // `PipelinedSession` is the persistent variant.
+        let shares = pipeline_shares(network, &config)?;
+        let mut engines = pipeline_engines(&config, &shares);
+        let outcome = run_stages(&mut engines, network, input, None, false)?;
 
         // In the pipelined mode the layers overlap in time: the inference
-        // duration is the makespan of the slowest layer (plus a negligible
-        // pipeline fill of one event latency per layer, ignored here).
-        let mut pipeline_stats = total;
-        pipeline_stats.total_cycles = makespan;
+        // duration is the makespan of the wavefront across the real
+        // per-timestep layer schedules — layer `l` starts timestep `t` once
+        // it finished `t - 1` and layer `l - 1` delivered `t` over the
+        // C-XBAR.
+        let mut pipeline_stats = outcome.total;
+        pipeline_stats.total_cycles = wavefront_makespan(&outcome.profiles);
 
-        let classes = usize::from(network.output_classes());
-        let mut counts = vec![0u32; classes];
-        for event in stream.iter().filter(|e| e.is_spike()) {
-            if usize::from(event.ch) < classes {
-                counts[usize::from(event.ch)] += 1;
-            }
-        }
-        let predicted_class = counts
-            .iter()
-            .enumerate()
-            .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-
+        let (predicted_class, counts) =
+            classify(&outcome.stream, usize::from(network.output_classes()));
         let energy = self.energy.report(&config, &pipeline_stats);
         let inference_time_ms = self.performance.inference_time_ms(&config, &pipeline_stats);
         let inference_rate = self.performance.inference_rate(&config, &pipeline_stats);
+        let mean_activity = outcome.mean_activity();
 
         Ok(InferenceResult {
             predicted_class,
             output_spike_counts: counts,
             stats: pipeline_stats,
-            layers,
+            layers: outcome.layers,
             energy,
             inference_time_ms,
             inference_rate,
-            mean_activity: activity_sum / accelerated as f64,
+            mean_activity,
         })
     }
 }

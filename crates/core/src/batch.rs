@@ -1,0 +1,237 @@
+//! Serving many users: N independent sessions over N event streams.
+//!
+//! The production scenario the ROADMAP targets is a fleet of SNE instances
+//! consuming sustained event traffic from many sensors/users at once. A
+//! [`BatchRunner`] models exactly that: it compiles the network once, opens
+//! `lanes` independent [`InferenceSession`]s (one persistent engine + neuron
+//! state each), assigns incoming streams round-robin to the lanes, and
+//! aggregates the per-inference [`CycleStats`] and energy into a
+//! [`BatchReport`]. Lanes are independent hardware instances, so the batch
+//! makespan is the busiest lane, while energy adds across all of them.
+
+use std::sync::Arc;
+
+use sne_event::EventStream;
+use sne_sim::{CycleStats, SneConfig};
+
+use crate::compile::CompiledNetwork;
+use crate::run::InferenceResult;
+use crate::session::InferenceSession;
+use crate::SneError;
+
+/// Aggregated outcome of a batch run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// Per-stream results, in input order.
+    pub results: Vec<InferenceResult>,
+    /// Number of parallel lanes (independent SNE instances) used.
+    pub lanes: usize,
+    /// Cycle statistics summed over every inference of the batch.
+    pub total_stats: CycleStats,
+    /// Energy summed over every inference, in µJ.
+    pub total_energy_uj: f64,
+    /// Busy time of the busiest lane in milliseconds — the batch makespan
+    /// when all lanes run concurrently.
+    pub makespan_ms: f64,
+    /// Sustained throughput of the fleet: inferences per second at the
+    /// makespan ([`f64::INFINITY`] for an empty batch).
+    pub aggregate_rate: f64,
+    /// Mean energy per inference in µJ (0 for an empty batch).
+    pub mean_energy_uj: f64,
+}
+
+/// Drives N independent [`InferenceSession`]s over N streams and aggregates
+/// their statistics — the compile-once, serve-many-users runtime.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sne::batch::BatchRunner;
+/// use sne::compile::CompiledNetwork;
+/// use sne::proportionality::stream_with_activity;
+/// use sne_model::topology::Topology;
+/// use sne_model::Shape;
+/// use sne_sim::SneConfig;
+///
+/// # fn main() -> Result<(), sne::SneError> {
+/// let topology = Topology::tiny(Shape::new(2, 8, 8), 4, 3);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let network = CompiledNetwork::random(&topology, &mut rng)?;
+/// let mut runner = BatchRunner::new(network, SneConfig::with_slices(2), 3)?;
+///
+/// let streams: Vec<_> = (0..6)
+///     .map(|i| stream_with_activity((2, 8, 8), 16, 0.04, 100 + i))
+///     .collect();
+/// let report = runner.run(&streams)?;
+/// assert_eq!(report.results.len(), 6);
+/// assert!(report.aggregate_rate > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BatchRunner {
+    sessions: Vec<InferenceSession>,
+}
+
+impl BatchRunner {
+    /// Compiles-once and opens `lanes` sessions sharing the compiled network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SneError::EmptyBatch`] if `lanes` is zero and propagates
+    /// session construction errors.
+    pub fn new(
+        network: impl Into<Arc<CompiledNetwork>>,
+        config: SneConfig,
+        lanes: usize,
+    ) -> Result<Self, SneError> {
+        if lanes == 0 {
+            return Err(SneError::EmptyBatch);
+        }
+        let network = network.into();
+        let sessions = (0..lanes)
+            .map(|_| InferenceSession::new(Arc::clone(&network), config))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { sessions })
+    }
+
+    /// Number of parallel lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// One lane's session (e.g. to stream into it directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    #[must_use]
+    pub fn session_mut(&mut self, lane: usize) -> &mut InferenceSession {
+        &mut self.sessions[lane]
+    }
+
+    /// Runs every stream (stream `i` on lane `i % lanes`) and aggregates the
+    /// statistics. Sessions are re-used across calls — no compilation or
+    /// allocation happens per stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first inference error encountered.
+    pub fn run(&mut self, streams: &[EventStream]) -> Result<BatchReport, SneError> {
+        let lanes = self.sessions.len();
+        let mut results = Vec::with_capacity(streams.len());
+        let mut lane_time_ms = vec![0.0f64; lanes];
+        let mut total_stats = CycleStats::new();
+        let mut total_energy_uj = 0.0;
+        for (i, stream) in streams.iter().enumerate() {
+            let lane = i % lanes;
+            let result = self.sessions[lane].infer(stream)?;
+            lane_time_ms[lane] += result.inference_time_ms;
+            total_stats += result.stats;
+            total_energy_uj += result.energy.energy_uj;
+            results.push(result);
+        }
+        let makespan_ms = lane_time_ms.iter().fold(0.0f64, |a, &b| a.max(b));
+        let aggregate_rate = if streams.is_empty() {
+            f64::INFINITY
+        } else if makespan_ms > 0.0 {
+            results.len() as f64 / (makespan_ms / 1_000.0)
+        } else {
+            0.0
+        };
+        let mean_energy_uj = if results.is_empty() {
+            0.0
+        } else {
+            total_energy_uj / results.len() as f64
+        };
+        Ok(BatchReport {
+            lanes,
+            total_stats,
+            total_energy_uj,
+            makespan_ms,
+            aggregate_rate,
+            mean_energy_uj,
+            results,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sne_model::topology::Topology;
+    use sne_model::Shape;
+
+    fn compiled() -> CompiledNetwork {
+        let mut rng = StdRng::seed_from_u64(11);
+        CompiledNetwork::random(&Topology::tiny(Shape::new(2, 8, 8), 4, 3), &mut rng).unwrap()
+    }
+
+    fn streams(n: u64) -> Vec<EventStream> {
+        (0..n)
+            .map(|i| crate::proportionality::stream_with_activity((2, 8, 8), 16, 0.04, 50 + i))
+            .collect()
+    }
+
+    #[test]
+    fn zero_lanes_are_rejected() {
+        assert!(matches!(
+            BatchRunner::new(compiled(), SneConfig::with_slices(2), 0),
+            Err(SneError::EmptyBatch)
+        ));
+    }
+
+    #[test]
+    fn report_aggregates_per_stream_results() {
+        let mut runner = BatchRunner::new(compiled(), SneConfig::with_slices(2), 3).unwrap();
+        assert_eq!(runner.lanes(), 3);
+        let streams = streams(7);
+        let report = runner.run(&streams).unwrap();
+        assert_eq!(report.results.len(), 7);
+        assert_eq!(report.lanes, 3);
+        let cycle_sum: u64 = report.results.iter().map(|r| r.stats.total_cycles).sum();
+        assert_eq!(report.total_stats.total_cycles, cycle_sum);
+        let energy_sum: f64 = report.results.iter().map(|r| r.energy.energy_uj).sum();
+        assert!((report.total_energy_uj - energy_sum).abs() < 1e-9);
+        assert!((report.mean_energy_uj - energy_sum / 7.0).abs() < 1e-9);
+        // Lane 0 serves streams 0, 3 and 6; the makespan covers at least it.
+        let lane0: f64 = [0, 3, 6]
+            .iter()
+            .map(|&i| report.results[i].inference_time_ms)
+            .sum();
+        assert!(report.makespan_ms >= lane0 - 1e-9);
+        assert!(report.makespan_ms <= report.results.iter().map(|r| r.inference_time_ms).sum());
+        assert!(report.aggregate_rate > 0.0);
+    }
+
+    #[test]
+    fn batch_results_match_individual_sessions() {
+        let network = Arc::new(compiled());
+        let streams = streams(4);
+        let mut runner =
+            BatchRunner::new(Arc::clone(&network), SneConfig::with_slices(2), 2).unwrap();
+        let report = runner.run(&streams).unwrap();
+        let mut single = InferenceSession::new(network, SneConfig::with_slices(2)).unwrap();
+        for (stream, batched) in streams.iter().zip(&report.results) {
+            assert_eq!(&single.infer(stream).unwrap(), batched);
+        }
+        // Lanes are reusable across batches.
+        let again = runner.run(&streams).unwrap();
+        assert_eq!(report, again);
+    }
+
+    #[test]
+    fn empty_batches_produce_an_empty_report() {
+        let mut runner = BatchRunner::new(compiled(), SneConfig::with_slices(2), 2).unwrap();
+        let report = runner.run(&[]).unwrap();
+        assert!(report.results.is_empty());
+        assert_eq!(report.total_stats.total_cycles, 0);
+        assert_eq!(report.mean_energy_uj, 0.0);
+        assert!(report.aggregate_rate.is_infinite());
+        runner.session_mut(0).reset();
+    }
+}

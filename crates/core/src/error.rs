@@ -24,6 +24,8 @@ pub enum SneError {
     },
     /// The compiled network contains no accelerated stage.
     EmptyNetwork,
+    /// A batch runner was requested with zero lanes.
+    EmptyBatch,
     /// The network cannot run in the pipelined layer-per-slice mode because a
     /// layer does not fit in the slices allocated to it.
     PipelineDoesNotFit {
@@ -48,6 +50,7 @@ impl fmt::Display for SneError {
                 found.0, found.1, found.2, expected.0, expected.1, expected.2
             ),
             Self::EmptyNetwork => write!(f, "compiled network has no accelerated stage"),
+            Self::EmptyBatch => write!(f, "a batch runner needs at least one lane"),
             Self::PipelineDoesNotFit { layer, required_neurons, available_neurons } => write!(
                 f,
                 "layer `{layer}` needs {required_neurons} neurons but its pipeline allocation provides {available_neurons}; use the time-multiplexed mode"
@@ -109,6 +112,7 @@ mod tests {
                 found: (2, 16, 16),
             },
             SneError::EmptyNetwork,
+            SneError::EmptyBatch,
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -11,10 +11,18 @@
 //! The typical flow is:
 //!
 //! 1. build or train a network topology ([`sne_model::topology::Topology`]),
-//! 2. compile it with [`compile::CompiledNetwork`],
-//! 3. run it on an [`accelerator::SneAccelerator`],
+//! 2. compile it with [`compile::CompiledNetwork`] — the *compile-once*
+//!    phase: validated geometry and per-layer hardware mappings,
+//! 3. open a [`session::InferenceSession`] — the *run-many* phase: a
+//!    long-lived engine plus persistent per-layer neuron state, supporting
+//!    both repeated whole-sample inference and chunked streaming
+//!    ([`session::InferenceSession::push`]),
 //! 4. read the [`run::InferenceResult`]: prediction, cycle statistics,
 //!    inference time/rate and energy.
+//!
+//! [`accelerator::SneAccelerator`] remains the one-shot convenience wrapper
+//! (it routes through the same runtime); [`batch::BatchRunner`] drives N
+//! sessions over N streams for the serving-many-users scenario.
 //!
 //! # Example
 //!
@@ -47,17 +55,21 @@
 #![warn(missing_debug_implementations)]
 
 pub mod accelerator;
+pub mod batch;
 pub mod compile;
 pub mod proportionality;
 pub mod report;
 pub mod run;
+pub mod session;
 
 mod error;
 
 pub use accelerator::SneAccelerator;
+pub use batch::{BatchReport, BatchRunner};
 pub use compile::{CompiledNetwork, Stage};
 pub use error::SneError;
 pub use run::{InferenceResult, LayerExecution};
+pub use session::{ChunkOutput, InferenceSession, PipelinedSession};
 
 // Re-export the crates a downstream user needs to drive the API.
 pub use sne_energy;

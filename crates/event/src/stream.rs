@@ -275,8 +275,26 @@ impl EventStream {
     /// `FIRE_OP` (paper §III-C / Fig. 3).
     #[must_use]
     pub fn to_op_sequence(&self) -> Vec<Event> {
-        let mut ops = Vec::with_capacity(self.spike_count() + self.geometry.timesteps as usize + 1);
-        ops.push(Event::reset(0));
+        self.op_sequence(true)
+    }
+
+    /// Builds the operation sequence of a *continuation* chunk: the same as
+    /// [`EventStream::to_op_sequence`] but without the leading `RST_OP`, so
+    /// neuron state carried over from the previous chunk of a continuous
+    /// feed survives (the streaming mode of the `sne` crate's
+    /// `InferenceSession`).
+    #[must_use]
+    pub fn to_op_sequence_continuing(&self) -> Vec<Event> {
+        self.op_sequence(false)
+    }
+
+    fn op_sequence(&self, reset: bool) -> Vec<Event> {
+        let mut ops = Vec::with_capacity(
+            self.spike_count() + self.geometry.timesteps as usize + usize::from(reset),
+        );
+        if reset {
+            ops.push(Event::reset(0));
+        }
         for (t, spikes) in self.spikes_by_timestep().into_iter().enumerate() {
             ops.extend(spikes);
             ops.push(Event::fire(t as u32));
@@ -322,6 +340,38 @@ impl EventStream {
         out
     }
 
+    /// Splits the stream into consecutive time windows of `chunk_timesteps`
+    /// timesteps each (the last chunk may be shorter), with timestamps
+    /// rebased so every chunk starts at 0 — the shape a chunked DVS feed
+    /// arrives in when it is `push`ed through a persistent inference session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_timesteps` is zero.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sne_event::{Event, EventStream};
+    ///
+    /// let mut stream = EventStream::new(8, 8, 2, 10);
+    /// stream.push(Event::update(7, 0, 1, 1))?;
+    /// let chunks: Vec<_> = stream.chunks(4).collect();
+    /// assert_eq!(chunks.len(), 3); // 4 + 4 + 2 timesteps
+    /// assert_eq!(chunks[2].geometry().timesteps, 2);
+    /// assert_eq!(chunks[1].as_slice()[0].t, 3); // rebased from t=7
+    /// # Ok::<(), sne_event::EventError>(())
+    /// ```
+    #[must_use]
+    pub fn chunks(&self, chunk_timesteps: u32) -> Chunks<'_> {
+        assert!(chunk_timesteps > 0, "chunk length must be non-zero");
+        Chunks {
+            stream: self,
+            chunk_timesteps,
+            next_start: 0,
+        }
+    }
+
     /// Downscales the spatial resolution by an integer factor, merging events
     /// that land on the same coarse pixel within the same timestep.
     #[must_use]
@@ -348,6 +398,42 @@ impl EventStream {
         out
     }
 }
+
+/// Iterator over consecutive time windows of a stream, created by
+/// [`EventStream::chunks`].
+#[derive(Debug, Clone)]
+pub struct Chunks<'a> {
+    stream: &'a EventStream,
+    chunk_timesteps: u32,
+    next_start: u32,
+}
+
+impl Iterator for Chunks<'_> {
+    type Item = EventStream;
+
+    fn next(&mut self) -> Option<EventStream> {
+        let total = self.stream.geometry.timesteps;
+        if self.next_start >= total {
+            return None;
+        }
+        let start = self.next_start;
+        let end = total.min(start.saturating_add(self.chunk_timesteps));
+        self.next_start = end;
+        Some(self.stream.window(start, end))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self
+            .stream
+            .geometry
+            .timesteps
+            .saturating_sub(self.next_start)
+            .div_ceil(self.chunk_timesteps) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Chunks<'_> {}
 
 impl<'a> IntoIterator for &'a EventStream {
     type Item = &'a Event;
@@ -455,6 +541,48 @@ mod tests {
             .unwrap();
         let spike_t0 = ops.iter().position(|e| e.is_spike() && e.t == 0).unwrap();
         assert!(spike_t0 < fire_t0);
+    }
+
+    #[test]
+    fn continuing_op_sequence_has_no_reset() {
+        let mut s = stream();
+        s.push(Event::update(2, 0, 1, 1)).unwrap();
+        let ops = s.to_op_sequence_continuing();
+        assert!(ops.iter().all(|e| e.op != EventOp::Reset));
+        assert_eq!(ops.len(), s.to_op_sequence().len() - 1);
+        assert_eq!(
+            ops.iter().filter(|e| e.op == EventOp::Fire).count(),
+            s.geometry().timesteps as usize
+        );
+    }
+
+    #[test]
+    fn chunks_cover_the_stream_exactly() {
+        let mut s = stream();
+        for t in 0..10 {
+            s.push(Event::update(t, 0, 1, 1)).unwrap();
+        }
+        let chunks: Vec<_> = s.chunks(3).collect();
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(
+            chunks.iter().map(|c| c.geometry().timesteps).sum::<u32>(),
+            10
+        );
+        assert_eq!(chunks[3].geometry().timesteps, 1);
+        assert_eq!(chunks.iter().map(EventStream::len).sum::<usize>(), 10);
+        // Every chunk is rebased to start at t=0.
+        assert!(chunks.iter().all(|c| c.as_slice()[0].t == 0));
+        // A chunk longer than the stream yields the stream itself.
+        let whole: Vec<_> = s.chunks(64).collect();
+        assert_eq!(whole.len(), 1);
+        assert_eq!(whole[0], s);
+        assert_eq!(s.chunks(3).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk length must be non-zero")]
+    fn zero_chunk_length_panics() {
+        let _ = stream().chunks(0);
     }
 
     #[test]

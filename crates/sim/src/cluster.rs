@@ -24,6 +24,47 @@ pub struct ClusterCounters {
     pub spikes: u64,
 }
 
+/// Snapshot of the architectural state of one cluster: the membrane memory
+/// and the TLU bookkeeping, without the activity counters.
+///
+/// Snapshots are what [`crate::state::LayerState`] stores between engine
+/// invocations so neuron state can persist across chunks of a continuous
+/// event stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterState {
+    /// Membrane states of the TDM neurons.
+    pub states: Vec<i16>,
+    /// Leak steps deferred by skipped fire scans.
+    pub pending_leak_steps: u32,
+    /// `true` if an update arrived since the last executed fire scan.
+    pub dirty: bool,
+}
+
+impl ClusterState {
+    /// A resting snapshot for `neurons` TDM neurons (all membranes at zero).
+    #[must_use]
+    pub fn resting(neurons: usize) -> Self {
+        Self {
+            states: vec![0; neurons],
+            pending_leak_steps: 0,
+            dirty: false,
+        }
+    }
+
+    /// Resets the snapshot to the resting state in place.
+    pub fn reset(&mut self) {
+        self.states.iter_mut().for_each(|s| *s = 0);
+        self.pending_leak_steps = 0;
+        self.dirty = false;
+    }
+
+    /// Returns `true` if the snapshot equals the resting state.
+    #[must_use]
+    pub fn is_resting(&self) -> bool {
+        self.states.iter().all(|&s| s == 0) && self.pending_leak_steps == 0 && !self.dirty
+    }
+}
+
 /// One SNE cluster: `neurons` TDM LIF neurons sharing a datapath.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Cluster {
@@ -75,6 +116,51 @@ impl Cluster {
         self.states.iter_mut().for_each(|s| *s = 0);
         self.pending_leak_steps = 0;
         self.dirty = false;
+    }
+
+    /// Captures the architectural state (membranes + TLU bookkeeping) so it
+    /// can be restored later; counters are not part of the snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> ClusterState {
+        ClusterState {
+            states: self.states.clone(),
+            pending_leak_steps: self.pending_leak_steps,
+            dirty: self.dirty,
+        }
+    }
+
+    /// Copies the architectural state into an existing snapshot without
+    /// allocating (the streaming hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was sized for a different neuron count.
+    pub fn snapshot_into(&self, out: &mut ClusterState) {
+        assert_eq!(
+            out.states.len(),
+            self.states.len(),
+            "cluster snapshot neuron count mismatch"
+        );
+        out.states.copy_from_slice(&self.states);
+        out.pending_leak_steps = self.pending_leak_steps;
+        out.dirty = self.dirty;
+    }
+
+    /// Restores a previously captured architectural state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken from a cluster with a different
+    /// neuron count.
+    pub fn restore(&mut self, state: &ClusterState) {
+        assert_eq!(
+            state.states.len(),
+            self.states.len(),
+            "cluster snapshot neuron count mismatch"
+        );
+        self.states.copy_from_slice(&state.states);
+        self.pending_leak_steps = state.pending_leak_steps;
+        self.dirty = state.dirty;
     }
 
     /// Applies any leak owed from skipped fire scans. Called before the
@@ -238,6 +324,52 @@ mod tests {
         assert_eq!(c.state(1), 0);
         // After reset a scan without updates is skipped again (not dirty).
         assert!(c.fire_scan(PARAMS, true).is_empty());
+    }
+
+    #[test]
+    fn snapshot_and_restore_round_trip_the_architectural_state() {
+        let mut c = Cluster::new(3);
+        c.integrate(1, 7, PARAMS);
+        let _ = c.fire_scan(PARAMS, true);
+        let _ = c.fire_scan(PARAMS, true); // skipped: pending leak + not dirty
+        let snap = c.snapshot();
+        assert!(!snap.is_resting());
+
+        let mut fresh = Cluster::new(3);
+        fresh.restore(&snap);
+        // Continuing from the restored state is indistinguishable from
+        // continuing on the original cluster.
+        c.integrate(1, 5, PARAMS);
+        fresh.integrate(1, 5, PARAMS);
+        assert_eq!(c.state(1), fresh.state(1));
+        assert_eq!(c.fire_scan(PARAMS, true), fresh.fire_scan(PARAMS, true));
+    }
+
+    #[test]
+    fn snapshot_into_matches_snapshot() {
+        let mut c = Cluster::new(3);
+        c.integrate(2, 5, PARAMS);
+        let mut out = ClusterState::resting(3);
+        c.snapshot_into(&mut out);
+        assert_eq!(out, c.snapshot());
+    }
+
+    #[test]
+    fn resting_snapshot_matches_a_fresh_cluster() {
+        let c = Cluster::new(4);
+        assert_eq!(c.snapshot(), ClusterState::resting(4));
+        let mut s = ClusterState::resting(2);
+        s.states[0] = 9;
+        s.dirty = true;
+        s.reset();
+        assert!(s.is_resting());
+    }
+
+    #[test]
+    #[should_panic(expected = "neuron count mismatch")]
+    fn restore_rejects_mismatched_snapshot() {
+        let mut c = Cluster::new(2);
+        c.restore(&ClusterState::resting(3));
     }
 
     #[test]

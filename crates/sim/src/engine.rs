@@ -27,6 +27,7 @@ use crate::mapping::LayerMapping;
 use crate::memory::MemoryModel;
 use crate::regfile::{Register, RegisterFile};
 use crate::slice::Slice;
+use crate::state::LayerState;
 use crate::stats::CycleStats;
 use crate::streamer::Streamer;
 use crate::trace::{Trace, TraceRecord};
@@ -40,6 +41,11 @@ pub struct LayerRunOutput {
     pub output: EventStream,
     /// Cycle and activity accounting of the run.
     pub stats: CycleStats,
+    /// Cycles attributed to each input timestep (`timestep_cycles[t]` sums to
+    /// `stats.total_cycles`); DMA fill stalls are charged to the first
+    /// timestep and drain stalls to the last. This per-timestep schedule is
+    /// what the pipelined layer-per-slice mode overlaps across layers.
+    pub timestep_cycles: Vec<u64>,
 }
 
 /// The SNE engine.
@@ -106,6 +112,10 @@ impl Engine {
 
     /// Runs one mapped layer over an input event stream.
     ///
+    /// Neuron state starts at rest (the stream's op sequence opens with a
+    /// `RST_OP`) and is discarded at the end of the run; use
+    /// [`Engine::run_layer_stateful`] to persist state across invocations.
+    ///
     /// # Errors
     ///
     /// Returns an error if the configuration is invalid, the mapping does not
@@ -115,6 +125,51 @@ impl Engine {
         &mut self,
         mapping: &LayerMapping,
         input: &EventStream,
+    ) -> Result<LayerRunOutput, SimError> {
+        self.run_layer_inner(mapping, input, None, false)
+    }
+
+    /// Runs one mapped layer over a chunk of an input event stream, keeping
+    /// the neuron state in `state` so a continuous feed can be consumed in
+    /// chunks.
+    ///
+    /// With `resume == false` the run starts from rest exactly like
+    /// [`Engine::run_layer`] (the op sequence opens with a `RST_OP`), and the
+    /// state left behind by the chunk is saved into `state`. With
+    /// `resume == true` the engine first restores the membranes and TLU
+    /// bookkeeping from `state`, consumes the chunk *without* an initial
+    /// reset, and saves the updated state back — pushing the chunks of a
+    /// stream one by one is then functionally identical to consuming the
+    /// whole stream at once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `state` was not sized for this
+    /// engine configuration and mapping, plus the same errors as
+    /// [`Engine::run_layer`].
+    pub fn run_layer_stateful(
+        &mut self,
+        mapping: &LayerMapping,
+        input: &EventStream,
+        state: &mut LayerState,
+        resume: bool,
+    ) -> Result<LayerRunOutput, SimError> {
+        if !state.matches(&self.config, mapping) {
+            return Err(SimError::InvalidConfig {
+                name: "layer state",
+                reason: "state was sized for a different engine configuration or mapping"
+                    .to_owned(),
+            });
+        }
+        self.run_layer_inner(mapping, input, Some(state), resume)
+    }
+
+    fn run_layer_inner(
+        &mut self,
+        mapping: &LayerMapping,
+        input: &EventStream,
+        mut state: Option<&mut LayerState>,
+        resume: bool,
     ) -> Result<LayerRunOutput, SimError> {
         self.config.validate()?;
         // When the layer's weight sets fit the per-slice filter buffer they
@@ -131,8 +186,16 @@ impl Engine {
         self.collector.reset_counters();
 
         let params = mapping.params();
-        let op_sequence = input.to_op_sequence();
+        // A resumed chunk continues from saved state: no initial RST_OP.
+        let op_sequence = if resume {
+            input.to_op_sequence_continuing()
+        } else {
+            input.to_op_sequence()
+        };
         let timesteps = input.geometry().timesteps;
+        // Per-timestep cycle attribution, the layer's schedule for the
+        // pipelined mapping mode.
+        let mut timestep_cycles = vec![0u64; timesteps as usize];
         // The double-buffered latch state memory sustains one state update per
         // cycle; a single-ported memory (the ablation case) needs a read cycle
         // and a write-back cycle per update.
@@ -174,6 +237,11 @@ impl Engine {
                 let base = pass * per_pass + s * neurons_per_slice;
                 let count = neurons_per_slice.min(total_neurons.saturating_sub(base));
                 slice.configure_pass(base.min(total_neurons), count);
+                if resume {
+                    if let Some(st) = state.as_deref_mut() {
+                        slice.import_state(st.slice_state(pass, s));
+                    }
+                }
                 if count > 0 {
                     active_slices.push(s);
                 }
@@ -181,6 +249,7 @@ impl Engine {
             stats.streamer_reads += in_reads;
             stats.stall_cycles += in_stalls;
             stats.total_cycles += in_stalls;
+            timestep_cycles[0] += in_stalls;
 
             let mut queues: Vec<Vec<Event>> = vec![Vec::new(); self.config.num_slices];
             for op in &op_sequence {
@@ -192,6 +261,7 @@ impl Engine {
                         }
                         stats.reset_cycles += 1;
                         stats.total_cycles += 1;
+                        timestep_cycles[op.t as usize] += 1;
                         self.trace.push(TraceRecord::Reset { time: op.t });
                     }
                     EventOp::Update => {
@@ -201,6 +271,7 @@ impl Engine {
                             u64::from(self.config.cycles_per_event) * state_access_factor;
                         stats.update_cycles += event_cost;
                         stats.total_cycles += event_cost;
+                        timestep_cycles[op.t as usize] += event_cost;
                         let mut event_ops = 0u64;
                         for &s in &active_slices {
                             let range = self.slices[s].assigned_range();
@@ -228,6 +299,7 @@ impl Engine {
                                 let stall = words - budget;
                                 stats.stall_cycles += stall;
                                 stats.total_cycles += stall;
+                                timestep_cycles[op.t as usize] += stall;
                             }
                         }
                         self.trace.push(TraceRecord::EventConsumed {
@@ -262,6 +334,7 @@ impl Engine {
                         // is accounted here.
                         stats.fire_cycles += fire_cost;
                         stats.total_cycles += fire_cost;
+                        timestep_cycles[op.t as usize] += fire_cost;
                         stats.output_events += emitted;
                         let merged = self.collector.merge(&mut queues);
                         for _ in &merged {
@@ -275,6 +348,13 @@ impl Engine {
                     }
                 }
             }
+            // Persist the state this pass leaves behind so the next chunk can
+            // resume from it.
+            if let Some(st) = state.as_deref_mut() {
+                for (s, slice) in self.slices.iter().enumerate() {
+                    slice.export_state(st.slice_state_mut(pass, s));
+                }
+            }
         }
 
         // Model the output DMA.
@@ -282,6 +362,7 @@ impl Engine {
         stats.streamer_writes += out_writes;
         stats.stall_cycles += out_stalls;
         stats.total_cycles += out_stalls;
+        timestep_cycles[timesteps as usize - 1] += out_stalls;
         stats.xbar_transfers = self.xbar.transfers();
         stats.collector_events = self.collector.merged_events();
 
@@ -296,7 +377,11 @@ impl Engine {
         output.extend(output_events);
         output.sort_by_time();
 
-        Ok(LayerRunOutput { output, stats })
+        Ok(LayerRunOutput {
+            output,
+            stats,
+            timestep_cycles,
+        })
     }
 
     fn program_registers(
@@ -583,6 +668,135 @@ mod tests {
         });
         let mapping = conv_mapping(1);
         assert!(engine.run_layer(&mapping, &single_spike_stream()).is_err());
+    }
+
+    #[test]
+    fn timestep_cycles_sum_to_total() {
+        let mut engine = Engine::new(small_config());
+        let mapping = conv_mapping(2);
+        let mut stream = EventStream::new(4, 4, 1, 6);
+        for t in 0..6 {
+            stream.push(Event::update(t, 0, 2, 2)).unwrap();
+        }
+        let result = engine.run_layer(&mapping, &stream).unwrap();
+        assert_eq!(result.timestep_cycles.len(), 6);
+        assert_eq!(
+            result.timestep_cycles.iter().sum::<u64>(),
+            result.stats.total_cycles
+        );
+        // Every timestep consumed one event, so each carries real work.
+        assert!(result.timestep_cycles.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn stateful_chunks_match_a_single_whole_stream_run() {
+        let mapping = |_: ()| {
+            // Leak 1 + threshold 7 make the result depend on state carried
+            // across timesteps (and therefore across chunk boundaries).
+            let mut weights = vec![2i8; 9];
+            weights.extend(vec![3i8; 9]);
+            LayerMapping::conv(
+                MapShape::new(1, 4, 4),
+                2,
+                3,
+                weights,
+                LifHardwareParams {
+                    leak: 1,
+                    threshold: 7,
+                },
+            )
+            .unwrap()
+        };
+        let mut stream = EventStream::new(4, 4, 1, 12);
+        for t in 0..12 {
+            stream.push(Event::update(t, 0, (t % 4) as u16, 1)).unwrap();
+            if t % 3 == 0 {
+                stream.push(Event::update(t, 0, 2, 2)).unwrap();
+            }
+        }
+
+        let mut whole_engine = Engine::new(small_config());
+        let whole = whole_engine.run_layer(&mapping(()), &stream).unwrap();
+
+        let mut chunk_engine = Engine::new(small_config());
+        let mut state = LayerState::new(&small_config(), &mapping(()));
+        let mut events = Vec::new();
+        for (i, (start, end)) in [(0, 5), (5, 6), (6, 12)].into_iter().enumerate() {
+            let chunk = stream.window(start, end);
+            let run = chunk_engine
+                .run_layer_stateful(&mapping(()), &chunk, &mut state, i > 0)
+                .unwrap();
+            events.extend(run.output.into_events().into_iter().map(|e| Event {
+                t: e.t + start,
+                ..e
+            }));
+        }
+        assert_eq!(events, whole.output.as_slice());
+    }
+
+    #[test]
+    fn stateful_multi_pass_chunks_match_whole_run() {
+        // 8 output channels on a 2-slice engine: two mapping passes, so the
+        // persistent state must round-trip per (pass, slice) slot.
+        let weights = vec![1i8; 8 * 9];
+        let mapping = LayerMapping::conv(
+            MapShape::new(1, 4, 4),
+            8,
+            3,
+            weights,
+            LifHardwareParams {
+                leak: 0,
+                threshold: 2,
+            },
+        )
+        .unwrap();
+        let mut stream = EventStream::new(4, 4, 1, 8);
+        for t in 0..8 {
+            stream.push(Event::update(t, 0, 2, 2)).unwrap();
+        }
+        let mut whole_engine = Engine::new(small_config());
+        let whole = whole_engine.run_layer(&mapping, &stream).unwrap();
+
+        let mut chunk_engine = Engine::new(small_config());
+        let mut state = LayerState::new(&small_config(), &mapping);
+        assert_eq!(state.passes(), 2);
+        let mut spikes = 0;
+        for (i, (start, end)) in [(0, 3), (3, 8)].into_iter().enumerate() {
+            let chunk = stream.window(start, end);
+            let run = chunk_engine
+                .run_layer_stateful(&mapping, &chunk, &mut state, i > 0)
+                .unwrap();
+            spikes += run.output.spike_count();
+        }
+        assert_eq!(spikes, whole.output.spike_count());
+    }
+
+    #[test]
+    fn mismatched_layer_state_is_rejected() {
+        let mut engine = Engine::new(small_config());
+        let mapping = conv_mapping(1);
+        let mut state = LayerState::new(&SneConfig::default(), &mapping);
+        assert!(matches!(
+            engine.run_layer_stateful(&mapping, &single_spike_stream(), &mut state, false),
+            Err(SimError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn non_resumed_stateful_run_matches_stateless_run() {
+        let mapping = conv_mapping(3);
+        let stream = single_spike_stream();
+        let mut a = Engine::new(small_config());
+        let mut b = Engine::new(small_config());
+        let mut state = LayerState::new(&small_config(), &mapping);
+        let stateless = a.run_layer(&mapping, &stream).unwrap();
+        let stateful = b
+            .run_layer_stateful(&mapping, &stream, &mut state, false)
+            .unwrap();
+        assert_eq!(stateless, stateful);
+        // The state left behind is the end-of-stream state, not rest: the
+        // spike at t=0 fired and reset, later timesteps stayed idle.
+        assert!(state.membrane(0).is_some());
     }
 
     #[test]

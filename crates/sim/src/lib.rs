@@ -86,6 +86,7 @@ pub mod memory;
 pub mod regfile;
 pub mod sequencer;
 pub mod slice;
+pub mod state;
 pub mod stats;
 pub mod streamer;
 pub mod trace;
@@ -97,4 +98,5 @@ pub use config::SneConfig;
 pub use engine::{Engine, LayerRunOutput};
 pub use error::SimError;
 pub use mapping::{LayerMapping, LifHardwareParams};
+pub use state::LayerState;
 pub use stats::CycleStats;

@@ -275,17 +275,32 @@ impl LayerMapping {
         range: std::ops::Range<usize>,
     ) -> Vec<Contribution> {
         let mut out = Vec::new();
+        if range.is_empty() {
+            return out;
+        }
         match self {
             Self::Conv {
                 input,
-                out_channels,
                 kernel,
                 weights,
                 ..
             } => {
                 let out_shape = self.output_shape();
                 let half = i32::from(*kernel / 2);
-                for oc in 0..*out_channels {
+                // Only the output channels whose neuron planes intersect
+                // `range` can contribute: the address filter of a slice
+                // rejects everything else, so skip those channels outright
+                // instead of enumerating the full receptive field per slice.
+                // Clamp to the layer's neurons first so the channel indices
+                // fit u16 even for over-wide caller ranges.
+                let plane = usize::from(input.height) * usize::from(input.width);
+                let end = range.end.min(out_shape.len());
+                if range.start >= end {
+                    return out;
+                }
+                let first_channel = (range.start / plane) as u16;
+                let last_channel = ((end - 1) / plane) as u16;
+                for oc in first_channel..=last_channel {
                     for ky in 0..*kernel {
                         for kx in 0..*kernel {
                             let oy = i32::from(event.y) + half - i32::from(ky);
@@ -323,13 +338,13 @@ impl LayerMapping {
             } => {
                 let in_idx = input.index(event.ch, event.y, event.x);
                 let inputs = input.len();
-                for o in 0..usize::from(*outputs) {
-                    if range.contains(&o) {
-                        out.push(Contribution {
-                            neuron: o,
-                            weight: weights[o * inputs + in_idx],
-                        });
-                    }
+                // Dense neurons are laid out contiguously: the range *is* the
+                // set of addressed outputs.
+                for o in range.start..range.end.min(usize::from(*outputs)) {
+                    out.push(Contribution {
+                        neuron: o,
+                        weight: weights[o * inputs + in_idx],
+                    });
                 }
             }
         }
@@ -476,6 +491,26 @@ mod tests {
         let second_channel = m.contributions_in_range(&event, 16..32);
         assert_eq!(second_channel.len(), 9);
         assert!(second_channel.iter().all(|c| c.weight == 2));
+    }
+
+    #[test]
+    fn empty_and_out_of_layer_ranges_yield_no_contributions() {
+        let m = conv_mapping();
+        let event = Event::update(0, 0, 2, 2);
+        assert!(m.contributions_in_range(&event, 5..5).is_empty());
+        assert!(m.contributions_in_range(&event, 40..64).is_empty());
+        // An over-wide range behaves like the full layer (no u16 wrap-around
+        // in the channel narrowing).
+        assert_eq!(
+            m.contributions_in_range(&event, 0..usize::MAX),
+            m.contributions(&event)
+        );
+        // A range straddling the channel boundary picks up both planes: the
+        // centre event touches position 5 of each 16-neuron plane.
+        let straddling = m.contributions_in_range(&event, 5..22);
+        assert!(straddling.iter().any(|c| c.weight == 1));
+        assert!(straddling.iter().any(|c| c.neuron == 21 && c.weight == 2));
+        assert!(straddling.iter().all(|c| (5..22).contains(&c.neuron)));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::cluster::Cluster;
+use crate::cluster::{Cluster, ClusterState};
 use crate::config::SneConfig;
 use crate::mapping::{Contribution, LifHardwareParams};
 
@@ -99,6 +99,32 @@ impl Slice {
     pub fn reset(&mut self) {
         for cluster in &mut self.clusters {
             cluster.reset();
+        }
+    }
+
+    /// Snapshots the architectural state of every cluster into `out`
+    /// (one [`ClusterState`] per cluster, in cluster order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` does not hold exactly one slot per cluster.
+    pub fn export_state(&self, out: &mut [ClusterState]) {
+        assert_eq!(out.len(), self.clusters.len(), "cluster slot mismatch");
+        for (cluster, slot) in self.clusters.iter().zip(out.iter_mut()) {
+            cluster.snapshot_into(slot);
+        }
+    }
+
+    /// Restores the architectural state of every cluster from `states`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` does not hold exactly one snapshot per cluster or
+    /// a snapshot has the wrong neuron count.
+    pub fn import_state(&mut self, states: &[ClusterState]) {
+        assert_eq!(states.len(), self.clusters.len(), "cluster slot mismatch");
+        for (cluster, state) in self.clusters.iter_mut().zip(states) {
+            cluster.restore(state);
         }
     }
 
@@ -268,6 +294,41 @@ mod tests {
         let outcome = slice.process_update(&contributions, PARAMS, false);
         assert_eq!(outcome.active_clusters, 4);
         assert_eq!(outcome.gated_clusters, 0);
+    }
+
+    #[test]
+    fn exported_state_resumes_on_a_fresh_slice() {
+        let mut slice = Slice::new(&small_config());
+        slice.configure_pass(0, 32);
+        let _ = slice.process_update(
+            &[Contribution {
+                neuron: 9,
+                weight: 4,
+            }],
+            PARAMS,
+            true,
+        );
+        let mut saved = vec![ClusterState::resting(8); 4];
+        slice.export_state(&mut saved);
+
+        let mut resumed = Slice::new(&small_config());
+        resumed.configure_pass(0, 32);
+        resumed.import_state(&saved);
+        // One more contribution pushes neuron 9 over the threshold on both.
+        for s in [&mut slice, &mut resumed] {
+            let _ = s.process_update(
+                &[Contribution {
+                    neuron: 9,
+                    weight: 2,
+                }],
+                PARAMS,
+                true,
+            );
+        }
+        assert_eq!(
+            slice.process_fire(PARAMS, true).fired,
+            resumed.process_fire(PARAMS, true).fired
+        );
     }
 
     #[test]

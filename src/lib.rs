@@ -38,8 +38,10 @@ pub use sne_sim;
 
 /// Commonly used types, re-exported for examples and tests.
 pub mod prelude {
+    pub use sne::batch::{BatchReport, BatchRunner};
     pub use sne::compile::CompiledNetwork;
     pub use sne::proportionality;
+    pub use sne::session::{ChunkOutput, InferenceSession, PipelinedSession};
     pub use sne::{InferenceResult, SneAccelerator, SneError};
     pub use sne_energy::{AreaModel, EnergyModel, PerformanceModel, PowerModel};
     pub use sne_event::datasets::{EventDataset, GestureDataset, NmnistDataset};
