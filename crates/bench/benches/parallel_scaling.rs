@@ -1,0 +1,60 @@
+//! Criterion bench: wall-clock scaling of the parallel executor over host
+//! worker threads — the 16-lane `BatchRunner` (lanes on threads) and a
+//! single engine's per-slice fan-out — at 1/2/4/8 threads over the Fig. 6
+//! workload. Results are bit-identical across thread counts; only wall-clock
+//! time should move.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sne::batch::BatchRunner;
+use sne::session::InferenceSession;
+use sne::ExecStrategy;
+use sne_bench::{fig6_network, workload};
+use sne_sim::SneConfig;
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn parallel_scaling(c: &mut Criterion) {
+    let network = fig6_network(32, 11, 5);
+    let config = SneConfig::with_slices(8);
+    let streams: Vec<_> = (0..16).map(|i| workload(32, 12, 0.01, 100 + i)).collect();
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+
+    // 16 independent lanes over 16 streams: the fleet-serving scenario. The
+    // speedup at N threads over 1 thread is the headline number of
+    // BENCH_parallel.json.
+    for threads in THREAD_SWEEP {
+        let mut runner = BatchRunner::with_exec(
+            network.clone(),
+            config,
+            16,
+            ExecStrategy::from_threads(threads),
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("batch16", threads), &threads, |b, _| {
+            b.iter(|| black_box(runner.run(black_box(&streams)).unwrap().total_stats));
+        });
+    }
+
+    // One engine, per-slice worker fan-out inside a single inference.
+    for threads in THREAD_SWEEP {
+        let mut session = InferenceSession::with_exec(
+            network.clone(),
+            config,
+            ExecStrategy::from_threads(threads),
+        )
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("engine_slices", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| black_box(session.infer(black_box(&streams[0])).unwrap().stats));
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, parallel_scaling);
+criterion_main!(benches);

@@ -3,15 +3,16 @@
 //! runtime is tracked from PR to PR.
 //!
 //! ```bash
-//! cargo run --release -p sne_bench --bin session_report             # full run
-//! cargo run --release -p sne_bench --bin session_report -- --smoke  # CI smoke
+//! cargo run --release -p sne_bench --bin session_report                  # full run
+//! cargo run --release -p sne_bench --bin session_report -- --smoke      # CI smoke
+//! cargo run --release -p sne_bench --bin session_report -- --threads 4  # threaded engine
 //! cargo run --release -p sne_bench --bin session_report -- --out x.json
 //! ```
 
 use std::time::Instant;
 
 use sne::session::InferenceSession;
-use sne::SneAccelerator;
+use sne::{ExecStrategy, SneAccelerator};
 use sne_bench::{fig6_network, workload};
 use sne_sim::SneConfig;
 
@@ -50,6 +51,16 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_session.json".to_owned());
+    // Engine execution strategy: --threads N fans the per-slice workers of
+    // every measured path out over N host threads (bit-identical results;
+    // the JSON records the strategy so artifacts are comparable).
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(1);
+    let exec = ExecStrategy::from_threads(threads);
     let iterations: u32 = if smoke { 5 } else { 100 };
 
     let config = SneConfig::with_slices(8);
@@ -58,7 +69,7 @@ fn main() {
     // Old path: compile + allocate + run, per call.
     let per_call = measure("per_call_compile_and_run", iterations, || {
         let network = fig6_network(32, 11, 5);
-        let mut accelerator = SneAccelerator::new(config);
+        let mut accelerator = SneAccelerator::with_exec(config, exec);
         accelerator
             .run(&network, &stream)
             .unwrap()
@@ -68,7 +79,7 @@ fn main() {
 
     // Middle ground: compile once, per-call accelerator entry point.
     let network = fig6_network(32, 11, 5);
-    let mut accelerator = SneAccelerator::new(config);
+    let mut accelerator = SneAccelerator::with_exec(config, exec);
     let reference = accelerator.run(&network, &stream).unwrap();
     let accel_reuse = measure("accelerator_reuse", iterations, || {
         accelerator
@@ -79,14 +90,14 @@ fn main() {
     });
 
     // New path: one persistent session, repeated inference.
-    let mut session = InferenceSession::new(network.clone(), config).unwrap();
+    let mut session = InferenceSession::with_exec(network.clone(), config, exec).unwrap();
     let session_result = session.infer(&stream).unwrap();
     let session_reuse = measure("session_infer", iterations, || {
         session.infer(&stream).unwrap().stats.total_cycles
     });
 
     // Streaming: same feed in 4-timestep chunks through one session.
-    let mut streaming = InferenceSession::new(network, config).unwrap();
+    let mut streaming = InferenceSession::with_exec(network, config, exec).unwrap();
     let session_push = measure("session_push_chunks", iterations, || {
         streaming.reset();
         stream
@@ -108,6 +119,15 @@ fn main() {
         if smoke { "smoke" } else { "full" }
     ));
     json.push_str(&format!("  \"iterations\": {},\n", iterations));
+    json.push_str(&format!("  \"threads\": {},\n", exec.threads()));
+    json.push_str(&format!(
+        "  \"strategy\": \"{}\",\n",
+        if exec.is_parallel() {
+            "threaded"
+        } else {
+            "sequential"
+        }
+    ));
     json.push_str(
         "  \"workload\": {\"network\": \"fig6_32x32\", \"timesteps\": 12, \"activity\": 0.01, \"slices\": 8},\n",
     );

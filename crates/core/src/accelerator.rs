@@ -2,7 +2,7 @@
 
 use sne_energy::{EnergyModel, PerformanceModel};
 use sne_event::EventStream;
-use sne_sim::{Engine, SneConfig};
+use sne_sim::{Engine, ExecStrategy, SneConfig};
 
 use crate::compile::CompiledNetwork;
 use crate::run::InferenceResult;
@@ -28,8 +28,16 @@ impl SneAccelerator {
     /// Creates an accelerator with the given engine configuration.
     #[must_use]
     pub fn new(config: SneConfig) -> Self {
+        Self::with_exec(config, ExecStrategy::Sequential)
+    }
+
+    /// Creates an accelerator whose engine fans its per-slice worker units
+    /// out with the given [`ExecStrategy`] (bit-identical results for every
+    /// strategy; only host wall-clock time differs).
+    #[must_use]
+    pub fn with_exec(config: SneConfig, exec: ExecStrategy) -> Self {
         Self {
-            engine: Engine::new(config),
+            engine: Engine::with_exec(config, exec),
             energy: EnergyModel::new(),
             performance: PerformanceModel::new(),
         }
@@ -39,6 +47,17 @@ impl SneAccelerator {
     #[must_use]
     pub fn config(&self) -> &SneConfig {
         self.engine.config()
+    }
+
+    /// The execution strategy of the engine's per-slice worker units.
+    #[must_use]
+    pub fn exec(&self) -> ExecStrategy {
+        self.engine.exec()
+    }
+
+    /// Changes the execution strategy (never changes results).
+    pub fn set_exec(&mut self, exec: ExecStrategy) {
+        self.engine.set_exec(exec);
     }
 
     /// The underlying cycle-level engine (e.g. to enable tracing).
@@ -126,7 +145,7 @@ impl SneAccelerator {
         // entry point discards neuron state at the end, so run stateless;
         // `PipelinedSession` is the persistent variant.
         let shares = pipeline_shares(network, &config)?;
-        let mut engines = pipeline_engines(&config, &shares);
+        let mut engines = pipeline_engines(&config, &shares, self.engine.exec());
         let outcome = run_stages(&mut engines, network, input, None, false)?;
 
         // In the pipelined mode the layers overlap in time: the inference

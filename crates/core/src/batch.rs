@@ -8,11 +8,19 @@
 //! aggregates the per-inference [`CycleStats`] and energy into a
 //! [`BatchReport`]. Lanes are independent hardware instances, so the batch
 //! makespan is the busiest lane, while energy adds across all of them.
+//!
+//! Because the lanes share no mutable state, they can be *driven* in
+//! parallel too: under [`ExecStrategy::Threaded`] the runner fans its lanes
+//! out over host worker threads ([`BatchRunner::with_exec`]), each lane
+//! consuming its round-robin share of the streams in order. The stream→lane
+//! assignment and every per-stream result are bit-identical to the
+//! sequential runner; only the host wall-clock time changes.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use sne_event::EventStream;
-use sne_sim::{CycleStats, SneConfig};
+use sne_sim::{CycleStats, ExecStrategy, SneConfig};
 
 use crate::compile::CompiledNetwork;
 use crate::run::InferenceResult;
@@ -38,6 +46,8 @@ pub struct BatchReport {
     pub aggregate_rate: f64,
     /// Mean energy per inference in µJ (0 for an empty batch).
     pub mean_energy_uj: f64,
+    /// Host worker threads that drove the lanes (1 for a sequential run).
+    pub threads: usize,
 }
 
 /// Drives N independent [`InferenceSession`]s over N streams and aggregates
@@ -72,10 +82,12 @@ pub struct BatchReport {
 #[derive(Debug)]
 pub struct BatchRunner {
     sessions: Vec<InferenceSession>,
+    exec: ExecStrategy,
 }
 
 impl BatchRunner {
-    /// Compiles-once and opens `lanes` sessions sharing the compiled network.
+    /// Compiles-once and opens `lanes` sessions sharing the compiled network
+    /// (lanes driven sequentially on the calling thread).
     ///
     /// # Errors
     ///
@@ -86,6 +98,24 @@ impl BatchRunner {
         config: SneConfig,
         lanes: usize,
     ) -> Result<Self, SneError> {
+        Self::with_exec(network, config, lanes, ExecStrategy::Sequential)
+    }
+
+    /// Like [`BatchRunner::new`], but the N lanes are driven on (up to) N
+    /// host worker threads under a parallel [`ExecStrategy`]. Each lane's
+    /// engine stays sequential — the parallelism lives across lanes, mirroring
+    /// the independent SNE instances of the fleet — and the report is
+    /// bit-identical to the sequential runner's.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BatchRunner::new`].
+    pub fn with_exec(
+        network: impl Into<Arc<CompiledNetwork>>,
+        config: SneConfig,
+        lanes: usize,
+        exec: ExecStrategy,
+    ) -> Result<Self, SneError> {
         if lanes == 0 {
             return Err(SneError::EmptyBatch);
         }
@@ -93,13 +123,25 @@ impl BatchRunner {
         let sessions = (0..lanes)
             .map(|_| InferenceSession::new(Arc::clone(&network), config))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { sessions })
+        Ok(Self { sessions, exec })
     }
 
     /// Number of parallel lanes.
     #[must_use]
     pub fn lanes(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// The execution strategy driving the lanes.
+    #[must_use]
+    pub fn exec(&self) -> ExecStrategy {
+        self.exec
+    }
+
+    /// Changes the execution strategy (takes effect on the next batch; never
+    /// changes results).
+    pub fn set_exec(&mut self, exec: ExecStrategy) {
+        self.exec = exec;
     }
 
     /// One lane's session (e.g. to stream into it directly).
@@ -114,24 +156,83 @@ impl BatchRunner {
 
     /// Runs every stream (stream `i` on lane `i % lanes`) and aggregates the
     /// statistics. Sessions are re-used across calls — no compilation or
-    /// allocation happens per stream.
+    /// allocation happens per stream. Under a parallel strategy the lanes run
+    /// on worker threads; each lane still consumes its streams in input
+    /// order, so every per-stream result (and the whole report) is
+    /// bit-identical to a sequential run.
     ///
     /// # Errors
     ///
-    /// Propagates the first inference error encountered.
+    /// Propagates the inference error of the lowest-numbered failing stream
+    /// (the same error a sequential run reports first).
     pub fn run(&mut self, streams: &[EventStream]) -> Result<BatchReport, SneError> {
         let lanes = self.sessions.len();
-        let mut results = Vec::with_capacity(streams.len());
+        let exec = self.exec;
+        // Per-stream results of one lane, or the first `(stream index, error)`
+        // the lane hit.
+        type LaneOutcome = Result<Vec<(usize, InferenceResult)>, (usize, SneError)>;
+        // Lowest failing stream index observed so far, for deterministic
+        // fail-fast: a failure at index `m` makes every result with a higher
+        // index moot (the batch returns the minimum-index error), so lanes
+        // stop once their next stream is beyond it. Streams below `m` always
+        // run, so an even earlier failure is never missed — the reported
+        // error is identical for every strategy and thread interleaving.
+        let min_failed = AtomicUsize::new(usize::MAX);
+        // Fan the lanes out: lane `l` infers streams `l, l + lanes, ...` in
+        // order — exactly the round-robin schedule of the sequential loop,
+        // just regrouped by lane. `infer` resets the session first, so the
+        // regrouping cannot change any result.
+        let lane_outcomes: Vec<LaneOutcome> = exec.map(&mut self.sessions, |lane, session| {
+            let mut outcomes = Vec::new();
+            for (i, stream) in streams.iter().enumerate().skip(lane).step_by(lanes) {
+                if i > min_failed.load(Ordering::SeqCst) {
+                    // Indices only grow within a lane; nothing left to do.
+                    break;
+                }
+                match session.infer(stream) {
+                    Ok(result) => outcomes.push((i, result)),
+                    Err(error) => {
+                        min_failed.fetch_min(i, Ordering::SeqCst);
+                        return Err((i, error));
+                    }
+                }
+            }
+            Ok(outcomes)
+        });
+
+        // Deterministic reduction: first failing stream index wins; otherwise
+        // scatter the per-lane results back into input order.
+        let mut first_error: Option<(usize, SneError)> = None;
+        let mut slots: Vec<Option<InferenceResult>> = (0..streams.len()).map(|_| None).collect();
+        for outcome in lane_outcomes {
+            match outcome {
+                Ok(outcomes) => {
+                    for (i, result) in outcomes {
+                        slots[i] = Some(result);
+                    }
+                }
+                Err((i, error)) => {
+                    if first_error.as_ref().map_or(true, |(j, _)| i < *j) {
+                        first_error = Some((i, error));
+                    }
+                }
+            }
+        }
+        if let Some((_, error)) = first_error {
+            return Err(error);
+        }
+
+        let results: Vec<InferenceResult> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every stream produced a result"))
+            .collect();
         let mut lane_time_ms = vec![0.0f64; lanes];
         let mut total_stats = CycleStats::new();
         let mut total_energy_uj = 0.0;
-        for (i, stream) in streams.iter().enumerate() {
-            let lane = i % lanes;
-            let result = self.sessions[lane].infer(stream)?;
-            lane_time_ms[lane] += result.inference_time_ms;
+        for (i, result) in results.iter().enumerate() {
+            lane_time_ms[i % lanes] += result.inference_time_ms;
             total_stats += result.stats;
             total_energy_uj += result.energy.energy_uj;
-            results.push(result);
         }
         let makespan_ms = lane_time_ms.iter().fold(0.0f64, |a, &b| a.max(b));
         let aggregate_rate = if streams.is_empty() {
@@ -153,6 +254,7 @@ impl BatchRunner {
             makespan_ms,
             aggregate_rate,
             mean_energy_uj,
+            threads: exec.threads(),
             results,
         })
     }
@@ -222,6 +324,64 @@ mod tests {
         // Lanes are reusable across batches.
         let again = runner.run(&streams).unwrap();
         assert_eq!(report, again);
+    }
+
+    #[test]
+    fn threaded_lanes_produce_a_bit_identical_report() {
+        let network = Arc::new(compiled());
+        let streams = streams(9);
+        let mut sequential =
+            BatchRunner::new(Arc::clone(&network), SneConfig::with_slices(2), 4).unwrap();
+        let reference = sequential.run(&streams).unwrap();
+        assert_eq!(reference.threads, 1);
+        for threads in [2usize, 3, 8] {
+            let mut parallel = BatchRunner::with_exec(
+                Arc::clone(&network),
+                SneConfig::with_slices(2),
+                4,
+                ExecStrategy::threaded(threads),
+            )
+            .unwrap();
+            let report = parallel.run(&streams).unwrap();
+            assert_eq!(report.threads, threads);
+            assert_eq!(report.results, reference.results, "threads = {threads}");
+            assert_eq!(report.total_stats, reference.total_stats);
+            assert_eq!(report.lanes, reference.lanes);
+            assert!((report.makespan_ms - reference.makespan_ms).abs() < 1e-12);
+            assert!((report.total_energy_uj - reference.total_energy_uj).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exec_strategy_is_switchable_between_batches() {
+        let mut runner = BatchRunner::new(compiled(), SneConfig::with_slices(2), 2).unwrap();
+        let streams = streams(5);
+        let before = runner.run(&streams).unwrap();
+        runner.set_exec(ExecStrategy::threaded(4));
+        assert!(runner.exec().is_parallel());
+        let after = runner.run(&streams).unwrap();
+        assert_eq!(before.results, after.results);
+        assert_eq!(after.threads, 4);
+    }
+
+    #[test]
+    fn threaded_error_reporting_matches_the_sequential_choice() {
+        let network = compiled();
+        let mut streams = streams(6);
+        // Streams 2 and 5 are malformed (wrong geometry).
+        streams[2] = EventStream::new(16, 16, 2, 8);
+        streams[5] = EventStream::new(4, 4, 1, 8);
+        let mut sequential =
+            BatchRunner::new(network.clone(), SneConfig::with_slices(2), 3).unwrap();
+        let expected = sequential.run(&streams).unwrap_err();
+        let mut parallel = BatchRunner::with_exec(
+            network,
+            SneConfig::with_slices(2),
+            3,
+            ExecStrategy::threaded(3),
+        )
+        .unwrap();
+        assert_eq!(parallel.run(&streams).unwrap_err(), expected);
     }
 
     #[test]

@@ -24,6 +24,12 @@
 //! (it routes through the same runtime); [`batch::BatchRunner`] drives N
 //! sessions over N streams for the serving-many-users scenario.
 //!
+//! Every entry point accepts an [`ExecStrategy`] (`with_exec` constructors):
+//! `Threaded(n)` fans the simulator's independent units — per-slice workers
+//! inside an engine, layer stages of a [`session::PipelinedSession`], lanes
+//! of a [`batch::BatchRunner`] — out over host worker threads, with results
+//! bit-identical to `Sequential` for every `n`.
+//!
 //! # Example
 //!
 //! ```
@@ -70,6 +76,10 @@ pub use compile::{CompiledNetwork, Stage};
 pub use error::SneError;
 pub use run::{InferenceResult, LayerExecution};
 pub use session::{ChunkOutput, InferenceSession, PipelinedSession};
+// The execution strategy is part of the top-level API surface: every entry
+// point (`SneAccelerator`, the sessions, `BatchRunner`) takes it via a
+// `with_exec` constructor.
+pub use sne_sim::ExecStrategy;
 
 // Re-export the crates a downstream user needs to drive the API.
 pub use sne_energy;

@@ -197,24 +197,38 @@ impl Cluster {
     /// membrane, so no spike can be missed) and no cycles are spent. The
     /// returned vector holds the local indices of the neurons that fired.
     pub fn fire_scan(&mut self, params: LifHardwareParams, tlu_enabled: bool) -> Vec<usize> {
+        let mut fired = Vec::new();
+        let _ = self.fire_scan_into(params, tlu_enabled, &mut fired);
+        fired
+    }
+
+    /// Allocation-free variant of [`Cluster::fire_scan`]: appends the local
+    /// indices of firing neurons to `out` (not cleared first) and returns
+    /// `true` if the scan executed (`false` if the TLU skipped it).
+    pub fn fire_scan_into(
+        &mut self,
+        params: LifHardwareParams,
+        tlu_enabled: bool,
+        out: &mut Vec<usize>,
+    ) -> bool {
         if tlu_enabled && !self.dirty {
             self.pending_leak_steps += 1;
             self.counters.skipped_scans += 1;
-            return Vec::new();
+            return false;
         }
         self.catch_up(params);
         self.counters.fire_scans += 1;
-        let mut fired = Vec::new();
+        let before = out.len();
         for (i, state) in self.states.iter_mut().enumerate() {
             *state = clamp_state(i32::from(*state) - i32::from(params.leak));
             if *state >= params.threshold {
                 *state = 0;
-                fired.push(i);
+                out.push(i);
             }
         }
-        self.counters.spikes += fired.len() as u64;
+        self.counters.spikes += (out.len() - before) as u64;
         self.dirty = false;
-        fired
+        true
     }
 }
 

@@ -23,6 +23,7 @@ use sne_event::{Event, EventFormat, EventOp, EventStream};
 
 use crate::collector::Collector;
 use crate::config::SneConfig;
+use crate::exec::ExecStrategy;
 use crate::mapping::LayerMapping;
 use crate::memory::MemoryModel;
 use crate::regfile::{Register, RegisterFile};
@@ -31,6 +32,7 @@ use crate::state::LayerState;
 use crate::stats::CycleStats;
 use crate::streamer::Streamer;
 use crate::trace::{Trace, TraceRecord};
+use crate::worker::{run_slice_pass, SliceRecord, SliceTask, WorkerContext};
 use crate::xbar::{CrossBar, XbarPort};
 use crate::SimError;
 
@@ -59,12 +61,36 @@ pub struct Engine {
     memory: MemoryModel,
     format: EventFormat,
     trace: Trace,
+    /// How the per-slice worker units of a pass execute on the host.
+    exec: ExecStrategy,
+    /// Per-slice worker records, reused across timesteps, passes and runs
+    /// (the hot path performs no per-timestep allocation).
+    records: Vec<SliceRecord>,
+    /// Per-slice read cursors of the reduction, reused across passes.
+    cursors: Vec<usize>,
 }
 
 impl Engine {
-    /// Creates an engine with the given configuration.
+    /// Minimum work size — op-sequence entries × slices — below which a pass
+    /// takes the sequential path even under a parallel [`ExecStrategy`]:
+    /// scoped-thread spawns would cost more than they save on tiny passes
+    /// (e.g. a streamed chunk through a small dense classifier). The gate is
+    /// a pure wall-clock heuristic; results are bit-identical either way.
+    /// Exposed so tests sizing workloads to exercise the threaded fan-out
+    /// can assert they cross it.
+    pub const MIN_PARALLEL_UNITS: usize = 256;
+
+    /// Creates an engine with the given configuration (sequential execution).
     #[must_use]
     pub fn new(config: SneConfig) -> Self {
+        Self::with_exec(config, ExecStrategy::Sequential)
+    }
+
+    /// Creates an engine that runs its per-slice worker units with the given
+    /// [`ExecStrategy`]. The strategy affects wall-clock time only: results,
+    /// statistics and traces are bit-identical for every strategy.
+    #[must_use]
+    pub fn with_exec(config: SneConfig, exec: ExecStrategy) -> Self {
         let slices = (0..config.num_slices)
             .map(|_| Slice::new(&config))
             .collect();
@@ -76,6 +102,9 @@ impl Engine {
             memory: MemoryModel::new(config.memory_latency, 2),
             format: EventFormat::default(),
             trace: Trace::disabled(),
+            exec,
+            records: Vec::new(),
+            cursors: Vec::new(),
             config,
         }
     }
@@ -84,6 +113,17 @@ impl Engine {
     #[must_use]
     pub fn config(&self) -> &SneConfig {
         &self.config
+    }
+
+    /// The execution strategy of the per-slice worker units.
+    #[must_use]
+    pub fn exec(&self) -> ExecStrategy {
+        self.exec
+    }
+
+    /// Changes the execution strategy (takes effect on the next run).
+    pub fn set_exec(&mut self, exec: ExecStrategy) {
+        self.exec = exec;
     }
 
     /// The configuration register file (for host-style programming).
@@ -164,6 +204,12 @@ impl Engine {
         self.run_layer_inner(mapping, input, Some(state), resume)
     }
 
+    /// Executes a layer run as a sequence of mapping passes, each decomposed
+    /// into independent per-slice worker units ([`crate::worker`]) fanned out
+    /// by the engine's [`ExecStrategy`] and merged back by a deterministic
+    /// slice-order reduction ([`Engine::reduce_pass`]). The strategy affects
+    /// wall-clock time only — outputs, statistics and traces are
+    /// bit-identical for every strategy.
     fn run_layer_inner(
         &mut self,
         mapping: &LayerMapping,
@@ -185,7 +231,6 @@ impl Engine {
         self.xbar.reset_counters();
         self.collector.reset_counters();
 
-        let params = mapping.params();
         // A resumed chunk continues from saved state: no initial RST_OP.
         let op_sequence = if resume {
             input.to_op_sequence_continuing()
@@ -220,141 +265,90 @@ impl Engine {
         let out_shape = mapping.output_shape();
         let mut output_events: Vec<Event> = Vec::new();
 
+        // The worker records are long-lived buffers: sized once per engine
+        // configuration, cleared (capacity kept) on every pass.
+        if self.records.len() != self.config.num_slices {
+            self.records = vec![SliceRecord::default(); self.config.num_slices];
+        }
+        let ctx = WorkerContext {
+            mapping,
+            ops: &op_sequence,
+            params: mapping.params(),
+            clock_gating: self.config.clock_gating,
+            tlu_enabled: self.config.tlu_enabled,
+            neurons_per_cluster: self.config.neurons_per_cluster as u64,
+            resume,
+        };
+
         for pass in 0..passes {
             stats.passes += 1;
-            self.trace.push(TraceRecord::PassStart {
-                pass,
-                channels: (0..out_shape.channels)
-                    .filter(|&c| {
-                        let first = out_shape.index(c, 0, 0);
-                        first >= pass * per_pass && first < (pass + 1) * per_pass
-                    })
-                    .collect(),
-            });
-            // Assign neuron ranges to slices for this pass.
-            let mut active_slices = Vec::new();
-            for (s, slice) in self.slices.iter_mut().enumerate() {
-                let base = pass * per_pass + s * neurons_per_slice;
-                let count = neurons_per_slice.min(total_neurons.saturating_sub(base));
-                slice.configure_pass(base.min(total_neurons), count);
-                if resume {
-                    if let Some(st) = state.as_deref_mut() {
-                        slice.import_state(st.slice_state(pass, s));
-                    }
-                }
-                if count > 0 {
-                    active_slices.push(s);
-                }
+            if self.trace.is_enabled() {
+                self.trace.push(TraceRecord::PassStart {
+                    pass,
+                    channels: (0..out_shape.channels)
+                        .filter(|&c| {
+                            let first = out_shape.index(c, 0, 0);
+                            first >= pass * per_pass && first < (pass + 1) * per_pass
+                        })
+                        .collect(),
+                });
             }
+
+            // Fan out: one worker unit per slice — the slice, its record and
+            // its disjoint share of the persistent state. No shared mutable
+            // state, so the units can run on any host schedule.
+            let mut state_shares: Vec<Option<&mut [crate::cluster::ClusterState]>> =
+                match state.as_deref_mut() {
+                    Some(st) => st.pass_slices_mut(pass).map(Some).collect(),
+                    None => (0..self.config.num_slices).map(|_| None).collect(),
+                };
+            let mut tasks: Vec<SliceTask<'_>> = self
+                .slices
+                .iter_mut()
+                .zip(self.records.iter_mut())
+                .zip(state_shares.drain(..))
+                .enumerate()
+                .map(|(s, ((slice, record), share))| {
+                    let base = pass * per_pass + s * neurons_per_slice;
+                    let count = neurons_per_slice.min(total_neurons.saturating_sub(base));
+                    SliceTask {
+                        slice,
+                        record,
+                        state: share,
+                        base: base.min(total_neurons),
+                        count,
+                    }
+                })
+                .collect();
+            // Fanning a pass out only pays when there is enough work to
+            // amortize the scoped-thread spawns; tiny passes (e.g. the final
+            // dense classifier of a streamed chunk) take the sequential path.
+            // Results are bit-identical either way — the gate only moves
+            // host wall-clock time.
+            let exec = if op_sequence.len() * self.config.num_slices < Self::MIN_PARALLEL_UNITS {
+                ExecStrategy::Sequential
+            } else {
+                self.exec
+            };
+            exec.run(&mut tasks, |_, task| run_slice_pass(task, &ctx));
+            drop(tasks);
+
             stats.streamer_reads += in_reads;
             stats.stall_cycles += in_stalls;
             stats.total_cycles += in_stalls;
             timestep_cycles[0] += in_stalls;
 
-            let mut queues: Vec<Vec<Event>> = vec![Vec::new(); self.config.num_slices];
-            for op in &op_sequence {
-                match op.op {
-                    EventOp::Reset => {
-                        let _ = self.xbar.broadcast(XbarPort::StreamerIn);
-                        for &s in &active_slices {
-                            self.slices[s].reset();
-                        }
-                        stats.reset_cycles += 1;
-                        stats.total_cycles += 1;
-                        timestep_cycles[op.t as usize] += 1;
-                        self.trace.push(TraceRecord::Reset { time: op.t });
-                    }
-                    EventOp::Update => {
-                        let _ = self.xbar.broadcast(XbarPort::StreamerIn);
-                        stats.input_events += 1;
-                        let event_cost =
-                            u64::from(self.config.cycles_per_event) * state_access_factor;
-                        stats.update_cycles += event_cost;
-                        stats.total_cycles += event_cost;
-                        timestep_cycles[op.t as usize] += event_cost;
-                        let mut event_ops = 0u64;
-                        for &s in &active_slices {
-                            let range = self.slices[s].assigned_range();
-                            let contributions = mapping.contributions_in_range(op, range);
-                            let outcome = self.slices[s].process_update(
-                                &contributions,
-                                params,
-                                self.config.clock_gating,
-                            );
-                            stats.synaptic_ops += outcome.synaptic_ops;
-                            event_ops += outcome.synaptic_ops;
-                            stats.active_cluster_cycles +=
-                                outcome.active_clusters * u64::from(self.config.cycles_per_event);
-                            stats.gated_cluster_cycles +=
-                                outcome.gated_clusters * u64::from(self.config.cycles_per_event);
-                        }
-                        if !weights_resident {
-                            // Weights streamed per event: 8 packed 4-bit
-                            // weights per 32-bit memory word (Fig. 1).
-                            let words = event_ops.div_ceil(8);
-                            stats.streamer_reads += words;
-                            let budget =
-                                u64::from(self.config.cycles_per_event) * state_access_factor;
-                            if words > budget {
-                                let stall = words - budget;
-                                stats.stall_cycles += stall;
-                                stats.total_cycles += stall;
-                                timestep_cycles[op.t as usize] += stall;
-                            }
-                        }
-                        self.trace.push(TraceRecord::EventConsumed {
-                            time: op.t,
-                            channel: op.ch,
-                            address: (op.x, op.y),
-                            synaptic_ops: event_ops,
-                        });
-                    }
-                    EventOp::Fire => {
-                        let mut any_scanned = false;
-                        let mut emitted = 0u64;
-                        for &s in &active_slices {
-                            let outcome =
-                                self.slices[s].process_fire(params, self.config.tlu_enabled);
-                            any_scanned |= outcome.scanned_clusters > 0;
-                            stats.tlu_skipped_updates +=
-                                outcome.skipped_clusters * self.config.neurons_per_cluster as u64;
-                            for neuron in outcome.fired {
-                                let (c, y, x) = mapping.output_position(neuron);
-                                queues[s].push(Event::update(op.t, c, x, y));
-                                emitted += 1;
-                            }
-                        }
-                        let fire_cost = if any_scanned {
-                            self.config.neurons_per_cluster as u64 * state_access_factor
-                        } else {
-                            1
-                        };
-                        // State updates performed during an executed scan are
-                        // synaptic-side bookkeeping, not SOPs; only cycle cost
-                        // is accounted here.
-                        stats.fire_cycles += fire_cost;
-                        stats.total_cycles += fire_cost;
-                        timestep_cycles[op.t as usize] += fire_cost;
-                        stats.output_events += emitted;
-                        let merged = self.collector.merge(&mut queues);
-                        for _ in &merged {
-                            let _ = self.xbar.route(XbarPort::Collector, XbarPort::StreamerOut);
-                        }
-                        output_events.extend(merged);
-                        self.trace.push(TraceRecord::FireScan {
-                            time: op.t,
-                            emitted,
-                        });
-                    }
-                }
-            }
-            // Persist the state this pass leaves behind so the next chunk can
-            // resume from it.
-            if let Some(st) = state.as_deref_mut() {
-                for (s, slice) in self.slices.iter().enumerate() {
-                    slice.export_state(st.slice_state_mut(pass, s));
-                }
-            }
+            // Merge: a single deterministic walk over the op sequence in
+            // slice order reproduces the crossbar broadcasts, the collector
+            // arbitration and the cycle accounting of the hardware exactly.
+            self.reduce_pass(
+                &op_sequence,
+                weights_resident,
+                state_access_factor,
+                &mut stats,
+                &mut timestep_cycles,
+                &mut output_events,
+            );
         }
 
         // Model the output DMA.
@@ -382,6 +376,117 @@ impl Engine {
             stats,
             timestep_cycles,
         })
+    }
+
+    /// The deterministic reduction of one pass: walks the op sequence once,
+    /// combining the per-slice worker records **in slice order** into the
+    /// global cycle accounting, the crossbar/collector activity, the trace
+    /// and the output event stream — exactly the arbitration the sequential
+    /// engine (and the hardware's collector tree) performs.
+    fn reduce_pass(
+        &mut self,
+        ops: &[Event],
+        weights_resident: bool,
+        state_access_factor: u64,
+        stats: &mut CycleStats,
+        timestep_cycles: &mut [u64],
+        output_events: &mut Vec<Event>,
+    ) {
+        // Split the engine into its disjoint parts so the records can be read
+        // while the crossbar/collector/trace are driven.
+        let records = &self.records;
+        let collector = &mut self.collector;
+        let xbar = &mut self.xbar;
+        let trace = &mut self.trace;
+        let cursors = &mut self.cursors;
+        cursors.clear();
+        cursors.resize(records.len(), 0);
+        let event_cost = u64::from(self.config.cycles_per_event) * state_access_factor;
+        let scan_cost = self.config.neurons_per_cluster as u64 * state_access_factor;
+
+        let mut views: Vec<&[Event]> = Vec::with_capacity(records.len());
+        let mut update_index = 0usize;
+        let mut fire_index = 0usize;
+        for op in ops {
+            match op.op {
+                EventOp::Reset => {
+                    let _ = xbar.broadcast(XbarPort::StreamerIn);
+                    stats.reset_cycles += 1;
+                    stats.total_cycles += 1;
+                    timestep_cycles[op.t as usize] += 1;
+                    trace.push(TraceRecord::Reset { time: op.t });
+                }
+                EventOp::Update => {
+                    let _ = xbar.broadcast(XbarPort::StreamerIn);
+                    stats.input_events += 1;
+                    stats.update_cycles += event_cost;
+                    stats.total_cycles += event_cost;
+                    timestep_cycles[op.t as usize] += event_cost;
+                    let mut event_ops = 0u64;
+                    for record in records.iter().filter(|r| r.active) {
+                        event_ops += record.update_ops[update_index];
+                    }
+                    if !weights_resident {
+                        // Weights streamed per event: 8 packed 4-bit
+                        // weights per 32-bit memory word (Fig. 1).
+                        let words = event_ops.div_ceil(8);
+                        stats.streamer_reads += words;
+                        if words > event_cost {
+                            let stall = words - event_cost;
+                            stats.stall_cycles += stall;
+                            stats.total_cycles += stall;
+                            timestep_cycles[op.t as usize] += stall;
+                        }
+                    }
+                    trace.push(TraceRecord::EventConsumed {
+                        time: op.t,
+                        channel: op.ch,
+                        address: (op.x, op.y),
+                        synaptic_ops: event_ops,
+                    });
+                    update_index += 1;
+                }
+                EventOp::Fire => {
+                    let mut any_scanned = false;
+                    let mut emitted = 0u64;
+                    views.clear();
+                    for (s, record) in records.iter().enumerate() {
+                        if !record.active {
+                            views.push(&record.fired[0..0]);
+                            continue;
+                        }
+                        any_scanned |= record.scanned[fire_index];
+                        let count = record.fire_counts[fire_index] as usize;
+                        let start = cursors[s];
+                        views.push(&record.fired[start..start + count]);
+                        cursors[s] = start + count;
+                        emitted += count as u64;
+                    }
+                    let fire_cost = if any_scanned { scan_cost } else { 1 };
+                    // State updates performed during an executed scan are
+                    // synaptic-side bookkeeping, not SOPs; only cycle cost
+                    // is accounted here.
+                    stats.fire_cycles += fire_cost;
+                    stats.total_cycles += fire_cost;
+                    timestep_cycles[op.t as usize] += fire_cost;
+                    stats.output_events += emitted;
+                    let merged = collector.merge_slices(&views, output_events);
+                    for _ in 0..merged {
+                        let _ = xbar.route(XbarPort::Collector, XbarPort::StreamerOut);
+                    }
+                    trace.push(TraceRecord::FireScan {
+                        time: op.t,
+                        emitted,
+                    });
+                    fire_index += 1;
+                }
+            }
+        }
+        // The per-slice activity counters are plain sums: merge them in one
+        // go (associative and slice-order independent).
+        for record in records.iter().filter(|r| r.active) {
+            record.merge_into(stats, u64::from(self.config.cycles_per_event));
+        }
     }
 
     fn program_registers(
@@ -797,6 +902,80 @@ mod tests {
         // The state left behind is the end-of-stream state, not rest: the
         // spike at t=0 fired and reset, later timesteps stayed idle.
         assert!(state.membrane(0).is_some());
+    }
+
+    #[test]
+    fn threaded_execution_is_bit_exact_with_sequential() {
+        // Multi-pass layer (2 passes on the small config), leak + threshold
+        // so state carries across timesteps, chunked stateful resume — the
+        // full surface the parallel fan-out must reproduce exactly.
+        let weights: Vec<i8> = (0..8 * 9).map(|i| ((i % 7) as i8) - 3).collect();
+        let mapping = LayerMapping::conv(
+            crate::mapping::MapShape::new(1, 4, 4),
+            8,
+            3,
+            weights,
+            crate::mapping::LifHardwareParams {
+                leak: 1,
+                threshold: 3,
+            },
+        )
+        .unwrap();
+        // 60 timesteps with ~90 events: enough op-sequence entries that the
+        // pass crosses the engine's minimum-work gate and genuinely fans out.
+        let mut stream = EventStream::new(4, 4, 1, 60);
+        for t in 0..60 {
+            stream.push(Event::update(t, 0, (t % 4) as u16, 2)).unwrap();
+            if t % 2 == 0 {
+                stream.push(Event::update(t, 0, 1, 1)).unwrap();
+            }
+        }
+        assert!(
+            stream.to_op_sequence().len() * small_config().num_slices >= Engine::MIN_PARALLEL_UNITS,
+            "workload must cross the parallel gate or the test is vacuous"
+        );
+
+        let mut sequential = Engine::new(small_config());
+        sequential.enable_trace(256);
+        let expected = sequential.run_layer(&mapping, &stream).unwrap();
+
+        for threads in [1usize, 2, 3, 8] {
+            let mut threaded =
+                Engine::with_exec(small_config(), crate::exec::ExecStrategy::threaded(threads));
+            assert_eq!(threaded.exec().threads(), threads.max(1));
+            threaded.enable_trace(256);
+            let result = threaded.run_layer(&mapping, &stream).unwrap();
+            assert_eq!(result, expected, "threads = {threads}");
+            assert_eq!(threaded.trace().records(), sequential.trace().records());
+
+            // Stateful chunked resume under threads matches the whole run.
+            let mut chunked =
+                Engine::with_exec(small_config(), crate::exec::ExecStrategy::threaded(threads));
+            let mut state = LayerState::new(&small_config(), &mapping);
+            let mut events = Vec::new();
+            for (i, (start, end)) in [(0, 25), (25, 60)].into_iter().enumerate() {
+                let chunk = stream.window(start, end);
+                let run = chunked
+                    .run_layer_stateful(&mapping, &chunk, &mut state, i > 0)
+                    .unwrap();
+                events.extend(run.output.into_events().into_iter().map(|e| Event {
+                    t: e.t + start,
+                    ..e
+                }));
+            }
+            assert_eq!(events, expected.output.as_slice(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn exec_strategy_is_switchable_on_a_live_engine() {
+        let mut engine = Engine::new(small_config());
+        let mapping = conv_mapping(1);
+        let a = engine.run_layer(&mapping, &single_spike_stream()).unwrap();
+        engine.set_exec(crate::exec::ExecStrategy::threaded(4));
+        let b = engine.run_layer(&mapping, &single_spike_stream()).unwrap();
+        assert_eq!(a, b);
+        assert!(engine.exec().is_parallel());
     }
 
     #[test]

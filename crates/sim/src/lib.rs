@@ -21,6 +21,13 @@
 //! * [`engine::Engine`] — the top level: maps eCNN layers onto slices
 //!   ([`mapping::LayerMapping`]), runs the event stream and accounts cycles,
 //!   synaptic operations and per-component activity ([`stats::CycleStats`]).
+//! * [`worker`] — the per-slice worker unit a mapping pass decomposes into
+//!   (the slice, its output record and its share of the persistent state),
+//!   with no shared mutable state between units.
+//! * [`exec::ExecStrategy`] — how those independent units execute on the
+//!   host: sequentially or fanned out over scoped worker threads, with a
+//!   deterministic slice-order reduction that keeps every strategy
+//!   bit-exact.
 //!
 //! The simulator is *functionally exact* with respect to the quantized LIF
 //! dynamics (it produces bit-identical output events to the functional model
@@ -81,6 +88,7 @@ pub mod collector;
 pub mod config;
 pub mod decoder;
 pub mod engine;
+pub mod exec;
 pub mod mapping;
 pub mod memory;
 pub mod regfile;
@@ -90,6 +98,7 @@ pub mod state;
 pub mod stats;
 pub mod streamer;
 pub mod trace;
+pub mod worker;
 pub mod xbar;
 
 mod error;
@@ -97,6 +106,7 @@ mod error;
 pub use config::SneConfig;
 pub use engine::{Engine, LayerRunOutput};
 pub use error::SimError;
+pub use exec::ExecStrategy;
 pub use mapping::{LayerMapping, LifHardwareParams};
 pub use state::LayerState;
 pub use stats::CycleStats;

@@ -275,8 +275,22 @@ impl LayerMapping {
         range: std::ops::Range<usize>,
     ) -> Vec<Contribution> {
         let mut out = Vec::new();
+        self.contributions_in_range_into(event, range, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`LayerMapping::contributions_in_range`]:
+    /// appends the contributions to `out` (which is *not* cleared first), so
+    /// the engine's per-slice workers can reuse one scratch buffer per slice
+    /// across the whole event stream.
+    pub fn contributions_in_range_into(
+        &self,
+        event: &Event,
+        range: std::ops::Range<usize>,
+        out: &mut Vec<Contribution>,
+    ) {
         if range.is_empty() {
-            return out;
+            return;
         }
         match self {
             Self::Conv {
@@ -296,7 +310,7 @@ impl LayerMapping {
                 let plane = usize::from(input.height) * usize::from(input.width);
                 let end = range.end.min(out_shape.len());
                 if range.start >= end {
-                    return out;
+                    return;
                 }
                 let first_channel = (range.start / plane) as u16;
                 let last_channel = ((end - 1) / plane) as u16;
@@ -348,7 +362,6 @@ impl LayerMapping {
                 }
             }
         }
-        out
     }
 
     /// All contributions of an event (no range restriction).
@@ -511,6 +524,20 @@ mod tests {
         assert!(straddling.iter().any(|c| c.weight == 1));
         assert!(straddling.iter().any(|c| c.neuron == 21 && c.weight == 2));
         assert!(straddling.iter().all(|c| (5..22).contains(&c.neuron)));
+    }
+
+    #[test]
+    fn contributions_into_appends_to_a_reused_buffer() {
+        let m = conv_mapping();
+        let event = Event::update(0, 0, 2, 2);
+        let mut buffer = vec![Contribution {
+            neuron: 999,
+            weight: 0,
+        }];
+        m.contributions_in_range_into(&event, 0..16, &mut buffer);
+        assert_eq!(buffer.len(), 10);
+        assert_eq!(buffer[0].neuron, 999);
+        assert_eq!(&buffer[1..], m.contributions_in_range(&event, 0..16));
     }
 
     #[test]

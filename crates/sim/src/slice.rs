@@ -34,6 +34,16 @@ pub struct FireOutcome {
     pub skipped_clusters: u64,
 }
 
+/// Scan/skip accounting of one `FIRE_OP` (the fired neurons are appended to
+/// a caller-provided buffer by [`Slice::process_fire_into`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FireScanSummary {
+    /// Clusters that executed the scan.
+    pub scanned_clusters: u64,
+    /// Clusters that skipped the scan thanks to the TLU.
+    pub skipped_clusters: u64,
+}
+
 /// One slice of the engine.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Slice {
@@ -169,29 +179,50 @@ impl Slice {
     /// Processes one `FIRE_OP`: every cluster scans its TDM neurons and emits
     /// spikes for those above threshold. Returns global neuron indices.
     pub fn process_fire(&mut self, params: LifHardwareParams, tlu_enabled: bool) -> FireOutcome {
-        let mut outcome = FireOutcome::default();
+        let mut fired = Vec::new();
+        let summary = self.process_fire_into(params, tlu_enabled, &mut fired);
+        FireOutcome {
+            fired,
+            scanned_clusters: summary.scanned_clusters,
+            skipped_clusters: summary.skipped_clusters,
+        }
+    }
+
+    /// Allocation-free variant of [`Slice::process_fire`]: global indices of
+    /// firing neurons are appended to `out` (not cleared first), so the
+    /// engine's per-slice workers reuse one buffer per slice across the run.
+    pub fn process_fire_into(
+        &mut self,
+        params: LifHardwareParams,
+        tlu_enabled: bool,
+        out: &mut Vec<usize>,
+    ) -> FireScanSummary {
+        let mut summary = FireScanSummary::default();
         for (cluster_index, cluster) in self.clusters.iter_mut().enumerate() {
             let cluster_base = self.base + cluster_index * self.neurons_per_cluster;
-            let before = cluster.counters().fire_scans;
-            let fired = cluster.fire_scan(params, tlu_enabled);
-            let executed = cluster.counters().fire_scans > before;
+            let local_start = out.len();
+            let executed = cluster.fire_scan_into(params, tlu_enabled, out);
             if executed {
-                outcome.scanned_clusters += 1;
+                summary.scanned_clusters += 1;
             } else {
-                outcome.skipped_clusters += 1;
+                summary.skipped_clusters += 1;
             }
-            for local in fired {
-                let global = cluster_base + local;
-                // Neurons beyond the assigned range are architectural padding
-                // (the last cluster of a pass may be partially used); they can
-                // never have received a contribution, so they never fire, but
-                // guard anyway.
+            // Shift the appended local indices to global addresses, dropping
+            // neurons beyond the assigned range: they are architectural
+            // padding (the last cluster of a pass may be partially used) and
+            // can never have received a contribution, so they never fire,
+            // but guard anyway.
+            let mut write = local_start;
+            for read in local_start..out.len() {
+                let global = cluster_base + out[read];
                 if global < self.base + self.assigned {
-                    outcome.fired.push(global);
+                    out[write] = global;
+                    write += 1;
                 }
             }
+            out.truncate(write);
         }
-        outcome
+        summary
     }
 
     /// Total synaptic operations performed by this slice's clusters.

@@ -95,10 +95,14 @@ impl CycleStats {
             self.output_events as f64 / self.input_events as f64
         }
     }
-}
 
-impl AddAssign for CycleStats {
-    fn add_assign(&mut self, rhs: Self) {
+    /// Merges another set of counters into this one.
+    ///
+    /// Every field is a plain sum, so `merge` is **associative and
+    /// commutative**: merging per-slice (or per-lane) partial stats in any
+    /// order or grouping produces the same totals. This is the reduction the
+    /// parallel executor relies on for bit-exact results.
+    pub fn merge(&mut self, rhs: &Self) {
         self.total_cycles += rhs.total_cycles;
         self.update_cycles += rhs.update_cycles;
         self.fire_cycles += rhs.fire_cycles;
@@ -115,6 +119,12 @@ impl AddAssign for CycleStats {
         self.xbar_transfers += rhs.xbar_transfers;
         self.collector_events += rhs.collector_events;
         self.passes += rhs.passes;
+    }
+}
+
+impl AddAssign for CycleStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.merge(&rhs);
     }
 }
 
