@@ -1,0 +1,43 @@
+//! Criterion bench: host time of the compiled sparse datapath (plan) versus
+//! the naive mapping walk across input activities — the wall-clock companion
+//! of the `datapath_report` binary. The plan's host time should scale with
+//! event activity (energy-proportional host time), and the naive path is the
+//! reference it is measured against.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sne::session::InferenceSession;
+use sne_bench::{fig6_network, workload};
+use sne_sim::SneConfig;
+
+fn activity_sweep(c: &mut Criterion) {
+    let config = SneConfig::with_slices(8);
+    let network = fig6_network(32, 11, 5);
+    let mut group = c.benchmark_group("activity_sweep");
+    group.sample_size(10);
+
+    for (i, activity) in [0.001f64, 0.01, 0.1].into_iter().enumerate() {
+        let stream = workload(32, 12, activity, 7 + i as u64);
+        let label = format!("{}pct", activity * 100.0);
+
+        let mut planned = InferenceSession::new(network.clone(), config).unwrap();
+        group.bench_function(BenchmarkId::new("plan", &label), |b| {
+            b.iter(|| {
+                let result = planned.infer(black_box(&stream)).unwrap();
+                black_box(result.stats.total_cycles)
+            });
+        });
+
+        let mut naive = InferenceSession::new(network.clone(), config).unwrap();
+        naive.set_plan_enabled(false);
+        group.bench_function(BenchmarkId::new("naive", &label), |b| {
+            b.iter(|| {
+                let result = naive.infer(black_box(&stream)).unwrap();
+                black_box(result.stats.total_cycles)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, activity_sweep);
+criterion_main!(benches);

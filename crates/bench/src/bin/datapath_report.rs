@@ -1,0 +1,217 @@
+//! Measures the compiled sparse datapath (plan) against the naive mapping
+//! walk and emits a machine-readable `BENCH_datapath.json`, tracking the
+//! host-time trajectory of the event datapath from PR to PR (the companion of
+//! `BENCH_session.json` and `BENCH_parallel.json`).
+//!
+//! The workload is the Fig. 6 @ 32x32 / 12-timestep session inference, swept
+//! over three input activities (0.1 %, 1 %, 10 %). For every activity the
+//! binary first asserts that the plan and the naive oracle produce the
+//! **bit-identical** inference result, and only then times both datapaths.
+//! Two headline numbers come out:
+//!
+//! * `speedup_at_1pct` — plan vs naive host time on the 1 %-activity Fig. 6
+//!   workload (the PR's ≥2x acceptance metric);
+//! * `plan_host_us_ratio_0p1_vs_10pct` — plan host time at 0.1 % activity
+//!   over plan host time at 10 % activity: energy proportionality of the
+//!   *host* datapath (the modelled cycles were proportional all along).
+//!
+//! ```bash
+//! cargo run --release -p sne_bench --bin datapath_report                 # full run
+//! cargo run --release -p sne_bench --bin datapath_report -- --smoke     # CI smoke
+//! cargo run --release -p sne_bench --bin datapath_report -- --out x.json
+//! ```
+
+use std::time::Instant;
+
+use sne::session::InferenceSession;
+use sne_bench::{fig6_network, workload};
+use sne_sim::SneConfig;
+
+/// The swept input activities: 0.1 %, 1 % (the session-bench anchor), 10 %.
+const ACTIVITIES: [f64; 3] = [0.001, 0.01, 0.1];
+
+struct Point {
+    activity: f64,
+    input_events: u64,
+    naive_us: f64,
+    plan_us: f64,
+}
+
+impl Point {
+    fn speedup(&self) -> f64 {
+        self.naive_us / self.plan_us
+    }
+}
+
+/// Measures two closures by alternating batches and taking each side's
+/// median batch mean: interleaving cancels machine drift between the two
+/// measurement phases and the median rejects interference outliers, so the
+/// reported ratio reflects the datapaths, not the host's scheduling noise.
+fn measure_pair_us(
+    batches: u32,
+    batch_iterations: u32,
+    mut a: impl FnMut() -> u64,
+    mut b: impl FnMut() -> u64,
+) -> (f64, f64) {
+    let mut checksum = a().wrapping_add(b()); // warm-up: lazy buffers, page faults
+    let batch = |run: &mut dyn FnMut() -> u64| {
+        let start = Instant::now();
+        let mut sum = 0u64;
+        for _ in 0..batch_iterations {
+            sum = sum.wrapping_add(run());
+        }
+        (
+            start.elapsed().as_secs_f64() * 1e6 / f64::from(batch_iterations),
+            sum,
+        )
+    };
+    let mut a_means = Vec::new();
+    let mut b_means = Vec::new();
+    for _ in 0..batches {
+        let (mean, sum) = batch(&mut a);
+        a_means.push(mean);
+        checksum = checksum.wrapping_add(sum);
+        let (mean, sum) = batch(&mut b);
+        b_means.push(mean);
+        checksum = checksum.wrapping_add(sum);
+    }
+    assert!(checksum > 0, "benchmark workload produced no cycles");
+    let median = |means: &mut Vec<f64>| {
+        means.sort_by(f64::total_cmp);
+        means[means.len() / 2]
+    };
+    (median(&mut a_means), median(&mut b_means))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_datapath.json".to_owned());
+    let (batches, batch_iterations): (u32, u32) = if smoke { (1, 3) } else { (9, 10) };
+    let iterations = batches * batch_iterations;
+
+    let config = SneConfig::with_slices(8);
+    let network = fig6_network(32, 11, 5);
+    let plan_entries: usize = network
+        .build_plans()
+        .iter()
+        .map(|p| p.table_entries())
+        .sum();
+
+    let mut points = Vec::new();
+    for (i, &activity) in ACTIVITIES.iter().enumerate() {
+        let stream = workload(32, 12, activity, 7 + i as u64);
+
+        let mut planned = InferenceSession::new(network.clone(), config).unwrap();
+        let mut naive = InferenceSession::new(network.clone(), config).unwrap();
+        naive.set_plan_enabled(false);
+
+        // Bit-exactness gate: the compiled datapath must reproduce the naive
+        // oracle exactly — outputs, stats, energy — before anything is timed.
+        let plan_result = planned.infer(&stream).unwrap();
+        let naive_result = naive.infer(&stream).unwrap();
+        assert_eq!(
+            plan_result, naive_result,
+            "plan and naive datapaths diverged at activity {activity}"
+        );
+
+        let (naive_us, plan_us) = measure_pair_us(
+            batches,
+            batch_iterations,
+            || naive.infer(&stream).unwrap().stats.total_cycles,
+            || planned.infer(&stream).unwrap().stats.total_cycles,
+        );
+        points.push(Point {
+            activity,
+            input_events: plan_result.input_events(),
+            naive_us,
+            plan_us,
+        });
+    }
+
+    let at = |a: f64| points.iter().find(|p| p.activity == a).unwrap();
+    let speedup_at_1pct = at(0.01).speedup();
+    let proportionality_ratio = at(0.001).plan_us / at(0.1).plan_us;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"datapath\",\n");
+    json.push_str("  \"datapath\": \"plan\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    json.push_str(&format!("  \"iterations\": {iterations},\n"));
+    json.push_str(
+        "  \"workload\": {\"network\": \"fig6_32x32\", \"timesteps\": 12, \"slices\": 8},\n",
+    );
+    json.push_str(&format!("  \"plan_table_entries\": {plan_entries},\n"));
+    json.push_str("  \"bit_exact\": true,\n");
+    json.push_str("  \"activities\": {\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{\"input_events\": {}, \"naive_us\": {:.2}, \"plan_us\": {:.2}, \"speedup\": {:.3}}}{}\n",
+            p.activity,
+            p.input_events,
+            p.naive_us,
+            p.plan_us,
+            p.speedup(),
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!("  \"speedup_at_1pct\": {speedup_at_1pct:.3},\n"));
+    json.push_str(&format!(
+        "  \"plan_host_us_ratio_0p1_vs_10pct\": {proportionality_ratio:.4},\n"
+    ));
+    json.push_str(&format!(
+        "  \"proportionality_demonstrated\": {}\n",
+        proportionality_ratio <= 0.5
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_datapath.json");
+
+    println!("Sparse datapath — compiled plan vs naive mapping walk (Fig. 6 @ 32x32, 8 slices)");
+    println!("plan tables: {plan_entries} entries (bit-exact with the naive oracle: verified)");
+    println!();
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>9}",
+        "activity", "events", "naive us", "plan us", "speedup"
+    );
+    for p in &points {
+        println!(
+            "{:<10} {:>10} {:>12.1} {:>12.1} {:>8.2}x",
+            format!("{:.1}%", p.activity * 100.0),
+            p.input_events,
+            p.naive_us,
+            p.plan_us,
+            p.speedup()
+        );
+    }
+    println!();
+    println!("speedup at 1% activity: {speedup_at_1pct:.2}x (target >= 2x)");
+    println!(
+        "plan host time, 0.1% vs 10% activity: {proportionality_ratio:.4} (target <= 0.5: energy-proportional host time)"
+    );
+    println!("wrote {out_path}");
+
+    if !smoke {
+        // Regression guards (smoke runs skip them — 3 iterations are too
+        // noisy to judge by). The speedup gate sits below the 2x headline on
+        // purpose: the measured ratio is ~2.1x, and a genuine datapath
+        // regression lands far below 1.8, while shared-runner noise does
+        // not — the committed full-run artifact is what demonstrates >= 2x.
+        assert!(
+            speedup_at_1pct >= 1.8,
+            "plan datapath regressed: expected ~2x over naive at 1% activity"
+        );
+        assert!(
+            proportionality_ratio <= 0.5,
+            "host time must be activity-proportional (0.1% <= 0.5x of 10%)"
+        );
+    }
+}

@@ -16,10 +16,19 @@
 //! legitimately measure ~1.0x.
 //!
 //! ```bash
-//! cargo run --release -p sne_bench --bin parallel_report             # full run
-//! cargo run --release -p sne_bench --bin parallel_report -- --smoke  # CI smoke
+//! cargo run --release -p sne_bench --bin parallel_report                   # full sweep
+//! cargo run --release -p sne_bench --bin parallel_report -- --smoke        # CI smoke
+//! cargo run --release -p sne_bench --bin parallel_report -- --threads auto # 1 vs auto
+//! cargo run --release -p sne_bench --bin parallel_report -- --threads 4    # 1 vs 4
 //! cargo run --release -p sne_bench --bin parallel_report -- --out x.json
 //! ```
+//!
+//! `--threads auto` sweeps only the sequential baseline against
+//! [`ExecStrategy::auto`] — the self-tuning strategy that resolves to
+//! `Sequential` on a single-core host (where the full sweep can only
+//! document spawn overhead, e.g. the 0.48x engine_slices point an earlier
+//! 1-core artifact recorded) and to the host's available parallelism
+//! otherwise.
 
 use std::time::Instant;
 
@@ -73,6 +82,33 @@ fn main() {
     let batch_iterations: u32 = if smoke { 2 } else { 15 };
     let engine_iterations: u32 = if smoke { 5 } else { 60 };
     let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+    // --threads auto (or N) restricts the sweep to the sequential baseline
+    // plus that one strategy; the default sweeps 1/2/4/8.
+    let threads_arg = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1).cloned());
+    let auto_threads = ExecStrategy::auto().threads();
+    let sweep: Vec<usize> = match threads_arg.as_deref() {
+        Some("auto") => {
+            let mut s = vec![1];
+            if auto_threads > 1 {
+                s.push(auto_threads);
+            }
+            s
+        }
+        Some(n) => {
+            let n: usize = n
+                .parse()
+                .unwrap_or_else(|_| panic!("--threads expects a number or \"auto\", got {n:?}"));
+            let mut s = vec![1];
+            if n > 1 {
+                s.push(n);
+            }
+            s
+        }
+        None => THREAD_SWEEP.to_vec(),
+    };
 
     let network = fig6_network(32, 11, 5);
     let config = SneConfig::with_slices(8);
@@ -84,7 +120,7 @@ fn main() {
         name: "batch16",
         points: Vec::new(),
     };
-    for threads in THREAD_SWEEP {
+    for &threads in &sweep {
         let mut runner = BatchRunner::with_exec(
             network.clone(),
             config,
@@ -115,7 +151,7 @@ fn main() {
         name: "engine_slices",
         points: Vec::new(),
     };
-    for threads in THREAD_SWEEP {
+    for &threads in &sweep {
         let mut session = InferenceSession::with_exec(
             network.clone(),
             config,
@@ -145,6 +181,10 @@ fn main() {
         if smoke { "smoke" } else { "full" }
     ));
     json.push_str(&format!("  \"host_parallelism\": {host_parallelism},\n"));
+    json.push_str(&format!(
+        "  \"auto_resolves_to\": {auto_threads},\n  \"threads_arg\": \"{}\",\n",
+        threads_arg.as_deref().unwrap_or("sweep")
+    ));
     json.push_str(&format!(
         "  \"iterations\": {{\"batch16\": {batch_iterations}, \"engine_slices\": {engine_iterations}}},\n"
     ));
@@ -191,9 +231,12 @@ fn main() {
         }
     }
     println!();
+    let headline = *sweep.last().unwrap_or(&1);
     println!(
-        "batch16 speedup at 4 threads: {:.2}x (bit-exact across all thread counts: verified)",
-        batch.speedup(4)
+        "batch16 speedup at {} threads: {:.2}x (bit-exact across all thread counts: verified; auto resolves to {} on this host)",
+        headline,
+        batch.speedup(headline),
+        auto_threads
     );
     println!("wrote {out_path}");
 }

@@ -3,9 +3,10 @@
 //! runtime is tracked from PR to PR.
 //!
 //! ```bash
-//! cargo run --release -p sne_bench --bin session_report                  # full run
-//! cargo run --release -p sne_bench --bin session_report -- --smoke      # CI smoke
-//! cargo run --release -p sne_bench --bin session_report -- --threads 4  # threaded engine
+//! cargo run --release -p sne_bench --bin session_report                      # full run
+//! cargo run --release -p sne_bench --bin session_report -- --smoke          # CI smoke
+//! cargo run --release -p sne_bench --bin session_report -- --threads 4      # threaded engine
+//! cargo run --release -p sne_bench --bin session_report -- --threads auto   # host-sized
 //! cargo run --release -p sne_bench --bin session_report -- --out x.json
 //! ```
 
@@ -52,15 +53,19 @@ fn main() {
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_session.json".to_owned());
     // Engine execution strategy: --threads N fans the per-slice workers of
-    // every measured path out over N host threads (bit-identical results;
-    // the JSON records the strategy so artifacts are comparable).
-    let threads: usize = args
+    // every measured path out over N host threads; --threads auto sizes the
+    // fan-out to the host (sequential on a 1-core machine, where spawning
+    // can only lose). Bit-identical results either way; the JSON records the
+    // resolved strategy so artifacts are comparable.
+    let threads_arg = args
         .iter()
         .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|n| n.parse().ok())
-        .unwrap_or(1);
-    let exec = ExecStrategy::from_threads(threads);
+        .and_then(|i| args.get(i + 1).cloned());
+    let exec = match threads_arg.as_deref() {
+        Some("auto") => ExecStrategy::auto(),
+        Some(n) => ExecStrategy::from_threads(n.parse().unwrap_or(1)),
+        None => ExecStrategy::Sequential,
+    };
     let iterations: u32 = if smoke { 5 } else { 100 };
 
     let config = SneConfig::with_slices(8);
@@ -119,6 +124,7 @@ fn main() {
         if smoke { "smoke" } else { "full" }
     ));
     json.push_str(&format!("  \"iterations\": {},\n", iterations));
+    json.push_str("  \"datapath\": \"plan\",\n");
     json.push_str(&format!("  \"threads\": {},\n", exec.threads()));
     json.push_str(&format!(
         "  \"strategy\": \"{}\",\n",

@@ -89,10 +89,15 @@ impl SneAccelerator {
         }
 
         let config = *self.engine.config();
+        // The per-call entry point pays the full configure cost every time:
+        // the sparse-datapath tables are compiled here, per call (a session
+        // builds them once and amortizes them across inferences).
+        let plans = network.build_plans();
         let outcome = run_stages(
             std::slice::from_mut(&mut self.engine),
             network,
             input,
+            Some(&plans),
             None,
             false,
         )?;
@@ -146,7 +151,8 @@ impl SneAccelerator {
         // `PipelinedSession` is the persistent variant.
         let shares = pipeline_shares(network, &config)?;
         let mut engines = pipeline_engines(&config, &shares, self.engine.exec());
-        let outcome = run_stages(&mut engines, network, input, None, false)?;
+        let plans = network.build_plans();
+        let outcome = run_stages(&mut engines, network, input, Some(&plans), None, false)?;
 
         // In the pipelined mode the layers overlap in time: the inference
         // duration is the makespan of the wavefront across the real

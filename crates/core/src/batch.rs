@@ -120,8 +120,18 @@ impl BatchRunner {
             return Err(SneError::EmptyBatch);
         }
         let network = network.into();
+        // Compile the sparse-datapath tables once; every lane shares the
+        // same read-only set across its worker thread.
+        let plans = Arc::new(network.build_plans());
         let sessions = (0..lanes)
-            .map(|_| InferenceSession::new(Arc::clone(&network), config))
+            .map(|_| {
+                InferenceSession::with_shared_plans(
+                    Arc::clone(&network),
+                    config,
+                    ExecStrategy::Sequential,
+                    Arc::clone(&plans),
+                )
+            })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self { sessions, exec })
     }

@@ -16,6 +16,7 @@ use sne_model::tensor::Shape;
 use sne_model::topology::{StageSpec, Topology};
 use sne_model::train::{RateLayer, RateNetwork};
 use sne_sim::mapping::{LayerMapping, LifHardwareParams, MapShape};
+use sne_sim::plan::LayerPlan;
 
 use crate::SneError;
 
@@ -256,6 +257,21 @@ impl CompiledNetwork {
     #[must_use]
     pub fn accelerated_layers(&self) -> usize {
         self.stages.iter().filter(|s| s.mapping().is_some()).count()
+    }
+
+    /// Compiles the sparse-datapath contribution tables ([`LayerPlan`]) of
+    /// every accelerated stage, in stage order — the configure-time half of
+    /// the compile-once/run-many split. Sessions build the plans once and
+    /// share them (read-only) across timesteps, chunks, batch lanes and
+    /// worker threads; the engine verifies each plan against its mapping on
+    /// every run.
+    #[must_use]
+    pub fn build_plans(&self) -> Vec<LayerPlan> {
+        self.stages
+            .iter()
+            .filter_map(Stage::mapping)
+            .map(LayerPlan::build)
+            .collect()
     }
 
     /// Total number of neurons mapped onto the accelerator.

@@ -51,7 +51,8 @@ use sne_energy::{EnergyModel, PerformanceModel};
 use sne_event::stream::Geometry;
 use sne_event::{Event, EventStream};
 use sne_sim::{
-    CycleStats, Engine, ExecStrategy, LayerMapping, LayerRunOutput, LayerState, SneConfig,
+    CycleStats, Engine, ExecStrategy, LayerMapping, LayerPlan, LayerRunOutput, LayerState,
+    SimError, SneConfig,
 };
 
 use crate::compile::{CompiledNetwork, Stage};
@@ -140,18 +141,42 @@ fn layer_execution(
     }
 }
 
+/// Dispatches one layer run to the engine, picking the planned or the naive
+/// datapath and the stateful or stateless entry point — the single
+/// dispatcher every stage walk uses, so the paths cannot drift apart.
+fn run_one_layer(
+    engine: &mut Engine,
+    mapping: &LayerMapping,
+    plan: Option<&LayerPlan>,
+    stream: &EventStream,
+    state: Option<&mut LayerState>,
+    resume: bool,
+) -> Result<LayerRunOutput, SimError> {
+    match (plan, state) {
+        (Some(plan), Some(state)) => {
+            engine.run_layer_stateful_planned(mapping, plan, stream, state, resume)
+        }
+        (Some(plan), None) => engine.run_layer_planned(mapping, plan, stream),
+        (None, Some(state)) => engine.run_layer_stateful(mapping, stream, state, resume),
+        (None, None) => engine.run_layer(mapping, stream),
+    }
+}
+
 /// Runs every compiled stage over `input` on `engines`, threading the
 /// intermediate event streams through pooling stages.
 ///
 /// `engines` holds either one engine (time-multiplexed mode: every layer runs
-/// on it) or one engine per accelerated layer (pipelined mode). When `states`
-/// is provided (one [`LayerState`] per accelerated layer) the layers run
-/// stateful: with `resume` they continue from the saved neuron state instead
-/// of starting from rest.
+/// on it) or one engine per accelerated layer (pipelined mode). When `plans`
+/// is provided (one [`LayerPlan`] per accelerated layer) the layers run on
+/// the compiled sparse datapath — bit-identical to the naive mapping walk,
+/// only faster on the host. When `states` is provided (one [`LayerState`] per
+/// accelerated layer) the layers run stateful: with `resume` they continue
+/// from the saved neuron state instead of starting from rest.
 pub(crate) fn run_stages(
     engines: &mut [Engine],
     network: &CompiledNetwork,
     input: &EventStream,
+    plans: Option<&[LayerPlan]>,
     mut states: Option<&mut [LayerState]>,
     resume: bool,
 ) -> Result<StageOutcome, SneError> {
@@ -176,15 +201,14 @@ pub(crate) fn run_stages(
                     &mut engines[layer_index]
                 };
                 let input_events = stream.spike_count() as u64;
-                let run = match states.as_deref_mut() {
-                    Some(states) => engine.run_layer_stateful(
-                        mapping,
-                        &stream,
-                        &mut states[layer_index],
-                        resume,
-                    )?,
-                    None => engine.run_layer(mapping, &stream)?,
-                };
+                let run = run_one_layer(
+                    engine,
+                    mapping,
+                    plans.map(|p| &p[layer_index]),
+                    &stream,
+                    states.as_deref_mut().map(|s| &mut s[layer_index]),
+                    resume,
+                )?;
                 total += run.stats;
                 layers.push(layer_execution(
                     description,
@@ -213,6 +237,7 @@ pub(crate) fn run_stages(
 struct PipelineStage<'n> {
     pools: Vec<u16>,
     mapping: &'n LayerMapping,
+    plan: Option<&'n LayerPlan>,
     description: &'n str,
 }
 
@@ -235,6 +260,7 @@ pub(crate) fn run_stages_pipelined(
     engines: &mut [Engine],
     network: &CompiledNetwork,
     input: &EventStream,
+    plans: Option<&[LayerPlan]>,
     states: Option<&mut [LayerState]>,
     resume: bool,
 ) -> Result<StageOutcome, SneError> {
@@ -248,11 +274,15 @@ pub(crate) fn run_stages_pipelined(
             Stage::Accelerated {
                 mapping,
                 description,
-            } => groups.push(PipelineStage {
-                pools: std::mem::take(&mut pending_pools),
-                mapping,
-                description,
-            }),
+            } => {
+                let layer_index = groups.len();
+                groups.push(PipelineStage {
+                    pools: std::mem::take(&mut pending_pools),
+                    mapping,
+                    plan: plans.map(|p| &p[layer_index]),
+                    description,
+                });
+            }
         }
     }
     let trailing_pools = pending_pools;
@@ -260,7 +290,7 @@ pub(crate) fn run_stages_pipelined(
     // configuration (one engine shared by every layer, which cannot split
     // across stage threads): the sequential walk is the same computation.
     if groups.len() <= 1 || engines.len() != groups.len() {
-        return run_stages(engines, network, input, states, resume);
+        return run_stages(engines, network, input, plans, states, resume);
     }
 
     let mut state_shares: Vec<Option<&mut LayerState>> = match states {
@@ -297,12 +327,8 @@ pub(crate) fn run_stages_pipelined(
                         stream = stream.downscale(window);
                     }
                     let input_events = stream.spike_count() as u64;
-                    let run = match state {
-                        Some(state) => {
-                            engine.run_layer_stateful(group.mapping, &stream, state, resume)
-                        }
-                        None => engine.run_layer(group.mapping, &stream),
-                    };
+                    let run =
+                        run_one_layer(engine, group.mapping, group.plan, &stream, state, resume);
                     match run {
                         Err(e) => {
                             let _ = tx.send(None);
@@ -418,6 +444,14 @@ pub struct InferenceSession {
     network: Arc<CompiledNetwork>,
     engine: Engine,
     states: Vec<LayerState>,
+    /// Compiled sparse-datapath tables, one per accelerated layer, built at
+    /// construction and shared read-only (batch lanes reuse one set across
+    /// sessions and worker threads).
+    plans: Arc<Vec<LayerPlan>>,
+    /// Whether inference runs on the compiled plan (the default) or on the
+    /// naive mapping walk (the reference oracle, kept for A/B validation and
+    /// the `datapath_report` benchmark). Results are bit-identical.
+    plan_enabled: bool,
     elapsed_timesteps: u32,
     chunks_pushed: u64,
     layer_totals: Vec<LayerTotals>,
@@ -457,9 +491,43 @@ impl InferenceSession {
         exec: ExecStrategy,
     ) -> Result<Self, SneError> {
         let network = network.into();
+        let plans = Arc::new(network.build_plans());
+        Self::with_shared_plans(network, config, exec, plans)
+    }
+
+    /// Builds a session that reuses an already-compiled set of layer plans —
+    /// the constructor [`crate::batch::BatchRunner`] uses so N lanes share
+    /// one read-only table set instead of compiling N copies. The plans must
+    /// have been built from this `network` (one per accelerated layer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SneError::Sim`] if `plans` does not match the network's
+    /// accelerated layers, plus the same errors as
+    /// [`InferenceSession::new`].
+    pub fn with_shared_plans(
+        network: impl Into<Arc<CompiledNetwork>>,
+        config: SneConfig,
+        exec: ExecStrategy,
+        plans: Arc<Vec<LayerPlan>>,
+    ) -> Result<Self, SneError> {
+        let network = network.into();
         config.validate()?;
         if network.accelerated_layers() == 0 {
             return Err(SneError::EmptyNetwork);
+        }
+        let mappings: Vec<&LayerMapping> =
+            network.stages().iter().filter_map(Stage::mapping).collect();
+        if plans.len() != mappings.len()
+            || plans
+                .iter()
+                .zip(&mappings)
+                .any(|(plan, mapping)| !plan.matches(mapping))
+        {
+            return Err(SneError::Sim(SimError::InvalidConfig {
+                name: "layer plans",
+                reason: "plans were not compiled from this network's accelerated layers".to_owned(),
+            }));
         }
         let mut states = Vec::new();
         let mut layer_totals = Vec::new();
@@ -484,6 +552,8 @@ impl InferenceSession {
             network,
             engine: Engine::with_exec(config, exec),
             states,
+            plans,
+            plan_enabled: true,
             elapsed_timesteps: 0,
             chunks_pushed: 0,
             layer_totals,
@@ -522,6 +592,28 @@ impl InferenceSession {
     /// never changes results).
     pub fn set_exec(&mut self, exec: ExecStrategy) {
         self.engine.set_exec(exec);
+    }
+
+    /// The compiled layer plans the session runs on (shared, read-only).
+    #[must_use]
+    pub fn plans(&self) -> &Arc<Vec<LayerPlan>> {
+        &self.plans
+    }
+
+    /// Whether inference runs on the compiled sparse datapath (`true`, the
+    /// default) or on the naive mapping walk.
+    #[must_use]
+    pub fn plan_enabled(&self) -> bool {
+        self.plan_enabled
+    }
+
+    /// Switches between the compiled sparse datapath and the naive mapping
+    /// walk (the reference oracle). The two are bit-identical in outputs,
+    /// statistics and modelled cycles; only host wall-clock time differs —
+    /// this switch exists for A/B validation and the `datapath_report`
+    /// benchmark.
+    pub fn set_plan_enabled(&mut self, enabled: bool) {
+        self.plan_enabled = enabled;
     }
 
     /// Absolute timesteps consumed since the last [`InferenceSession::reset`].
@@ -579,10 +671,12 @@ impl InferenceSession {
     pub fn push(&mut self, chunk: &EventStream) -> Result<ChunkOutput, SneError> {
         check_geometry(&self.network, chunk)?;
         let resume = self.chunks_pushed > 0;
+        let plans = self.plan_enabled.then(|| self.plans.as_slice());
         let outcome = run_stages(
             std::slice::from_mut(&mut self.engine),
             &self.network,
             chunk,
+            plans,
             Some(&mut self.states),
             resume,
         )?;
@@ -754,6 +848,9 @@ pub struct PipelinedSession {
     config: SneConfig,
     engines: Vec<Engine>,
     states: Vec<LayerState>,
+    /// Compiled sparse-datapath tables, one per accelerated layer (each
+    /// stage thread reads its own layer's plan).
+    plans: Arc<Vec<LayerPlan>>,
     exec: ExecStrategy,
     energy: EnergyModel,
     performance: PerformanceModel,
@@ -813,11 +910,13 @@ impl PipelinedSession {
             .zip(&engines)
             .map(|(mapping, engine)| LayerState::new(engine.config(), mapping))
             .collect();
+        let plans = Arc::new(network.build_plans());
         Ok(Self {
             network,
             config,
             engines,
             states,
+            plans,
             exec,
             energy: EnergyModel::new(),
             performance: PerformanceModel::new(),
@@ -870,6 +969,7 @@ impl PipelinedSession {
             &mut self.engines,
             &self.network,
             input,
+            Some(self.plans.as_slice()),
             Some(&mut self.states),
             false,
         )?;
@@ -935,6 +1035,62 @@ mod tests {
         let _ = session.infer(&input_stream(6)).unwrap();
         let again = session.infer(&input_stream(5)).unwrap();
         assert_eq!(a, again);
+    }
+
+    #[test]
+    fn naive_datapath_matches_the_compiled_plan() {
+        let network = compiled();
+        let stream = input_stream(31);
+        let mut planned =
+            InferenceSession::new(network.clone(), SneConfig::with_slices(2)).unwrap();
+        assert!(planned.plan_enabled());
+        assert_eq!(planned.plans().len(), network.accelerated_layers());
+        let expected = planned.infer(&stream).unwrap();
+
+        let mut naive = InferenceSession::new(network, SneConfig::with_slices(2)).unwrap();
+        naive.set_plan_enabled(false);
+        assert!(!naive.plan_enabled());
+        assert_eq!(naive.infer(&stream).unwrap(), expected);
+        // Streaming on the naive oracle matches too, then switch back.
+        naive.reset();
+        let mut spikes = 0;
+        for chunk in stream.chunks(5) {
+            spikes += naive.push(&chunk).unwrap().output.spike_count();
+        }
+        assert_eq!(
+            spikes as u32,
+            expected.output_spike_counts.iter().sum::<u32>()
+        );
+        naive.set_plan_enabled(true);
+        assert_eq!(naive.infer(&stream).unwrap(), expected);
+    }
+
+    #[test]
+    fn shared_plans_must_match_the_network() {
+        let network = compiled();
+        let mut rng = StdRng::seed_from_u64(99);
+        let other =
+            CompiledNetwork::random(&Topology::tiny(Shape::new(2, 8, 8), 4, 3), &mut rng).unwrap();
+        let foreign = Arc::new(other.build_plans());
+        assert!(matches!(
+            InferenceSession::with_shared_plans(
+                network.clone(),
+                SneConfig::with_slices(2),
+                ExecStrategy::Sequential,
+                foreign,
+            ),
+            Err(SneError::Sim(_))
+        ));
+        let own = Arc::new(network.build_plans());
+        let mut session = InferenceSession::with_shared_plans(
+            network,
+            SneConfig::with_slices(2),
+            ExecStrategy::Sequential,
+            Arc::clone(&own),
+        )
+        .unwrap();
+        assert!(Arc::ptr_eq(session.plans(), &own));
+        assert!(session.infer(&input_stream(3)).is_ok());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::mapping::LifHardwareParams;
+use crate::mapping::{Contribution, LifHardwareParams};
 
 /// Per-cluster activity counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -74,6 +74,13 @@ pub struct Cluster {
     pending_leak_steps: u32,
     /// `true` once an update arrived since the last executed fire scan.
     dirty: bool,
+    /// Host-side upper bound on the maximum *stored* membrane state (an
+    /// overestimate is fine, an underestimate never happens). Lets a fire
+    /// scan prove "no neuron can reach threshold" in O(1) and defer its leak
+    /// exactly like a TLU-skipped scan — same outputs, same counters, same
+    /// modelled cycles, just no O(neurons) walk. Not architectural state:
+    /// it is recomputed on [`Cluster::restore`] and never snapshotted.
+    max_bound: i16,
     counters: ClusterCounters,
 }
 
@@ -85,6 +92,7 @@ impl Cluster {
             states: vec![0; neurons],
             pending_leak_steps: 0,
             dirty: false,
+            max_bound: 0,
             counters: ClusterCounters::default(),
         }
     }
@@ -116,6 +124,7 @@ impl Cluster {
         self.states.iter_mut().for_each(|s| *s = 0);
         self.pending_leak_steps = 0;
         self.dirty = false;
+        self.max_bound = 0;
     }
 
     /// Captures the architectural state (membranes + TLU bookkeeping) so it
@@ -161,20 +170,39 @@ impl Cluster {
         self.states.copy_from_slice(&state.states);
         self.pending_leak_steps = state.pending_leak_steps;
         self.dirty = state.dirty;
+        self.max_bound = self.states.iter().copied().max().unwrap_or(0);
     }
 
     /// Applies any leak owed from skipped fire scans. Called before the
     /// cluster state is observed or modified.
+    #[inline]
     fn catch_up(&mut self, params: LifHardwareParams) {
-        if self.pending_leak_steps == 0 || params.leak == 0 {
-            self.pending_leak_steps = 0;
+        if self.pending_leak_steps == 0 {
             return;
         }
-        let total = i32::from(params.leak) * self.pending_leak_steps as i32;
-        for state in &mut self.states {
-            *state = clamp_state(i32::from(*state) - total);
+        self.catch_up_cold(params);
+    }
+
+    /// The cold half of [`Cluster::catch_up`]: materializes the owed leak.
+    fn catch_up_cold(&mut self, params: LifHardwareParams) {
+        if params.leak != 0 {
+            let total = i32::from(params.leak) * self.pending_leak_steps as i32;
+            for state in &mut self.states {
+                *state = clamp_state(i32::from(*state) - total);
+            }
+            // Clamping is monotone, so the shifted bound still dominates.
+            self.max_bound = clamp_state(i32::from(self.max_bound) - total);
         }
         self.pending_leak_steps = 0;
+    }
+
+    /// Upper bound on the maximum membrane after the owed leak plus
+    /// `extra_steps` further leak steps were applied (clamping included).
+    #[inline]
+    fn bound_after_leak(&self, params: LifHardwareParams, extra_steps: u32) -> i16 {
+        let steps = i64::from(self.pending_leak_steps) + i64::from(extra_steps);
+        let total = i64::from(params.leak) * steps;
+        (i64::from(self.max_bound) - total).clamp(i64::from(i8::MIN), i64::from(i8::MAX)) as i16
     }
 
     /// Accumulates a synaptic weight into the local neuron `index`
@@ -185,9 +213,96 @@ impl Cluster {
     /// Panics if `index` is out of range.
     pub fn integrate(&mut self, index: usize, weight: i8, params: LifHardwareParams) {
         self.catch_up(params);
-        self.states[index] = clamp_state(i32::from(self.states[index]) + i32::from(weight));
+        let state = clamp_state(i32::from(self.states[index]) + i32::from(weight));
+        self.states[index] = state;
+        self.max_bound = self.max_bound.max(state);
         self.dirty = true;
         self.counters.synaptic_ops += 1;
+    }
+
+    /// Accumulates a batch of contributions addressed to this cluster in one
+    /// event window: the TLU catch-up runs **once**, then the accumulation is
+    /// a tight loop over the contributions — the contribution-list form of
+    /// the window triple ([`Cluster::open_window`] /
+    /// [`Cluster::accumulate_span`] / [`Cluster::close_window`]) the fused
+    /// plan datapath uses, kept public as the batching API for callers that
+    /// hold materialized contribution lists (and pinned against both other
+    /// forms by the equivalence tests). `cluster_base` is the global index
+    /// of this cluster's first neuron.
+    ///
+    /// Functionally identical to calling [`Cluster::integrate`] per entry:
+    /// within one event window each neuron receives at most one contribution,
+    /// so the saturating accumulation order cannot differ, and `catch_up`
+    /// zeroes the pending leak on its first call anyway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a contribution addresses a neuron outside this cluster.
+    pub fn integrate_all(
+        &mut self,
+        cluster_base: usize,
+        contributions: &[Contribution],
+        params: LifHardwareParams,
+    ) {
+        if contributions.is_empty() {
+            return;
+        }
+        self.catch_up(params);
+        let mut bound = self.max_bound;
+        for c in contributions {
+            let index = c.neuron - cluster_base;
+            // i16 arithmetic cannot overflow here: |state| <= 128, |w| <= 127.
+            let state = (self.states[index] + i16::from(c.weight))
+                .clamp(i16::from(i8::MIN), i16::from(i8::MAX));
+            self.states[index] = state;
+            bound = bound.max(state);
+        }
+        self.max_bound = bound;
+        self.dirty = true;
+        self.counters.synaptic_ops += contributions.len() as u64;
+    }
+
+    /// Opens an event window on this cluster for the fused datapath:
+    /// materializes any owed leak exactly like the first
+    /// [`Cluster::integrate`] of the window would. Idempotent within a
+    /// window.
+    #[inline]
+    pub(crate) fn open_window(&mut self, params: LifHardwareParams) {
+        self.catch_up(params);
+    }
+
+    /// Accumulates a contiguous span of pre-resolved weights into the local
+    /// neurons starting at `start`, returning the maximum resulting state of
+    /// the span. Must run inside an open window
+    /// ([`Cluster::open_window`] … [`Cluster::close_window`]); the window
+    /// triple is bit-identical to [`Cluster::integrate`] per tap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span exceeds the cluster's neurons.
+    #[inline]
+    pub(crate) fn accumulate_span(&mut self, start: usize, weights: &[i8]) -> i16 {
+        let mut span_max = i16::from(i8::MIN);
+        for (state, &w) in self.states[start..start + weights.len()]
+            .iter_mut()
+            .zip(weights)
+        {
+            // i16 arithmetic cannot overflow here: |state| <= 128, |w| <= 127.
+            let next = (*state + i16::from(w)).clamp(i16::from(i8::MIN), i16::from(i8::MAX));
+            *state = next;
+            span_max = span_max.max(next);
+        }
+        span_max
+    }
+
+    /// Closes an event window: commits the membrane bound observed by the
+    /// window's [`Cluster::accumulate_span`] calls and the dirty/ops
+    /// bookkeeping [`Cluster::integrate`] would have performed per tap.
+    #[inline]
+    pub(crate) fn close_window(&mut self, window_max: i16, taps: u64) {
+        self.max_bound = self.max_bound.max(window_max);
+        self.dirty = true;
+        self.counters.synaptic_ops += taps;
     }
 
     /// Executes (or skips) the fire scan that closes a timestep.
@@ -196,15 +311,23 @@ impl Cluster {
     /// the scan is skipped: the leak is deferred (it can only lower the
     /// membrane, so no spike can be missed) and no cycles are spent. The
     /// returned vector holds the local indices of the neurons that fired.
+    ///
+    /// Test-only convenience: it allocates per call, so the public API is
+    /// the allocation-free [`Cluster::fire_scan_into`], which the engine's
+    /// hot path uses exclusively.
+    #[cfg(test)]
     pub fn fire_scan(&mut self, params: LifHardwareParams, tlu_enabled: bool) -> Vec<usize> {
         let mut fired = Vec::new();
         let _ = self.fire_scan_into(params, tlu_enabled, &mut fired);
         fired
     }
 
-    /// Allocation-free variant of [`Cluster::fire_scan`]: appends the local
-    /// indices of firing neurons to `out` (not cleared first) and returns
-    /// `true` if the scan executed (`false` if the TLU skipped it).
+    /// Executes (or skips) the fire scan that closes a timestep, appending
+    /// the local indices of firing neurons to `out` (not cleared first);
+    /// returns `true` if the scan executed (`false` if the TLU skipped it:
+    /// no update arrived since the last scan, so the leak is deferred — it
+    /// can only lower the membrane, no spike can be missed — and no cycles
+    /// are spent).
     pub fn fire_scan_into(
         &mut self,
         params: LifHardwareParams,
@@ -216,18 +339,32 @@ impl Cluster {
             self.counters.skipped_scans += 1;
             return false;
         }
-        self.catch_up(params);
         self.counters.fire_scans += 1;
+        self.dirty = false;
+        // The scan executes (cycle cost and counters above are unchanged),
+        // but when the membrane bound proves no neuron can reach threshold
+        // after this leak step, the per-neuron walk is elided and the leak
+        // deferred — the identical lazy-leak argument as the TLU skip, so
+        // the architectural state at the next observation point is
+        // bit-identical.
+        if self.bound_after_leak(params, 1) < params.threshold {
+            self.pending_leak_steps += 1;
+            return true;
+        }
+        self.catch_up(params);
         let before = out.len();
+        let mut bound = i16::from(i8::MIN);
         for (i, state) in self.states.iter_mut().enumerate() {
             *state = clamp_state(i32::from(*state) - i32::from(params.leak));
             if *state >= params.threshold {
                 *state = 0;
                 out.push(i);
             }
+            bound = bound.max(*state);
         }
+        // The full walk visited every neuron, so the bound is exact again.
+        self.max_bound = bound;
         self.counters.spikes += (out.len() - before) as u64;
-        self.dirty = false;
         true
     }
 }
@@ -403,5 +540,64 @@ mod tests {
         eager.integrate(0, 5, params);
         lazy.integrate(0, 5, params);
         assert_eq!(eager.state(0), lazy.state(0));
+    }
+
+    #[test]
+    fn batched_window_matches_per_tap_integrates() {
+        let contributions = [
+            Contribution {
+                neuron: 130,
+                weight: 5,
+            },
+            Contribution {
+                neuron: 131,
+                weight: -3,
+            },
+            Contribution {
+                neuron: 133,
+                weight: 7,
+            },
+        ];
+        let mut batched = Cluster::new(8);
+        let mut single = Cluster::new(8);
+        // Give both some deferred leak so the window's one-shot catch-up is
+        // exercised against per-tap catch-ups.
+        for c in [&mut batched, &mut single] {
+            c.integrate(2, 9, PARAMS);
+            let _ = c.fire_scan_into(PARAMS, true, &mut Vec::new());
+            let _ = c.fire_scan_into(PARAMS, true, &mut Vec::new());
+        }
+        batched.integrate_all(128, &contributions, PARAMS);
+        for c in &contributions {
+            single.integrate(c.neuron - 128, c.weight, PARAMS);
+        }
+        for i in 0..8 {
+            assert_eq!(batched.state(i), single.state(i), "neuron {i}");
+        }
+        assert_eq!(
+            batched.counters().synaptic_ops,
+            single.counters().synaptic_ops
+        );
+        // The span window triple is a third equivalent formulation.
+        let mut windowed = Cluster::new(8);
+        windowed.integrate(2, 9, PARAMS);
+        let _ = windowed.fire_scan_into(PARAMS, true, &mut Vec::new());
+        let _ = windowed.fire_scan_into(PARAMS, true, &mut Vec::new());
+        windowed.open_window(PARAMS);
+        let a = windowed.accumulate_span(2, &[5, -3]);
+        let b = windowed.accumulate_span(5, &[7]);
+        windowed.close_window(a.max(b), 3);
+        for i in 0..8 {
+            assert_eq!(windowed.state(i), single.state(i), "neuron {i}");
+        }
+        assert_eq!(
+            windowed.counters().synaptic_ops,
+            single.counters().synaptic_ops
+        );
+        let mut fired_w = Vec::new();
+        let mut fired_s = Vec::new();
+        let _ = windowed.fire_scan_into(PARAMS, true, &mut fired_w);
+        let _ = single.fire_scan_into(PARAMS, true, &mut fired_s);
+        assert_eq!(fired_w, fired_s);
     }
 }

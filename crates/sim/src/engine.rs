@@ -26,6 +26,7 @@ use crate::config::SneConfig;
 use crate::exec::ExecStrategy;
 use crate::mapping::LayerMapping;
 use crate::memory::MemoryModel;
+use crate::plan::{EventRow, LayerPlan};
 use crate::regfile::{Register, RegisterFile};
 use crate::slice::Slice;
 use crate::state::LayerState;
@@ -78,7 +79,13 @@ impl Engine {
     /// a pure wall-clock heuristic; results are bit-identical either way.
     /// Exposed so tests sizing workloads to exercise the threaded fan-out
     /// can assert they cross it.
-    pub const MIN_PARALLEL_UNITS: usize = 256;
+    ///
+    /// Calibrated against thread-spawn cost (~tens of µs per scoped worker):
+    /// with the compiled-plan datapath a worker unit burns well under 100 ns
+    /// per op-sequence entry, so passes below ~1k units lose more to spawning
+    /// than they can win back — the low-core regression `BENCH_parallel.json`
+    /// exposed (engine_slices 0.48x at 8 threads on a 1-core host).
+    pub const MIN_PARALLEL_UNITS: usize = 1024;
 
     /// Creates an engine with the given configuration (sequential execution).
     #[must_use]
@@ -166,7 +173,27 @@ impl Engine {
         mapping: &LayerMapping,
         input: &EventStream,
     ) -> Result<LayerRunOutput, SimError> {
-        self.run_layer_inner(mapping, input, None, false)
+        self.run_layer_inner(mapping, None, input, None, false)
+    }
+
+    /// [`Engine::run_layer`] on the compiled sparse datapath: the per-event
+    /// receptive-field resolution uses the precompiled contribution tables of
+    /// `plan` instead of re-deriving them through the mapping. Outputs,
+    /// statistics, traces and modelled cycles are **bit-identical** to the
+    /// naive path — the plan only moves host time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `plan` was not built from
+    /// exactly `mapping`, plus the same errors as [`Engine::run_layer`].
+    pub fn run_layer_planned(
+        &mut self,
+        mapping: &LayerMapping,
+        plan: &LayerPlan,
+        input: &EventStream,
+    ) -> Result<LayerRunOutput, SimError> {
+        self.check_plan(mapping, plan)?;
+        self.run_layer_inner(mapping, Some(plan), input, None, false)
     }
 
     /// Runs one mapped layer over a chunk of an input event stream, keeping
@@ -194,6 +221,32 @@ impl Engine {
         state: &mut LayerState,
         resume: bool,
     ) -> Result<LayerRunOutput, SimError> {
+        self.check_state(mapping, state)?;
+        self.run_layer_inner(mapping, None, input, Some(state), resume)
+    }
+
+    /// [`Engine::run_layer_stateful`] on the compiled sparse datapath (see
+    /// [`Engine::run_layer_planned`]); bit-identical to the naive path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `plan` was not built from
+    /// exactly `mapping`, plus the same errors as
+    /// [`Engine::run_layer_stateful`].
+    pub fn run_layer_stateful_planned(
+        &mut self,
+        mapping: &LayerMapping,
+        plan: &LayerPlan,
+        input: &EventStream,
+        state: &mut LayerState,
+        resume: bool,
+    ) -> Result<LayerRunOutput, SimError> {
+        self.check_plan(mapping, plan)?;
+        self.check_state(mapping, state)?;
+        self.run_layer_inner(mapping, Some(plan), input, Some(state), resume)
+    }
+
+    fn check_state(&self, mapping: &LayerMapping, state: &LayerState) -> Result<(), SimError> {
         if !state.matches(&self.config, mapping) {
             return Err(SimError::InvalidConfig {
                 name: "layer state",
@@ -201,7 +254,24 @@ impl Engine {
                     .to_owned(),
             });
         }
-        self.run_layer_inner(mapping, input, Some(state), resume)
+        Ok(())
+    }
+
+    fn check_plan(&self, mapping: &LayerMapping, plan: &LayerPlan) -> Result<(), SimError> {
+        // Geometry is checked on every run in O(1); the O(weights) digest is
+        // verified where plans are built/shared (sessions, tests) and in
+        // debug builds here.
+        if !plan.matches_geometry(mapping) {
+            return Err(SimError::InvalidConfig {
+                name: "layer plan",
+                reason: "plan was compiled from a different layer mapping".to_owned(),
+            });
+        }
+        debug_assert!(
+            plan.matches(mapping),
+            "plan weights diverged from the mapping"
+        );
+        Ok(())
     }
 
     /// Executes a layer run as a sequence of mapping passes, each decomposed
@@ -213,6 +283,7 @@ impl Engine {
     fn run_layer_inner(
         &mut self,
         mapping: &LayerMapping,
+        plan: Option<&LayerPlan>,
         input: &EventStream,
         mut state: Option<&mut LayerState>,
         resume: bool,
@@ -270,8 +341,19 @@ impl Engine {
         if self.records.len() != self.config.num_slices {
             self.records = vec![SliceRecord::default(); self.config.num_slices];
         }
+        // Resolve every UPDATE_OP's plan row once per run; the slice workers
+        // of every pass then index instead of repeating the border-class
+        // lookup per (event, slice, pass).
+        let event_rows: Option<Vec<EventRow<'_>>> = plan.map(|p| {
+            op_sequence
+                .iter()
+                .filter(|op| op.op == EventOp::Update)
+                .map(|op| p.event_row(op))
+                .collect()
+        });
         let ctx = WorkerContext {
             mapping,
+            rows: event_rows.as_deref(),
             ops: &op_sequence,
             params: mapping.params(),
             clock_gating: self.config.clock_gating,
@@ -422,9 +504,14 @@ impl Engine {
                     stats.update_cycles += event_cost;
                     stats.total_cycles += event_cost;
                     timestep_cycles[op.t as usize] += event_cost;
+                    // The cross-slice ops sum is only observable through the
+                    // weight-streaming stall model and the trace; when
+                    // neither consumes it, don't compute it.
                     let mut event_ops = 0u64;
-                    for record in records.iter().filter(|r| r.active) {
-                        event_ops += record.update_ops[update_index];
+                    if !weights_resident || trace.is_enabled() {
+                        for record in records.iter().filter(|r| r.active) {
+                            event_ops += record.update_ops[update_index];
+                        }
                     }
                     if !weights_resident {
                         // Weights streamed per event: 8 packed 4-bit
@@ -921,10 +1008,10 @@ mod tests {
             },
         )
         .unwrap();
-        // 60 timesteps with ~90 events: enough op-sequence entries that the
+        // 250 timesteps with ~375 events: enough op-sequence entries that the
         // pass crosses the engine's minimum-work gate and genuinely fans out.
-        let mut stream = EventStream::new(4, 4, 1, 60);
-        for t in 0..60 {
+        let mut stream = EventStream::new(4, 4, 1, 250);
+        for t in 0..250 {
             stream.push(Event::update(t, 0, (t % 4) as u16, 2)).unwrap();
             if t % 2 == 0 {
                 stream.push(Event::update(t, 0, 1, 1)).unwrap();
@@ -953,7 +1040,7 @@ mod tests {
                 Engine::with_exec(small_config(), crate::exec::ExecStrategy::threaded(threads));
             let mut state = LayerState::new(&small_config(), &mapping);
             let mut events = Vec::new();
-            for (i, (start, end)) in [(0, 25), (25, 60)].into_iter().enumerate() {
+            for (i, (start, end)) in [(0, 100), (100, 250)].into_iter().enumerate() {
                 let chunk = stream.window(start, end);
                 let run = chunked
                     .run_layer_stateful(&mapping, &chunk, &mut state, i > 0)
@@ -965,6 +1052,62 @@ mod tests {
             }
             assert_eq!(events, expected.output.as_slice(), "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn planned_runs_are_bit_exact_with_naive_runs() {
+        let mapping = conv_mapping(2);
+        let plan = LayerPlan::build(&mapping);
+        let mut stream = EventStream::new(4, 4, 1, 8);
+        for t in 0..8 {
+            stream.push(Event::update(t, 0, (t % 4) as u16, 2)).unwrap();
+            stream.push(Event::update(t, 0, 0, 0)).unwrap();
+        }
+
+        let mut naive = Engine::new(small_config());
+        naive.enable_trace(128);
+        let expected = naive.run_layer(&mapping, &stream).unwrap();
+
+        let mut planned = Engine::new(small_config());
+        planned.enable_trace(128);
+        let result = planned.run_layer_planned(&mapping, &plan, &stream).unwrap();
+        assert_eq!(result, expected);
+        assert_eq!(planned.trace().records(), naive.trace().records());
+
+        // Stateful chunked resume on the planned path matches the whole run.
+        let mut chunked = Engine::new(small_config());
+        let mut state = LayerState::new(&small_config(), &mapping);
+        let mut events = Vec::new();
+        for (i, (start, end)) in [(0, 3), (3, 8)].into_iter().enumerate() {
+            let chunk = stream.window(start, end);
+            let run = chunked
+                .run_layer_stateful_planned(&mapping, &plan, &chunk, &mut state, i > 0)
+                .unwrap();
+            events.extend(run.output.into_events().into_iter().map(|e| Event {
+                t: e.t + start,
+                ..e
+            }));
+        }
+        assert_eq!(events, expected.output.as_slice());
+    }
+
+    #[test]
+    fn mismatched_plans_are_rejected() {
+        let mapping = conv_mapping(2);
+        let other = conv_mapping(3); // different threshold -> different layer
+        let plan = LayerPlan::build(&other);
+        let mut engine = Engine::new(small_config());
+        assert!(matches!(
+            engine.run_layer_planned(&mapping, &plan, &single_spike_stream()),
+            Err(SimError::InvalidConfig {
+                name: "layer plan",
+                ..
+            })
+        ));
+        let mut state = LayerState::new(&small_config(), &mapping);
+        assert!(engine
+            .run_layer_stateful_planned(&mapping, &plan, &single_spike_stream(), &mut state, false)
+            .is_err());
     }
 
     #[test]

@@ -47,16 +47,34 @@ impl ExecStrategy {
         }
     }
 
+    /// The self-tuning strategy behind the `--threads auto` knob: resolves to
+    /// [`ExecStrategy::Sequential`] when [`std::thread::available_parallelism`]
+    /// reports a single hardware thread (where worker threads can only add
+    /// spawn overhead — the low-core regression `BENCH_parallel.json`
+    /// documents), and to `Threaded(available)` otherwise. Like every
+    /// strategy, the resolution only moves host wall-clock time; results are
+    /// bit-identical.
+    #[must_use]
+    pub fn auto() -> Self {
+        Self::auto_capped(usize::MAX)
+    }
+
+    /// [`ExecStrategy::auto`] with an upper bound on the worker count:
+    /// requesting more threads than the host has hardware threads for cannot
+    /// help, so the request is clamped to the available parallelism (and
+    /// resolves to [`ExecStrategy::Sequential`] when either side is 1).
+    #[must_use]
+    pub fn auto_capped(requested: usize) -> Self {
+        let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self::from_threads(requested.min(available))
+    }
+
     /// A threaded strategy sized to the host's available parallelism
-    /// (sequential when the host reports a single hardware thread).
+    /// (sequential when the host reports a single hardware thread) — an
+    /// alias of [`ExecStrategy::auto`].
     #[must_use]
     pub fn host() -> Self {
-        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        if workers <= 1 {
-            Self::Sequential
-        } else {
-            Self::Threaded(workers)
-        }
+        Self::auto()
     }
 
     /// Number of worker threads the strategy uses (1 for sequential).
@@ -159,6 +177,24 @@ mod tests {
         assert_eq!(ExecStrategy::from_threads(0), ExecStrategy::Sequential);
         assert_eq!(ExecStrategy::from_threads(1), ExecStrategy::Sequential);
         assert_eq!(ExecStrategy::from_threads(4), ExecStrategy::Threaded(4));
+    }
+
+    #[test]
+    fn auto_resolves_to_the_host_parallelism() {
+        let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let auto = ExecStrategy::auto();
+        assert_eq!(auto, ExecStrategy::host());
+        if available <= 1 {
+            // On a single-core host worker threads can only add overhead.
+            assert_eq!(auto, ExecStrategy::Sequential);
+        } else {
+            assert_eq!(auto, ExecStrategy::Threaded(available));
+        }
+        // A capped request never exceeds the host and never exceeds the cap.
+        assert!(ExecStrategy::auto_capped(2).threads() <= 2);
+        assert!(ExecStrategy::auto_capped(usize::MAX).threads() <= available.max(1));
+        assert_eq!(ExecStrategy::auto_capped(0), ExecStrategy::Sequential);
+        assert_eq!(ExecStrategy::auto_capped(1), ExecStrategy::Sequential);
     }
 
     #[test]

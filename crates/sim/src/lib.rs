@@ -24,6 +24,12 @@
 //! * [`worker`] — the per-slice worker unit a mapping pass decomposes into
 //!   (the slice, its output record and its share of the persistent state),
 //!   with no shared mutable state between units.
+//! * [`plan::LayerPlan`] — the compiled sparse datapath: per-layer
+//!   receptive-field lookup tables (border-class CSR rows for convolutions,
+//!   transposed weight rows for dense layers) built once at configure time
+//!   and consumed by the workers in place of the naive mapping walk.
+//!   Host-time optimisation only — outputs and modelled cycles are
+//!   bit-identical to the naive path.
 //! * [`exec::ExecStrategy`] — how those independent units execute on the
 //!   host: sequentially or fanned out over scoped worker threads, with a
 //!   deterministic slice-order reduction that keeps every strategy
@@ -91,6 +97,7 @@ pub mod engine;
 pub mod exec;
 pub mod mapping;
 pub mod memory;
+pub mod plan;
 pub mod regfile;
 pub mod sequencer;
 pub mod slice;
@@ -108,5 +115,6 @@ pub use engine::{Engine, LayerRunOutput};
 pub use error::SimError;
 pub use exec::ExecStrategy;
 pub use mapping::{LayerMapping, LifHardwareParams};
+pub use plan::LayerPlan;
 pub use state::LayerState;
 pub use stats::CycleStats;

@@ -268,6 +268,12 @@ impl LayerMapping {
     /// Contributions of an input event restricted to the output neurons in
     /// `range` (the address filter + address shift of the slices assigned to
     /// that range). The returned neuron indices are global.
+    ///
+    /// Test-only convenience: it allocates per call, so the public API is
+    /// the allocation-free [`LayerMapping::contributions_in_range_into`],
+    /// which the engine's workers (and the compiled [`crate::plan`] tables)
+    /// use exclusively.
+    #[cfg(test)]
     #[must_use]
     pub fn contributions_in_range(
         &self,
@@ -279,10 +285,15 @@ impl LayerMapping {
         out
     }
 
-    /// Allocation-free variant of [`LayerMapping::contributions_in_range`]:
-    /// appends the contributions to `out` (which is *not* cleared first), so
-    /// the engine's per-slice workers can reuse one scratch buffer per slice
-    /// across the whole event stream.
+    /// Contributions of an input event restricted to the output neurons in
+    /// `range` (the address filter + address shift of the slices assigned to
+    /// that range), appended to `out` (which is *not* cleared first) so the
+    /// engine's per-slice workers can reuse one scratch buffer per slice
+    /// across the whole event stream. The appended neuron indices are global.
+    ///
+    /// This is the reference oracle of the event datapath: the compiled
+    /// [`crate::plan::LayerPlan`] must reproduce it bit-exactly, entry order
+    /// included.
     pub fn contributions_in_range_into(
         &self,
         event: &Event,
@@ -364,7 +375,9 @@ impl LayerMapping {
         }
     }
 
-    /// All contributions of an event (no range restriction).
+    /// All contributions of an event (no range restriction). Test-only, like
+    /// [`LayerMapping::contributions_in_range`].
+    #[cfg(test)]
     #[must_use]
     pub fn contributions(&self, event: &Event) -> Vec<Contribution> {
         self.contributions_in_range(event, 0..self.total_output_neurons())

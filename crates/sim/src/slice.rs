@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 use crate::cluster::{Cluster, ClusterState};
 use crate::config::SneConfig;
 use crate::mapping::{Contribution, LifHardwareParams};
+use crate::plan::EventRow;
 
 /// Statistics of one `UPDATE_OP` processed by a slice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -23,7 +24,9 @@ pub struct UpdateOutcome {
     pub gated_clusters: u64,
 }
 
-/// Statistics of one `FIRE_OP` processed by a slice.
+/// Statistics of one `FIRE_OP` processed by a slice (test-only companion of
+/// the allocation-free [`Slice::process_fire_into`]).
+#[cfg(test)]
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct FireOutcome {
     /// Global output-neuron indices that fired, in cluster/TDM order.
@@ -49,10 +52,20 @@ pub struct FireScanSummary {
 pub struct Slice {
     clusters: Vec<Cluster>,
     neurons_per_cluster: usize,
+    /// `log2(neurons_per_cluster)` when it is a power of two (the paper's 64
+    /// and every test geometry): the hot path then maps neuron → cluster
+    /// with a shift instead of an integer division.
+    cluster_shift: Option<u32>,
     /// Global output-neuron index of the first neuron mapped on this slice.
     base: usize,
     /// Number of output neurons mapped on this slice in the current pass.
     assigned: usize,
+    /// Per-cluster epoch of the last event window that touched it, against
+    /// [`Slice::epoch`]: the per-event cluster activity bookkeeping without
+    /// any per-event clearing (and without per-event allocation).
+    touch_epoch: Vec<u32>,
+    /// Epoch of the current event window.
+    epoch: u32,
 }
 
 impl Slice {
@@ -65,8 +78,36 @@ impl Slice {
         Self {
             clusters,
             neurons_per_cluster: config.neurons_per_cluster,
+            cluster_shift: config
+                .neurons_per_cluster
+                .is_power_of_two()
+                .then(|| config.neurons_per_cluster.trailing_zeros()),
             base: 0,
             assigned: 0,
+            touch_epoch: vec![0; config.clusters_per_slice],
+            epoch: 0,
+        }
+    }
+
+    /// Starts a new event window and returns its epoch (every cluster's
+    /// touch mark is older by construction).
+    #[inline]
+    fn next_epoch(&mut self) -> u32 {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped after 2^32 event windows: restart the epoch space.
+            self.touch_epoch.iter_mut().for_each(|e| *e = 0);
+            self.epoch = 1;
+        }
+        self.epoch
+    }
+
+    /// Cluster index of a slice-local neuron index.
+    #[inline]
+    fn cluster_of(&self, local: usize) -> usize {
+        match self.cluster_shift {
+            Some(shift) => local >> shift,
+            None => local / self.neurons_per_cluster,
         }
     }
 
@@ -139,25 +180,32 @@ impl Slice {
     }
 
     /// Processes one `UPDATE_OP`: the contributions (already filtered to this
-    /// slice's range by the address filter) are dispatched to the clusters.
+    /// slice's range by the address filter) are dispatched to the clusters,
+    /// one [`Cluster::integrate`] call per synapse.
+    ///
+    /// This is the **naive reference datapath** — the per-synapse dispatch
+    /// the compiled plan's batched window form
+    /// ([`Slice::process_update_planned`]) is measured against and must
+    /// reproduce bit-exactly.
     pub fn process_update(
         &mut self,
         contributions: &[Contribution],
         params: LifHardwareParams,
         clock_gating: bool,
     ) -> UpdateOutcome {
-        let mut touched = vec![false; self.clusters.len()];
-        let mut ops = 0u64;
+        let epoch = self.next_epoch();
+        let mut active = 0u64;
         for c in contributions {
             debug_assert!(self.assigned_range().contains(&c.neuron));
             let local = c.neuron - self.base;
-            let cluster_index = local / self.neurons_per_cluster;
-            let neuron_index = local % self.neurons_per_cluster;
+            let cluster_index = self.cluster_of(local);
+            let neuron_index = local - cluster_index * self.neurons_per_cluster;
             self.clusters[cluster_index].integrate(neuron_index, c.weight, params);
-            touched[cluster_index] = true;
-            ops += 1;
+            if self.touch_epoch[cluster_index] != epoch {
+                self.touch_epoch[cluster_index] = epoch;
+                active += 1;
+            }
         }
-        let active = touched.iter().filter(|&&t| t).count() as u64;
         let gated = if clock_gating {
             self.clusters.len() as u64 - active
         } else {
@@ -170,14 +218,221 @@ impl Slice {
             self.clusters.len() as u64
         };
         UpdateOutcome {
-            synaptic_ops: ops,
+            synaptic_ops: contributions.len() as u64,
             active_clusters: active,
             gated_clusters: gated,
         }
     }
 
+    /// The fused compiled datapath, block form: applies a run of consecutive
+    /// `UPDATE_OP` event rows (resolved once per run by the engine against
+    /// the compiled [`crate::plan::LayerPlan`]) and integrates their
+    /// contributions **in place**, without materializing contribution lists.
+    /// The borrow splitting and geometry setup happen once per block, not
+    /// once per event — the op streams between `FIRE_OP` barriers are
+    /// exactly such runs.
+    ///
+    /// Exploits the table structure the naive path does not have: weights
+    /// are pre-resolved, each (output channel, kernel row) is one contiguous
+    /// neuron span, and spans that stay in the same cluster share one
+    /// open/close (catch-up, dirty, counters) window round trip.
+    ///
+    /// Pushes one synaptic-ops entry per event into `update_ops` and returns
+    /// the **aggregated** outcome of the block. Bit-identical to resolving
+    /// every event through
+    /// [`LayerPlan::contributions_in_range_into`][crate::plan::LayerPlan::contributions_in_range_into]
+    /// and dispatching via [`Slice::process_update`]: same states, same
+    /// counters, same totals (within one event window each neuron receives
+    /// at most one contribution, so apply order cannot matter).
+    pub fn process_update_block_planned(
+        &mut self,
+        rows: &[EventRow<'_>],
+        params: LifHardwareParams,
+        clock_gating: bool,
+        update_ops: &mut Vec<u64>,
+    ) -> UpdateOutcome {
+        let range = self.assigned_range();
+        // Split the borrows and copy the geometry into locals once per
+        // block: the cluster calls below take `&mut` into `clusters`, and
+        // without the split the compiler must re-load every `self` field per
+        // iteration (it cannot prove the calls leave them untouched).
+        let base = self.base;
+        let npc = self.neurons_per_cluster;
+        let shift = self.cluster_shift;
+        let num_clusters = self.clusters.len() as u64;
+        let mut epoch = self.epoch;
+        let clusters = &mut self.clusters[..];
+        let touch_epoch = &mut self.touch_epoch[..];
+        let cluster_of = |local: usize| match shift {
+            Some(shift) => local >> shift,
+            None => local / npc,
+        };
+        // The output-channel window of the slice range is a per-layer
+        // constant (every row of a block belongs to the same layer), so the
+        // two divisions behind it run once per block, not once per event.
+        // `(first output channel, last output channel, clamped range end)`,
+        // with `first > last` encoding an empty intersection.
+        let mut conv_channels: Option<(usize, usize, usize)> = None;
+        let mut aggregate = UpdateOutcome::default();
+        for row in rows {
+            epoch = epoch.wrapping_add(1);
+            if epoch == 0 {
+                // Wrapped after 2^32 event windows: restart the epoch space.
+                touch_epoch.iter_mut().for_each(|e| *e = 0);
+                epoch = 1;
+            }
+            // Manually tracked cluster window (usize::MAX = none open):
+            // plain locals keep the event application one straight-line
+            // loop.
+            let mut open = usize::MAX;
+            let mut win_max = i16::from(i8::MIN);
+            let mut win_taps = 0u64;
+            let mut active = 0u64;
+            let mut ops = 0u64;
+            match *row {
+                EventRow::Conv {
+                    row_offsets,
+                    row_weights,
+                    rows_per_oc,
+                    taps_per_row,
+                    event_base,
+                    plane,
+                    total_neurons,
+                } => {
+                    // Only the output channels whose planes intersect the
+                    // range can contribute (the address filter).
+                    let (first_oc, last_oc, end) = *conv_channels.get_or_insert_with(|| {
+                        let end = range.end.min(total_neurons);
+                        if range.start < end {
+                            (range.start / plane, (end - 1) / plane, end)
+                        } else {
+                            (1, 0, end)
+                        }
+                    });
+                    if first_oc <= last_oc {
+                        let first_span = first_oc * rows_per_oc;
+                        let last_span = (last_oc + 1) * rows_per_oc;
+                        let offsets = &row_offsets[first_span..last_span];
+                        let span_weights =
+                            &row_weights[first_span * taps_per_row..last_span * taps_per_row];
+                        for (&offset, taps) in
+                            offsets.iter().zip(span_weights.chunks_exact(taps_per_row))
+                        {
+                            let lowest = (event_base + i64::from(offset)) as usize;
+                            // Clip the contiguous span to the slice range
+                            // (a no-op for fully covered planes).
+                            let lo = lowest.max(range.start);
+                            let hi = (lowest + taps_per_row).min(end);
+                            if lo >= hi {
+                                continue;
+                            }
+                            let mut weights = &taps[lo - lowest..hi - lowest];
+                            let mut local = lo - base;
+                            loop {
+                                let cluster_index = cluster_of(local);
+                                let cluster_start = cluster_index * npc;
+                                let take = weights.len().min(cluster_start + npc - local);
+                                if cluster_index != open {
+                                    if open != usize::MAX {
+                                        clusters[open].close_window(win_max, win_taps);
+                                        ops += win_taps;
+                                    }
+                                    clusters[cluster_index].open_window(params);
+                                    if touch_epoch[cluster_index] != epoch {
+                                        touch_epoch[cluster_index] = epoch;
+                                        active += 1;
+                                    }
+                                    open = cluster_index;
+                                    win_max = i16::from(i8::MIN);
+                                    win_taps = 0;
+                                }
+                                let span_max = clusters[cluster_index]
+                                    .accumulate_span(local - cluster_start, &weights[..take]);
+                                win_max = win_max.max(span_max);
+                                win_taps += take as u64;
+                                if take == weights.len() {
+                                    break;
+                                }
+                                local += take;
+                                weights = &weights[take..];
+                            }
+                        }
+                    }
+                }
+                EventRow::Dense { weights } => {
+                    // Dense outputs are contiguous: walk whole clusters.
+                    let end = range.end.min(weights.len());
+                    let mut o = range.start.min(end);
+                    while o < end {
+                        let local = o - base;
+                        let cluster_index = cluster_of(local);
+                        let cluster_start = cluster_index * npc;
+                        let run_end = end.min(base + cluster_start + npc);
+                        if cluster_index != open {
+                            if open != usize::MAX {
+                                clusters[open].close_window(win_max, win_taps);
+                                ops += win_taps;
+                            }
+                            clusters[cluster_index].open_window(params);
+                            if touch_epoch[cluster_index] != epoch {
+                                touch_epoch[cluster_index] = epoch;
+                                active += 1;
+                            }
+                            open = cluster_index;
+                            win_max = i16::from(i8::MIN);
+                            win_taps = 0;
+                        }
+                        let span_max = clusters[cluster_index]
+                            .accumulate_span(local - cluster_start, &weights[o..run_end]);
+                        win_max = win_max.max(span_max);
+                        win_taps += (run_end - o) as u64;
+                        o = run_end;
+                    }
+                }
+            }
+            if open != usize::MAX {
+                clusters[open].close_window(win_max, win_taps);
+                ops += win_taps;
+            }
+            update_ops.push(ops);
+            aggregate.synaptic_ops += ops;
+            if clock_gating {
+                aggregate.active_clusters += active;
+                aggregate.gated_clusters += num_clusters - active;
+            } else {
+                // Without clock gating every cluster toggles per window.
+                aggregate.active_clusters += num_clusters;
+            }
+        }
+        self.epoch = epoch;
+        aggregate
+    }
+
+    /// Single-event convenience form of
+    /// [`Slice::process_update_block_planned`] (the engine's worker uses the
+    /// block form; this one backs tests and microbenchmarks).
+    pub fn process_update_planned(
+        &mut self,
+        row: EventRow<'_>,
+        params: LifHardwareParams,
+        clock_gating: bool,
+    ) -> UpdateOutcome {
+        let mut update_ops = Vec::with_capacity(1);
+        self.process_update_block_planned(
+            std::slice::from_ref(&row),
+            params,
+            clock_gating,
+            &mut update_ops,
+        )
+    }
+
     /// Processes one `FIRE_OP`: every cluster scans its TDM neurons and emits
     /// spikes for those above threshold. Returns global neuron indices.
+    ///
+    /// Test-only convenience: it allocates per call, so the public API is
+    /// the allocation-free [`Slice::process_fire_into`], which the engine's
+    /// hot path uses exclusively.
+    #[cfg(test)]
     pub fn process_fire(&mut self, params: LifHardwareParams, tlu_enabled: bool) -> FireOutcome {
         let mut fired = Vec::new();
         let summary = self.process_fire_into(params, tlu_enabled, &mut fired);
@@ -188,9 +443,10 @@ impl Slice {
         }
     }
 
-    /// Allocation-free variant of [`Slice::process_fire`]: global indices of
-    /// firing neurons are appended to `out` (not cleared first), so the
-    /// engine's per-slice workers reuse one buffer per slice across the run.
+    /// Processes one `FIRE_OP`: every cluster scans its TDM neurons and the
+    /// global indices of firing neurons are appended to `out` (not cleared
+    /// first), so the engine's per-slice workers reuse one buffer per slice
+    /// across the run.
     pub fn process_fire_into(
         &mut self,
         params: LifHardwareParams,

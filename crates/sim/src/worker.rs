@@ -18,6 +18,7 @@ use sne_event::{Event, EventOp};
 
 use crate::cluster::ClusterState;
 use crate::mapping::{Contribution, LayerMapping, LifHardwareParams};
+use crate::plan::EventRow;
 use crate::slice::Slice;
 use crate::stats::CycleStats;
 
@@ -26,6 +27,11 @@ use crate::stats::CycleStats;
 pub struct WorkerContext<'a> {
     /// The layer mapping (address filter + weights).
     pub mapping: &'a LayerMapping,
+    /// The event rows of every `UPDATE_OP` in [`WorkerContext::ops`], in op
+    /// order, resolved once per run against the compiled layer plan — if the
+    /// caller built one (`None` runs the naive reference datapath).
+    /// Bit-exact either way.
+    pub rows: Option<&'a [EventRow<'a>]>,
     /// The full operation sequence of the run.
     pub ops: &'a [Event],
     /// LIF parameters programmed for the layer.
@@ -133,25 +139,59 @@ pub fn run_slice_pass(task: &mut SliceTask<'_>, ctx: &WorkerContext<'_>) {
     record.clear();
     record.active = task.count > 0;
     if record.active {
-        for op in ctx.ops {
+        let mut update_index = 0usize;
+        let mut op_index = 0usize;
+        while op_index < ctx.ops.len() {
+            let op = &ctx.ops[op_index];
             match op.op {
                 EventOp::Reset => task.slice.reset(),
                 EventOp::Update => {
-                    record.contributions.clear();
-                    ctx.mapping.contributions_in_range_into(
-                        op,
-                        task.slice.assigned_range(),
-                        &mut record.contributions,
-                    );
-                    let outcome = task.slice.process_update(
-                        &record.contributions,
-                        ctx.params,
-                        ctx.clock_gating,
-                    );
-                    record.update_ops.push(outcome.synaptic_ops);
-                    record.synaptic_ops += outcome.synaptic_ops;
-                    record.active_cluster_windows += outcome.active_clusters;
-                    record.gated_cluster_windows += outcome.gated_clusters;
+                    // Compiled datapath: the whole run of consecutive
+                    // `UPDATE_OP`s (up to the next `FIRE_OP` barrier) goes
+                    // through one block-fused span walk over the run-level
+                    // resolved rows. Naive datapath (the reference oracle):
+                    // materialize each event's contributions, then dispatch
+                    // them. Outputs, counters and states are bit-identical.
+                    match ctx.rows {
+                        Some(rows) => {
+                            let mut block_end = op_index + 1;
+                            while block_end < ctx.ops.len()
+                                && ctx.ops[block_end].op == EventOp::Update
+                            {
+                                block_end += 1;
+                            }
+                            let events = block_end - op_index;
+                            let outcome = task.slice.process_update_block_planned(
+                                &rows[update_index..update_index + events],
+                                ctx.params,
+                                ctx.clock_gating,
+                                &mut record.update_ops,
+                            );
+                            update_index += events;
+                            op_index = block_end - 1;
+                            record.synaptic_ops += outcome.synaptic_ops;
+                            record.active_cluster_windows += outcome.active_clusters;
+                            record.gated_cluster_windows += outcome.gated_clusters;
+                        }
+                        None => {
+                            record.contributions.clear();
+                            ctx.mapping.contributions_in_range_into(
+                                op,
+                                task.slice.assigned_range(),
+                                &mut record.contributions,
+                            );
+                            let outcome = task.slice.process_update(
+                                &record.contributions,
+                                ctx.params,
+                                ctx.clock_gating,
+                            );
+                            update_index += 1;
+                            record.update_ops.push(outcome.synaptic_ops);
+                            record.synaptic_ops += outcome.synaptic_ops;
+                            record.active_cluster_windows += outcome.active_clusters;
+                            record.gated_cluster_windows += outcome.gated_clusters;
+                        }
+                    }
                 }
                 EventOp::Fire => {
                     record.fired_neurons.clear();
@@ -173,6 +213,7 @@ pub fn run_slice_pass(task: &mut SliceTask<'_>, ctx: &WorkerContext<'_>) {
                         .push((record.fired.len() - before) as u32);
                 }
             }
+            op_index += 1;
         }
     }
     // Persist the state this pass leaves behind (also for inactive slices,
@@ -224,6 +265,7 @@ mod tests {
         let ops = op_sequence();
         let ctx = WorkerContext {
             mapping: &mapping,
+            rows: None,
             ops: &ops,
             params: mapping.params(),
             clock_gating: true,
@@ -261,6 +303,7 @@ mod tests {
         let ops = op_sequence();
         let ctx = WorkerContext {
             mapping: &mapping,
+            rows: None,
             ops: &ops,
             params: mapping.params(),
             clock_gating: true,

@@ -49,7 +49,7 @@ proptest! {
         num_slices in 2usize..4,
         spikes in prop::collection::vec(
             (0u32..16, 0u16..4, 0u16..4),
-            120..280,
+            520..700,
         ),
         weight_seed in 0u64..1000,
     ) {
@@ -99,7 +99,7 @@ proptest! {
         threshold in 2i16..7,
         spikes in prop::collection::vec(
             (0u32..16, 0u16..4, 0u16..4),
-            260..360,
+            1400..1600,
         ),
     ) {
         let mapping = LayerMapping::conv(
@@ -245,8 +245,8 @@ proptest! {
 fn threaded_sessions_match_sequential_end_to_end() {
     let network = compiled(5);
     // Busy enough that the first conv layer crosses the engine's parallel
-    // gate both for whole-sample inference and for every 8-timestep chunk.
-    let stream = sne::proportionality::stream_with_activity((2, 8, 8), 24, 0.2, 42);
+    // gate both for whole-sample inference and for every 12-timestep chunk.
+    let stream = sne::proportionality::stream_with_activity((2, 8, 8), 24, 0.5, 42);
     assert!(stream.to_op_sequence().len() * 2 >= Engine::MIN_PARALLEL_UNITS);
 
     let mut sequential = InferenceSession::new(network.clone(), SneConfig::with_slices(2)).unwrap();
@@ -263,7 +263,7 @@ fn threaded_sessions_match_sequential_end_to_end() {
         // identically too.
         session.reset();
         let mut counts = vec![0u32; 3];
-        for chunk in stream.chunks(8) {
+        for chunk in stream.chunks(12) {
             assert!(chunk.to_op_sequence().len() * 2 >= Engine::MIN_PARALLEL_UNITS);
             let out = session.push(&chunk).unwrap();
             for event in out.output.iter().filter(|e| e.is_spike()) {

@@ -86,13 +86,18 @@ proptest! {
         let params = LifHardwareParams { leak, threshold };
         let mut eager = Cluster::new(1);
         let mut lazy = Cluster::new(1);
+        let mut fired = Vec::new();
         for step in &pattern {
             if let Some(w) = step {
                 eager.integrate(0, *w, params);
                 lazy.integrate(0, *w, params);
             }
-            let fired_eager = !eager.fire_scan(params, false).is_empty();
-            let fired_lazy = !lazy.fire_scan(params, true).is_empty();
+            fired.clear();
+            let _ = eager.fire_scan_into(params, false, &mut fired);
+            let fired_eager = !fired.is_empty();
+            fired.clear();
+            let _ = lazy.fire_scan_into(params, true, &mut fired);
+            let fired_lazy = !fired.is_empty();
             prop_assert_eq!(fired_eager, fired_lazy);
         }
         // Force both to materialize any pending leak, then compare states.
