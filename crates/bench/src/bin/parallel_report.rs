@@ -129,9 +129,13 @@ fn main() {
         )
         .unwrap();
         // Bit-exactness gate: every thread count must reproduce the
-        // sequential report (modulo the recorded thread count itself).
+        // sequential report (modulo the recorded thread count itself and
+        // the host-measured serving telemetry, which varies run to run).
         let mut report = runner.run(&streams).unwrap();
         report.threads = 1;
+        report.queue_latency = Default::default();
+        report.service_latency = Default::default();
+        report.lane_utilization.clear();
         match &batch_reference {
             None => batch_reference = Some(report),
             Some(reference) => assert_eq!(

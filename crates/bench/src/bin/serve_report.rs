@@ -1,0 +1,198 @@
+//! Measures the serving front-end end to end over loopback HTTP and emits a
+//! machine-readable `BENCH_serve.json`: closed-loop clients at 1/4/16
+//! concurrency, throughput and p50/p99 request latency per level, with
+//! **bit-exactness against a direct session asserted before any timing**.
+//!
+//! ```bash
+//! cargo run --release -p sne_bench --bin serve_report              # full run
+//! cargo run --release -p sne_bench --bin serve_report -- --smoke   # CI smoke
+//! cargo run --release -p sne_bench --bin serve_report -- --out x.json
+//! ```
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+use sne::batch::LatencySummary;
+use sne::compile::CompiledNetwork;
+use sne::session::InferenceSession;
+use sne_bench::benchmark_network;
+use sne_event::EventStream;
+use sne_serve::{client, Json, ServerBuilder};
+use sne_sim::{ExecStrategy, SneConfig};
+
+/// Closed-loop concurrency levels (clients issuing back-to-back requests).
+const CLIENT_LEVELS: [usize; 3] = [1, 4, 16];
+/// Engines in the served model's pool.
+const LANES: usize = 4;
+
+struct LevelResult {
+    clients: usize,
+    requests: u32,
+    throughput_rps: f64,
+    latency: LatencySummary,
+}
+
+/// Runs `clients` closed-loop client threads for `per_client` requests each
+/// and returns throughput plus client-observed latency order statistics.
+fn run_level(
+    addr: SocketAddr,
+    streams: &[EventStream],
+    clients: usize,
+    per_client: u32,
+) -> LevelResult {
+    let start = Instant::now();
+    let latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut samples = Vec::with_capacity(per_client as usize);
+                    for i in 0..per_client {
+                        let stream = &streams[(c + i as usize * clients) % streams.len()];
+                        let body = client::infer_body("bench", stream);
+                        let sent = Instant::now();
+                        let (status, response) =
+                            client::post(addr, "/v1/infer", &body).expect("request failed");
+                        assert_eq!(status, 200, "{response}");
+                        samples.push(sent.elapsed().as_secs_f64() * 1e6);
+                    }
+                    samples
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    LevelResult {
+        clients,
+        requests: latencies.len() as u32,
+        throughput_rps: latencies.len() as f64 / elapsed,
+        latency: LatencySummary::from_samples_us(&latencies),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_serve.json".to_owned());
+    let per_client: u32 = if smoke { 4 } else { 40 };
+
+    // A 16x16 two-layer eCNN: small enough that the HTTP wire is a visible
+    // fraction of the request, large enough to exercise the whole datapath.
+    let network = Arc::new(benchmark_network(16, 8, 5, 5));
+    let config = SneConfig::with_slices(4);
+    let streams: Vec<EventStream> = (0..8)
+        .map(|i| sne::proportionality::stream_with_activity((2, 16, 16), 12, 0.03, 900 + i))
+        .collect();
+
+    let server = ServerBuilder::new()
+        .register(
+            "bench",
+            Arc::clone(&network),
+            config,
+            LANES,
+            ExecStrategy::Sequential,
+        )
+        .expect("model registers")
+        .start("127.0.0.1:0")
+        .expect("server starts");
+    let addr = server.addr();
+
+    // Gate: every served result must be BIT-identical to a direct session
+    // call before anything is timed.
+    let mut session =
+        InferenceSession::new(Arc::clone(&network) as Arc<CompiledNetwork>, config).unwrap();
+    for stream in &streams {
+        let expected = session.infer(stream).unwrap();
+        let (status, body) =
+            client::post(addr, "/v1/infer", &client::infer_body("bench", stream)).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(
+            doc.get("predicted_class").and_then(Json::as_u64),
+            Some(expected.predicted_class as u64),
+            "served prediction diverged from the direct session"
+        );
+        assert_eq!(
+            doc.get("total_cycles").and_then(Json::as_u64),
+            Some(expected.stats.total_cycles),
+            "served cycles diverged from the direct session"
+        );
+        assert_eq!(
+            doc.get("energy_uj")
+                .and_then(Json::as_f64)
+                .map(f64::to_bits),
+            Some(expected.energy.energy_uj.to_bits()),
+            "served energy diverged bit-wise from the direct session"
+        );
+    }
+
+    println!("Serving front-end over loopback HTTP ({LANES}-engine pool, 16x16 eCNN, 12 timesteps, 3 % activity)");
+    println!(
+        "bit-exactness vs direct session: verified on {} streams",
+        streams.len()
+    );
+    println!();
+
+    let mut levels = Vec::new();
+    for clients in CLIENT_LEVELS {
+        let level = run_level(addr, &streams, clients, per_client);
+        println!(
+            "{:>2} clients: {:>8.1} req/s   p50 {:>8.1} us   p99 {:>8.1} us",
+            level.clients, level.throughput_rps, level.latency.p50_us, level.latency.p99_us
+        );
+        levels.push(level);
+    }
+
+    let (status, stats_body) = client::get(addr, "/v1/stats").unwrap();
+    assert_eq!(status, 200);
+    let stats = Json::parse(&stats_body).unwrap();
+    let completed = stats.get("completed").and_then(Json::as_u64).unwrap();
+    let errors = stats.get("errors").and_then(Json::as_u64).unwrap();
+    assert_eq!(errors, 0, "server recorded errors during the bench");
+    server.shutdown();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"serve_report\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    json.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    ));
+    json.push_str(&format!("  \"lanes\": {LANES},\n"));
+    json.push_str(
+        "  \"workload\": {\"network\": \"tiny_16x16\", \"timesteps\": 12, \"activity\": 0.03, \"slices\": 4},\n",
+    );
+    json.push_str("  \"bit_exact_vs_direct_session\": true,\n");
+    json.push_str(&format!("  \"server_completed_requests\": {completed},\n"));
+    json.push_str("  \"levels\": [\n");
+    for (i, level) in levels.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"clients\": {}, \"requests\": {}, \"throughput_rps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"mean_us\": {:.1}}}{}\n",
+            level.clients,
+            level.requests,
+            level.throughput_rps,
+            level.latency.p50_us,
+            level.latency.p99_us,
+            level.latency.mean_us,
+            if i + 1 < levels.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+
+    println!();
+    println!("wrote {out_path}");
+}

@@ -12,6 +12,7 @@
 
 use std::time::Instant;
 
+use sne::batch::BatchRunner;
 use sne::session::InferenceSession;
 use sne::{ExecStrategy, SneAccelerator};
 use sne_bench::{fig6_network, workload};
@@ -115,6 +116,14 @@ fn main() {
         && reference.predicted_class == session_result.predicted_class;
     let speedup = per_call.mean_us / session_reuse.mean_us;
 
+    // Serving fleet: the dynamic engine-pool scheduler over a small batch,
+    // surfacing the per-request queue/service latency percentiles and
+    // per-lane utilization that `BatchReport` now records.
+    let batch_streams: Vec<_> = (0..8).map(|i| workload(32, 12, 0.01, 70 + i)).collect();
+    let mut runner =
+        BatchRunner::with_exec(fig6_network(32, 11, 5), config, 4, exec).expect("runner builds");
+    let batch = runner.run(&batch_streams).expect("batch runs");
+
     let paths = [&per_call, &accel_reuse, &session_reuse, &session_push];
     let mut json = String::new();
     json.push_str("{\n");
@@ -150,6 +159,23 @@ fn main() {
     }
     json.push_str("  },\n");
     json.push_str(&format!(
+        "  \"batch\": {{\"lanes\": {}, \"streams\": {}, \"threads\": {}, \"queue_p50_us\": {:.1}, \"queue_p99_us\": {:.1}, \"service_p50_us\": {:.1}, \"service_p95_us\": {:.1}, \"service_p99_us\": {:.1}, \"lane_utilization\": [{}]}},\n",
+        batch.lanes,
+        batch.results.len(),
+        batch.threads,
+        batch.queue_latency.p50_us,
+        batch.queue_latency.p99_us,
+        batch.service_latency.p50_us,
+        batch.service_latency.p95_us,
+        batch.service_latency.p99_us,
+        batch
+            .lane_utilization
+            .iter()
+            .map(|u| format!("{u:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!(
         "  \"speedup_session_vs_per_call\": {:.3},\n",
         speedup
     ));
@@ -165,6 +191,20 @@ fn main() {
     }
     println!();
     println!("session vs per-call speedup: {speedup:.2}x (functionally identical: {identical})");
+    println!(
+        "batch fleet ({} lanes, {} streams): service p50 {:.0} us / p99 {:.0} us, queue p99 {:.0} us, utilization [{}]",
+        batch.lanes,
+        batch.results.len(),
+        batch.service_latency.p50_us,
+        batch.service_latency.p99_us,
+        batch.queue_latency.p99_us,
+        batch
+            .lane_utilization
+            .iter()
+            .map(|u| format!("{u:.2}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     println!("wrote {out_path}");
     assert!(
         identical,

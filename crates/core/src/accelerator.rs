@@ -1,10 +1,12 @@
 //! The end-to-end accelerator runner.
 
+use std::sync::Arc;
+
 use sne_energy::{EnergyModel, PerformanceModel};
 use sne_event::EventStream;
-use sne_sim::{Engine, ExecStrategy, SneConfig};
+use sne_sim::{Engine, ExecStrategy, LayerMapping, LayerPlan, SneConfig};
 
-use crate::compile::CompiledNetwork;
+use crate::compile::{CompiledNetwork, Stage};
 use crate::run::InferenceResult;
 use crate::session::{
     check_geometry, classify, pipeline_engines, pipeline_shares, run_stages, wavefront_makespan,
@@ -22,6 +24,11 @@ pub struct SneAccelerator {
     engine: Engine,
     energy: EnergyModel,
     performance: PerformanceModel,
+    /// Sparse-datapath plan set of the most recent network, reused across
+    /// calls: repeated `run`s against the same network skip the
+    /// configure-time plan compilation (the weight digest is re-verified per
+    /// call, so an edited network can never run on a stale plan).
+    cached_plans: Option<Arc<Vec<LayerPlan>>>,
 }
 
 impl SneAccelerator {
@@ -40,7 +47,32 @@ impl SneAccelerator {
             engine: Engine::with_exec(config, exec),
             energy: EnergyModel::new(),
             performance: PerformanceModel::new(),
+            cached_plans: None,
         }
+    }
+
+    /// Returns the sparse-datapath plans for `network`, reusing the cached
+    /// set when it verifiably matches (geometry **and** weight digests of
+    /// every accelerated layer) and recompiling otherwise.
+    fn plans_for(&mut self, network: &CompiledNetwork) -> Arc<Vec<LayerPlan>> {
+        let mappings: Vec<&LayerMapping> =
+            network.stages().iter().filter_map(Stage::mapping).collect();
+        if let Some(plans) = &self.cached_plans {
+            if plans.len() == mappings.len()
+                && plans.iter().zip(&mappings).all(|(p, m)| p.matches(m))
+            {
+                return Arc::clone(plans);
+            }
+        }
+        let plans = Arc::new(network.build_plans());
+        self.cached_plans = Some(Arc::clone(&plans));
+        plans
+    }
+
+    /// Whether a plan set is currently cached (for tests and diagnostics).
+    #[must_use]
+    pub fn has_cached_plans(&self) -> bool {
+        self.cached_plans.is_some()
     }
 
     /// The engine configuration.
@@ -89,10 +121,10 @@ impl SneAccelerator {
         }
 
         let config = *self.engine.config();
-        // The per-call entry point pays the full configure cost every time:
-        // the sparse-datapath tables are compiled here, per call (a session
-        // builds them once and amortizes them across inferences).
-        let plans = network.build_plans();
+        // Configure-time work is cached across calls: the sparse-datapath
+        // tables are compiled on the first run of a network and reused
+        // (digest-verified) until a different network shows up.
+        let plans = self.plans_for(network);
         let outcome = run_stages(
             std::slice::from_mut(&mut self.engine),
             network,
@@ -151,7 +183,7 @@ impl SneAccelerator {
         // `PipelinedSession` is the persistent variant.
         let shares = pipeline_shares(network, &config)?;
         let mut engines = pipeline_engines(&config, &shares, self.engine.exec());
-        let plans = network.build_plans();
+        let plans = self.plans_for(network);
         let outcome = run_stages(&mut engines, network, input, Some(&plans), None, false)?;
 
         // In the pipelined mode the layers overlap in time: the inference
@@ -246,6 +278,36 @@ mod tests {
         assert!(dense.stats.total_cycles > sparse.stats.total_cycles);
         assert!(dense.energy.energy_uj > sparse.energy.energy_uj);
         assert!(dense.input_events() > sparse.input_events());
+    }
+
+    #[test]
+    fn plan_cache_is_reused_and_invalidated_per_network() {
+        let mut accelerator = SneAccelerator::new(SneConfig::with_slices(2));
+        assert!(!accelerator.has_cached_plans());
+        let network = compiled();
+        let first = accelerator.run(&network, &input_stream(3)).unwrap();
+        assert!(accelerator.has_cached_plans());
+        let cached = Arc::clone(accelerator.cached_plans.as_ref().unwrap());
+        // Same network: the cached set is reused pointer-identically and the
+        // result is unchanged.
+        let again = accelerator.run(&network, &input_stream(3)).unwrap();
+        assert_eq!(first, again);
+        assert!(Arc::ptr_eq(
+            &cached,
+            accelerator.cached_plans.as_ref().unwrap()
+        ));
+        // A different network (same topology, different weights) must miss
+        // the cache and recompile — never run on a stale plan.
+        let mut rng = StdRng::seed_from_u64(77);
+        let other =
+            CompiledNetwork::random(&Topology::tiny(Shape::new(2, 8, 8), 4, 3), &mut rng).unwrap();
+        let mut dedicated = SneAccelerator::new(SneConfig::with_slices(2));
+        let expected = dedicated.run(&other, &input_stream(3)).unwrap();
+        assert_eq!(accelerator.run(&other, &input_stream(3)).unwrap(), expected);
+        assert!(!Arc::ptr_eq(
+            &cached,
+            accelerator.cached_plans.as_ref().unwrap()
+        ));
     }
 
     #[test]

@@ -1,57 +1,614 @@
-//! Serving many users: N independent sessions over N event streams.
+//! Serving many users: an engine pool, a work-queue scheduler, and the
+//! closed-batch runner rebuilt on top of them.
 //!
 //! The production scenario the ROADMAP targets is a fleet of SNE instances
-//! consuming sustained event traffic from many sensors/users at once. A
-//! [`BatchRunner`] models exactly that: it compiles the network once, opens
-//! `lanes` independent [`InferenceSession`]s (one persistent engine + neuron
-//! state each), assigns incoming streams round-robin to the lanes, and
-//! aggregates the per-inference [`CycleStats`] and energy into a
-//! [`BatchReport`]. Lanes are independent hardware instances, so the batch
-//! makespan is the busiest lane, while energy adds across all of them.
+//! consuming sustained event traffic from many sensors/users at once. Multi-
+//! instance accelerators (Mega, SpiDR) frame the hardware exactly this way:
+//! a pool of identical engines fed from a shared queue. The runtime mirrors
+//! that split in three tiers:
 //!
-//! Because the lanes share no mutable state, they can be *driven* in
-//! parallel too: under [`ExecStrategy::Threaded`] the runner fans its lanes
-//! out over host worker threads ([`BatchRunner::with_exec`]), each lane
-//! consuming its round-robin share of the streams in order. The stream→lane
-//! assignment and every per-stream result are bit-identical to the
-//! sequential runner; only the host wall-clock time changes.
+//! * [`EnginePool`] holds N warm engines (plus a scratch [`ClientState`]
+//!   each) built from one shared [`RuntimeArtifact`]. Engines are **checked
+//!   out per request** and checked back in afterwards, so any engine can
+//!   serve any client — the prerequisite for dynamic work arrival.
+//! * [`Scheduler`] is a FIFO work queue (std `mpsc` + worker threads, no new
+//!   dependencies) in front of the pool: requests are [`Scheduler::submit`]ed
+//!   as they arrive, workers check an engine out per request, and every
+//!   completion carries its **queue-wait** and **service** latency
+//!   ([`RequestRecord`]).
+//! * [`BatchRunner`] is the closed-batch convenience preserved from the
+//!   earlier lane-pinned runner: [`BatchRunner::run`] submits every stream,
+//!   drains, and aggregates a [`BatchReport`]. The legacy statically-pinned
+//!   round-robin walk survives as [`BatchRunner::run_round_robin`] — the
+//!   reference oracle the dynamic scheduler is proven bit-identical against
+//!   (`tests/scheduler_equivalence.rs`).
+//!
+//! Because every request starts from resting neuron state (`infer` resets
+//! the engine's scratch client first), *which* engine serves a request can
+//! never change its result: the dynamic scheduler's per-stream results are
+//! bit-identical to the static round-robin runner's, in input order, for
+//! every [`ExecStrategy`]. Only the host-measured latencies differ.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
 
+use serde::{Deserialize, Serialize};
 use sne_event::EventStream;
-use sne_sim::{CycleStats, ExecStrategy, SneConfig};
+use sne_sim::{CycleStats, Engine, ExecStrategy, SneConfig};
 
+use crate::artifact::{ClientState, RuntimeArtifact};
 use crate::compile::CompiledNetwork;
 use crate::run::InferenceResult;
-use crate::session::InferenceSession;
+use crate::session::ChunkOutput;
 use crate::SneError;
+
+/// Order statistics of a set of host-measured latencies, in microseconds.
+///
+/// Percentiles use the nearest-rank method; an empty sample set reports all
+/// zeros. These are **wall-clock host** numbers (unlike the modelled
+/// cycle-derived times), so they vary run to run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Arithmetic mean in µs.
+    pub mean_us: f64,
+    /// Median (50th percentile) in µs.
+    pub p50_us: f64,
+    /// 95th percentile in µs.
+    pub p95_us: f64,
+    /// 99th percentile in µs.
+    pub p99_us: f64,
+    /// Largest sample in µs.
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a sample set (order irrelevant; not modified).
+    #[must_use]
+    pub fn from_samples_us(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let nearest_rank = |q: f64| {
+            let rank = (q * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        Self {
+            count: sorted.len(),
+            mean_us: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_us: nearest_rank(0.50),
+            p95_us: nearest_rank(0.95),
+            p99_us: nearest_rank(0.99),
+            max_us: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// One warm engine of the fleet, bundled with the shared artifact and a
+/// reusable scratch [`ClientState`] for whole-sample requests. Obtained from
+/// [`EnginePool::checkout`] and returned with [`EnginePool::checkin`].
+#[derive(Debug)]
+pub struct PooledEngine {
+    lane: usize,
+    artifact: Arc<RuntimeArtifact>,
+    engine: Engine,
+    scratch: ClientState,
+}
+
+impl PooledEngine {
+    /// Stable index of this engine within its pool (`0..lanes`).
+    #[must_use]
+    pub fn lane(&self) -> usize {
+        self.lane
+    }
+
+    /// The shared artifact this engine executes against.
+    #[must_use]
+    pub fn artifact(&self) -> &Arc<RuntimeArtifact> {
+        &self.artifact
+    }
+
+    /// Runs one whole-sample inference on this engine's scratch client
+    /// (reset first, so results never depend on which engine served which
+    /// request).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`crate::session::InferenceSession::infer`].
+    pub fn infer(&mut self, input: &EventStream) -> Result<InferenceResult, SneError> {
+        self.artifact
+            .infer(&mut self.engine, &mut self.scratch, input, true)
+    }
+
+    /// Streams one chunk of an external client's feed through this engine:
+    /// the neuron state lives in the caller's [`ClientState`], so the
+    /// client's next chunk may be served by any other engine of the pool.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`crate::session::InferenceSession::push`].
+    pub fn push(
+        &mut self,
+        client: &mut ClientState,
+        chunk: &EventStream,
+    ) -> Result<ChunkOutput, SneError> {
+        self.artifact.push(&mut self.engine, client, chunk, true)
+    }
+}
+
+/// A fixed fleet of warm engines sharing one [`RuntimeArtifact`]: check one
+/// out per request, run, check it back in. [`EnginePool::checkout`] blocks
+/// until an engine is free, which is what turns N engines plus any number of
+/// request threads into a well-formed queueing system.
+#[derive(Debug)]
+pub struct EnginePool {
+    artifact: Arc<RuntimeArtifact>,
+    idle: Mutex<Vec<PooledEngine>>,
+    available: Condvar,
+    lanes: usize,
+}
+
+impl EnginePool {
+    /// Builds `lanes` engines (and scratch clients) against `artifact`, all
+    /// allocated here, once. `engine_exec` is each engine's per-slice worker
+    /// fan-out (keep it [`ExecStrategy::Sequential`] when the parallelism
+    /// lives across lanes, as in [`BatchRunner`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SneError::EmptyBatch`] if `lanes` is zero.
+    pub fn new(
+        artifact: Arc<RuntimeArtifact>,
+        lanes: usize,
+        engine_exec: ExecStrategy,
+    ) -> Result<Self, SneError> {
+        if lanes == 0 {
+            return Err(SneError::EmptyBatch);
+        }
+        let idle = (0..lanes)
+            .map(|lane| PooledEngine {
+                lane,
+                artifact: Arc::clone(&artifact),
+                engine: artifact.new_engine(engine_exec),
+                scratch: artifact.new_client(),
+            })
+            .collect();
+        Ok(Self {
+            artifact,
+            idle: Mutex::new(idle),
+            available: Condvar::new(),
+            lanes,
+        })
+    }
+
+    /// Convenience: compiles the artifact and builds the pool in one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SneError::EmptyBatch`] if `lanes` is zero, plus
+    /// [`RuntimeArtifact::new`]'s errors.
+    pub fn for_network(
+        network: impl Into<Arc<CompiledNetwork>>,
+        config: SneConfig,
+        lanes: usize,
+        engine_exec: ExecStrategy,
+    ) -> Result<Self, SneError> {
+        if lanes == 0 {
+            return Err(SneError::EmptyBatch);
+        }
+        Self::new(
+            Arc::new(RuntimeArtifact::new(network, config)?),
+            lanes,
+            engine_exec,
+        )
+    }
+
+    /// Total engines in the fleet.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Engines currently idle (not checked out).
+    #[must_use]
+    pub fn idle_lanes(&self) -> usize {
+        self.idle.lock().expect("engine pool poisoned").len()
+    }
+
+    /// The shared artifact the fleet executes against.
+    #[must_use]
+    pub fn artifact(&self) -> &Arc<RuntimeArtifact> {
+        &self.artifact
+    }
+
+    /// Checks an engine out, blocking until one is free.
+    #[must_use]
+    pub fn checkout(&self) -> PooledEngine {
+        let mut idle = self.idle.lock().expect("engine pool poisoned");
+        loop {
+            if let Some(engine) = idle.pop() {
+                return engine;
+            }
+            idle = self.available.wait(idle).expect("engine pool poisoned");
+        }
+    }
+
+    /// Checks an engine out if one is free right now.
+    #[must_use]
+    pub fn try_checkout(&self) -> Option<PooledEngine> {
+        self.idle.lock().expect("engine pool poisoned").pop()
+    }
+
+    /// Returns an engine to the pool and wakes one waiter.
+    pub fn checkin(&self, engine: PooledEngine) {
+        debug_assert!(
+            Arc::ptr_eq(&engine.artifact, &self.artifact),
+            "engine returned to a foreign pool"
+        );
+        self.idle.lock().expect("engine pool poisoned").push(engine);
+        self.available.notify_one();
+    }
+}
+
+/// Completion record of one scheduled request.
+#[derive(Debug)]
+pub struct RequestRecord {
+    /// Monotonic request id, assigned at [`Scheduler::submit`] time (ids
+    /// order submissions, so sorting by id recovers input order).
+    pub id: u64,
+    /// The inference outcome.
+    pub result: Result<InferenceResult, SneError>,
+    /// Pool lane that served the request.
+    pub lane: usize,
+    /// Host time from submission until service started (queue + engine
+    /// checkout wait), in µs.
+    pub queue_us: f64,
+    /// Host time the engine spent on the request, in µs.
+    pub service_us: f64,
+}
+
+/// Cumulative counters of a [`Scheduler`] (or any other request recorder):
+/// totals plus latency order statistics over a bounded window of recent
+/// requests.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SchedulerStats {
+    /// Requests completed (success or error).
+    pub completed: u64,
+    /// Requests that completed with an error.
+    pub errors: u64,
+    /// Queue-wait latency summary over the recent-request window.
+    pub queue: LatencySummary,
+    /// Service latency summary over the recent-request window.
+    pub service: LatencySummary,
+}
+
+/// Bounded reservoir of recent latency samples plus total counters — shared
+/// by the scheduler and reusable by any front-end (e.g. `sne_serve`) that
+/// wants `/v1/stats`-style percentiles without unbounded memory.
+#[derive(Debug, Default)]
+pub struct LatencyRecorder {
+    inner: Mutex<RecorderInner>,
+}
+
+#[derive(Debug, Default)]
+struct RecorderInner {
+    completed: u64,
+    errors: u64,
+    queue_us: VecDeque<f64>,
+    service_us: VecDeque<f64>,
+}
+
+/// Samples kept per latency series (oldest evicted first).
+const RECORDER_WINDOW: usize = 4096;
+
+impl LatencyRecorder {
+    /// A recorder with empty counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed request.
+    pub fn record(&self, queue_us: f64, service_us: f64, is_error: bool) {
+        let mut guard = self.inner.lock().expect("latency recorder poisoned");
+        let inner = &mut *guard;
+        inner.completed += 1;
+        inner.errors += u64::from(is_error);
+        for (series, sample) in [
+            (&mut inner.queue_us, queue_us),
+            (&mut inner.service_us, service_us),
+        ] {
+            if series.len() == RECORDER_WINDOW {
+                series.pop_front();
+            }
+            series.push_back(sample);
+        }
+    }
+
+    /// Snapshot of the counters and latency summaries.
+    #[must_use]
+    pub fn stats(&self) -> SchedulerStats {
+        let inner = self.inner.lock().expect("latency recorder poisoned");
+        let queue: Vec<f64> = inner.queue_us.iter().copied().collect();
+        let service: Vec<f64> = inner.service_us.iter().copied().collect();
+        SchedulerStats {
+            completed: inner.completed,
+            errors: inner.errors,
+            queue: LatencySummary::from_samples_us(&queue),
+            service: LatencySummary::from_samples_us(&service),
+        }
+    }
+}
+
+/// One queued request. The stream is behind an `Arc` so callers that
+/// already hold shared streams submit without copying event data.
+struct Job {
+    id: u64,
+    stream: Arc<EventStream>,
+    enqueued: Instant,
+    reply: mpsc::Sender<RequestRecord>,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job").field("id", &self.id).finish()
+    }
+}
+
+#[derive(Debug)]
+struct SchedQueue {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct SchedShared {
+    pool: Arc<EnginePool>,
+    queue: Mutex<SchedQueue>,
+    ready: Condvar,
+    next_id: AtomicU64,
+    recorder: LatencyRecorder,
+}
+
+/// A dynamic work-queue scheduler over an [`EnginePool`]: requests arrive at
+/// any time from any thread ([`Scheduler::submit`] /
+/// [`Scheduler::call`]), worker threads pull them FIFO, check an engine out
+/// per request and record queue-wait and service latency per completion.
+///
+/// Shutting the scheduler down ([`Scheduler::shutdown`] or drop) is
+/// graceful: already-queued work is finished before the workers exit.
+#[derive(Debug)]
+pub struct Scheduler {
+    shared: Arc<SchedShared>,
+    workers: Vec<JoinHandle<()>>,
+    results_tx: mpsc::Sender<RequestRecord>,
+    /// Behind a mutex so the scheduler is `Sync`: server threads share it
+    /// via [`Scheduler::call`] while a batch driver owns `&mut` for
+    /// submit/drain.
+    results_rx: Mutex<mpsc::Receiver<RequestRecord>>,
+    outstanding: usize,
+}
+
+impl Scheduler {
+    /// Starts `workers` worker threads over `pool`. More workers than pool
+    /// lanes cannot help (they would only queue on the pool); size with
+    /// [`ExecStrategy::pool_workers`].
+    #[must_use]
+    pub fn new(pool: Arc<EnginePool>, workers: usize) -> Self {
+        let shared = Arc::new(SchedShared {
+            pool,
+            queue: Mutex::new(SchedQueue {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            next_id: AtomicU64::new(0),
+            recorder: LatencyRecorder::new(),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let (results_tx, results_rx) = mpsc::channel();
+        Self {
+            shared,
+            workers,
+            results_tx,
+            results_rx: Mutex::new(results_rx),
+            outstanding: 0,
+        }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Requests submitted with [`Scheduler::submit`] whose completion
+    /// records have not been collected by [`Scheduler::drain`] yet.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// The engine pool behind the scheduler.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<EnginePool> {
+        &self.shared.pool
+    }
+
+    /// Requests queued but not yet picked up by a worker.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("scheduler poisoned")
+            .jobs
+            .len()
+    }
+
+    /// Cumulative request counters and latency percentiles.
+    #[must_use]
+    pub fn stats(&self) -> SchedulerStats {
+        self.shared.recorder.stats()
+    }
+
+    fn enqueue(&self, stream: Arc<EventStream>, reply: mpsc::Sender<RequestRecord>) -> u64 {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut queue = self.shared.queue.lock().expect("scheduler poisoned");
+            assert!(!queue.closed, "submit on a shut-down scheduler");
+            queue.jobs.push_back(Job {
+                id,
+                stream,
+                enqueued: Instant::now(),
+                reply,
+            });
+        }
+        self.shared.ready.notify_one();
+        id
+    }
+
+    /// Enqueues one request; its completion is collected by
+    /// [`Scheduler::drain`]. Returns the request id (ids order submissions).
+    /// Accepts an owned stream or an `Arc` (no event copy for the latter).
+    pub fn submit(&mut self, stream: impl Into<Arc<EventStream>>) -> u64 {
+        let id = self.enqueue(stream.into(), self.results_tx.clone());
+        self.outstanding += 1;
+        id
+    }
+
+    /// Waits for every [`Scheduler::submit`]ted request to complete and
+    /// returns the records sorted by request id (= submission order).
+    pub fn drain(&mut self) -> Vec<RequestRecord> {
+        let results_rx = self.results_rx.lock().expect("scheduler poisoned");
+        let mut records = Vec::with_capacity(self.outstanding);
+        for _ in 0..self.outstanding {
+            records.push(results_rx.recv().expect("scheduler worker disconnected"));
+        }
+        self.outstanding = 0;
+        records.sort_by_key(|r| r.id);
+        records
+    }
+
+    /// Synchronous round trip: enqueues the request and blocks until its
+    /// completion record arrives. Callable from any thread (this is the
+    /// entry point a server's connection handlers use).
+    #[must_use]
+    pub fn call(&self, stream: impl Into<Arc<EventStream>>) -> RequestRecord {
+        let (tx, rx) = mpsc::channel();
+        let _ = self.enqueue(stream.into(), tx);
+        rx.recv().expect("scheduler worker disconnected")
+    }
+
+    /// Graceful shutdown: queued work is finished, then the workers exit and
+    /// are joined (idempotent; also runs on drop). Completion records of
+    /// already-submitted work remain collectable with [`Scheduler::drain`];
+    /// submitting *new* work after shutdown panics.
+    pub fn shutdown(&mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("scheduler poisoned");
+            queue.closed = true;
+        }
+        self.shared.ready.notify_all();
+        for worker in self.workers.drain(..) {
+            worker.join().expect("scheduler worker panicked");
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn worker_loop(shared: &SchedShared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("scheduler poisoned");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break Some(job);
+                }
+                if queue.closed {
+                    break None;
+                }
+                queue = shared.ready.wait(queue).expect("scheduler poisoned");
+            }
+        };
+        let Some(job) = job else { return };
+        let mut engine = shared.pool.checkout();
+        let queue_us = job.enqueued.elapsed().as_secs_f64() * 1e6;
+        let service_start = Instant::now();
+        let result = engine.infer(&job.stream);
+        let service_us = service_start.elapsed().as_secs_f64() * 1e6;
+        let lane = engine.lane();
+        shared.pool.checkin(engine);
+        shared
+            .recorder
+            .record(queue_us, service_us, result.is_err());
+        // A dropped receiver (caller gave up) is not an error.
+        let _ = job.reply.send(RequestRecord {
+            id: job.id,
+            result,
+            lane,
+            queue_us,
+            service_us,
+        });
+    }
+}
 
 /// Aggregated outcome of a batch run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchReport {
     /// Per-stream results, in input order.
     pub results: Vec<InferenceResult>,
-    /// Number of parallel lanes (independent SNE instances) used.
+    /// Number of pool engines (independent SNE instances) used.
     pub lanes: usize,
     /// Cycle statistics summed over every inference of the batch.
     pub total_stats: CycleStats,
     /// Energy summed over every inference, in µJ.
     pub total_energy_uj: f64,
-    /// Busy time of the busiest lane in milliseconds — the batch makespan
-    /// when all lanes run concurrently.
+    /// Modelled busy time of the busiest lane in milliseconds under the
+    /// canonical round-robin placement (stream `i` on lane `i % lanes`) —
+    /// the batch makespan when all lanes run concurrently. Derived from the
+    /// modelled per-inference times, so it is deterministic.
     pub makespan_ms: f64,
     /// Sustained throughput of the fleet: inferences per second at the
     /// makespan ([`f64::INFINITY`] for an empty batch).
     pub aggregate_rate: f64,
     /// Mean energy per inference in µJ (0 for an empty batch).
     pub mean_energy_uj: f64,
-    /// Host worker threads that drove the lanes (1 for a sequential run).
+    /// Host worker threads that drove the engines (1 for a sequential run).
     pub threads: usize,
+    /// Host wall-clock queue-wait latency per request (zero for the
+    /// statically pinned [`BatchRunner::run_round_robin`], which has no
+    /// queue).
+    pub queue_latency: LatencySummary,
+    /// Host wall-clock service latency per request.
+    pub service_latency: LatencySummary,
+    /// Host busy fraction of each pool lane over the run's wall time, in
+    /// `[0, 1]` (index = lane).
+    pub lane_utilization: Vec<f64>,
 }
 
-/// Drives N independent [`InferenceSession`]s over N streams and aggregates
-/// their statistics — the compile-once, serve-many-users runtime.
+/// Drives a fleet of pooled engines over many streams and aggregates their
+/// statistics — the compile-once, serve-many-users runtime.
 ///
 /// # Example
 ///
@@ -81,18 +638,24 @@ pub struct BatchReport {
 /// ```
 #[derive(Debug)]
 pub struct BatchRunner {
-    sessions: Vec<InferenceSession>,
+    pool: Arc<EnginePool>,
+    scheduler: Scheduler,
     exec: ExecStrategy,
+    /// Completion records rescued from a scheduler that was replaced by
+    /// [`BatchRunner::set_exec`] while submissions were outstanding;
+    /// returned (in order) by the next [`BatchRunner::drain`].
+    carryover: Vec<RequestRecord>,
 }
 
 impl BatchRunner {
-    /// Compiles-once and opens `lanes` sessions sharing the compiled network
-    /// (lanes driven sequentially on the calling thread).
+    /// Compiles-once and opens a pool of `lanes` engines sharing the
+    /// compiled artifact, with one scheduler worker (requests served
+    /// sequentially).
     ///
     /// # Errors
     ///
     /// Returns [`SneError::EmptyBatch`] if `lanes` is zero and propagates
-    /// session construction errors.
+    /// artifact construction errors.
     pub fn new(
         network: impl Into<Arc<CompiledNetwork>>,
         config: SneConfig,
@@ -101,10 +664,10 @@ impl BatchRunner {
         Self::with_exec(network, config, lanes, ExecStrategy::Sequential)
     }
 
-    /// Like [`BatchRunner::new`], but the N lanes are driven on (up to) N
-    /// host worker threads under a parallel [`ExecStrategy`]. Each lane's
-    /// engine stays sequential — the parallelism lives across lanes, mirroring
-    /// the independent SNE instances of the fleet — and the report is
+    /// Like [`BatchRunner::new`], but requests are served by
+    /// `exec.pool_workers(lanes)` scheduler worker threads. Each engine
+    /// stays sequential — the parallelism lives across the fleet, mirroring
+    /// the independent SNE instances — and every per-stream result is
     /// bit-identical to the sequential runner's.
     ///
     /// # Errors
@@ -116,71 +679,155 @@ impl BatchRunner {
         lanes: usize,
         exec: ExecStrategy,
     ) -> Result<Self, SneError> {
-        if lanes == 0 {
-            return Err(SneError::EmptyBatch);
-        }
-        let network = network.into();
-        // Compile the sparse-datapath tables once; every lane shares the
-        // same read-only set across its worker thread.
-        let plans = Arc::new(network.build_plans());
-        let sessions = (0..lanes)
-            .map(|_| {
-                InferenceSession::with_shared_plans(
-                    Arc::clone(&network),
-                    config,
-                    ExecStrategy::Sequential,
-                    Arc::clone(&plans),
-                )
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { sessions, exec })
+        let pool = Arc::new(EnginePool::for_network(
+            network,
+            config,
+            lanes,
+            ExecStrategy::Sequential,
+        )?);
+        let scheduler = Scheduler::new(Arc::clone(&pool), exec.pool_workers(lanes));
+        Ok(Self {
+            pool,
+            scheduler,
+            exec,
+            carryover: Vec::new(),
+        })
     }
 
-    /// Number of parallel lanes.
+    /// Number of pooled engines.
     #[must_use]
     pub fn lanes(&self) -> usize {
-        self.sessions.len()
+        self.pool.lanes()
     }
 
-    /// The execution strategy driving the lanes.
+    /// The engine pool (e.g. to share it with a server front-end).
+    #[must_use]
+    pub fn pool(&self) -> &Arc<EnginePool> {
+        &self.pool
+    }
+
+    /// The dynamic scheduler (e.g. to [`Scheduler::call`] it directly from
+    /// request threads).
+    #[must_use]
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// The execution strategy driving the fleet.
     #[must_use]
     pub fn exec(&self) -> ExecStrategy {
         self.exec
     }
 
-    /// Changes the execution strategy (takes effect on the next batch; never
-    /// changes results).
+    /// Changes the execution strategy: the scheduler is rebuilt with the new
+    /// worker count. Submissions still outstanding on the old scheduler are
+    /// waited for and their completion records carried over to the next
+    /// [`BatchRunner::drain`] — no result is ever lost. Never changes
+    /// results.
     pub fn set_exec(&mut self, exec: ExecStrategy) {
         self.exec = exec;
+        let workers = exec.pool_workers(self.pool.lanes());
+        if workers != self.scheduler.workers() {
+            if self.scheduler.outstanding() > 0 {
+                self.carryover.extend(self.scheduler.drain());
+            }
+            self.scheduler = Scheduler::new(Arc::clone(&self.pool), workers);
+        }
     }
 
-    /// One lane's session (e.g. to stream into it directly).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `lane` is out of range.
-    #[must_use]
-    pub fn session_mut(&mut self, lane: usize) -> &mut InferenceSession {
-        &mut self.sessions[lane]
+    /// Submits one stream to the dynamic scheduler without waiting; collect
+    /// with [`BatchRunner::drain`]. Returns the request id. Accepts an owned
+    /// stream or an `Arc` (no event copy for the latter).
+    pub fn submit(&mut self, stream: impl Into<Arc<EventStream>>) -> u64 {
+        self.scheduler.submit(stream)
     }
 
-    /// Runs every stream (stream `i` on lane `i % lanes`) and aggregates the
-    /// statistics. Sessions are re-used across calls — no compilation or
-    /// allocation happens per stream. Under a parallel strategy the lanes run
-    /// on worker threads; each lane still consumes its streams in input
-    /// order, so every per-stream result (and the whole report) is
-    /// bit-identical to a sequential run.
+    /// Waits for all submitted requests and returns their completion records
+    /// in submission order (records rescued by [`BatchRunner::set_exec`]
+    /// first — submission order is preserved across the swap).
+    pub fn drain(&mut self) -> Vec<RequestRecord> {
+        let mut records = std::mem::take(&mut self.carryover);
+        records.extend(self.scheduler.drain());
+        records
+    }
+
+    /// Runs every stream through the dynamic scheduler (submit-all, then
+    /// drain) and aggregates the statistics. Engines are checked out per
+    /// request, so the stream→engine placement is dynamic; every per-stream
+    /// *result* is nonetheless bit-identical to the statically pinned
+    /// [`BatchRunner::run_round_robin`], in input order, because each
+    /// request starts from resting neuron state.
     ///
     /// # Errors
     ///
     /// Propagates the inference error of the lowest-numbered failing stream
-    /// (the same error a sequential run reports first).
+    /// (the same error the round-robin runner reports).
     pub fn run(&mut self, streams: &[EventStream]) -> Result<BatchReport, SneError> {
-        let lanes = self.sessions.len();
-        let exec = self.exec;
-        // Per-stream results of one lane, or the first `(stream index, error)`
-        // the lane hit.
-        type LaneOutcome = Result<Vec<(usize, InferenceResult)>, (usize, SneError)>;
+        assert!(
+            self.carryover.is_empty() && self.scheduler.outstanding() == 0,
+            "drain() incremental submissions before a closed-batch run()"
+        );
+        let wall_start = Instant::now();
+        for stream in streams {
+            let _ = self.scheduler.submit(stream.clone());
+        }
+        let records = self.scheduler.drain();
+        let wall_us = wall_start.elapsed().as_secs_f64() * 1e6;
+
+        let mut queue_samples = Vec::with_capacity(records.len());
+        let mut service_samples = Vec::with_capacity(records.len());
+        let mut lane_busy_us = vec![0.0f64; self.pool.lanes()];
+        let mut first_error: Option<(u64, SneError)> = None;
+        let mut results = Vec::with_capacity(records.len());
+        for record in records {
+            queue_samples.push(record.queue_us);
+            service_samples.push(record.service_us);
+            lane_busy_us[record.lane] += record.service_us;
+            match record.result {
+                Ok(result) => results.push(result),
+                Err(error) => {
+                    if first_error.as_ref().map_or(true, |(id, _)| record.id < *id) {
+                        first_error = Some((record.id, error));
+                    }
+                }
+            }
+        }
+        if let Some((_, error)) = first_error {
+            return Err(error);
+        }
+        Ok(assemble_report(
+            results,
+            self.pool.lanes(),
+            self.scheduler.workers(),
+            &queue_samples,
+            &service_samples,
+            &lane_busy_us,
+            wall_us,
+        ))
+    }
+
+    /// The legacy statically pinned runner, kept as the reference oracle the
+    /// dynamic scheduler is proven against: stream `i` runs on lane
+    /// `i % lanes`, each lane consuming its share in input order (on worker
+    /// threads under a parallel [`ExecStrategy`], exactly the pre-scheduler
+    /// behavior). Queue-wait latency is zero by construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the inference error of the lowest-numbered failing stream.
+    pub fn run_round_robin(&mut self, streams: &[EventStream]) -> Result<BatchReport, SneError> {
+        let wall_start = Instant::now();
+        let lanes = self.pool.lanes();
+        let mut engines: Vec<PooledEngine> = (0..lanes).map(|_| self.pool.checkout()).collect();
+
+        // The physical pool lane that served a walk slot, plus per-stream
+        // results (with service time) — or the first `(stream index, error)`
+        // the slot hit. Checkout order is unspecified, so the physical lane
+        // id is carried explicitly for utilization attribution.
+        type LaneOutcome = (
+            usize,
+            Result<Vec<(usize, InferenceResult, f64)>, (usize, SneError)>,
+        );
         // Lowest failing stream index observed so far, for deterministic
         // fail-fast: a failure at index `m` makes every result with a higher
         // index moot (the batch returns the minimum-index error), so lanes
@@ -188,37 +835,44 @@ impl BatchRunner {
         // run, so an even earlier failure is never missed — the reported
         // error is identical for every strategy and thread interleaving.
         let min_failed = AtomicUsize::new(usize::MAX);
-        // Fan the lanes out: lane `l` infers streams `l, l + lanes, ...` in
-        // order — exactly the round-robin schedule of the sequential loop,
-        // just regrouped by lane. `infer` resets the session first, so the
-        // regrouping cannot change any result.
-        let lane_outcomes: Vec<LaneOutcome> = exec.map(&mut self.sessions, |lane, session| {
+        let lane_outcomes: Vec<LaneOutcome> = self.exec.map(&mut engines, |slot, engine| {
             let mut outcomes = Vec::new();
-            for (i, stream) in streams.iter().enumerate().skip(lane).step_by(lanes) {
+            for (i, stream) in streams.iter().enumerate().skip(slot).step_by(lanes) {
                 if i > min_failed.load(Ordering::SeqCst) {
                     // Indices only grow within a lane; nothing left to do.
                     break;
                 }
-                match session.infer(stream) {
-                    Ok(result) => outcomes.push((i, result)),
+                let service_start = Instant::now();
+                match engine.infer(stream) {
+                    Ok(result) => {
+                        outcomes.push((i, result, service_start.elapsed().as_secs_f64() * 1e6));
+                    }
                     Err(error) => {
                         min_failed.fetch_min(i, Ordering::SeqCst);
-                        return Err((i, error));
+                        return (engine.lane(), Err((i, error)));
                     }
                 }
             }
-            Ok(outcomes)
+            (engine.lane(), Ok(outcomes))
         });
+        for engine in engines {
+            self.pool.checkin(engine);
+        }
+        let wall_us = wall_start.elapsed().as_secs_f64() * 1e6;
 
         // Deterministic reduction: first failing stream index wins; otherwise
         // scatter the per-lane results back into input order.
         let mut first_error: Option<(usize, SneError)> = None;
         let mut slots: Vec<Option<InferenceResult>> = (0..streams.len()).map(|_| None).collect();
-        for outcome in lane_outcomes {
+        let mut service_samples = Vec::with_capacity(streams.len());
+        let mut lane_busy_us = vec![0.0f64; lanes];
+        for (lane, outcome) in lane_outcomes {
             match outcome {
                 Ok(outcomes) => {
-                    for (i, result) in outcomes {
+                    for (i, result, service_us) in outcomes {
                         slots[i] = Some(result);
+                        service_samples.push(service_us);
+                        lane_busy_us[lane] += service_us;
                     }
                 }
                 Err((i, error)) => {
@@ -231,48 +885,85 @@ impl BatchRunner {
         if let Some((_, error)) = first_error {
             return Err(error);
         }
-
         let results: Vec<InferenceResult> = slots
             .into_iter()
             .map(|slot| slot.expect("every stream produced a result"))
             .collect();
-        let mut lane_time_ms = vec![0.0f64; lanes];
-        let mut total_stats = CycleStats::new();
-        let mut total_energy_uj = 0.0;
-        for (i, result) in results.iter().enumerate() {
-            lane_time_ms[i % lanes] += result.inference_time_ms;
-            total_stats += result.stats;
-            total_energy_uj += result.energy.energy_uj;
-        }
-        let makespan_ms = lane_time_ms.iter().fold(0.0f64, |a, &b| a.max(b));
-        let aggregate_rate = if streams.is_empty() {
-            f64::INFINITY
-        } else if makespan_ms > 0.0 {
-            results.len() as f64 / (makespan_ms / 1_000.0)
-        } else {
-            0.0
-        };
-        let mean_energy_uj = if results.is_empty() {
-            0.0
-        } else {
-            total_energy_uj / results.len() as f64
-        };
-        Ok(BatchReport {
-            lanes,
-            total_stats,
-            total_energy_uj,
-            makespan_ms,
-            aggregate_rate,
-            mean_energy_uj,
-            threads: exec.threads(),
+        let queue_samples = vec![0.0f64; results.len()];
+        Ok(assemble_report(
             results,
+            lanes,
+            self.exec.threads(),
+            &queue_samples,
+            &service_samples,
+            &lane_busy_us,
+            wall_us,
+        ))
+    }
+}
+
+/// Builds the aggregated report from per-stream results plus the
+/// host-measured latency samples — shared by the dynamic and the round-robin
+/// runner so the deterministic (modelled) fields cannot drift apart.
+fn assemble_report(
+    results: Vec<InferenceResult>,
+    lanes: usize,
+    threads: usize,
+    queue_samples: &[f64],
+    service_samples: &[f64],
+    lane_busy_us: &[f64],
+    wall_us: f64,
+) -> BatchReport {
+    let mut lane_time_ms = vec![0.0f64; lanes];
+    let mut total_stats = CycleStats::new();
+    let mut total_energy_uj = 0.0;
+    for (i, result) in results.iter().enumerate() {
+        lane_time_ms[i % lanes] += result.inference_time_ms;
+        total_stats += result.stats;
+        total_energy_uj += result.energy.energy_uj;
+    }
+    let makespan_ms = lane_time_ms.iter().fold(0.0f64, |a, &b| a.max(b));
+    let aggregate_rate = if results.is_empty() {
+        f64::INFINITY
+    } else if makespan_ms > 0.0 {
+        results.len() as f64 / (makespan_ms / 1_000.0)
+    } else {
+        0.0
+    };
+    let mean_energy_uj = if results.is_empty() {
+        0.0
+    } else {
+        total_energy_uj / results.len() as f64
+    };
+    let lane_utilization = lane_busy_us
+        .iter()
+        .map(|&busy| {
+            if wall_us > 0.0 {
+                (busy / wall_us).min(1.0)
+            } else {
+                0.0
+            }
         })
+        .collect();
+    BatchReport {
+        lanes,
+        total_stats,
+        total_energy_uj,
+        makespan_ms,
+        aggregate_rate,
+        mean_energy_uj,
+        threads,
+        queue_latency: LatencySummary::from_samples_us(queue_samples),
+        service_latency: LatencySummary::from_samples_us(service_samples),
+        lane_utilization,
+        results,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::InferenceSession;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use sne_model::topology::Topology;
@@ -295,6 +986,165 @@ mod tests {
             BatchRunner::new(compiled(), SneConfig::with_slices(2), 0),
             Err(SneError::EmptyBatch)
         ));
+        let artifact =
+            Arc::new(RuntimeArtifact::new(compiled(), SneConfig::with_slices(2)).unwrap());
+        assert!(matches!(
+            EnginePool::new(artifact, 0, ExecStrategy::Sequential),
+            Err(SneError::EmptyBatch)
+        ));
+    }
+
+    #[test]
+    fn latency_summary_uses_nearest_rank_percentiles() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let summary = LatencySummary::from_samples_us(&samples);
+        assert_eq!(summary.count, 100);
+        assert_eq!(summary.p50_us, 50.0);
+        assert_eq!(summary.p95_us, 95.0);
+        assert_eq!(summary.p99_us, 99.0);
+        assert_eq!(summary.max_us, 100.0);
+        assert!((summary.mean_us - 50.5).abs() < 1e-12);
+        assert_eq!(
+            LatencySummary::from_samples_us(&[]),
+            LatencySummary::default()
+        );
+        let single = LatencySummary::from_samples_us(&[7.0]);
+        assert_eq!(single.p50_us, 7.0);
+        assert_eq!(single.p99_us, 7.0);
+    }
+
+    #[test]
+    fn pool_checkout_and_checkin_cycle_every_lane() {
+        let pool = EnginePool::for_network(
+            compiled(),
+            SneConfig::with_slices(2),
+            3,
+            ExecStrategy::Sequential,
+        )
+        .unwrap();
+        assert_eq!(pool.lanes(), 3);
+        assert_eq!(pool.idle_lanes(), 3);
+        let a = pool.checkout();
+        let b = pool.checkout();
+        let c = pool.checkout();
+        assert_eq!(pool.idle_lanes(), 0);
+        assert!(pool.try_checkout().is_none());
+        let mut lanes = [a.lane(), b.lane(), c.lane()];
+        lanes.sort_unstable();
+        assert_eq!(lanes, [0, 1, 2]);
+        pool.checkin(a);
+        pool.checkin(b);
+        pool.checkin(c);
+        assert_eq!(pool.idle_lanes(), 3);
+        // A checked-out engine serves whole-sample requests from rest.
+        let stream = &streams(1)[0];
+        let mut engine = pool.checkout();
+        let first = engine.infer(stream).unwrap();
+        let again = engine.infer(stream).unwrap();
+        assert_eq!(first, again);
+        pool.checkin(engine);
+    }
+
+    #[test]
+    fn pooled_engines_serve_parked_client_states() {
+        let pool = Arc::new(
+            EnginePool::for_network(
+                compiled(),
+                SneConfig::with_slices(2),
+                2,
+                ExecStrategy::Sequential,
+            )
+            .unwrap(),
+        );
+        let stream = &streams(1)[0];
+        let mut reference = InferenceSession::new(
+            Arc::clone(pool.artifact().network_arc()),
+            SneConfig::with_slices(2),
+        )
+        .unwrap();
+
+        // Push the chunks through *alternating* engines of the pool; the
+        // neuron state lives in the parked ClientState, so the outcome is
+        // bit-identical to one dedicated session consuming the same chunks.
+        let mut client = pool.artifact().new_client();
+        for chunk in stream.chunks(4) {
+            let mut engine = pool.checkout();
+            let out = engine.push(&mut client, &chunk).unwrap();
+            assert_eq!(out, reference.push(&chunk).unwrap());
+            // Return and immediately rotate to the other engine.
+            pool.checkin(engine);
+            let rotate = pool.checkout();
+            pool.checkin(rotate);
+        }
+        assert_eq!(pool.artifact().summary(&client), reference.summary());
+    }
+
+    #[test]
+    fn scheduler_submit_drain_returns_submission_order() {
+        let pool = Arc::new(
+            EnginePool::for_network(
+                compiled(),
+                SneConfig::with_slices(2),
+                3,
+                ExecStrategy::Sequential,
+            )
+            .unwrap(),
+        );
+        let mut scheduler = Scheduler::new(Arc::clone(&pool), 3);
+        assert_eq!(scheduler.workers(), 3);
+        let streams = streams(7);
+        let ids: Vec<u64> = streams
+            .iter()
+            .map(|s| scheduler.submit(s.clone()))
+            .collect();
+        let records = scheduler.drain();
+        assert_eq!(records.len(), 7);
+        assert_eq!(records.iter().map(|r| r.id).collect::<Vec<_>>(), ids);
+        for record in &records {
+            assert!(record.result.is_ok());
+            assert!(record.lane < 3);
+            assert!(record.service_us > 0.0);
+            assert!(record.queue_us >= 0.0);
+        }
+        let stats = scheduler.stats();
+        assert_eq!(stats.completed, 7);
+        assert_eq!(stats.errors, 0);
+        assert_eq!(stats.service.count, 7);
+        assert!(stats.service.p99_us >= stats.service.p50_us);
+        // `call` is the synchronous round trip request threads use.
+        let record = scheduler.call(streams[0].clone());
+        assert!(record.result.is_ok());
+        assert_eq!(scheduler.stats().completed, 8);
+        assert_eq!(scheduler.pending(), 0);
+        scheduler.shutdown();
+        assert_eq!(pool.idle_lanes(), 3);
+    }
+
+    #[test]
+    fn scheduler_shutdown_drains_queued_work() {
+        let pool = Arc::new(
+            EnginePool::for_network(
+                compiled(),
+                SneConfig::with_slices(2),
+                1,
+                ExecStrategy::Sequential,
+            )
+            .unwrap(),
+        );
+        let mut scheduler = Scheduler::new(Arc::clone(&pool), 1);
+        for stream in streams(5) {
+            let _ = scheduler.submit(stream);
+        }
+        // Shut down FIRST: the backlog must still be finished (graceful
+        // drain), its records delivered, and the engine returned.
+        scheduler.shutdown();
+        assert_eq!(scheduler.stats().completed, 5);
+        let collected = scheduler.drain();
+        assert_eq!(collected.len(), 5);
+        assert!(collected.iter().all(|r| r.result.is_ok()));
+        assert_eq!(pool.idle_lanes(), 1);
+        // Idempotent.
+        scheduler.shutdown();
     }
 
     #[test]
@@ -310,7 +1160,8 @@ mod tests {
         let energy_sum: f64 = report.results.iter().map(|r| r.energy.energy_uj).sum();
         assert!((report.total_energy_uj - energy_sum).abs() < 1e-9);
         assert!((report.mean_energy_uj - energy_sum / 7.0).abs() < 1e-9);
-        // Lane 0 serves streams 0, 3 and 6; the makespan covers at least it.
+        // Lane 0 serves streams 0, 3 and 6 under the modelled round-robin
+        // placement; the makespan covers at least it.
         let lane0: f64 = [0, 3, 6]
             .iter()
             .map(|&i| report.results[i].inference_time_ms)
@@ -318,6 +1169,17 @@ mod tests {
         assert!(report.makespan_ms >= lane0 - 1e-9);
         assert!(report.makespan_ms <= report.results.iter().map(|r| r.inference_time_ms).sum());
         assert!(report.aggregate_rate > 0.0);
+        // Host-measured serving telemetry.
+        assert_eq!(report.service_latency.count, 7);
+        assert_eq!(report.queue_latency.count, 7);
+        assert!(report.service_latency.p50_us > 0.0);
+        assert!(report.service_latency.p99_us >= report.service_latency.p50_us);
+        assert_eq!(report.lane_utilization.len(), 3);
+        assert!(report
+            .lane_utilization
+            .iter()
+            .all(|&u| (0.0..=1.0).contains(&u)));
+        assert!(report.lane_utilization.iter().sum::<f64>() > 0.0);
     }
 
     #[test]
@@ -331,9 +1193,28 @@ mod tests {
         for (stream, batched) in streams.iter().zip(&report.results) {
             assert_eq!(&single.infer(stream).unwrap(), batched);
         }
-        // Lanes are reusable across batches.
+        // Engines are reusable across batches; the deterministic fields of
+        // the report are stable (only host latencies vary run to run).
         let again = runner.run(&streams).unwrap();
-        assert_eq!(report, again);
+        assert_eq!(report.results, again.results);
+        assert_eq!(report.total_stats, again.total_stats);
+        assert!((report.makespan_ms - again.makespan_ms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_run_matches_the_round_robin_oracle() {
+        let network = Arc::new(compiled());
+        let streams = streams(9);
+        let mut runner =
+            BatchRunner::new(Arc::clone(&network), SneConfig::with_slices(2), 3).unwrap();
+        let reference = runner.run_round_robin(&streams).unwrap();
+        assert_eq!(reference.queue_latency.p99_us, 0.0);
+        let dynamic = runner.run(&streams).unwrap();
+        assert_eq!(dynamic.results, reference.results);
+        assert_eq!(dynamic.total_stats, reference.total_stats);
+        assert_eq!(dynamic.lanes, reference.lanes);
+        assert!((dynamic.makespan_ms - reference.makespan_ms).abs() < 1e-12);
+        assert!((dynamic.total_energy_uj - reference.total_energy_uj).abs() < 1e-12);
     }
 
     #[test]
@@ -353,7 +1234,7 @@ mod tests {
             )
             .unwrap();
             let report = parallel.run(&streams).unwrap();
-            assert_eq!(report.threads, threads);
+            assert_eq!(report.threads, threads.min(4));
             assert_eq!(report.results, reference.results, "threads = {threads}");
             assert_eq!(report.total_stats, reference.total_stats);
             assert_eq!(report.lanes, reference.lanes);
@@ -371,7 +1252,30 @@ mod tests {
         assert!(runner.exec().is_parallel());
         let after = runner.run(&streams).unwrap();
         assert_eq!(before.results, after.results);
-        assert_eq!(after.threads, 4);
+        // 4 requested, clamped to the 2 pool lanes.
+        assert_eq!(after.threads, 2);
+    }
+
+    #[test]
+    fn set_exec_never_loses_outstanding_results() {
+        let network = Arc::new(compiled());
+        let mut runner =
+            BatchRunner::new(Arc::clone(&network), SneConfig::with_slices(2), 2).unwrap();
+        let streams = streams(3);
+        let expected = runner.run(&streams).unwrap();
+        for stream in &streams {
+            let _ = runner.submit(stream.clone());
+        }
+        // Swapping the scheduler mid-flight must rescue the outstanding
+        // completions instead of dropping them with the old scheduler.
+        runner.set_exec(ExecStrategy::threaded(2));
+        let records = runner.drain();
+        assert_eq!(records.len(), 3);
+        for (record, expected) in records.iter().zip(&expected.results) {
+            assert_eq!(record.result.as_ref().unwrap(), expected);
+        }
+        // And the runner is fully usable afterwards.
+        assert_eq!(runner.run(&streams).unwrap().results, expected.results);
     }
 
     #[test]
@@ -384,6 +1288,7 @@ mod tests {
         let mut sequential =
             BatchRunner::new(network.clone(), SneConfig::with_slices(2), 3).unwrap();
         let expected = sequential.run(&streams).unwrap_err();
+        assert_eq!(sequential.run_round_robin(&streams).unwrap_err(), expected);
         let mut parallel = BatchRunner::with_exec(
             network,
             SneConfig::with_slices(2),
@@ -392,6 +1297,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(parallel.run(&streams).unwrap_err(), expected);
+        assert_eq!(parallel.run_round_robin(&streams).unwrap_err(), expected);
     }
 
     #[test]
@@ -402,6 +1308,8 @@ mod tests {
         assert_eq!(report.total_stats.total_cycles, 0);
         assert_eq!(report.mean_energy_uj, 0.0);
         assert!(report.aggregate_rate.is_infinite());
-        runner.session_mut(0).reset();
+        assert_eq!(report.service_latency, LatencySummary::default());
+        assert_eq!(report.lane_utilization, vec![0.0, 0.0]);
+        assert_eq!(runner.pool().idle_lanes(), 2);
     }
 }

@@ -21,8 +21,22 @@
 //!    inference time/rate and energy.
 //!
 //! [`accelerator::SneAccelerator`] remains the one-shot convenience wrapper
-//! (it routes through the same runtime); [`batch::BatchRunner`] drives N
-//! sessions over N streams for the serving-many-users scenario.
+//! (it routes through the same runtime and caches the compiled plans across
+//! calls).
+//!
+//! For the *serving* scenario the run-many layer splits further into three
+//! tiers (DESIGN.md §10): an immutable, shareable
+//! [`artifact::RuntimeArtifact`] (compiled network + plan set +
+//! configuration) that any number of engines execute against; a cheap
+//! per-client [`artifact::ClientState`] (per-layer neuron state + streaming
+//! cursor) that parks between requests; and the fleet machinery in
+//! [`batch`] — an [`batch::EnginePool`] of warm engines checked out per
+//! request and a work-queue [`batch::Scheduler`] with per-request
+//! queue/service latency accounting. [`batch::BatchRunner`] is the
+//! closed-batch convenience on top (its legacy statically pinned walk
+//! survives as [`batch::BatchRunner::run_round_robin`], the oracle the
+//! dynamic scheduler is proven bit-identical against), and the `sne_serve`
+//! crate is the HTTP front-end over the same tiers.
 //!
 //! Every entry point accepts an [`ExecStrategy`] (`with_exec` constructors):
 //! `Threaded(n)` fans the simulator's independent units — per-slice workers
@@ -61,6 +75,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod accelerator;
+pub mod artifact;
 pub mod batch;
 pub mod compile;
 pub mod proportionality;
@@ -71,7 +86,10 @@ pub mod session;
 mod error;
 
 pub use accelerator::SneAccelerator;
-pub use batch::{BatchReport, BatchRunner};
+pub use artifact::{ClientState, RuntimeArtifact};
+pub use batch::{
+    BatchReport, BatchRunner, EnginePool, LatencySummary, PooledEngine, RequestRecord, Scheduler,
+};
 pub use compile::{CompiledNetwork, Stage};
 pub use error::SneError;
 pub use run::{InferenceResult, LayerExecution};

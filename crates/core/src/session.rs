@@ -47,14 +47,13 @@
 use std::sync::mpsc;
 use std::sync::Arc;
 
-use sne_energy::{EnergyModel, PerformanceModel};
-use sne_event::stream::Geometry;
-use sne_event::{Event, EventStream};
+use sne_event::EventStream;
 use sne_sim::{
     CycleStats, Engine, ExecStrategy, LayerMapping, LayerPlan, LayerRunOutput, LayerState,
     SimError, SneConfig,
 };
 
+use crate::artifact::{ClientState, RuntimeArtifact};
 use crate::compile::{CompiledNetwork, Stage};
 use crate::run::{InferenceResult, LayerExecution};
 use crate::SneError;
@@ -422,16 +421,6 @@ pub struct ChunkOutput {
     pub timesteps: u32,
 }
 
-/// Per-layer accumulation across the chunks of a streamed inference.
-#[derive(Debug, Clone)]
-struct LayerTotals {
-    description: String,
-    neurons: f64,
-    stats: CycleStats,
-    input_events: u64,
-    output_events: u64,
-}
-
 /// A long-lived execution session: one engine, per-layer persistent neuron
 /// state, pre-sized at construction from the compiled network.
 ///
@@ -439,26 +428,21 @@ struct LayerTotals {
 /// [`InferenceSession::infer`] for repeated whole-sample inference or
 /// [`InferenceSession::push`] to stream a continuous feed chunk by chunk;
 /// [`InferenceSession::reset`] starts a fresh sample.
+///
+/// A session is the convenience composite of the serving runtime's three
+/// pieces: one shared [`RuntimeArtifact`] (immutable compiled network +
+/// plans + configuration), one [`Engine`], and one [`ClientState`]
+/// (per-layer neuron state + streaming cursor). Multi-client serving keeps
+/// those pieces separate — see [`crate::batch::EnginePool`].
 #[derive(Debug)]
 pub struct InferenceSession {
-    network: Arc<CompiledNetwork>,
+    artifact: Arc<RuntimeArtifact>,
     engine: Engine,
-    states: Vec<LayerState>,
-    /// Compiled sparse-datapath tables, one per accelerated layer, built at
-    /// construction and shared read-only (batch lanes reuse one set across
-    /// sessions and worker threads).
-    plans: Arc<Vec<LayerPlan>>,
+    client: ClientState,
     /// Whether inference runs on the compiled plan (the default) or on the
     /// naive mapping walk (the reference oracle, kept for A/B validation and
     /// the `datapath_report` benchmark). Results are bit-identical.
     plan_enabled: bool,
-    elapsed_timesteps: u32,
-    chunks_pushed: u64,
-    layer_totals: Vec<LayerTotals>,
-    class_counts: Vec<u32>,
-    total: CycleStats,
-    energy: EnergyModel,
-    performance: PerformanceModel,
 }
 
 impl InferenceSession {
@@ -511,63 +495,35 @@ impl InferenceSession {
         exec: ExecStrategy,
         plans: Arc<Vec<LayerPlan>>,
     ) -> Result<Self, SneError> {
-        let network = network.into();
-        config.validate()?;
-        if network.accelerated_layers() == 0 {
-            return Err(SneError::EmptyNetwork);
-        }
-        let mappings: Vec<&LayerMapping> =
-            network.stages().iter().filter_map(Stage::mapping).collect();
-        if plans.len() != mappings.len()
-            || plans
-                .iter()
-                .zip(&mappings)
-                .any(|(plan, mapping)| !plan.matches(mapping))
-        {
-            return Err(SneError::Sim(SimError::InvalidConfig {
-                name: "layer plans",
-                reason: "plans were not compiled from this network's accelerated layers".to_owned(),
-            }));
-        }
-        let mut states = Vec::new();
-        let mut layer_totals = Vec::new();
-        for stage in network.stages() {
-            if let Stage::Accelerated {
-                mapping,
-                description,
-            } = stage
-            {
-                states.push(LayerState::new(&config, mapping));
-                layer_totals.push(LayerTotals {
-                    description: description.clone(),
-                    neurons: mapping.total_output_neurons() as f64,
-                    stats: CycleStats::new(),
-                    input_events: 0,
-                    output_events: 0,
-                });
-            }
-        }
-        let classes = usize::from(network.output_classes());
-        Ok(Self {
-            network,
-            engine: Engine::with_exec(config, exec),
-            states,
-            plans,
+        let artifact = RuntimeArtifact::with_shared_plans(network, config, plans)?;
+        Ok(Self::from_artifact(Arc::new(artifact), exec))
+    }
+
+    /// Builds a session around an already-compiled (and validated)
+    /// [`RuntimeArtifact`]: allocates one engine and one client state.
+    /// Infallible — the artifact carries a validated configuration.
+    #[must_use]
+    pub fn from_artifact(artifact: Arc<RuntimeArtifact>, exec: ExecStrategy) -> Self {
+        let engine = artifact.new_engine(exec);
+        let client = artifact.new_client();
+        Self {
+            artifact,
+            engine,
+            client,
             plan_enabled: true,
-            elapsed_timesteps: 0,
-            chunks_pushed: 0,
-            layer_totals,
-            class_counts: vec![0; classes],
-            total: CycleStats::new(),
-            energy: EnergyModel::new(),
-            performance: PerformanceModel::new(),
-        })
+        }
+    }
+
+    /// The shared runtime artifact the session executes against.
+    #[must_use]
+    pub fn artifact(&self) -> &Arc<RuntimeArtifact> {
+        &self.artifact
     }
 
     /// The compiled network the session executes.
     #[must_use]
     pub fn network(&self) -> &CompiledNetwork {
-        &self.network
+        self.artifact.network()
     }
 
     /// The engine configuration.
@@ -597,7 +553,7 @@ impl InferenceSession {
     /// The compiled layer plans the session runs on (shared, read-only).
     #[must_use]
     pub fn plans(&self) -> &Arc<Vec<LayerPlan>> {
-        &self.plans
+        self.artifact.plans()
     }
 
     /// Whether inference runs on the compiled sparse datapath (`true`, the
@@ -619,25 +575,14 @@ impl InferenceSession {
     /// Absolute timesteps consumed since the last [`InferenceSession::reset`].
     #[must_use]
     pub fn elapsed_timesteps(&self) -> u32 {
-        self.elapsed_timesteps
+        self.client.elapsed_timesteps()
     }
 
     /// Returns all neuron state to rest and clears the streaming
     /// accumulators, as if the session had just been created (no engine or
     /// state buffer is reallocated).
     pub fn reset(&mut self) {
-        for state in &mut self.states {
-            state.reset();
-        }
-        for layer in &mut self.layer_totals {
-            layer.stats = CycleStats::new();
-            layer.input_events = 0;
-            layer.output_events = 0;
-        }
-        self.class_counts.iter_mut().for_each(|c| *c = 0);
-        self.total = CycleStats::new();
-        self.elapsed_timesteps = 0;
-        self.chunks_pushed = 0;
+        self.client.reset();
     }
 
     /// Runs one whole-sample inference: the neuron state is reset, the full
@@ -650,10 +595,8 @@ impl InferenceSession {
     /// Returns [`SneError::GeometryMismatch`] if the stream does not match
     /// the network input, and propagates simulator errors.
     pub fn infer(&mut self, input: &EventStream) -> Result<InferenceResult, SneError> {
-        check_geometry(&self.network, input)?;
-        self.reset();
-        let _ = self.push(input)?;
-        Ok(self.summary())
+        self.artifact
+            .infer(&mut self.engine, &mut self.client, input, self.plan_enabled)
     }
 
     /// Streams one chunk of a continuous feed through the network. Neuron
@@ -669,51 +612,8 @@ impl InferenceSession {
     /// Returns [`SneError::GeometryMismatch`] if the chunk's spatial geometry
     /// does not match the network input, and propagates simulator errors.
     pub fn push(&mut self, chunk: &EventStream) -> Result<ChunkOutput, SneError> {
-        check_geometry(&self.network, chunk)?;
-        let resume = self.chunks_pushed > 0;
-        let plans = self.plan_enabled.then(|| self.plans.as_slice());
-        let outcome = run_stages(
-            std::slice::from_mut(&mut self.engine),
-            &self.network,
-            chunk,
-            plans,
-            Some(&mut self.states),
-            resume,
-        )?;
-
-        let start = self.elapsed_timesteps;
-        self.elapsed_timesteps = self
-            .elapsed_timesteps
-            .saturating_add(chunk.geometry().timesteps);
-        self.chunks_pushed += 1;
-        self.total += outcome.total;
-        for (totals, layer) in self.layer_totals.iter_mut().zip(&outcome.layers) {
-            totals.stats += layer.stats;
-            totals.input_events += layer.input_events;
-            totals.output_events += layer.output_events;
-        }
-        let (_, counts) = classify(&outcome.stream, self.class_counts.len());
-        for (acc, c) in self.class_counts.iter_mut().zip(counts) {
-            *acc += c;
-        }
-
-        // Re-emit the chunk's output on the session's absolute timeline.
-        let local = outcome.stream;
-        let geometry = Geometry {
-            timesteps: self.elapsed_timesteps.max(1),
-            ..local.geometry()
-        };
-        let mut output = EventStream::with_geometry(geometry);
-        output.extend(local.into_events().into_iter().map(|e| Event {
-            t: e.t + start,
-            ..e
-        }));
-        Ok(ChunkOutput {
-            output,
-            stats: outcome.total,
-            start_timestep: start,
-            timesteps: self.elapsed_timesteps - start,
-        })
+        self.artifact
+            .push(&mut self.engine, &mut self.client, chunk, self.plan_enabled)
     }
 
     /// The inference result accumulated since the last
@@ -723,45 +623,7 @@ impl InferenceSession {
     /// result of that inference.
     #[must_use]
     pub fn summary(&self) -> InferenceResult {
-        let config = self.engine.config();
-        let elapsed = f64::from(self.elapsed_timesteps);
-        let mut activity_sum = 0.0;
-        let layers: Vec<LayerExecution> = self
-            .layer_totals
-            .iter()
-            .map(|l| {
-                let output_activity = if l.neurons * elapsed > 0.0 {
-                    l.output_events as f64 / (l.neurons * elapsed)
-                } else {
-                    0.0
-                };
-                activity_sum += output_activity;
-                LayerExecution {
-                    description: l.description.clone(),
-                    stats: l.stats,
-                    input_events: l.input_events,
-                    output_events: l.output_events,
-                    output_activity,
-                }
-            })
-            .collect();
-        let predicted_class = self
-            .class_counts
-            .iter()
-            .enumerate()
-            .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        InferenceResult {
-            predicted_class,
-            output_spike_counts: self.class_counts.clone(),
-            stats: self.total,
-            energy: self.energy.report(config, &self.total),
-            inference_time_ms: self.performance.inference_time_ms(config, &self.total),
-            inference_rate: self.performance.inference_rate(config, &self.total),
-            mean_activity: activity_sum / self.layer_totals.len().max(1) as f64,
-            layers,
-        }
+        self.artifact.summary(&self.client)
     }
 }
 
@@ -844,16 +706,10 @@ pub(crate) fn pipeline_engines(
 /// per-timestep layer schedules, not the sum of the layer runtimes.
 #[derive(Debug)]
 pub struct PipelinedSession {
-    network: Arc<CompiledNetwork>,
-    config: SneConfig,
+    artifact: Arc<RuntimeArtifact>,
     engines: Vec<Engine>,
     states: Vec<LayerState>,
-    /// Compiled sparse-datapath tables, one per accelerated layer (each
-    /// stage thread reads its own layer's plan).
-    plans: Arc<Vec<LayerPlan>>,
     exec: ExecStrategy,
-    energy: EnergyModel,
-    performance: PerformanceModel,
 }
 
 impl PipelinedSession {
@@ -896,37 +752,32 @@ impl PipelinedSession {
         config: SneConfig,
         exec: ExecStrategy,
     ) -> Result<Self, SneError> {
-        let network = network.into();
-        config.validate()?;
-        let shares = pipeline_shares(&network, &config)?;
+        let artifact = Arc::new(RuntimeArtifact::new(network, config)?);
+        let shares = pipeline_shares(artifact.network(), artifact.config())?;
         // Stage threads carry the parallelism; the per-layer engines (each
         // owning only a few slices) stay sequential to avoid oversubscribing
         // the host.
-        let engines = pipeline_engines(&config, &shares, ExecStrategy::Sequential);
-        let states = network
+        let engines = pipeline_engines(artifact.config(), &shares, ExecStrategy::Sequential);
+        let states = artifact
+            .network()
             .stages()
             .iter()
             .filter_map(Stage::mapping)
             .zip(&engines)
             .map(|(mapping, engine)| LayerState::new(engine.config(), mapping))
             .collect();
-        let plans = Arc::new(network.build_plans());
         Ok(Self {
-            network,
-            config,
+            artifact,
             engines,
             states,
-            plans,
             exec,
-            energy: EnergyModel::new(),
-            performance: PerformanceModel::new(),
         })
     }
 
     /// The compiled network the session executes.
     #[must_use]
     pub fn network(&self) -> &CompiledNetwork {
-        &self.network
+        self.artifact.network()
     }
 
     /// Slices allocated to each accelerated layer.
@@ -959,7 +810,7 @@ impl PipelinedSession {
     /// Returns [`SneError::GeometryMismatch`] if the stream does not match
     /// the network input, and propagates simulator errors.
     pub fn infer(&mut self, input: &EventStream) -> Result<InferenceResult, SneError> {
-        check_geometry(&self.network, input)?;
+        check_geometry(self.artifact.network(), input)?;
         let stages_fn = if self.exec.is_parallel() {
             run_stages_pipelined
         } else {
@@ -967,9 +818,9 @@ impl PipelinedSession {
         };
         let outcome = stages_fn(
             &mut self.engines,
-            &self.network,
+            self.artifact.network(),
             input,
-            Some(self.plans.as_slice()),
+            Some(self.artifact.plans().as_slice()),
             Some(&mut self.states),
             false,
         )?;
@@ -979,23 +830,18 @@ impl PipelinedSession {
         let mut pipeline_stats = outcome.total;
         pipeline_stats.total_cycles = wavefront_makespan(&outcome.profiles);
 
-        let (predicted_class, counts) =
-            classify(&outcome.stream, usize::from(self.network.output_classes()));
+        let (predicted_class, counts) = classify(
+            &outcome.stream,
+            usize::from(self.artifact.network().output_classes()),
+        );
         let mean_activity = outcome.mean_activity();
-        Ok(InferenceResult {
+        Ok(self.artifact.result_from_stats(
+            pipeline_stats,
             predicted_class,
-            output_spike_counts: counts,
-            stats: pipeline_stats,
-            energy: self.energy.report(&self.config, &pipeline_stats),
-            inference_time_ms: self
-                .performance
-                .inference_time_ms(&self.config, &pipeline_stats),
-            inference_rate: self
-                .performance
-                .inference_rate(&self.config, &pipeline_stats),
-            layers: outcome.layers,
+            counts,
+            outcome.layers,
             mean_activity,
-        })
+        ))
     }
 }
 
@@ -1005,6 +851,7 @@ mod tests {
     use crate::SneAccelerator;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use sne_event::Event;
     use sne_model::topology::Topology;
     use sne_model::Shape;
 

@@ -1,0 +1,76 @@
+//! A tiny blocking HTTP client for the loopback tests, the `serve_report`
+//! benchmark and the `serve_demo` example.
+//!
+//! One request per connection, matching the server's `Connection: close`
+//! policy: connect, send, read to EOF, split status from body.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use sne_event::EventStream;
+
+/// Formats an event stream as the server's inference/push request body:
+/// `{"model": ..., "timesteps": ..., "events": [[t, ch, x, y], ...]}`
+/// (spike events only — exactly what the server decodes).
+#[must_use]
+pub fn infer_body(model: &str, stream: &EventStream) -> String {
+    let events: Vec<String> = stream
+        .iter()
+        .filter(|e| e.is_spike())
+        .map(|e| format!("[{},{},{},{}]", e.t, e.ch, e.x, e.y))
+        .collect();
+    format!(
+        "{{\"model\":\"{model}\",\"timesteps\":{},\"events\":[{}]}}",
+        stream.geometry().timesteps,
+        events.join(",")
+    )
+}
+
+/// Issues one request and returns `(status, body)`.
+///
+/// # Errors
+///
+/// Propagates socket errors; a response without a valid status line or
+/// header/body separator is reported as [`std::io::ErrorKind::InvalidData`].
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(raw.as_bytes())?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let invalid = || std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(invalid)?;
+    let body = response.split_once("\r\n\r\n").ok_or_else(invalid)?.1;
+    Ok((status, body.to_owned()))
+}
+
+/// `POST` with a JSON body.
+///
+/// # Errors
+///
+/// Same as [`request`].
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    request(addr, "POST", path, body)
+}
+
+/// Bodyless `GET`.
+///
+/// # Errors
+///
+/// Same as [`request`].
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    request(addr, "GET", path, "")
+}

@@ -1,0 +1,253 @@
+//! A minimal HTTP/1.1 layer over [`std::net::TcpStream`].
+//!
+//! Sized for the serving front-end's needs: one request per connection
+//! (`Connection: close` on every response), request bodies bounded by
+//! `Content-Length`, chunked transfer encoding not supported. The point is a
+//! dependency-free loopback-testable wire, not a general web server.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on an accepted request body (16 MiB — far above any event
+/// chunk the benches produce, low enough to bound a hostile request).
+pub const MAX_BODY_BYTES: u64 = 16 * 1024 * 1024;
+
+/// Upper bound on the request line + headers (before the body).
+pub const MAX_HEADER_BYTES: u64 = 64 * 1024;
+
+/// Upper bound on the number of header lines.
+pub const MAX_HEADERS: usize = 100;
+
+/// How long a connection may idle mid-request before the read fails.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long a blocked response write may stall before it fails — without it
+/// a client that never reads would park its handler thread forever (and
+/// with it, graceful shutdown).
+pub const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercase as received.
+    pub method: String,
+    /// Request target path (query strings are not split off; the API has
+    /// none).
+    pub path: String,
+    /// Raw body bytes decoded to UTF-8.
+    pub body: String,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket-level failure (including read timeout).
+    Io(std::io::Error),
+    /// The bytes did not form a valid request.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Malformed(m) => write!(f, "malformed request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Reads one HTTP/1.1 request (request line, headers, `Content-Length`-bound
+/// body) from `stream`.
+///
+/// # Errors
+///
+/// Returns [`HttpError::Io`] on socket failures or timeout and
+/// [`HttpError::Malformed`] when the bytes are not a valid request (e.g. a
+/// body larger than [`MAX_BODY_BYTES`]).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    // Everything the parser will ever read is bounded up front, so a client
+    // streaming garbage (e.g. an endless header with no newline) hits EOF at
+    // the cap instead of growing buffers without limit.
+    let mut reader = BufReader::new((&*stream).take(MAX_HEADER_BYTES + MAX_BODY_BYTES));
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line)? == 0 {
+        return Err(HttpError::Malformed("empty request"));
+    }
+    if request_line.len() as u64 > MAX_HEADER_BYTES {
+        return Err(HttpError::Malformed("request line too long"));
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing method"))?
+        .to_owned();
+    let path = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing path"))?
+        .to_owned();
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+
+    let mut content_length: u64 = 0;
+    for header_count in 0.. {
+        if header_count >= MAX_HEADERS {
+            return Err(HttpError::Malformed("too many headers"));
+        }
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(HttpError::Malformed("truncated headers"));
+        }
+        if line.len() as u64 > MAX_HEADER_BYTES {
+            return Err(HttpError::Malformed("header line too long"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::Malformed("body too large"));
+    }
+    let mut body_bytes = vec![0u8; content_length as usize];
+    reader.read_exact(&mut body_bytes)?;
+    let body =
+        String::from_utf8(body_bytes).map_err(|_| HttpError::Malformed("body is not UTF-8"))?;
+    Ok(Request { method, path, body })
+}
+
+/// Writes one `application/json` response with `Connection: close` and
+/// flushes it.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn round_trip(raw: &str) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_owned();
+        let writer = std::thread::spawn(move || {
+            let client = TcpStream::connect(addr).unwrap();
+            let mut client = client;
+            client.write_all(raw.as_bytes()).unwrap();
+            client.flush().unwrap();
+            // Signal EOF so a parser waiting for more bytes returns instead
+            // of riding out the read timeout; keep the socket itself open
+            // until the parser is done with it.
+            client.shutdown(std::net::Shutdown::Write).unwrap();
+            client
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let request = read_request(&mut server_side);
+        let _ = writer.join().unwrap();
+        request
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let request = round_trip(
+            "POST /v1/infer HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n{\"a\": 1}\n",
+        )
+        .unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/v1/infer");
+        assert_eq!(request.body, "{\"a\": 1}\n");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let request = round_trip("GET /v1/stats HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/v1/stats");
+        assert!(request.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(matches!(
+            round_trip("NOT-HTTP\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            round_trip("POST / HTTP/2\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            round_trip("POST / HTTP/1.1\r\nContent-Length: zzz\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            round_trip(&format!(
+                "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            )),
+            Err(HttpError::Malformed(_))
+        ));
+        let err = round_trip("").unwrap_err();
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn response_writer_emits_valid_http() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut client = TcpStream::connect(addr).unwrap();
+            let mut raw = String::new();
+            client.read_to_string(&mut raw).unwrap();
+            raw
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        write_response(&mut server_side, 404, "{\"error\":\"nope\"}").unwrap();
+        drop(server_side);
+        let raw = reader.join().unwrap();
+        assert!(raw.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(raw.contains("Content-Length: 16\r\n"));
+        assert!(raw.ends_with("{\"error\":\"nope\"}"));
+    }
+}

@@ -1,0 +1,642 @@
+//! The serving front-end: model registry, request routing, session table,
+//! stats, graceful shutdown.
+//!
+//! One [`Server`] owns a set of named models, each backed by its own
+//! [`EnginePool`] over a shared [`RuntimeArtifact`]. Connections are
+//! accepted on a listener thread and handled one request per connection;
+//! every inference checks an engine out of its model's pool (queue-wait
+//! measured), runs, and checks it back in. Streaming clients park a
+//! [`ClientState`] in the session table between requests, so a session can
+//! span any number of connections — and be served by any engine of the pool
+//! each time.
+//!
+//! ## Endpoints
+//!
+//! | Route | Body | Effect |
+//! |---|---|---|
+//! | `POST /v1/infer` | `{"model","timesteps","events":[[t,ch,x,y],..]}` | one whole-sample inference |
+//! | `POST /v1/stream/{id}/push` | same (`model` required on first push) | stream one chunk; neuron state survives between requests |
+//! | `POST /v1/stream/{id}/close` | — | remove the session, return its accumulated summary |
+//! | `GET /v1/stats` | — | throughput, p50/p95/p99 latency, per-model counters |
+//!
+//! Errors are `{"error": "..."}` with 400 (bad request), 404 (unknown
+//! model/session/route), 405 (wrong method) or 409 (session busy).
+//!
+//! ## Graceful shutdown
+//!
+//! [`Server::shutdown`] stops accepting, wakes the listener, then **joins
+//! every in-flight connection handler** — accepted requests always complete
+//! and flush their response before the server returns.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use sne::artifact::{ClientState, RuntimeArtifact};
+use sne::batch::{EnginePool, LatencyRecorder, LatencySummary};
+use sne::compile::CompiledNetwork;
+use sne::run::InferenceResult;
+use sne::session::ChunkOutput;
+use sne::SneError;
+use sne_event::{Event, EventStream};
+use sne_sim::{ExecStrategy, SneConfig};
+
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::json::Json;
+
+/// Upper bound on one request's timestep window. It bounds the per-timestep
+/// bookkeeping (and engine loop) a single request can trigger — the
+/// body-size cap alone would not, since `{"timesteps": 4294967295,
+/// "events": []}` is a tiny body.
+pub const MAX_REQUEST_TIMESTEPS: u64 = 1 << 16;
+
+/// Upper bound on concurrently parked streaming sessions; creation beyond
+/// it is refused with 503 so unclosed sessions cannot grow memory without
+/// limit.
+pub const MAX_STREAM_SESSIONS: usize = 1024;
+
+/// Upper bound on concurrently served connections (one handler thread
+/// each); connections beyond it are answered 503 and closed immediately, so
+/// a flood cannot exhaust OS threads/memory.
+pub const MAX_CONNECTIONS: usize = 256;
+
+/// One registered model: its engine pool plus request counters.
+#[derive(Debug)]
+struct ModelEntry {
+    pool: Arc<EnginePool>,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// One parked streaming session. `client` is `None` while a request is
+/// in flight for it (concurrent pushes to the same session conflict).
+#[derive(Debug)]
+struct StreamEntry {
+    model: String,
+    client: Option<ClientState>,
+}
+
+#[derive(Debug)]
+struct ServerShared {
+    /// Registration order preserved for `/v1/stats`.
+    models: Vec<(String, ModelEntry)>,
+    streams: Mutex<HashMap<String, StreamEntry>>,
+    recorder: LatencyRecorder,
+    started: Instant,
+    shutting_down: AtomicBool,
+    connections: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServerShared {
+    fn model(&self, name: &str) -> Option<&ModelEntry> {
+        self.models
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, entry)| entry)
+    }
+}
+
+/// Configures the models a [`Server`] exposes, then starts it.
+#[derive(Debug, Default)]
+pub struct ServerBuilder {
+    models: Vec<(String, Arc<EnginePool>)>,
+}
+
+impl ServerBuilder {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compiles `network` under `config` and registers it as `name`, backed
+    /// by a pool of `lanes` engines (`engine_exec` is each engine's
+    /// per-slice fan-out). Registering the same name twice replaces the
+    /// earlier pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates artifact/pool construction errors.
+    pub fn register(
+        self,
+        name: &str,
+        network: impl Into<Arc<CompiledNetwork>>,
+        config: SneConfig,
+        lanes: usize,
+        engine_exec: ExecStrategy,
+    ) -> Result<Self, SneError> {
+        let pool = Arc::new(EnginePool::for_network(
+            network,
+            config,
+            lanes,
+            engine_exec,
+        )?);
+        Ok(self.register_pool(name, pool))
+    }
+
+    /// Registers an already-built engine pool as `name` (e.g. one shared
+    /// with a [`sne::batch::BatchRunner`]).
+    #[must_use]
+    pub fn register_pool(mut self, name: &str, pool: Arc<EnginePool>) -> Self {
+        self.models.retain(|(n, _)| n != name);
+        self.models.push((name.to_owned(), pool));
+        self
+    }
+
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback port)
+    /// and starts the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(self, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            models: self
+                .models
+                .into_iter()
+                .map(|(name, pool)| {
+                    (
+                        name,
+                        ModelEntry {
+                            pool,
+                            requests: AtomicU64::new(0),
+                            errors: AtomicU64::new(0),
+                        },
+                    )
+                })
+                .collect(),
+            streams: Mutex::new(HashMap::new()),
+            recorder: LatencyRecorder::new(),
+            started: Instant::now(),
+            shutting_down: AtomicBool::new(false),
+            connections: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+        Ok(Server {
+            addr,
+            shared,
+            accept_handle: Some(accept_handle),
+        })
+    }
+}
+
+/// A running serving front-end. Dropping it (or calling
+/// [`Server::shutdown`]) stops accepting and drains in-flight requests.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// The bound address (with the resolved port when started on port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of parked streaming sessions.
+    #[must_use]
+    pub fn active_streams(&self) -> usize {
+        self.shared
+            .streams
+            .lock()
+            .expect("session table poisoned")
+            .len()
+    }
+
+    /// Graceful shutdown: stop accepting, then wait for every in-flight
+    /// connection to complete and flush its response. Idempotent; also runs
+    /// on drop.
+    pub fn shutdown(mut self) {
+        self.close_and_drain();
+    }
+
+    fn close_and_drain(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Wake the listener with a throwaway connection so `accept` returns
+        // and observes the flag. A wildcard bind address (0.0.0.0 / ::) is
+        // not connectable on every platform — rewrite it to loopback.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake);
+        if let Some(handle) = self.accept_handle.take() {
+            handle.join().expect("accept thread panicked");
+        }
+        // Drain: every accepted request finishes and responds.
+        let handles: Vec<JoinHandle<()>> = std::mem::take(
+            &mut *self
+                .shared
+                .connections
+                .lock()
+                .expect("connection table poisoned"),
+        );
+        for handle in handles {
+            handle.join().expect("connection handler panicked");
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.close_and_drain();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    for incoming in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(mut stream) = incoming else { continue };
+        let mut connections = shared
+            .connections
+            .lock()
+            .expect("connection table poisoned");
+        // Reap finished handlers so a long-lived server does not accumulate
+        // one JoinHandle per connection ever served.
+        let mut i = 0;
+        while i < connections.len() {
+            if connections[i].is_finished() {
+                let finished = connections.swap_remove(i);
+                let _ = finished.join();
+            } else {
+                i += 1;
+            }
+        }
+        // Bound the handler-thread fleet: beyond the cap a connection is
+        // answered 503 and closed on the accept thread instead of spawning.
+        if connections.len() >= MAX_CONNECTIONS {
+            drop(connections);
+            let _ = write_response(
+                &mut stream,
+                503,
+                &error_body("server at connection capacity"),
+            );
+            continue;
+        }
+        let handler_shared = Arc::clone(shared);
+        let handle = std::thread::spawn(move || handle_connection(stream, &handler_shared));
+        connections.push(handle);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &ServerShared) {
+    let (status, body) = match read_request(&mut stream) {
+        Ok(request) => route(shared, &request),
+        Err(HttpError::Malformed(message)) => (400, error_body(message)),
+        // Socket-level failure: nothing sensible to respond to.
+        Err(HttpError::Io(_)) => return,
+    };
+    let _ = write_response(&mut stream, status, &body);
+}
+
+fn error_body(message: &str) -> String {
+    Json::obj(vec![("error", Json::from(message))]).to_string()
+}
+
+fn route(shared: &ServerShared, request: &Request) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/infer") => handle_infer(shared, &request.body),
+        ("GET", "/v1/stats") => (200, stats_body(shared)),
+        (method, path) => {
+            if let Some(rest) = path.strip_prefix("/v1/stream/") {
+                if method != "POST" {
+                    return (405, error_body("streaming endpoints are POST"));
+                }
+                if let Some(id) = rest.strip_suffix("/push") {
+                    return handle_stream_push(shared, id, &request.body);
+                }
+                if let Some(id) = rest.strip_suffix("/close") {
+                    return handle_stream_close(shared, id);
+                }
+            }
+            (404, error_body("unknown route"))
+        }
+    }
+}
+
+/// Decodes `{"timesteps": T, "events": [[t, ch, x, y], ...]}` into an
+/// [`EventStream`] with the model's input geometry, validating every event
+/// against it.
+fn parse_event_stream(doc: &Json, artifact: &RuntimeArtifact) -> Result<EventStream, String> {
+    let timesteps = doc
+        .get("timesteps")
+        .and_then(Json::as_u64)
+        .filter(|&t| (1..=MAX_REQUEST_TIMESTEPS).contains(&t))
+        .ok_or("missing or invalid 'timesteps' (must be 1..=65536)")? as u32;
+    let (channels, height, width) = artifact.network().input_shape();
+    let mut stream = EventStream::new(width, height, channels, timesteps);
+    let events = doc
+        .get("events")
+        .and_then(Json::as_array)
+        .ok_or("missing 'events' array")?;
+    for event in events {
+        let fields = event
+            .as_array()
+            .filter(|f| f.len() == 4)
+            .ok_or("each event must be a [t, ch, x, y] quadruple")?;
+        let int = |i: usize| fields[i].as_u64().ok_or("event fields must be integers");
+        let t = u32::try_from(int(0)?).map_err(|_| "event timestep out of range")?;
+        let narrow = |v: u64| u16::try_from(v).map_err(|_| "event address out of range");
+        let event = Event::update(t, narrow(int(1)?)?, narrow(int(2)?)?, narrow(int(3)?)?);
+        stream
+            .push(event)
+            .map_err(|e| format!("invalid event: {e}"))?;
+    }
+    Ok(stream)
+}
+
+/// Serializes the spike events of a stream as `[[t, ch, x, y], ...]`.
+fn events_json(stream: &EventStream) -> Json {
+    Json::Arr(
+        stream
+            .iter()
+            .filter(|e| e.is_spike())
+            .map(|e| {
+                Json::Arr(vec![
+                    Json::from(u64::from(e.t)),
+                    Json::from(u64::from(e.ch)),
+                    Json::from(u64::from(e.x)),
+                    Json::from(u64::from(e.y)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The response body shared by one-shot inference and stream close: the
+/// model name plus the full [`InferenceResult`] surface the tests compare
+/// bit-exactly against direct session calls.
+fn result_members(model: &str, result: &InferenceResult) -> Vec<(&'static str, Json)> {
+    vec![
+        ("model", Json::from(model)),
+        ("predicted_class", Json::from(result.predicted_class)),
+        (
+            "output_spike_counts",
+            Json::Arr(
+                result
+                    .output_spike_counts
+                    .iter()
+                    .map(|&c| Json::from(u64::from(c)))
+                    .collect(),
+            ),
+        ),
+        ("total_cycles", Json::from(result.stats.total_cycles)),
+        ("synaptic_ops", Json::from(result.stats.synaptic_ops)),
+        ("energy_uj", Json::from(result.energy.energy_uj)),
+        ("inference_time_ms", Json::from(result.inference_time_ms)),
+        ("inference_rate", Json::from(result.inference_rate)),
+        ("mean_activity", Json::from(result.mean_activity)),
+    ]
+}
+
+fn handle_infer(shared: &ServerShared, body: &str) -> (u16, String) {
+    let doc = match Json::parse(body) {
+        Ok(doc) => doc,
+        Err(e) => return (400, error_body(&e.to_string())),
+    };
+    let Some(model_name) = doc.get("model").and_then(Json::as_str) else {
+        return (400, error_body("missing 'model'"));
+    };
+    let Some(entry) = shared.model(model_name) else {
+        return (404, error_body("unknown model"));
+    };
+    entry.requests.fetch_add(1, Ordering::Relaxed);
+    let stream = match parse_event_stream(&doc, entry.pool.artifact()) {
+        Ok(stream) => stream,
+        Err(message) => {
+            entry.errors.fetch_add(1, Ordering::Relaxed);
+            return (400, error_body(&message));
+        }
+    };
+    let queue_start = Instant::now();
+    let mut engine = entry.pool.checkout();
+    let queue_us = queue_start.elapsed().as_secs_f64() * 1e6;
+    let service_start = Instant::now();
+    let result = engine.infer(&stream);
+    let service_us = service_start.elapsed().as_secs_f64() * 1e6;
+    entry.pool.checkin(engine);
+    shared
+        .recorder
+        .record(queue_us, service_us, result.is_err());
+    match result {
+        Ok(result) => {
+            let mut members = result_members(model_name, &result);
+            members.push(("queue_us", Json::from(queue_us)));
+            members.push(("service_us", Json::from(service_us)));
+            (200, Json::obj(members).to_string())
+        }
+        Err(error) => {
+            entry.errors.fetch_add(1, Ordering::Relaxed);
+            (400, error_body(&error.to_string()))
+        }
+    }
+}
+
+fn handle_stream_push(shared: &ServerShared, id: &str, body: &str) -> (u16, String) {
+    let doc = match Json::parse(body) {
+        Ok(doc) => doc,
+        Err(e) => return (400, error_body(&e.to_string())),
+    };
+    let requested_model = doc.get("model").and_then(Json::as_str);
+
+    // Resolve the session: take its parked client (marking it busy), or
+    // create it on first push (which requires a model name and a free slot
+    // in the bounded session table).
+    let (model_name, mut client, created) = {
+        let mut streams = shared.streams.lock().expect("session table poisoned");
+        if let Some(entry) = streams.get_mut(id) {
+            if requested_model.is_some_and(|m| m != entry.model) {
+                return (400, error_body("session is bound to a different model"));
+            }
+            let Some(client) = entry.client.take() else {
+                return (409, error_body("session busy: a push is in flight"));
+            };
+            (entry.model.clone(), client, false)
+        } else {
+            let Some(model_name) = requested_model else {
+                return (400, error_body("first push must name a 'model'"));
+            };
+            let Some(entry) = shared.model(model_name) else {
+                return (404, error_body("unknown model"));
+            };
+            if streams.len() >= MAX_STREAM_SESSIONS {
+                return (503, error_body("session table full: close idle sessions"));
+            }
+            let client = entry.pool.artifact().new_client();
+            streams.insert(
+                id.to_owned(),
+                StreamEntry {
+                    model: model_name.to_owned(),
+                    client: None, // busy until this push completes
+                },
+            );
+            (model_name.to_owned(), client, true)
+        }
+    };
+
+    let entry = shared.model(&model_name).expect("session names a model");
+    entry.requests.fetch_add(1, Ordering::Relaxed);
+    // Re-park the client after the push; on a *failed first* push the
+    // freshly created entry is removed instead — the client was never told a
+    // session exists, so keeping it would leak one table slot per bad
+    // request.
+    let park = |client: ClientState| {
+        let mut streams = shared.streams.lock().expect("session table poisoned");
+        if let Some(entry) = streams.get_mut(id) {
+            entry.client = Some(client);
+        }
+    };
+    let settle_error = |client: ClientState| {
+        if created {
+            let mut streams = shared.streams.lock().expect("session table poisoned");
+            streams.remove(id);
+        } else {
+            park(client);
+        }
+    };
+
+    let chunk = match parse_event_stream(&doc, entry.pool.artifact()) {
+        Ok(chunk) => chunk,
+        Err(message) => {
+            entry.errors.fetch_add(1, Ordering::Relaxed);
+            settle_error(client);
+            return (400, error_body(&message));
+        }
+    };
+    let queue_start = Instant::now();
+    let mut engine = entry.pool.checkout();
+    let queue_us = queue_start.elapsed().as_secs_f64() * 1e6;
+    let service_start = Instant::now();
+    let pushed = engine.push(&mut client, &chunk);
+    let service_us = service_start.elapsed().as_secs_f64() * 1e6;
+    entry.pool.checkin(engine);
+    shared
+        .recorder
+        .record(queue_us, service_us, pushed.is_err());
+    let chunks_pushed = client.chunks_pushed();
+    match pushed {
+        Ok(ChunkOutput {
+            output,
+            stats,
+            start_timestep,
+            timesteps,
+        }) => {
+            park(client);
+            (
+                200,
+                Json::obj(vec![
+                    ("session", Json::from(id)),
+                    ("model", Json::from(model_name.as_str())),
+                    ("start_timestep", Json::from(u64::from(start_timestep))),
+                    ("timesteps", Json::from(u64::from(timesteps))),
+                    ("chunks_pushed", Json::from(chunks_pushed)),
+                    ("total_cycles", Json::from(stats.total_cycles)),
+                    ("events", events_json(&output)),
+                    ("queue_us", Json::from(queue_us)),
+                    ("service_us", Json::from(service_us)),
+                ])
+                .to_string(),
+            )
+        }
+        Err(error) => {
+            entry.errors.fetch_add(1, Ordering::Relaxed);
+            settle_error(client);
+            (400, error_body(&error.to_string()))
+        }
+    }
+}
+
+fn handle_stream_close(shared: &ServerShared, id: &str) -> (u16, String) {
+    let entry = {
+        let mut streams = shared.streams.lock().expect("session table poisoned");
+        let busy = match streams.get(id) {
+            None => return (404, error_body("unknown session")),
+            Some(entry) => entry.client.is_none(),
+        };
+        if busy {
+            return (409, error_body("session busy: a push is in flight"));
+        }
+        streams.remove(id).expect("session present")
+    };
+    let model = shared.model(&entry.model).expect("session names a model");
+    let client = entry.client.expect("checked non-busy");
+    let summary = model.pool.artifact().summary(&client);
+    let mut members = result_members(&entry.model, &summary);
+    members.insert(0, ("session", Json::from(id)));
+    members.push(("closed", Json::from(true)));
+    members.push(("chunks_pushed", Json::from(client.chunks_pushed())));
+    members.push((
+        "elapsed_timesteps",
+        Json::from(u64::from(client.elapsed_timesteps())),
+    ));
+    (200, Json::obj(members).to_string())
+}
+
+fn latency_json(summary: &LatencySummary) -> Json {
+    Json::obj(vec![
+        ("count", Json::from(summary.count)),
+        ("mean", Json::from(summary.mean_us)),
+        ("p50", Json::from(summary.p50_us)),
+        ("p95", Json::from(summary.p95_us)),
+        ("p99", Json::from(summary.p99_us)),
+        ("max", Json::from(summary.max_us)),
+    ])
+}
+
+fn stats_body(shared: &ServerShared) -> String {
+    let stats = shared.recorder.stats();
+    let uptime_s = shared.started.elapsed().as_secs_f64();
+    let throughput_rps = if uptime_s > 0.0 {
+        stats.completed as f64 / uptime_s
+    } else {
+        0.0
+    };
+    let models = Json::Obj(
+        shared
+            .models
+            .iter()
+            .map(|(name, entry)| {
+                (
+                    name.clone(),
+                    Json::obj(vec![
+                        (
+                            "requests",
+                            Json::from(entry.requests.load(Ordering::Relaxed)),
+                        ),
+                        ("errors", Json::from(entry.errors.load(Ordering::Relaxed))),
+                        ("lanes", Json::from(entry.pool.lanes())),
+                        ("idle_lanes", Json::from(entry.pool.idle_lanes())),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Json::obj(vec![
+        ("uptime_s", Json::from(uptime_s)),
+        ("completed", Json::from(stats.completed)),
+        ("errors", Json::from(stats.errors)),
+        ("throughput_rps", Json::from(throughput_rps)),
+        (
+            "active_streams",
+            Json::from(shared.streams.lock().expect("session table poisoned").len()),
+        ),
+        ("queue_latency_us", latency_json(&stats.queue)),
+        ("service_latency_us", latency_json(&stats.service)),
+        ("models", models),
+    ])
+    .to_string()
+}

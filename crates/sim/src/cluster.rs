@@ -223,8 +223,8 @@ impl Cluster {
     /// Accumulates a batch of contributions addressed to this cluster in one
     /// event window: the TLU catch-up runs **once**, then the accumulation is
     /// a tight loop over the contributions — the contribution-list form of
-    /// the window triple ([`Cluster::open_window`] /
-    /// [`Cluster::accumulate_span`] / [`Cluster::close_window`]) the fused
+    /// the window triple (`Cluster::open_window` /
+    /// `Cluster::accumulate_span` / `Cluster::close_window`) the fused
     /// plan datapath uses, kept public as the batching API for callers that
     /// hold materialized contribution lists (and pinned against both other
     /// forms by the equivalence tests). `cluster_base` is the global index
@@ -274,7 +274,7 @@ impl Cluster {
     /// Accumulates a contiguous span of pre-resolved weights into the local
     /// neurons starting at `start`, returning the maximum resulting state of
     /// the span. Must run inside an open window
-    /// ([`Cluster::open_window`] … [`Cluster::close_window`]); the window
+    /// (`Cluster::open_window` … `Cluster::close_window`); the window
     /// triple is bit-identical to [`Cluster::integrate`] per tap.
     ///
     /// # Panics
@@ -296,7 +296,7 @@ impl Cluster {
     }
 
     /// Closes an event window: commits the membrane bound observed by the
-    /// window's [`Cluster::accumulate_span`] calls and the dirty/ops
+    /// window's `Cluster::accumulate_span` calls and the dirty/ops
     /// bookkeeping [`Cluster::integrate`] would have performed per tap.
     #[inline]
     pub(crate) fn close_window(&mut self, window_max: i16, taps: u64) {

@@ -92,6 +92,14 @@ impl ExecStrategy {
         self.threads() > 1
     }
 
+    /// Worker-thread count for a scheduler driving a pool of `lanes` engines:
+    /// the strategy's thread budget, clamped to the lane count (more workers
+    /// than engines would only queue on the pool) and never below one.
+    #[must_use]
+    pub fn pool_workers(&self, lanes: usize) -> usize {
+        self.threads().min(lanes.max(1)).max(1)
+    }
+
     /// Applies `f` to every item exactly once, returning the results in item
     /// order. Under [`ExecStrategy::Threaded`] the items are split into
     /// contiguous chunks, one scoped worker thread per chunk; the closure
@@ -195,6 +203,14 @@ mod tests {
         assert!(ExecStrategy::auto_capped(usize::MAX).threads() <= available.max(1));
         assert_eq!(ExecStrategy::auto_capped(0), ExecStrategy::Sequential);
         assert_eq!(ExecStrategy::auto_capped(1), ExecStrategy::Sequential);
+    }
+
+    #[test]
+    fn pool_workers_clamp_to_lanes_and_one() {
+        assert_eq!(ExecStrategy::Sequential.pool_workers(8), 1);
+        assert_eq!(ExecStrategy::threaded(4).pool_workers(8), 4);
+        assert_eq!(ExecStrategy::threaded(16).pool_workers(3), 3);
+        assert_eq!(ExecStrategy::threaded(16).pool_workers(0), 1);
     }
 
     #[test]

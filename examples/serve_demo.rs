@@ -1,0 +1,143 @@
+//! Serving demo: start the HTTP front-end in-process, register two models,
+//! drive mixed one-shot + streaming traffic from concurrent clients, then
+//! print the live `/v1/stats` snapshot and shut down gracefully.
+//!
+//! ```bash
+//! cargo run --release --example serve_demo
+//! ```
+
+use rand::SeedableRng;
+use sne::compile::CompiledNetwork;
+use sne::proportionality::stream_with_activity;
+use sne_model::topology::Topology;
+use sne_model::Shape;
+use sne_serve::{client, Json, ServerBuilder};
+use sne_sim::{ExecStrategy, SneConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two models: a tiny eCNN on an 8x8 retina and a wider one on 16x16.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let tiny = CompiledNetwork::random(&Topology::tiny(Shape::new(2, 8, 8), 4, 3), &mut rng)?;
+    let wide = CompiledNetwork::random(&Topology::tiny(Shape::new(2, 16, 16), 8, 5), &mut rng)?;
+
+    let server = ServerBuilder::new()
+        .register(
+            "tiny-8x8",
+            tiny,
+            SneConfig::with_slices(2),
+            2,
+            ExecStrategy::Sequential,
+        )?
+        .register(
+            "wide-16x16",
+            wide,
+            SneConfig::with_slices(4),
+            2,
+            ExecStrategy::Sequential,
+        )?
+        .start("127.0.0.1:0")?;
+    let addr = server.addr();
+    println!("sne_serve listening on http://{addr}");
+    println!();
+
+    // Concurrent one-shot clients against both models.
+    let one_shot = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6u64)
+            .map(|i| {
+                scope.spawn(move || {
+                    let (model, shape) = if i % 2 == 0 {
+                        ("tiny-8x8", (2, 8, 8))
+                    } else {
+                        ("wide-16x16", (2, 16, 16))
+                    };
+                    let stream = stream_with_activity(shape, 16, 0.04, 300 + i);
+                    let (status, body) =
+                        client::post(addr, "/v1/infer", &client::infer_body(model, &stream))
+                            .unwrap();
+                    assert_eq!(status, 200, "{body}");
+                    let doc = Json::parse(&body).unwrap();
+                    (
+                        model,
+                        doc.get("predicted_class").and_then(Json::as_u64).unwrap(),
+                        doc.get("energy_uj").and_then(Json::as_f64).unwrap(),
+                        doc.get("service_us").and_then(Json::as_f64).unwrap(),
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect::<Vec<_>>()
+    });
+    println!("one-shot traffic (6 concurrent clients):");
+    for (model, class, energy_uj, service_us) in one_shot {
+        println!(
+            "  {model:<11} -> class {class}   {energy_uj:8.4} uJ   served in {service_us:7.1} us"
+        );
+    }
+    println!();
+
+    // A streaming client: a continuous DVS feed pushed in 4-timestep chunks,
+    // one HTTP request each; the neuron state lives server-side between
+    // requests.
+    let feed = stream_with_activity((2, 8, 8), 16, 0.05, 77);
+    for chunk in feed.chunks(4) {
+        let (status, body) = client::post(
+            addr,
+            "/v1/stream/sensor-7/push",
+            &client::infer_body("tiny-8x8", &chunk),
+        )?;
+        assert_eq!(status, 200, "{body}");
+        let doc = Json::parse(&body).unwrap();
+        println!(
+            "streamed chunk @t={:<2} -> {} output events, {} cycles",
+            doc.get("start_timestep").and_then(Json::as_u64).unwrap(),
+            doc.get("events").and_then(Json::as_array).unwrap().len(),
+            doc.get("total_cycles").and_then(Json::as_u64).unwrap(),
+        );
+    }
+    let (status, summary) = client::post(addr, "/v1/stream/sensor-7/close", "")?;
+    assert_eq!(status, 200);
+    let doc = Json::parse(&summary).unwrap();
+    println!(
+        "stream closed: class {} after {} timesteps, {:.4} uJ total",
+        doc.get("predicted_class").and_then(Json::as_u64).unwrap(),
+        doc.get("elapsed_timesteps").and_then(Json::as_u64).unwrap(),
+        doc.get("energy_uj").and_then(Json::as_f64).unwrap(),
+    );
+    println!();
+
+    // The live stats snapshot.
+    let (status, stats) = client::get(addr, "/v1/stats")?;
+    assert_eq!(status, 200);
+    let doc = Json::parse(&stats).unwrap();
+    let service = doc.get("service_latency_us").unwrap();
+    println!("/v1/stats:");
+    println!(
+        "  completed {}   errors {}   throughput {:.1} req/s",
+        doc.get("completed").and_then(Json::as_u64).unwrap(),
+        doc.get("errors").and_then(Json::as_u64).unwrap(),
+        doc.get("throughput_rps").and_then(Json::as_f64).unwrap(),
+    );
+    println!(
+        "  service latency: p50 {:.0} us   p95 {:.0} us   p99 {:.0} us",
+        service.get("p50").and_then(Json::as_f64).unwrap(),
+        service.get("p95").and_then(Json::as_f64).unwrap(),
+        service.get("p99").and_then(Json::as_f64).unwrap(),
+    );
+    if let Some(Json::Obj(models)) = doc.get("models") {
+        for (name, entry) in models {
+            println!(
+                "  model {name:<11} requests {}   lanes {}",
+                entry.get("requests").and_then(Json::as_u64).unwrap(),
+                entry.get("lanes").and_then(Json::as_u64).unwrap(),
+            );
+        }
+    }
+
+    server.shutdown();
+    println!();
+    println!("server drained and shut down cleanly");
+    Ok(())
+}

@@ -8,7 +8,9 @@
 //! * [`sne_event`] — events, streams and synthetic datasets,
 //! * [`sne_model`] — functional eCNN reference model and trainer,
 //! * [`sne_sim`] — cycle-approximate hardware simulator,
-//! * [`sne_energy`] — calibrated GF22FDX area/power/energy models.
+//! * [`sne_energy`] — calibrated GF22FDX area/power/energy models,
+//! * [`sne_serve`] — the HTTP serving front-end (model registry, streaming
+//!   sessions, stats).
 //!
 //! # Example
 //!
@@ -34,11 +36,13 @@ pub use sne;
 pub use sne_energy;
 pub use sne_event;
 pub use sne_model;
+pub use sne_serve;
 pub use sne_sim;
 
 /// Commonly used types, re-exported for examples and tests.
 pub mod prelude {
-    pub use sne::batch::{BatchReport, BatchRunner};
+    pub use sne::artifact::{ClientState, RuntimeArtifact};
+    pub use sne::batch::{BatchReport, BatchRunner, EnginePool, LatencySummary, Scheduler};
     pub use sne::compile::CompiledNetwork;
     pub use sne::proportionality;
     pub use sne::session::{ChunkOutput, InferenceSession, PipelinedSession};
@@ -49,6 +53,7 @@ pub mod prelude {
     pub use sne_model::topology::Topology;
     pub use sne_model::train::{train, TrainConfig};
     pub use sne_model::Shape;
+    pub use sne_serve::ServerBuilder;
     pub use sne_sim::{Engine, LayerMapping, SneConfig};
 }
 

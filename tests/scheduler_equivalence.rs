@@ -1,0 +1,198 @@
+//! The dynamic scheduler's contract: checking engines out of a pool per
+//! request and serving a work queue with any number of workers must yield
+//! **exactly** the results of the legacy statically round-robin-pinned
+//! runner — per-stream results in input order (a statement strictly stronger
+//! than multiset equality), aggregated stats, modelled makespan and energy,
+//! and the same deterministic error choice — for every [`ExecStrategy`].
+
+use proptest::prelude::*;
+use sne::batch::{BatchRunner, EnginePool, Scheduler};
+use sne::compile::CompiledNetwork;
+use sne::session::InferenceSession;
+use sne::ExecStrategy;
+use sne_event::EventStream;
+use sne_model::topology::Topology;
+use sne_model::Shape;
+use sne_sim::SneConfig;
+use std::sync::Arc;
+
+/// The strategies every property is checked against (the sequential runner
+/// is always the oracle's driver).
+const STRATEGIES: [ExecStrategy; 4] = [
+    ExecStrategy::Sequential,
+    ExecStrategy::Threaded(2),
+    ExecStrategy::Threaded(3),
+    ExecStrategy::Threaded(8),
+];
+
+fn compiled(seed: u64) -> CompiledNetwork {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    CompiledNetwork::random(&Topology::tiny(Shape::new(2, 8, 8), 4, 3), &mut rng).unwrap()
+}
+
+fn workload(count: usize, seed: u64) -> Vec<EventStream> {
+    (0..count)
+        .map(|i| {
+            sne::proportionality::stream_with_activity(
+                (2, 8, 8),
+                8,
+                0.02 + 0.01 * i as f64,
+                seed + i as u64,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    /// For any fleet size, stream count and strategy, the dynamic
+    /// scheduler's report carries the identical result vector (input order,
+    /// hence identical multiset) and identical deterministic aggregates as
+    /// the round-robin oracle.
+    #[test]
+    fn dynamic_scheduler_equals_round_robin_for_every_strategy(
+        lanes in 1usize..5,
+        num_streams in 0usize..9,
+        network_seed in 0u64..12,
+        stream_seed in 0u64..1000,
+    ) {
+        let network = Arc::new(compiled(network_seed));
+        let streams = workload(num_streams, stream_seed);
+        // The oracle: the statically pinned walk, driven sequentially.
+        let mut oracle =
+            BatchRunner::new(Arc::clone(&network), SneConfig::with_slices(2), lanes).unwrap();
+        let expected = oracle.run_round_robin(&streams).unwrap();
+        for exec in STRATEGIES {
+            let mut runner = BatchRunner::with_exec(
+                Arc::clone(&network),
+                SneConfig::with_slices(2),
+                lanes,
+                exec,
+            )
+            .unwrap();
+            let dynamic = runner.run(&streams).unwrap();
+            prop_assert_eq!(&dynamic.results, &expected.results);
+            prop_assert_eq!(dynamic.total_stats, expected.total_stats);
+            prop_assert_eq!(dynamic.lanes, expected.lanes);
+            prop_assert!((dynamic.makespan_ms - expected.makespan_ms).abs() < 1e-12);
+            prop_assert!((dynamic.total_energy_uj - expected.total_energy_uj).abs() < 1e-12);
+            prop_assert!(
+                (dynamic.aggregate_rate - expected.aggregate_rate).abs() < 1e-9
+                    || (dynamic.aggregate_rate.is_infinite()
+                        && expected.aggregate_rate.is_infinite())
+            );
+            // And the statically pinned walk on worker threads agrees too.
+            let rr = runner.run_round_robin(&streams).unwrap();
+            prop_assert_eq!(&rr.results, &expected.results);
+        }
+    }
+
+    /// Incremental submission (requests arriving one by one, drained at the
+    /// end) equals the closed-batch entry point, record ids recover
+    /// submission order, and every record's result matches a dedicated
+    /// session.
+    #[test]
+    fn incremental_submit_drain_equals_closed_batch(
+        lanes in 1usize..4,
+        num_streams in 1usize..7,
+        stream_seed in 0u64..1000,
+    ) {
+        let network = Arc::new(compiled(3));
+        let streams = workload(num_streams, stream_seed);
+        let mut runner = BatchRunner::with_exec(
+            Arc::clone(&network),
+            SneConfig::with_slices(2),
+            lanes,
+            ExecStrategy::threaded(lanes),
+        )
+        .unwrap();
+        let closed = runner.run(&streams).unwrap();
+
+        for stream in &streams {
+            let _ = runner.submit(stream.clone());
+        }
+        let records = runner.drain();
+        prop_assert_eq!(records.len(), streams.len());
+        let mut session =
+            InferenceSession::new(Arc::clone(&network), SneConfig::with_slices(2)).unwrap();
+        for ((record, stream), closed_result) in
+            records.iter().zip(&streams).zip(&closed.results)
+        {
+            let result = record.result.as_ref().unwrap();
+            prop_assert_eq!(result, closed_result);
+            prop_assert_eq!(result, &session.infer(stream).unwrap());
+            prop_assert!(record.lane < lanes);
+        }
+    }
+
+    /// Error choice is deterministic: whatever the strategy or arrival
+    /// order, the batch reports the error of the lowest-numbered failing
+    /// stream — the same one the round-robin oracle picks.
+    #[test]
+    fn error_choice_matches_the_round_robin_oracle(
+        lanes in 1usize..4,
+        bad_a in 0usize..6,
+        bad_b in 0usize..6,
+    ) {
+        let network = Arc::new(compiled(5));
+        let mut streams = workload(6, 77);
+        streams[bad_a] = EventStream::new(16, 16, 2, 8); // wrong geometry
+        streams[bad_b] = EventStream::new(4, 4, 1, 8);
+        let mut oracle =
+            BatchRunner::new(Arc::clone(&network), SneConfig::with_slices(2), lanes).unwrap();
+        let expected = oracle.run_round_robin(&streams).unwrap_err();
+        for exec in STRATEGIES {
+            let mut runner = BatchRunner::with_exec(
+                Arc::clone(&network),
+                SneConfig::with_slices(2),
+                lanes,
+                exec,
+            )
+            .unwrap();
+            prop_assert_eq!(runner.run(&streams).unwrap_err(), expected.clone());
+        }
+    }
+}
+
+/// Requests `call`ed concurrently from many threads (the server's request
+/// pattern) produce bit-identical results to dedicated sessions, and the
+/// scheduler's recorder counts every one of them.
+#[test]
+fn concurrent_callers_get_dedicated_session_results() {
+    let network = Arc::new(compiled(9));
+    let streams = workload(8, 123);
+    let pool = Arc::new(
+        EnginePool::new(
+            Arc::new(
+                sne::RuntimeArtifact::new(Arc::clone(&network), SneConfig::with_slices(2)).unwrap(),
+            ),
+            3,
+            ExecStrategy::Sequential,
+        )
+        .unwrap(),
+    );
+    let scheduler = Arc::new(Scheduler::new(Arc::clone(&pool), 3));
+    let records: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|stream| {
+                let scheduler = Arc::clone(&scheduler);
+                let stream = stream.clone();
+                scope.spawn(move || scheduler.call(stream))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut session = InferenceSession::new(network, SneConfig::with_slices(2)).unwrap();
+    for (record, stream) in records.iter().zip(&streams) {
+        assert_eq!(
+            record.result.as_ref().unwrap(),
+            &session.infer(stream).unwrap()
+        );
+    }
+    let stats = scheduler.stats();
+    assert_eq!(stats.completed, 8);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.service.count, 8);
+    assert!(stats.service.max_us >= stats.service.p99_us);
+    assert_eq!(pool.idle_lanes(), 3);
+}
