@@ -136,6 +136,10 @@ fn main() {
         report.queue_latency = Default::default();
         report.service_latency = Default::default();
         report.lane_utilization.clear();
+        report.utilization_spread = 0.0;
+        report.steals = 0;
+        report.affinity_hits = 0;
+        report.affinity_misses = 0;
         match &batch_reference {
             None => batch_reference = Some(report),
             Some(reference) => assert_eq!(

@@ -157,6 +157,15 @@ fn main() {
     let completed = stats.get("completed").and_then(Json::as_u64).unwrap();
     let errors = stats.get("errors").and_then(Json::as_u64).unwrap();
     assert_eq!(errors, 0, "server recorded errors during the bench");
+    // The per-model scheduler telemetry: worker count, steal volume and the
+    // affinity hit rate the work-stealing scheduler reported for the run.
+    let model = stats.get("models").and_then(|m| m.get("bench")).unwrap();
+    let field = |key: &str| model.get(key).and_then(Json::as_u64).unwrap();
+    let workers = field("workers");
+    let steals = field("steals");
+    let affinity_hits = field("affinity_hits");
+    let affinity_misses = field("affinity_misses");
+    assert_eq!(field("pending"), 0, "backlog left after the bench");
     server.shutdown();
 
     let mut json = String::new();
@@ -176,6 +185,9 @@ fn main() {
     );
     json.push_str("  \"bit_exact_vs_direct_session\": true,\n");
     json.push_str(&format!("  \"server_completed_requests\": {completed},\n"));
+    json.push_str(&format!(
+        "  \"scheduler\": {{\"workers\": {workers}, \"steals\": {steals}, \"affinity_hits\": {affinity_hits}, \"affinity_misses\": {affinity_misses}}},\n"
+    ));
     json.push_str("  \"levels\": [\n");
     for (i, level) in levels.iter().enumerate() {
         json.push_str(&format!(
@@ -194,5 +206,8 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
 
     println!();
+    println!(
+        "scheduler: {workers} workers, {steals} steals, affinity {affinity_hits} hits / {affinity_misses} misses"
+    );
     println!("wrote {out_path}");
 }

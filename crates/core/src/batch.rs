@@ -8,14 +8,23 @@
 //! that split in three tiers:
 //!
 //! * [`EnginePool`] holds N warm engines (plus a scratch [`ClientState`]
-//!   each) built from one shared [`RuntimeArtifact`]. Engines are **checked
-//!   out per request** and checked back in afterwards, so any engine can
-//!   serve any client — the prerequisite for dynamic work arrival.
-//! * [`Scheduler`] is a FIFO work queue (std `mpsc` + worker threads, no new
-//!   dependencies) in front of the pool: requests are [`Scheduler::submit`]ed
-//!   as they arrive, workers check an engine out per request, and every
-//!   completion carries its **queue-wait** and **service** latency
-//!   ([`RequestRecord`]).
+//!   each) built from one shared [`RuntimeArtifact`]. Engines can be checked
+//!   out ad hoc, but under a [`Scheduler`] each worker owns one warm engine
+//!   for its whole lifetime — no per-request checkout churn.
+//! * [`Scheduler`] is a **work-stealing** run-queue fabric (std
+//!   `Mutex`/`Condvar`/`mpsc`, no new dependencies): every worker owns one
+//!   engine and a local double-ended queue, submissions go to the affine or
+//!   least-loaded worker, and an idle worker steals from the tail of the
+//!   most-loaded one — so one hot queue can never strand the rest of the
+//!   fleet idle (the `[0, 0, 0, 0.98]` lane-utilization collapse of the old
+//!   single-FIFO design). Two priority lanes separate interactive round
+//!   trips ([`Scheduler::call`] / [`Scheduler::call_push`]) from bulk
+//!   [`Scheduler::submit`] batches, with a bypass budget that keeps the bulk
+//!   lane progressing under sustained interactive load. Every completion
+//!   carries its **queue-wait** and **service** latency ([`RequestRecord`]).
+//!   Streaming clients may pass a lane **affinity hint**; because state is
+//!   engine-agnostic ([`RuntimeArtifact::push`]), affinity is an
+//!   optimization only — a stolen (affinity-miss) request is bit-identical.
 //! * [`BatchRunner`] is the closed-batch convenience preserved from the
 //!   earlier lane-pinned runner: [`BatchRunner::run`] submits every stream,
 //!   drains, and aggregates a [`BatchReport`]. The legacy statically-pinned
@@ -33,7 +42,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 use sne_event::EventStream;
@@ -152,6 +161,7 @@ pub struct EnginePool {
     idle: Mutex<Vec<PooledEngine>>,
     available: Condvar,
     lanes: usize,
+    engine_exec: ExecStrategy,
 }
 
 impl EnginePool {
@@ -184,6 +194,7 @@ impl EnginePool {
             idle: Mutex::new(idle),
             available: Condvar::new(),
             lanes,
+            engine_exec,
         })
     }
 
@@ -213,6 +224,12 @@ impl EnginePool {
     #[must_use]
     pub fn lanes(&self) -> usize {
         self.lanes
+    }
+
+    /// The per-slice worker fan-out every engine of this pool was built with.
+    #[must_use]
+    pub fn engine_exec(&self) -> ExecStrategy {
+        self.engine_exec
     }
 
     /// Engines currently idle (not checked out).
@@ -273,6 +290,27 @@ pub struct RequestRecord {
     pub service_us: f64,
 }
 
+/// Completion record of one streaming-chunk request
+/// ([`Scheduler::call_push`]): the caller's [`ClientState`] comes back with
+/// the chunk's outcome, ready to park until the client's next chunk.
+#[derive(Debug)]
+pub struct PushRecord {
+    /// Monotonic request id (shares the [`RequestRecord`] id space).
+    pub id: u64,
+    /// The caller's streaming state, returned after the chunk (advanced on
+    /// success, untouched on error).
+    pub client: ClientState,
+    /// The chunk outcome.
+    pub result: Result<ChunkOutput, SneError>,
+    /// Pool lane that served the chunk — feed it back as the next chunk's
+    /// affinity hint to keep the session on a warm engine.
+    pub lane: usize,
+    /// Host time from submission until service started, in µs.
+    pub queue_us: f64,
+    /// Host time the engine spent on the chunk, in µs.
+    pub service_us: f64,
+}
+
 /// Cumulative counters of a [`Scheduler`] (or any other request recorder):
 /// totals plus latency order statistics over a bounded window of recent
 /// requests.
@@ -282,6 +320,15 @@ pub struct SchedulerStats {
     pub completed: u64,
     /// Requests that completed with an error.
     pub errors: u64,
+    /// Requests a worker took from another worker's queue instead of its
+    /// own (0 outside a [`Scheduler`]).
+    pub steals: u64,
+    /// Requests submitted with an affinity hint and served by the hinted
+    /// lane.
+    pub affinity_hits: u64,
+    /// Requests submitted with an affinity hint and served elsewhere
+    /// (stolen or rerouted — results are identical either way).
+    pub affinity_misses: u64,
     /// Queue-wait latency summary over the recent-request window.
     pub queue: LatencySummary,
     /// Service latency summary over the recent-request window.
@@ -342,17 +389,61 @@ impl LatencyRecorder {
             errors: inner.errors,
             queue: LatencySummary::from_samples_us(&queue),
             service: LatencySummary::from_samples_us(&service),
+            steals: 0,
+            affinity_hits: 0,
+            affinity_misses: 0,
         }
     }
 }
 
-/// One queued request. The stream is behind an `Arc` so callers that
-/// already hold shared streams submit without copying event data.
+/// Priority class of a queued request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Priority {
+    /// Latency-sensitive round trips ([`Scheduler::call`],
+    /// [`Scheduler::call_push`]): served ahead of bulk work.
+    Interactive,
+    /// Throughput work ([`Scheduler::submit`] batches).
+    Bulk,
+}
+
+/// Interactive jobs a worker may serve ahead of a waiting bulk job before
+/// the bulk lane is force-served once — the starvation guard that keeps
+/// batch work progressing under a sustained interactive flood.
+const BULK_BYPASS_LIMIT: u32 = 4;
+
+/// How long an idle worker waits before it may steal: one scheduling
+/// quantum's grace for the victim to serve its own queue. Keeps steal
+/// latency bounded on a loaded multi-core fleet while preventing the
+/// first-scheduled worker of a time-sliced single-core host from draining
+/// every peer's queue.
+const STEAL_GRACE: Duration = Duration::from_millis(2);
+
+/// One queued request. Streams are behind an `Arc` so callers that already
+/// hold shared streams submit without copying event data.
 struct Job {
     id: u64,
-    stream: Arc<EventStream>,
     enqueued: Instant,
-    reply: mpsc::Sender<RequestRecord>,
+    /// Engine lane the submitter prefers. A hint only: state is
+    /// engine-agnostic, so serving (or stealing) the job anywhere is
+    /// bit-identical — the hint just keeps a streaming session on a warm
+    /// engine when the fleet is not loaded.
+    affinity: Option<usize>,
+    kind: JobKind,
+}
+
+enum JobKind {
+    /// Whole-sample inference on the serving engine's scratch client.
+    Infer {
+        stream: Arc<EventStream>,
+        reply: mpsc::Sender<RequestRecord>,
+    },
+    /// One chunk of an external client's feed; the [`ClientState`] travels
+    /// with the job and comes back in the [`PushRecord`].
+    Push {
+        client: Box<ClientState>,
+        chunk: Arc<EventStream>,
+        reply: mpsc::Sender<PushRecord>,
+    },
 }
 
 impl std::fmt::Debug for Job {
@@ -361,28 +452,135 @@ impl std::fmt::Debug for Job {
     }
 }
 
+/// One worker's local run queue: a deque per priority lane plus the bulk
+/// starvation-guard counter.
+#[derive(Debug, Default)]
+struct WorkerQueue {
+    interactive: VecDeque<Job>,
+    bulk: VecDeque<Job>,
+    /// Interactive jobs served while bulk work waited, since the last bulk
+    /// job was served.
+    bulk_bypassed: u32,
+}
+
+impl WorkerQueue {
+    fn len(&self) -> usize {
+        self.interactive.len() + self.bulk.len()
+    }
+
+    fn push(&mut self, job: Job, priority: Priority) {
+        match priority {
+            Priority::Interactive => self.interactive.push_back(job),
+            Priority::Bulk => self.bulk.push_back(job),
+        }
+    }
+
+    /// Takes the owner's next job: interactive first, except that after
+    /// [`BULK_BYPASS_LIMIT`] consecutive bypasses a waiting bulk job is
+    /// served unconditionally — bulk throughput degrades under interactive
+    /// load but never stops.
+    fn pop_local(&mut self) -> Option<Job> {
+        let bulk_due = !self.bulk.is_empty()
+            && (self.interactive.is_empty() || self.bulk_bypassed >= BULK_BYPASS_LIMIT);
+        if bulk_due {
+            self.bulk_bypassed = 0;
+            return self.bulk.pop_front();
+        }
+        let job = self.interactive.pop_front();
+        if job.is_some() && !self.bulk.is_empty() {
+            self.bulk_bypassed += 1;
+        }
+        job
+    }
+
+    /// Steals from the tail: the newest bulk job first (the oldest jobs keep
+    /// their FIFO position with their owner, and bulk work benefits most
+    /// from spare capacity), else the newest interactive one.
+    fn steal_tail(&mut self) -> Option<Job> {
+        self.bulk.pop_back().or_else(|| self.interactive.pop_back())
+    }
+}
+
 #[derive(Debug)]
-struct SchedQueue {
-    jobs: VecDeque<Job>,
+struct SchedState {
+    queues: Vec<WorkerQueue>,
     closed: bool,
+    /// Rotating tiebreak for [`SchedState::least_loaded`]: among equally
+    /// short queues, placement cycles through the workers instead of
+    /// piling onto the lowest index. Without it, paced arrivals (each job
+    /// arriving after the last one finished, every queue empty) would all
+    /// land on worker 0 and re-create the one-hot-lane collapse this
+    /// scheduler exists to kill.
+    rr_cursor: usize,
+}
+
+impl SchedState {
+    /// Worker with the shortest run queue (rotating tiebreak) — the
+    /// placement target for non-affine submissions.
+    fn least_loaded(&mut self) -> usize {
+        let n = self.queues.len();
+        let start = self.rr_cursor % n;
+        // `min_by_key` keeps the first minimum in iteration order, i.e. the
+        // shortest queue nearest the cursor.
+        let target = (0..n)
+            .map(|offset| (start + offset) % n)
+            .min_by_key(|&i| self.queues[i].len())
+            .unwrap_or(0);
+        self.rr_cursor = (target + 1) % n;
+        target
+    }
+
+    /// Steals one job for worker `me` from the tail of the most-loaded
+    /// other queue. A victim's **last** job is off limits while the
+    /// scheduler is open: its owner was notified and will serve it, and
+    /// leaving it guarantees every worker gets a share of a saturating
+    /// batch even when the host serializes the worker threads (a one-core
+    /// box would otherwise let the first-scheduled worker drain the whole
+    /// fleet's queues and collapse the lane-utilization spread). Once
+    /// closed, stragglers are fair game so shutdown drains fast.
+    fn steal_for(&mut self, me: usize) -> Option<Job> {
+        let floor = if self.closed { 1 } else { 2 };
+        let victim = (0..self.queues.len())
+            .filter(|&i| i != me && self.queues[i].len() >= floor)
+            .max_by_key(|&i| self.queues[i].len())?;
+        self.queues[victim].steal_tail()
+    }
+
+    /// Whether any queue holds work.
+    fn has_work(&self) -> bool {
+        self.queues.iter().any(|q| q.len() > 0)
+    }
 }
 
 #[derive(Debug)]
 struct SchedShared {
     pool: Arc<EnginePool>,
-    queue: Mutex<SchedQueue>,
+    state: Mutex<SchedState>,
     ready: Condvar,
-    next_id: AtomicU64,
+    /// Shared with the replacement scheduler across a
+    /// [`BatchRunner::set_exec`] swap, so ids stay globally monotonic and
+    /// sorting by id always recovers submission order.
+    next_id: Arc<AtomicU64>,
     recorder: LatencyRecorder,
+    steals: AtomicU64,
+    affinity_hits: AtomicU64,
+    affinity_misses: AtomicU64,
+    /// `worker_lanes[i]` is the engine lane worker `i` owns.
+    worker_lanes: Vec<usize>,
 }
 
-/// A dynamic work-queue scheduler over an [`EnginePool`]: requests arrive at
-/// any time from any thread ([`Scheduler::submit`] /
-/// [`Scheduler::call`]), worker threads pull them FIFO, check an engine out
-/// per request and record queue-wait and service latency per completion.
+/// A work-stealing scheduler over an [`EnginePool`]: every worker owns one
+/// warm engine and a local two-lane run queue; requests arrive at any time
+/// from any thread ([`Scheduler::submit`] for bulk work, [`Scheduler::call`]
+/// / [`Scheduler::call_push`] for interactive round trips) and are placed on
+/// the affine or least-loaded worker. An idle worker steals from the tail of
+/// the most-loaded queue, so no single hot queue can strand the rest of the
+/// fleet — and because every request is engine-agnostic, a stolen request's
+/// result is bit-identical to an affine one's.
 ///
 /// Shutting the scheduler down ([`Scheduler::shutdown`] or drop) is
-/// graceful: already-queued work is finished before the workers exit.
+/// graceful: already-queued work is finished (local or stolen) before the
+/// workers check their engines back in and exit.
 #[derive(Debug)]
 pub struct Scheduler {
     shared: Arc<SchedShared>,
@@ -396,25 +594,48 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// Starts `workers` worker threads over `pool`. More workers than pool
-    /// lanes cannot help (they would only queue on the pool); size with
-    /// [`ExecStrategy::pool_workers`].
+    /// Starts `workers` worker threads over `pool`, each owning one engine
+    /// checked out for the worker's lifetime. `workers` is clamped to the
+    /// pool size (an engine-less worker could serve nothing); size with
+    /// [`ExecStrategy::pool_workers`]. Blocks until `workers` engines are
+    /// free, so build the scheduler over a pool whose engines are not
+    /// checked out elsewhere.
     #[must_use]
     pub fn new(pool: Arc<EnginePool>, workers: usize) -> Self {
+        Self::with_ids(pool, workers, Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Like [`Scheduler::new`], but drawing request ids from a shared
+    /// counter — the mechanism that keeps ids monotonic across a
+    /// [`BatchRunner::set_exec`] scheduler swap.
+    fn with_ids(pool: Arc<EnginePool>, workers: usize, next_id: Arc<AtomicU64>) -> Self {
+        let workers = workers.clamp(1, pool.lanes());
+        let mut engines: Vec<PooledEngine> = (0..workers).map(|_| pool.checkout()).collect();
+        // Deterministic worker→lane mapping (lowest lanes first), so tests
+        // and telemetry can reason about placement.
+        engines.sort_by_key(PooledEngine::lane);
+        let worker_lanes: Vec<usize> = engines.iter().map(PooledEngine::lane).collect();
         let shared = Arc::new(SchedShared {
             pool,
-            queue: Mutex::new(SchedQueue {
-                jobs: VecDeque::new(),
+            state: Mutex::new(SchedState {
+                queues: (0..workers).map(|_| WorkerQueue::default()).collect(),
                 closed: false,
+                rr_cursor: 0,
             }),
             ready: Condvar::new(),
-            next_id: AtomicU64::new(0),
+            next_id,
             recorder: LatencyRecorder::new(),
+            steals: AtomicU64::new(0),
+            affinity_hits: AtomicU64::new(0),
+            affinity_misses: AtomicU64::new(0),
+            worker_lanes,
         });
-        let workers = (0..workers.max(1))
-            .map(|_| {
+        let workers = engines
+            .into_iter()
+            .enumerate()
+            .map(|(index, engine)| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || worker_loop(&shared, index, engine))
             })
             .collect();
         let (results_tx, results_rx) = mpsc::channel();
@@ -446,44 +667,72 @@ impl Scheduler {
         &self.shared.pool
     }
 
-    /// Requests queued but not yet picked up by a worker.
+    /// Engine lane owned by each worker (`worker_lanes()[i]` is worker
+    /// `i`'s lane): the valid affinity-hint values, and the lanes request
+    /// records attribute service time to.
+    #[must_use]
+    pub fn worker_lanes(&self) -> &[usize] {
+        &self.shared.worker_lanes
+    }
+
+    /// Requests queued but not yet picked up by a worker, over all lanes.
     #[must_use]
     pub fn pending(&self) -> usize {
         self.shared
-            .queue
+            .state
             .lock()
             .expect("scheduler poisoned")
-            .jobs
-            .len()
+            .queues
+            .iter()
+            .map(WorkerQueue::len)
+            .sum()
     }
 
-    /// Cumulative request counters and latency percentiles.
+    /// Cumulative request counters, steal/affinity telemetry and latency
+    /// percentiles.
     #[must_use]
     pub fn stats(&self) -> SchedulerStats {
-        self.shared.recorder.stats()
+        let mut stats = self.shared.recorder.stats();
+        stats.steals = self.shared.steals.load(Ordering::Relaxed);
+        stats.affinity_hits = self.shared.affinity_hits.load(Ordering::Relaxed);
+        stats.affinity_misses = self.shared.affinity_misses.load(Ordering::Relaxed);
+        stats
     }
 
-    fn enqueue(&self, stream: Arc<EventStream>, reply: mpsc::Sender<RequestRecord>) -> u64 {
+    fn enqueue(&self, priority: Priority, affinity: Option<usize>, kind: JobKind) -> u64 {
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
         {
-            let mut queue = self.shared.queue.lock().expect("scheduler poisoned");
-            assert!(!queue.closed, "submit on a shut-down scheduler");
-            queue.jobs.push_back(Job {
-                id,
-                stream,
-                enqueued: Instant::now(),
-                reply,
-            });
+            let mut state = self.shared.state.lock().expect("scheduler poisoned");
+            assert!(!state.closed, "submit on a shut-down scheduler");
+            let target = affinity
+                .and_then(|lane| self.shared.worker_lanes.iter().position(|&l| l == lane))
+                .unwrap_or_else(|| state.least_loaded());
+            state.queues[target].push(
+                Job {
+                    id,
+                    enqueued: Instant::now(),
+                    affinity,
+                    kind,
+                },
+                priority,
+            );
         }
         self.shared.ready.notify_one();
         id
     }
 
-    /// Enqueues one request; its completion is collected by
+    /// Enqueues one bulk request; its completion is collected by
     /// [`Scheduler::drain`]. Returns the request id (ids order submissions).
     /// Accepts an owned stream or an `Arc` (no event copy for the latter).
     pub fn submit(&mut self, stream: impl Into<Arc<EventStream>>) -> u64 {
-        let id = self.enqueue(stream.into(), self.results_tx.clone());
+        let id = self.enqueue(
+            Priority::Bulk,
+            None,
+            JobKind::Infer {
+                stream: stream.into(),
+                reply: self.results_tx.clone(),
+            },
+        );
         self.outstanding += 1;
         id
     }
@@ -501,13 +750,61 @@ impl Scheduler {
         records
     }
 
-    /// Synchronous round trip: enqueues the request and blocks until its
-    /// completion record arrives. Callable from any thread (this is the
-    /// entry point a server's connection handlers use).
+    /// Synchronous interactive round trip: enqueues the request on the
+    /// priority lane (ahead of bulk [`Scheduler::submit`] work) and blocks
+    /// until its completion record arrives. Callable from any thread (this
+    /// is the entry point a server's connection handlers use).
     #[must_use]
     pub fn call(&self, stream: impl Into<Arc<EventStream>>) -> RequestRecord {
+        self.call_with_affinity(stream, None)
+    }
+
+    /// [`Scheduler::call`] with a lane-affinity hint: the request is placed
+    /// on the worker owning `affinity` when that lane exists (falling back
+    /// to the least-loaded worker otherwise). The hint never changes the
+    /// result — a steal still serves it bit-identically — it only biases
+    /// placement; the record's `lane` says who actually served it.
+    #[must_use]
+    pub fn call_with_affinity(
+        &self,
+        stream: impl Into<Arc<EventStream>>,
+        affinity: Option<usize>,
+    ) -> RequestRecord {
         let (tx, rx) = mpsc::channel();
-        let _ = self.enqueue(stream.into(), tx);
+        let _ = self.enqueue(
+            Priority::Interactive,
+            affinity,
+            JobKind::Infer {
+                stream: stream.into(),
+                reply: tx,
+            },
+        );
+        rx.recv().expect("scheduler worker disconnected")
+    }
+
+    /// Synchronous interactive streaming round trip: sends `client` and one
+    /// chunk of its feed through the fleet and blocks until the
+    /// [`PushRecord`] (carrying the advanced `client`) comes back. Pass the
+    /// previous record's `lane` as `affinity` to keep a session on a warm
+    /// engine; state is engine-agnostic, so an affinity miss is
+    /// bit-identical.
+    #[must_use]
+    pub fn call_push(
+        &self,
+        client: ClientState,
+        chunk: impl Into<Arc<EventStream>>,
+        affinity: Option<usize>,
+    ) -> PushRecord {
+        let (tx, rx) = mpsc::channel();
+        let _ = self.enqueue(
+            Priority::Interactive,
+            affinity,
+            JobKind::Push {
+                client: Box::new(client),
+                chunk: chunk.into(),
+                reply: tx,
+            },
+        );
         rx.recv().expect("scheduler worker disconnected")
     }
 
@@ -521,8 +818,8 @@ impl Scheduler {
 
     fn close_and_join(&mut self) {
         {
-            let mut queue = self.shared.queue.lock().expect("scheduler poisoned");
-            queue.closed = true;
+            let mut state = self.shared.state.lock().expect("scheduler poisoned");
+            state.closed = true;
         }
         self.shared.ready.notify_all();
         for worker in self.workers.drain(..) {
@@ -537,39 +834,106 @@ impl Drop for Scheduler {
     }
 }
 
-fn worker_loop(shared: &SchedShared) {
+/// One worker of the fleet: serve the local queue (interactive ahead of
+/// bulk, bounded bypass), steal from the most-loaded peer when idle, exit —
+/// returning the owned engine — only once the scheduler is closed and every
+/// queue is empty (graceful drain-first shutdown).
+fn worker_loop(shared: &SchedShared, index: usize, mut engine: PooledEngine) {
     loop {
+        let mut stolen = false;
         let job = {
-            let mut queue = shared.queue.lock().expect("scheduler poisoned");
+            let mut state = shared.state.lock().expect("scheduler poisoned");
+            // A steal needs an expired grace period first: the victim was
+            // notified for its own jobs and deserves one scheduling quantum
+            // to serve them. Without the grace, the first worker a one-core
+            // host happens to schedule strips every peer's queue — all
+            // throughput, zero lane spread. Shutdown waives the grace so
+            // the backlog drains at full speed.
+            let mut grace_expired = false;
             loop {
-                if let Some(job) = queue.jobs.pop_front() {
+                if let Some(job) = state.queues[index].pop_local() {
                     break Some(job);
                 }
-                if queue.closed {
+                if grace_expired || state.closed {
+                    if let Some(job) = state.steal_for(index) {
+                        stolen = true;
+                        break Some(job);
+                    }
+                }
+                if state.closed {
                     break None;
                 }
-                queue = shared.ready.wait(queue).expect("scheduler poisoned");
+                // Pending work this worker must not (yet) take: the wakeup
+                // token that landed here was meant for the job's owner, so
+                // forward it before sleeping — otherwise the notify would
+                // be consumed and the job stranded. The bounded wait doubles
+                // as the steal grace and as a lost-wakeup backstop: a missed
+                // notify costs milliseconds, never a hang.
+                if state.has_work() {
+                    shared.ready.notify_one();
+                }
+                let (next, timeout) = shared
+                    .ready
+                    .wait_timeout(state, STEAL_GRACE)
+                    .expect("scheduler poisoned");
+                state = next;
+                grace_expired = timeout.timed_out();
             }
         };
-        let Some(job) = job else { return };
-        let mut engine = shared.pool.checkout();
+        let Some(job) = job else {
+            shared.pool.checkin(engine);
+            return;
+        };
+        if stolen {
+            shared.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        let lane = engine.lane();
+        if let Some(hint) = job.affinity {
+            let counter = if hint == lane {
+                &shared.affinity_hits
+            } else {
+                &shared.affinity_misses
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
         let queue_us = job.enqueued.elapsed().as_secs_f64() * 1e6;
         let service_start = Instant::now();
-        let result = engine.infer(&job.stream);
-        let service_us = service_start.elapsed().as_secs_f64() * 1e6;
-        let lane = engine.lane();
-        shared.pool.checkin(engine);
-        shared
-            .recorder
-            .record(queue_us, service_us, result.is_err());
         // A dropped receiver (caller gave up) is not an error.
-        let _ = job.reply.send(RequestRecord {
-            id: job.id,
-            result,
-            lane,
-            queue_us,
-            service_us,
-        });
+        match job.kind {
+            JobKind::Infer { stream, reply } => {
+                let result = engine.infer(&stream);
+                let service_us = service_start.elapsed().as_secs_f64() * 1e6;
+                shared
+                    .recorder
+                    .record(queue_us, service_us, result.is_err());
+                let _ = reply.send(RequestRecord {
+                    id: job.id,
+                    result,
+                    lane,
+                    queue_us,
+                    service_us,
+                });
+            }
+            JobKind::Push {
+                mut client,
+                chunk,
+                reply,
+            } => {
+                let result = engine.push(&mut client, &chunk);
+                let service_us = service_start.elapsed().as_secs_f64() * 1e6;
+                shared
+                    .recorder
+                    .record(queue_us, service_us, result.is_err());
+                let _ = reply.send(PushRecord {
+                    id: job.id,
+                    client: *client,
+                    result,
+                    lane,
+                    queue_us,
+                    service_us,
+                });
+            }
+        }
     }
 }
 
@@ -605,6 +969,21 @@ pub struct BatchReport {
     /// Host busy fraction of each pool lane over the run's wall time, in
     /// `[0, 1]` (index = lane).
     pub lane_utilization: Vec<f64>,
+    /// Evenness of the per-lane busy time: minimum lane busy time over the
+    /// mean lane busy time, in `[0, 1]` (1 = perfectly even, 0 = at least
+    /// one lane never served; 0 for an empty batch). The fairness gates
+    /// assert a floor on this, so a lane-utilization collapse cannot
+    /// regress silently.
+    pub utilization_spread: f64,
+    /// Requests served by a worker that stole them from another worker's
+    /// queue (always 0 for the statically pinned
+    /// [`BatchRunner::run_round_robin`]).
+    pub steals: u64,
+    /// Requests submitted with an affinity hint and served on the hinted
+    /// lane.
+    pub affinity_hits: u64,
+    /// Requests submitted with an affinity hint and served elsewhere.
+    pub affinity_misses: u64,
 }
 
 /// Drives a fleet of pooled engines over many streams and aggregates their
@@ -641,9 +1020,15 @@ pub struct BatchRunner {
     pool: Arc<EnginePool>,
     scheduler: Scheduler,
     exec: ExecStrategy,
+    /// Request-id source shared across every scheduler this runner builds,
+    /// so ids stay monotonic (and drain order stays submission order)
+    /// across [`BatchRunner::set_exec`] swaps.
+    ids: Arc<AtomicU64>,
     /// Completion records rescued from a scheduler that was replaced by
     /// [`BatchRunner::set_exec`] while submissions were outstanding;
-    /// returned (in order) by the next [`BatchRunner::drain`].
+    /// returned (in order) by the next [`BatchRunner::drain`]. Each record
+    /// keeps the lane of the engine that actually served it, so utilization
+    /// telemetry stays truthful across the swap.
     carryover: Vec<RequestRecord>,
 }
 
@@ -685,11 +1070,17 @@ impl BatchRunner {
             lanes,
             ExecStrategy::Sequential,
         )?);
-        let scheduler = Scheduler::new(Arc::clone(&pool), exec.pool_workers(lanes));
+        let ids = Arc::new(AtomicU64::new(0));
+        let scheduler = Scheduler::with_ids(
+            Arc::clone(&pool),
+            exec.pool_workers(lanes),
+            Arc::clone(&ids),
+        );
         Ok(Self {
             pool,
             scheduler,
             exec,
+            ids,
             carryover: Vec::new(),
         })
     }
@@ -729,9 +1120,17 @@ impl BatchRunner {
         let workers = exec.pool_workers(self.pool.lanes());
         if workers != self.scheduler.workers() {
             if self.scheduler.outstanding() > 0 {
+                // Rescued records keep the lane of the engine that served
+                // them (never remapped to the new scheduler's workers), so
+                // utilization attribution stays truthful across the swap.
                 self.carryover.extend(self.scheduler.drain());
             }
-            self.scheduler = Scheduler::new(Arc::clone(&self.pool), workers);
+            // Shut the old scheduler down FIRST: its workers own their
+            // engines, and the replacement blocks checking its own out
+            // until they are returned.
+            self.scheduler.shutdown();
+            self.scheduler =
+                Scheduler::with_ids(Arc::clone(&self.pool), workers, Arc::clone(&self.ids));
         }
     }
 
@@ -743,18 +1142,21 @@ impl BatchRunner {
     }
 
     /// Waits for all submitted requests and returns their completion records
-    /// in submission order (records rescued by [`BatchRunner::set_exec`]
-    /// first — submission order is preserved across the swap).
+    /// in submission order. Ids are drawn from one shared counter across
+    /// [`BatchRunner::set_exec`] swaps, so sorting rescued and fresh records
+    /// together by id is exactly submission order.
     pub fn drain(&mut self) -> Vec<RequestRecord> {
         let mut records = std::mem::take(&mut self.carryover);
         records.extend(self.scheduler.drain());
+        records.sort_by_key(|r| r.id);
         records
     }
 
     /// Runs every stream through the dynamic scheduler (submit-all, then
-    /// drain) and aggregates the statistics. Engines are checked out per
-    /// request, so the stream→engine placement is dynamic; every per-stream
-    /// *result* is nonetheless bit-identical to the statically pinned
+    /// drain) and aggregates the statistics. Placement is dynamic —
+    /// least-loaded dispatch plus work stealing — so the stream→engine
+    /// mapping varies run to run; every per-stream *result* is nonetheless
+    /// bit-identical to the statically pinned
     /// [`BatchRunner::run_round_robin`], in input order, because each
     /// request starts from resting neuron state.
     ///
@@ -767,12 +1169,14 @@ impl BatchRunner {
             self.carryover.is_empty() && self.scheduler.outstanding() == 0,
             "drain() incremental submissions before a closed-batch run()"
         );
+        let before = self.scheduler.stats();
         let wall_start = Instant::now();
         for stream in streams {
             let _ = self.scheduler.submit(stream.clone());
         }
         let records = self.scheduler.drain();
         let wall_us = wall_start.elapsed().as_secs_f64() * 1e6;
+        let after = self.scheduler.stats();
 
         let mut queue_samples = Vec::with_capacity(records.len());
         let mut service_samples = Vec::with_capacity(records.len());
@@ -803,6 +1207,11 @@ impl BatchRunner {
             &service_samples,
             &lane_busy_us,
             wall_us,
+            StealTelemetry {
+                steals: after.steals - before.steals,
+                affinity_hits: after.affinity_hits - before.affinity_hits,
+                affinity_misses: after.affinity_misses - before.affinity_misses,
+            },
         ))
     }
 
@@ -812,18 +1221,32 @@ impl BatchRunner {
     /// threads under a parallel [`ExecStrategy`], exactly the pre-scheduler
     /// behavior). Queue-wait latency is zero by construction.
     ///
+    /// The oracle fleet is built fresh from the shared artifact rather than
+    /// checked out of the pool — the scheduler's workers own the pool's
+    /// engines, and an engine is a deterministic function of the artifact,
+    /// so a fresh fleet produces identical results without deadlocking on
+    /// ownership.
+    ///
     /// # Errors
     ///
     /// Propagates the inference error of the lowest-numbered failing stream.
     pub fn run_round_robin(&mut self, streams: &[EventStream]) -> Result<BatchReport, SneError> {
         let wall_start = Instant::now();
         let lanes = self.pool.lanes();
-        let mut engines: Vec<PooledEngine> = (0..lanes).map(|_| self.pool.checkout()).collect();
+        let artifact = self.pool.artifact();
+        let mut engines: Vec<PooledEngine> = (0..lanes)
+            .map(|lane| PooledEngine {
+                lane,
+                artifact: Arc::clone(artifact),
+                engine: artifact.new_engine(self.pool.engine_exec()),
+                scratch: artifact.new_client(),
+            })
+            .collect();
 
-        // The physical pool lane that served a walk slot, plus per-stream
-        // results (with service time) — or the first `(stream index, error)`
-        // the slot hit. Checkout order is unspecified, so the physical lane
-        // id is carried explicitly for utilization attribution.
+        // The lane that served a walk slot, plus per-stream results (with
+        // service time) — or the first `(stream index, error)` the slot
+        // hit. Slot `i` owns lane `i` by construction, but the lane id is
+        // still carried explicitly for utilization attribution.
         type LaneOutcome = (
             usize,
             Result<Vec<(usize, InferenceResult, f64)>, (usize, SneError)>,
@@ -855,9 +1278,7 @@ impl BatchRunner {
             }
             (engine.lane(), Ok(outcomes))
         });
-        for engine in engines {
-            self.pool.checkin(engine);
-        }
+        drop(engines);
         let wall_us = wall_start.elapsed().as_secs_f64() * 1e6;
 
         // Deterministic reduction: first failing stream index wins; otherwise
@@ -898,13 +1319,24 @@ impl BatchRunner {
             &service_samples,
             &lane_busy_us,
             wall_us,
+            StealTelemetry::default(),
         ))
     }
+}
+
+/// Work-stealing/affinity counters of one batch run (all zero for the
+/// statically pinned oracle).
+#[derive(Debug, Default)]
+struct StealTelemetry {
+    steals: u64,
+    affinity_hits: u64,
+    affinity_misses: u64,
 }
 
 /// Builds the aggregated report from per-stream results plus the
 /// host-measured latency samples — shared by the dynamic and the round-robin
 /// runner so the deterministic (modelled) fields cannot drift apart.
+#[allow(clippy::too_many_arguments)]
 fn assemble_report(
     results: Vec<InferenceResult>,
     lanes: usize,
@@ -913,6 +1345,7 @@ fn assemble_report(
     service_samples: &[f64],
     lane_busy_us: &[f64],
     wall_us: f64,
+    stealing: StealTelemetry,
 ) -> BatchReport {
     let mut lane_time_ms = vec![0.0f64; lanes];
     let mut total_stats = CycleStats::new();
@@ -935,7 +1368,7 @@ fn assemble_report(
     } else {
         total_energy_uj / results.len() as f64
     };
-    let lane_utilization = lane_busy_us
+    let lane_utilization: Vec<f64> = lane_busy_us
         .iter()
         .map(|&busy| {
             if wall_us > 0.0 {
@@ -945,6 +1378,13 @@ fn assemble_report(
             }
         })
         .collect();
+    let busy_mean = lane_busy_us.iter().sum::<f64>() / lanes.max(1) as f64;
+    let busy_min = lane_busy_us.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    let utilization_spread = if busy_mean > 0.0 {
+        (busy_min / busy_mean).min(1.0)
+    } else {
+        0.0
+    };
     BatchReport {
         lanes,
         total_stats,
@@ -956,6 +1396,10 @@ fn assemble_report(
         queue_latency: LatencySummary::from_samples_us(queue_samples),
         service_latency: LatencySummary::from_samples_us(service_samples),
         lane_utilization,
+        utilization_spread,
+        steals: stealing.steals,
+        affinity_hits: stealing.affinity_hits,
+        affinity_misses: stealing.affinity_misses,
         results,
     }
 }
@@ -1310,6 +1754,97 @@ mod tests {
         assert!(report.aggregate_rate.is_infinite());
         assert_eq!(report.service_latency, LatencySummary::default());
         assert_eq!(report.lane_utilization, vec![0.0, 0.0]);
-        assert_eq!(runner.pool().idle_lanes(), 2);
+        assert_eq!(report.utilization_spread, 0.0);
+        assert_eq!(report.steals, 0);
+        // The sequential runner's single worker owns one of the two engines
+        // for the scheduler's lifetime; the other lane stays idle.
+        assert_eq!(runner.pool().idle_lanes(), 1);
+        let pool = Arc::clone(runner.pool());
+        drop(runner);
+        assert_eq!(pool.idle_lanes(), 2);
+    }
+
+    fn dummy_job(id: u64) -> Job {
+        let (reply, _rx) = mpsc::channel();
+        Job {
+            id,
+            enqueued: Instant::now(),
+            affinity: None,
+            kind: JobKind::Infer {
+                stream: Arc::new(EventStream::new(8, 8, 2, 8)),
+                reply,
+            },
+        }
+    }
+
+    #[test]
+    fn bulk_bypass_guard_prevents_starvation() {
+        let mut queue = WorkerQueue::default();
+        for id in 0..10 {
+            queue.push(dummy_job(id), Priority::Interactive);
+        }
+        queue.push(dummy_job(100), Priority::Bulk);
+        queue.push(dummy_job(101), Priority::Bulk);
+        let order: Vec<u64> = std::iter::from_fn(|| queue.pop_local())
+            .map(|job| job.id)
+            .collect();
+        // Interactive goes first, but after BULK_BYPASS_LIMIT bypasses a
+        // waiting bulk job is force-served — bulk never starves.
+        assert_eq!(order, vec![0, 1, 2, 3, 100, 4, 5, 6, 7, 101, 8, 9]);
+    }
+
+    #[test]
+    fn steal_takes_the_newest_bulk_job_first() {
+        let mut queue = WorkerQueue::default();
+        queue.push(dummy_job(0), Priority::Interactive);
+        queue.push(dummy_job(1), Priority::Interactive);
+        queue.push(dummy_job(10), Priority::Bulk);
+        queue.push(dummy_job(11), Priority::Bulk);
+        // Newest bulk first (owner keeps its FIFO head), then newest
+        // interactive once bulk is exhausted.
+        let stolen: Vec<u64> = std::iter::from_fn(|| queue.steal_tail())
+            .map(|job| job.id)
+            .collect();
+        assert_eq!(stolen, vec![11, 10, 1, 0]);
+    }
+
+    #[test]
+    fn set_exec_carryover_keeps_lane_attribution() {
+        let network = Arc::new(compiled());
+        // 3-lane pool, sequential exec: one worker owning one engine. The
+        // owned lane is whatever the pool handed out — capture it.
+        let mut runner = BatchRunner::with_exec(
+            Arc::clone(&network),
+            SneConfig::with_slices(2),
+            3,
+            ExecStrategy::Sequential,
+        )
+        .unwrap();
+        let owned_lane = runner.scheduler().worker_lanes()[0];
+        let streams = streams(4);
+        for stream in &streams {
+            let _ = runner.submit(stream.clone());
+        }
+        // The swap rescues the outstanding completions. Regression: rescued
+        // records must keep the lane of the engine that actually served them
+        // (the old scheduler's owned lane), not be remapped to the new
+        // scheduler's worker indices.
+        runner.set_exec(ExecStrategy::threaded(3));
+        let records = runner.drain();
+        assert_eq!(records.len(), 4);
+        let mut session =
+            InferenceSession::new(Arc::clone(&network), SneConfig::with_slices(2)).unwrap();
+        for (record, stream) in records.iter().zip(&streams) {
+            assert_eq!(record.lane, owned_lane, "carried record lost its lane");
+            assert_eq!(
+                record.result.as_ref().unwrap(),
+                &session.infer(stream).unwrap()
+            );
+        }
+        // Ids recover submission order across the swap.
+        let ids: Vec<u64> = records.iter().map(|r| r.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
     }
 }

@@ -2,13 +2,15 @@
 //! stats, graceful shutdown.
 //!
 //! One [`Server`] owns a set of named models, each backed by its own
-//! [`EnginePool`] over a shared [`RuntimeArtifact`]. Connections are
-//! accepted on a listener thread and handled one request per connection;
-//! every inference checks an engine out of its model's pool (queue-wait
-//! measured), runs, and checks it back in. Streaming clients park a
-//! [`ClientState`] in the session table between requests, so a session can
-//! span any number of connections — and be served by any engine of the pool
-//! each time.
+//! [`EnginePool`] over a shared [`RuntimeArtifact`] and fronted by a
+//! work-stealing [`Scheduler`] whose workers own the pool's engines.
+//! Connections are accepted on a listener thread and handled one request
+//! per connection; every inference is an interactive [`Scheduler::call`]
+//! (placed ahead of any bulk backlog, queue-wait measured). Streaming
+//! clients park a [`ClientState`] in the session table between requests
+//! together with the lane that served them last, so the next chunk carries
+//! an affinity hint to the warm engine — a hint only: a steal serves it
+//! bit-identically, and a session can span any number of connections.
 //!
 //! ## Endpoints
 //!
@@ -36,7 +38,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use sne::artifact::{ClientState, RuntimeArtifact};
-use sne::batch::{EnginePool, LatencyRecorder, LatencySummary};
+use sne::batch::{EnginePool, LatencyRecorder, LatencySummary, Scheduler};
 use sne::compile::CompiledNetwork;
 use sne::run::InferenceResult;
 use sne::session::ChunkOutput;
@@ -63,20 +65,25 @@ pub const MAX_STREAM_SESSIONS: usize = 1024;
 /// a flood cannot exhaust OS threads/memory.
 pub const MAX_CONNECTIONS: usize = 256;
 
-/// One registered model: its engine pool plus request counters.
+/// One registered model: its engine pool, the work-stealing scheduler
+/// whose workers own the pool's engines, and request counters.
 #[derive(Debug)]
 struct ModelEntry {
     pool: Arc<EnginePool>,
+    scheduler: Scheduler,
     requests: AtomicU64,
     errors: AtomicU64,
 }
 
 /// One parked streaming session. `client` is `None` while a request is
 /// in flight for it (concurrent pushes to the same session conflict).
+/// `preferred_lane` remembers the engine that served the last chunk — the
+/// affinity hint for the next one.
 #[derive(Debug)]
 struct StreamEntry {
     model: String,
     client: Option<ClientState>,
+    preferred_lane: Option<usize>,
 }
 
 #[derive(Debug)]
@@ -137,8 +144,10 @@ impl ServerBuilder {
         Ok(self.register_pool(name, pool))
     }
 
-    /// Registers an already-built engine pool as `name` (e.g. one shared
-    /// with a [`sne::batch::BatchRunner`]).
+    /// Registers an already-built engine pool as `name`. The pool's
+    /// engines must not be checked out elsewhere when
+    /// [`ServerBuilder::start`] runs: the model's scheduler workers check
+    /// every engine out for the server's lifetime.
     #[must_use]
     pub fn register_pool(mut self, name: &str, pool: Arc<EnginePool>) -> Self {
         self.models.retain(|(n, _)| n != name);
@@ -160,10 +169,15 @@ impl ServerBuilder {
                 .models
                 .into_iter()
                 .map(|(name, pool)| {
+                    // One worker per engine: the whole fleet serves. The
+                    // pool's engines must be free here (the scheduler's
+                    // workers check them out for the server's lifetime).
+                    let scheduler = Scheduler::new(Arc::clone(&pool), pool.lanes());
                     (
                         name,
                         ModelEntry {
                             pool,
+                            scheduler,
                             requests: AtomicU64::new(0),
                             errors: AtomicU64::new(0),
                         },
@@ -422,21 +436,18 @@ fn handle_infer(shared: &ServerShared, body: &str) -> (u16, String) {
             return (400, error_body(&message));
         }
     };
-    let queue_start = Instant::now();
-    let mut engine = entry.pool.checkout();
-    let queue_us = queue_start.elapsed().as_secs_f64() * 1e6;
-    let service_start = Instant::now();
-    let result = engine.infer(&stream);
-    let service_us = service_start.elapsed().as_secs_f64() * 1e6;
-    entry.pool.checkin(engine);
+    // Interactive priority lane: one-shot inferences are latency-sensitive
+    // and cut ahead of any bulk backlog on the fleet.
+    let record = entry.scheduler.call(stream);
     shared
         .recorder
-        .record(queue_us, service_us, result.is_err());
-    match result {
+        .record(record.queue_us, record.service_us, record.result.is_err());
+    match record.result {
         Ok(result) => {
             let mut members = result_members(model_name, &result);
-            members.push(("queue_us", Json::from(queue_us)));
-            members.push(("service_us", Json::from(service_us)));
+            members.push(("lane", Json::from(record.lane)));
+            members.push(("queue_us", Json::from(record.queue_us)));
+            members.push(("service_us", Json::from(record.service_us)));
             (200, Json::obj(members).to_string())
         }
         Err(error) => {
@@ -453,10 +464,10 @@ fn handle_stream_push(shared: &ServerShared, id: &str, body: &str) -> (u16, Stri
     };
     let requested_model = doc.get("model").and_then(Json::as_str);
 
-    // Resolve the session: take its parked client (marking it busy), or
-    // create it on first push (which requires a model name and a free slot
-    // in the bounded session table).
-    let (model_name, mut client, created) = {
+    // Resolve the session: take its parked client and affinity hint
+    // (marking it busy), or create it on first push (which requires a
+    // model name and a free slot in the bounded session table).
+    let (model_name, client, created, preferred_lane) = {
         let mut streams = shared.streams.lock().expect("session table poisoned");
         if let Some(entry) = streams.get_mut(id) {
             if requested_model.is_some_and(|m| m != entry.model) {
@@ -465,7 +476,7 @@ fn handle_stream_push(shared: &ServerShared, id: &str, body: &str) -> (u16, Stri
             let Some(client) = entry.client.take() else {
                 return (409, error_body("session busy: a push is in flight"));
             };
-            (entry.model.clone(), client, false)
+            (entry.model.clone(), client, false, entry.preferred_lane)
         } else {
             let Some(model_name) = requested_model else {
                 return (400, error_body("first push must name a 'model'"));
@@ -482,22 +493,27 @@ fn handle_stream_push(shared: &ServerShared, id: &str, body: &str) -> (u16, Stri
                 StreamEntry {
                     model: model_name.to_owned(),
                     client: None, // busy until this push completes
+                    preferred_lane: None,
                 },
             );
-            (model_name.to_owned(), client, true)
+            (model_name.to_owned(), client, true, None)
         }
     };
 
     let entry = shared.model(&model_name).expect("session names a model");
     entry.requests.fetch_add(1, Ordering::Relaxed);
-    // Re-park the client after the push; on a *failed first* push the
-    // freshly created entry is removed instead — the client was never told a
+    // Re-park the client after the push (remembering which lane served it,
+    // the next chunk's affinity hint); on a *failed first* push the freshly
+    // created entry is removed instead — the client was never told a
     // session exists, so keeping it would leak one table slot per bad
     // request.
-    let park = |client: ClientState| {
+    let park = |client: ClientState, served_lane: Option<usize>| {
         let mut streams = shared.streams.lock().expect("session table poisoned");
         if let Some(entry) = streams.get_mut(id) {
             entry.client = Some(client);
+            if served_lane.is_some() {
+                entry.preferred_lane = served_lane;
+            }
         }
     };
     let settle_error = |client: ClientState| {
@@ -505,7 +521,7 @@ fn handle_stream_push(shared: &ServerShared, id: &str, body: &str) -> (u16, Stri
             let mut streams = shared.streams.lock().expect("session table poisoned");
             streams.remove(id);
         } else {
-            park(client);
+            park(client, None);
         }
     };
 
@@ -517,25 +533,23 @@ fn handle_stream_push(shared: &ServerShared, id: &str, body: &str) -> (u16, Stri
             return (400, error_body(&message));
         }
     };
-    let queue_start = Instant::now();
-    let mut engine = entry.pool.checkout();
-    let queue_us = queue_start.elapsed().as_secs_f64() * 1e6;
-    let service_start = Instant::now();
-    let pushed = engine.push(&mut client, &chunk);
-    let service_us = service_start.elapsed().as_secs_f64() * 1e6;
-    entry.pool.checkin(engine);
+    // Interactive priority lane, with the parked affinity hint: the warm
+    // engine when the fleet has room, any engine (bit-identically) when
+    // load says otherwise.
+    let record = entry.scheduler.call_push(client, chunk, preferred_lane);
     shared
         .recorder
-        .record(queue_us, service_us, pushed.is_err());
+        .record(record.queue_us, record.service_us, record.result.is_err());
+    let client = record.client;
     let chunks_pushed = client.chunks_pushed();
-    match pushed {
+    match record.result {
         Ok(ChunkOutput {
             output,
             stats,
             start_timestep,
             timesteps,
         }) => {
-            park(client);
+            park(client, Some(record.lane));
             (
                 200,
                 Json::obj(vec![
@@ -546,8 +560,9 @@ fn handle_stream_push(shared: &ServerShared, id: &str, body: &str) -> (u16, Stri
                     ("chunks_pushed", Json::from(chunks_pushed)),
                     ("total_cycles", Json::from(stats.total_cycles)),
                     ("events", events_json(&output)),
-                    ("queue_us", Json::from(queue_us)),
-                    ("service_us", Json::from(service_us)),
+                    ("lane", Json::from(record.lane)),
+                    ("queue_us", Json::from(record.queue_us)),
+                    ("service_us", Json::from(record.service_us)),
                 ])
                 .to_string(),
             )
@@ -610,6 +625,7 @@ fn stats_body(shared: &ServerShared) -> String {
             .models
             .iter()
             .map(|(name, entry)| {
+                let sched = entry.scheduler.stats();
                 (
                     name.clone(),
                     Json::obj(vec![
@@ -619,7 +635,11 @@ fn stats_body(shared: &ServerShared) -> String {
                         ),
                         ("errors", Json::from(entry.errors.load(Ordering::Relaxed))),
                         ("lanes", Json::from(entry.pool.lanes())),
-                        ("idle_lanes", Json::from(entry.pool.idle_lanes())),
+                        ("workers", Json::from(entry.scheduler.workers())),
+                        ("pending", Json::from(entry.scheduler.pending())),
+                        ("steals", Json::from(sched.steals)),
+                        ("affinity_hits", Json::from(sched.affinity_hits)),
+                        ("affinity_misses", Json::from(sched.affinity_misses)),
                     ]),
                 )
             })
