@@ -267,7 +267,12 @@ impl RuntimeArtifact {
         plan_enabled: bool,
     ) -> Result<InferenceResult, SneError> {
         check_geometry(&self.network, input)?;
-        client.reset();
+        // Clearing the accumulators is all a fresh inference needs: with
+        // `chunks_pushed` back at zero the push below runs non-resumed, which
+        // never reads the prior neuron state and overwrites every cluster
+        // slot on export — so the O(neurons) membrane zeroing of a full
+        // [`ClientState::reset`] would be redundant work on the hot path.
+        client.reset_accumulators();
         let _ = self.push(engine, client, input, plan_enabled)?;
         Ok(self.summary(client))
     }
@@ -373,6 +378,14 @@ impl ClientState {
         for state in &mut self.states {
             state.reset();
         }
+        self.reset_accumulators();
+    }
+
+    /// Clears the streaming cursor and result accumulators without touching
+    /// the neuron state buffers. Sufficient before a whole-sample inference:
+    /// a non-resumed run never reads prior state and overwrites every
+    /// cluster slot on export ([`RuntimeArtifact::infer`] relies on this).
+    pub(crate) fn reset_accumulators(&mut self) {
         for layer in &mut self.layer_totals {
             layer.stats = CycleStats::new();
             layer.input_events = 0;

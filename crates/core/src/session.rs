@@ -49,7 +49,7 @@ use std::sync::Arc;
 
 use sne_event::EventStream;
 use sne_sim::{
-    CycleStats, Engine, ExecStrategy, LayerMapping, LayerPlan, LayerRunOutput, LayerState,
+    CycleStats, Engine, ExecStrategy, Kernel, LayerMapping, LayerPlan, LayerRunOutput, LayerState,
     SimError, SneConfig,
 };
 
@@ -548,6 +548,21 @@ impl InferenceSession {
     /// never changes results).
     pub fn set_exec(&mut self, exec: ExecStrategy) {
         self.engine.set_exec(exec);
+    }
+
+    /// The membrane kernel the session's engine runs on (blocked/SIMD or the
+    /// scalar oracle).
+    #[must_use]
+    pub fn kernel(&self) -> Kernel {
+        self.engine.kernel()
+    }
+
+    /// Switches the engine between the blocked/SIMD membrane kernel and the
+    /// scalar oracle. The two are bit-identical in outputs, statistics,
+    /// traces and persisted state; only host wall-clock time differs — this
+    /// switch exists for A/B validation and the `datapath_report` benchmark.
+    pub fn set_kernel(&mut self, kernel: Kernel) {
+        self.engine.set_kernel(kernel);
     }
 
     /// The compiled layer plans the session runs on (shared, read-only).

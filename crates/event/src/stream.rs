@@ -288,18 +288,54 @@ impl EventStream {
         self.op_sequence(false)
     }
 
+    /// [`EventStream::to_op_sequence`] into a caller-provided buffer
+    /// (cleared first, capacity kept): the allocation-free form for hot
+    /// paths that build an op sequence per chunk.
+    pub fn to_op_sequence_into(&self, out: &mut Vec<Event>) {
+        self.op_sequence_into(true, out);
+    }
+
+    /// [`EventStream::to_op_sequence_continuing`] into a caller-provided
+    /// buffer (cleared first, capacity kept).
+    pub fn to_op_sequence_continuing_into(&self, out: &mut Vec<Event>) {
+        self.op_sequence_into(false, out);
+    }
+
     fn op_sequence(&self, reset: bool) -> Vec<Event> {
-        let mut ops = Vec::with_capacity(
-            self.spike_count() + self.geometry.timesteps as usize + usize::from(reset),
-        );
-        if reset {
-            ops.push(Event::reset(0));
-        }
-        for (t, spikes) in self.spikes_by_timestep().into_iter().enumerate() {
-            ops.extend(spikes);
-            ops.push(Event::fire(t as u32));
-        }
+        let mut ops = Vec::new();
+        self.op_sequence_into(reset, &mut ops);
         ops
+    }
+
+    /// One counting-sort pass instead of per-timestep bucket vectors: count
+    /// the spikes of each timestep, lay out `[spikes of t..., FIRE_OP(t)]`
+    /// runs, then place each spike at its cursor. Stable (insertion order
+    /// within a timestep), identical output to the bucketed formulation.
+    fn op_sequence_into(&self, reset: bool, out: &mut Vec<Event>) {
+        let timesteps = self.geometry.timesteps as usize;
+        let mut cursors = vec![0usize; timesteps];
+        let mut spikes = 0usize;
+        for e in self.events.iter().filter(|e| e.is_spike()) {
+            cursors[e.t as usize] += 1;
+            spikes += 1;
+        }
+        let lead = usize::from(reset);
+        out.clear();
+        out.resize(lead + spikes + timesteps, Event::fire(0));
+        if reset {
+            out[0] = Event::reset(0);
+        }
+        let mut at = lead;
+        for (t, cursor) in cursors.iter_mut().enumerate() {
+            let here = *cursor;
+            *cursor = at;
+            at += here + 1;
+            out[at - 1] = Event::fire(t as u32);
+        }
+        for e in self.events.iter().filter(|e| e.is_spike()) {
+            out[cursors[e.t as usize]] = *e;
+            cursors[e.t as usize] += 1;
+        }
     }
 
     /// Merges another stream into this one (the other stream must share the

@@ -626,6 +626,9 @@ fn stats_body(shared: &ServerShared) -> String {
             .iter()
             .map(|(name, entry)| {
                 let sched = entry.scheduler.stats();
+                let plans = entry.pool.artifact().plans();
+                let plan_entries: usize = plans.iter().map(|p| p.table_entries()).sum();
+                let plan_bytes: usize = plans.iter().map(|p| p.table_bytes()).sum();
                 (
                     name.clone(),
                     Json::obj(vec![
@@ -635,6 +638,8 @@ fn stats_body(shared: &ServerShared) -> String {
                         ),
                         ("errors", Json::from(entry.errors.load(Ordering::Relaxed))),
                         ("lanes", Json::from(entry.pool.lanes())),
+                        ("plan_table_entries", Json::from(plan_entries)),
+                        ("plan_table_bytes", Json::from(plan_bytes)),
                         ("workers", Json::from(entry.scheduler.workers())),
                         ("pending", Json::from(entry.scheduler.pending())),
                         ("steals", Json::from(sched.steals)),

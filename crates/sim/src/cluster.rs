@@ -6,10 +6,19 @@
 //! time-of-last-update (TLU) register allows the cluster to skip membrane
 //! updates across timesteps without input activity; units that are not
 //! addressed by the current event are clock-gated.
+//!
+//! Since the structure-of-arrays refactor (DESIGN.md §12) the membrane
+//! memory itself lives in the owning [`crate::slice::Slice`]'s contiguous
+//! arena: a `Cluster` carries only the TLU bookkeeping, the host-side
+//! membrane bound and the activity counters, and every state-touching
+//! method takes its membrane span as an explicit `mem` slice — the
+//! cluster's segment of the arena (possibly extended to the arena's end;
+//! only the first [`Cluster::neurons`] lanes are this cluster's).
 
 use serde::{Deserialize, Serialize};
 
 use crate::mapping::{Contribution, LifHardwareParams};
+use crate::simd::Kernel;
 
 /// Per-cluster activity counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -65,11 +74,13 @@ impl ClusterState {
     }
 }
 
-/// One SNE cluster: `neurons` TDM LIF neurons sharing a datapath.
+/// One SNE cluster: `neurons` TDM LIF neurons sharing a datapath. The
+/// membrane states live in the owning slice's arena (see the module docs);
+/// the struct itself is pure bookkeeping.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Cluster {
-    /// 8-bit membrane states (stored widened for convenience).
-    states: Vec<i16>,
+    /// Number of TDM neurons (the length of this cluster's membrane span).
+    neurons: usize,
     /// Leak steps accumulated while scans were skipped (TLU lazy catch-up).
     pending_leak_steps: u32,
     /// `true` once an update arrived since the last executed fire scan.
@@ -81,36 +92,67 @@ pub struct Cluster {
     /// modelled cycles, just no O(neurons) walk. Not architectural state:
     /// it is recomputed on [`Cluster::restore`] and never snapshotted.
     max_bound: i16,
+    /// The owning slice's fire epoch (count of TLU-armed `FIRE_OP`s) as of
+    /// this cluster's last sync: the difference to the slice's current
+    /// epoch is the number of scans this cluster skipped but has not yet
+    /// posted to `pending_leak_steps`/`skipped_scans`. Clean clusters are
+    /// thereby not touched at all on a skipped fire — the owed skips
+    /// materialize via [`Cluster::sync_skips`] right before the next
+    /// per-cluster observation, bit-identical to eager posting.
+    #[serde(default)]
+    fires_seen: u64,
     counters: ClusterCounters,
 }
 
 impl Cluster {
-    /// Creates a cluster with `neurons` TDM neurons, all at rest.
+    /// Creates the bookkeeping for a cluster of `neurons` TDM neurons, all
+    /// at rest (the caller's membrane span must start zeroed to match).
     #[must_use]
     pub fn new(neurons: usize) -> Self {
         Self {
-            states: vec![0; neurons],
+            neurons,
             pending_leak_steps: 0,
             dirty: false,
             max_bound: 0,
+            fires_seen: 0,
             counters: ClusterCounters::default(),
         }
+    }
+
+    /// Posts the fire-scan skips owed since the last sync (see
+    /// [`Cluster::fires_seen`]): bit-identical to having called
+    /// [`Cluster::note_skipped_scan`] at each of those fires. The owning
+    /// slice calls this with its current fire epoch before anything
+    /// observes or mutates this cluster's per-cluster state.
+    #[inline]
+    pub(crate) fn sync_skips(&mut self, fire_epoch: u64) {
+        let owed = fire_epoch - self.fires_seen;
+        if owed > 0 {
+            self.fires_seen = fire_epoch;
+            self.pending_leak_steps += owed as u32;
+            self.counters.skipped_scans += owed;
+        }
+    }
+
+    /// Marks this cluster's scan as executed at the given (post-op) fire
+    /// epoch, so the just-handled `FIRE_OP` is not later counted as a skip.
+    #[inline]
+    pub(crate) fn mark_scanned(&mut self, fire_epoch: u64) {
+        self.fires_seen = fire_epoch;
+    }
+
+    /// Fire-scan skips owed but not yet posted (see [`Cluster::sync_skips`]);
+    /// folded into snapshots so exported state is always the eager state.
+    #[inline]
+    #[must_use]
+    pub(crate) fn owed_skips(&self, fire_epoch: u64) -> u32 {
+        (fire_epoch - self.fires_seen) as u32
     }
 
     /// Number of TDM neurons.
     #[must_use]
     pub fn neurons(&self) -> usize {
-        self.states.len()
-    }
-
-    /// Membrane state of a local neuron.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index` is out of range.
-    #[must_use]
-    pub fn state(&self, index: usize) -> i16 {
-        self.states[index]
+        self.neurons
     }
 
     /// Activity counters.
@@ -119,20 +161,63 @@ impl Cluster {
         self.counters
     }
 
-    /// Resets all membranes and the TLU bookkeeping (`RST_OP`).
-    pub fn reset(&mut self) {
-        self.states.iter_mut().for_each(|s| *s = 0);
+    /// Whether the cluster received an update since its last executed fire
+    /// scan (the TLU skip condition reads this).
+    #[inline]
+    #[must_use]
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// The TLU skip bookkeeping of one `FIRE_OP` — exactly what
+    /// [`Cluster::fire_scan_into`]'s skip branch does. The slice's
+    /// all-resting fast path applies it directly, without the per-cluster
+    /// call and arena-segmentation machinery of the general scan loop.
+    #[inline]
+    pub fn note_skipped_scan(&mut self) {
+        self.pending_leak_steps += 1;
+        self.counters.skipped_scans += 1;
+    }
+
+    /// The TLU skip bookkeeping of `n` consecutive `FIRE_OP`s at once —
+    /// bit-identical to calling [`Cluster::note_skipped_scan`] `n` times.
+    /// Backs the worker's all-fire-tail fast-forward: once no update can
+    /// arrive anymore, a clean cluster's remaining scans are all skips, and
+    /// skips only increment these two counters.
+    #[inline]
+    pub fn note_skipped_scans(&mut self, n: u32) {
+        self.pending_leak_steps += n;
+        self.counters.skipped_scans += u64::from(n);
+    }
+
+    /// This cluster's own membrane span of a (possibly extended) `mem`
+    /// slice.
+    #[inline]
+    fn span<'m>(&self, mem: &'m mut [i16]) -> &'m mut [i16] {
+        &mut mem[..self.neurons]
+    }
+
+    /// Resets the membranes and the TLU bookkeeping (`RST_OP`).
+    pub fn reset(&mut self, mem: &mut [i16]) {
+        self.span(mem).fill(0);
+        self.reset_bookkeeping();
+    }
+
+    /// Resets only the bookkeeping half — the owning slice zeroes the whole
+    /// membrane arena in one pass and then calls this per cluster.
+    pub(crate) fn reset_bookkeeping(&mut self) {
         self.pending_leak_steps = 0;
         self.dirty = false;
         self.max_bound = 0;
+        self.fires_seen = 0;
     }
 
     /// Captures the architectural state (membranes + TLU bookkeeping) so it
     /// can be restored later; counters are not part of the snapshot.
     #[must_use]
-    pub fn snapshot(&self) -> ClusterState {
+    pub fn snapshot(&self, mem: &[i16]) -> ClusterState {
         ClusterState {
-            states: self.states.clone(),
+            states: mem[..self.neurons].to_vec(),
             pending_leak_steps: self.pending_leak_steps,
             dirty: self.dirty,
         }
@@ -144,13 +229,13 @@ impl Cluster {
     /// # Panics
     ///
     /// Panics if the snapshot was sized for a different neuron count.
-    pub fn snapshot_into(&self, out: &mut ClusterState) {
+    pub fn snapshot_into(&self, mem: &[i16], out: &mut ClusterState) {
         assert_eq!(
             out.states.len(),
-            self.states.len(),
+            self.neurons,
             "cluster snapshot neuron count mismatch"
         );
-        out.states.copy_from_slice(&self.states);
+        out.states.copy_from_slice(&mem[..self.neurons]);
         out.pending_leak_steps = self.pending_leak_steps;
         out.dirty = self.dirty;
     }
@@ -161,35 +246,33 @@ impl Cluster {
     ///
     /// Panics if the snapshot was taken from a cluster with a different
     /// neuron count.
-    pub fn restore(&mut self, state: &ClusterState) {
+    pub fn restore(&mut self, mem: &mut [i16], state: &ClusterState) {
         assert_eq!(
             state.states.len(),
-            self.states.len(),
+            self.neurons,
             "cluster snapshot neuron count mismatch"
         );
-        self.states.copy_from_slice(&state.states);
+        mem[..self.neurons].copy_from_slice(&state.states);
         self.pending_leak_steps = state.pending_leak_steps;
         self.dirty = state.dirty;
-        self.max_bound = self.states.iter().copied().max().unwrap_or(0);
+        self.max_bound = state.states.iter().copied().max().unwrap_or(0);
     }
 
     /// Applies any leak owed from skipped fire scans. Called before the
     /// cluster state is observed or modified.
     #[inline]
-    fn catch_up(&mut self, params: LifHardwareParams) {
+    fn catch_up(&mut self, mem: &mut [i16], params: LifHardwareParams, kernel: Kernel) {
         if self.pending_leak_steps == 0 {
             return;
         }
-        self.catch_up_cold(params);
+        self.catch_up_cold(mem, params, kernel);
     }
 
     /// The cold half of [`Cluster::catch_up`]: materializes the owed leak.
-    fn catch_up_cold(&mut self, params: LifHardwareParams) {
+    fn catch_up_cold(&mut self, mem: &mut [i16], params: LifHardwareParams, kernel: Kernel) {
         if params.leak != 0 {
             let total = i32::from(params.leak) * self.pending_leak_steps as i32;
-            for state in &mut self.states {
-                *state = clamp_state(i32::from(*state) - total);
-            }
+            kernel.apply_leak(self.span(mem), total);
             // Clamping is monotone, so the shifted bound still dominates.
             self.max_bound = clamp_state(i32::from(self.max_bound) - total);
         }
@@ -206,15 +289,23 @@ impl Cluster {
     }
 
     /// Accumulates a synaptic weight into the local neuron `index`
-    /// (one state update, one cycle on the datapath).
+    /// (one state update, one cycle on the datapath). This is the naive
+    /// reference datapath's per-synapse form; it is always scalar.
     ///
     /// # Panics
     ///
-    /// Panics if `index` is out of range.
-    pub fn integrate(&mut self, index: usize, weight: i8, params: LifHardwareParams) {
-        self.catch_up(params);
-        let state = clamp_state(i32::from(self.states[index]) + i32::from(weight));
-        self.states[index] = state;
+    /// Panics if `index` is outside the cluster's neurons.
+    pub fn integrate(
+        &mut self,
+        mem: &mut [i16],
+        index: usize,
+        weight: i8,
+        params: LifHardwareParams,
+    ) {
+        assert!(index < self.neurons, "neuron index out of range");
+        self.catch_up(mem, params, Kernel::Scalar);
+        let state = clamp_state(i32::from(mem[index]) + i32::from(weight));
+        mem[index] = state;
         self.max_bound = self.max_bound.max(state);
         self.dirty = true;
         self.counters.synaptic_ops += 1;
@@ -223,12 +314,12 @@ impl Cluster {
     /// Accumulates a batch of contributions addressed to this cluster in one
     /// event window: the TLU catch-up runs **once**, then the accumulation is
     /// a tight loop over the contributions — the contribution-list form of
-    /// the window triple (`Cluster::open_window` /
-    /// `Cluster::accumulate_span` / `Cluster::close_window`) the fused
-    /// plan datapath uses, kept public as the batching API for callers that
-    /// hold materialized contribution lists (and pinned against both other
-    /// forms by the equivalence tests). `cluster_base` is the global index
-    /// of this cluster's first neuron.
+    /// the window triple (`open_window` / a
+    /// [`Kernel::accumulate_span`] call / `close_window`) the
+    /// fused plan datapath uses, kept public as the batching API for callers
+    /// that hold materialized contribution lists (and pinned against both
+    /// other forms by the equivalence tests). `cluster_base` is the global
+    /// index of this cluster's first neuron.
     ///
     /// Functionally identical to calling [`Cluster::integrate`] per entry:
     /// within one event window each neuron receives at most one contribution,
@@ -240,6 +331,7 @@ impl Cluster {
     /// Panics if a contribution addresses a neuron outside this cluster.
     pub fn integrate_all(
         &mut self,
+        mem: &mut [i16],
         cluster_base: usize,
         contributions: &[Contribution],
         params: LifHardwareParams,
@@ -247,14 +339,15 @@ impl Cluster {
         if contributions.is_empty() {
             return;
         }
-        self.catch_up(params);
+        self.catch_up(mem, params, Kernel::Scalar);
+        let span = self.span(mem);
         let mut bound = self.max_bound;
         for c in contributions {
             let index = c.neuron - cluster_base;
             // i16 arithmetic cannot overflow here: |state| <= 128, |w| <= 127.
-            let state = (self.states[index] + i16::from(c.weight))
-                .clamp(i16::from(i8::MIN), i16::from(i8::MAX));
-            self.states[index] = state;
+            let state =
+                (span[index] + i16::from(c.weight)).clamp(i16::from(i8::MIN), i16::from(i8::MAX));
+            span[index] = state;
             bound = bound.max(state);
         }
         self.max_bound = bound;
@@ -267,37 +360,21 @@ impl Cluster {
     /// [`Cluster::integrate`] of the window would. Idempotent within a
     /// window.
     #[inline]
-    pub(crate) fn open_window(&mut self, params: LifHardwareParams) {
-        self.catch_up(params);
+    pub(crate) fn open_window(
+        &mut self,
+        mem: &mut [i16],
+        params: LifHardwareParams,
+        kernel: Kernel,
+    ) {
+        self.catch_up(mem, params, kernel);
     }
 
-    /// Accumulates a contiguous span of pre-resolved weights into the local
-    /// neurons starting at `start`, returning the maximum resulting state of
-    /// the span. Must run inside an open window
-    /// (`Cluster::open_window` … `Cluster::close_window`); the window
-    /// triple is bit-identical to [`Cluster::integrate`] per tap.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the span exceeds the cluster's neurons.
-    #[inline]
-    pub(crate) fn accumulate_span(&mut self, start: usize, weights: &[i8]) -> i16 {
-        let mut span_max = i16::from(i8::MIN);
-        for (state, &w) in self.states[start..start + weights.len()]
-            .iter_mut()
-            .zip(weights)
-        {
-            // i16 arithmetic cannot overflow here: |state| <= 128, |w| <= 127.
-            let next = (*state + i16::from(w)).clamp(i16::from(i8::MIN), i16::from(i8::MAX));
-            *state = next;
-            span_max = span_max.max(next);
-        }
-        span_max
-    }
-
-    /// Closes an event window: commits the membrane bound observed by the
-    /// window's `Cluster::accumulate_span` calls and the dirty/ops
-    /// bookkeeping [`Cluster::integrate`] would have performed per tap.
+    /// Closes an event window: commits the **exact** maximum membrane value
+    /// the window's span accumulations observed *within this cluster* and
+    /// the dirty/ops bookkeeping [`Cluster::integrate`] would have performed
+    /// per tap. (Exactness of the bound matters: it decides the fire-scan
+    /// walk elision, and an overestimate could materialize a leak the scalar
+    /// path defers — visible in the persisted `pending_leak_steps`.)
     #[inline]
     pub(crate) fn close_window(&mut self, window_max: i16, taps: u64) {
         self.max_bound = self.max_bound.max(window_max);
@@ -316,9 +393,14 @@ impl Cluster {
     /// the allocation-free [`Cluster::fire_scan_into`], which the engine's
     /// hot path uses exclusively.
     #[cfg(test)]
-    pub fn fire_scan(&mut self, params: LifHardwareParams, tlu_enabled: bool) -> Vec<usize> {
+    pub fn fire_scan(
+        &mut self,
+        mem: &mut [i16],
+        params: LifHardwareParams,
+        tlu_enabled: bool,
+    ) -> Vec<usize> {
         let mut fired = Vec::new();
-        let _ = self.fire_scan_into(params, tlu_enabled, &mut fired);
+        let _ = self.fire_scan_into(mem, params, tlu_enabled, Kernel::Scalar, &mut fired);
         fired
     }
 
@@ -330,42 +412,63 @@ impl Cluster {
     /// are spent).
     pub fn fire_scan_into(
         &mut self,
+        mem: &mut [i16],
         params: LifHardwareParams,
         tlu_enabled: bool,
+        kernel: Kernel,
         out: &mut Vec<usize>,
     ) -> bool {
         if tlu_enabled && !self.dirty {
-            self.pending_leak_steps += 1;
-            self.counters.skipped_scans += 1;
+            self.note_skipped_scan();
             return false;
         }
+        if !self.scan_elides(params) {
+            self.scan_walk(mem, params, kernel, out);
+        }
+        true
+    }
+
+    /// The O(1) half of an executing fire scan: when the membrane bound
+    /// proves no neuron can reach threshold after this leak step, the
+    /// per-neuron walk is elided and the leak deferred — the identical
+    /// lazy-leak argument as the TLU skip, so the architectural state at the
+    /// next observation point is bit-identical. Returns `true` (scan done,
+    /// counters updated) on elision; on `false` the caller must run
+    /// [`Cluster::scan_walk`]. Public so the slice's fire loop can take this
+    /// branch without the arena segmentation the walk needs — at sparse
+    /// activity nearly every *dirty* cluster's scan resolves right here.
+    #[inline]
+    pub fn scan_elides(&mut self, params: LifHardwareParams) -> bool {
+        // The scan executes (cycle cost and counters are those of an
+        // executed scan) whether or not the walk is elided.
+        if self.bound_after_leak(params, 1) < params.threshold {
+            self.counters.fire_scans += 1;
+            self.dirty = false;
+            self.pending_leak_steps += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The per-neuron half of an executing fire scan: materializes the owed
+    /// leak, walks every TDM neuron and appends the local indices of firing
+    /// neurons to `out`. Only valid after [`Cluster::scan_elides`] returned
+    /// `false` (the pair is exactly one executed scan).
+    pub fn scan_walk(
+        &mut self,
+        mem: &mut [i16],
+        params: LifHardwareParams,
+        kernel: Kernel,
+        out: &mut Vec<usize>,
+    ) {
         self.counters.fire_scans += 1;
         self.dirty = false;
-        // The scan executes (cycle cost and counters above are unchanged),
-        // but when the membrane bound proves no neuron can reach threshold
-        // after this leak step, the per-neuron walk is elided and the leak
-        // deferred — the identical lazy-leak argument as the TLU skip, so
-        // the architectural state at the next observation point is
-        // bit-identical.
-        if self.bound_after_leak(params, 1) < params.threshold {
-            self.pending_leak_steps += 1;
-            return true;
-        }
-        self.catch_up(params);
+        self.catch_up(mem, params, kernel);
         let before = out.len();
-        let mut bound = i16::from(i8::MIN);
-        for (i, state) in self.states.iter_mut().enumerate() {
-            *state = clamp_state(i32::from(*state) - i32::from(params.leak));
-            if *state >= params.threshold {
-                *state = 0;
-                out.push(i);
-            }
-            bound = bound.max(*state);
-        }
-        // The full walk visited every neuron, so the bound is exact again.
-        self.max_bound = bound;
+        // The full walk visits every neuron, so the bound is exact again.
+        self.max_bound = kernel.fire_walk(self.span(mem), params.leak, params.threshold, out);
         self.counters.spikes += (out.len() - before) as u64;
-        true
     }
 }
 
@@ -383,9 +486,55 @@ mod tests {
         threshold: 10,
     };
 
+    /// A cluster together with its own little membrane arena — the
+    /// standalone harness the slice normally provides.
+    struct Bench {
+        cluster: Cluster,
+        mem: Vec<i16>,
+    }
+
+    impl Bench {
+        fn new(neurons: usize) -> Self {
+            Self {
+                cluster: Cluster::new(neurons),
+                mem: vec![0; neurons],
+            }
+        }
+
+        fn integrate(&mut self, index: usize, weight: i8, params: LifHardwareParams) {
+            self.cluster.integrate(&mut self.mem, index, weight, params);
+        }
+
+        fn fire_scan(&mut self, params: LifHardwareParams, tlu: bool) -> Vec<usize> {
+            self.cluster.fire_scan(&mut self.mem, params, tlu)
+        }
+
+        fn fire_scan_into(
+            &mut self,
+            params: LifHardwareParams,
+            tlu: bool,
+            out: &mut Vec<usize>,
+        ) -> bool {
+            self.cluster
+                .fire_scan_into(&mut self.mem, params, tlu, Kernel::Scalar, out)
+        }
+
+        fn state(&self, index: usize) -> i16 {
+            self.mem[index]
+        }
+
+        fn counters(&self) -> ClusterCounters {
+            self.cluster.counters()
+        }
+
+        fn snapshot(&self) -> ClusterState {
+            self.cluster.snapshot(&self.mem)
+        }
+    }
+
     #[test]
     fn integrate_accumulates_and_saturates() {
-        let mut c = Cluster::new(4);
+        let mut c = Bench::new(4);
         let params = LifHardwareParams {
             leak: 0,
             threshold: 127,
@@ -403,7 +552,7 @@ mod tests {
 
     #[test]
     fn fire_scan_applies_leak_and_threshold() {
-        let mut c = Cluster::new(2);
+        let mut c = Bench::new(2);
         c.integrate(0, 7, PARAMS);
         c.integrate(0, 6, PARAMS); // state 13
         let fired = c.fire_scan(PARAMS, true);
@@ -415,8 +564,8 @@ mod tests {
 
     #[test]
     fn tlu_skips_scans_without_updates_and_catches_up_leak() {
-        let mut reference = Cluster::new(1);
-        let mut lazy = Cluster::new(1);
+        let mut reference = Bench::new(1);
+        let mut lazy = Bench::new(1);
         let params = LifHardwareParams {
             leak: 2,
             threshold: 100,
@@ -440,7 +589,7 @@ mod tests {
     fn tlu_never_misses_a_spike() {
         // A neuron left exactly below threshold cannot fire during idle
         // timesteps, so skipping scans is functionally safe.
-        let mut c = Cluster::new(1);
+        let mut c = Bench::new(1);
         let params = LifHardwareParams {
             leak: 0,
             threshold: 10,
@@ -456,7 +605,7 @@ mod tests {
 
     #[test]
     fn disabled_tlu_scans_every_timestep() {
-        let mut c = Cluster::new(1);
+        let mut c = Bench::new(1);
         for _ in 0..5 {
             let _ = c.fire_scan(PARAMS, false);
         }
@@ -466,11 +615,11 @@ mod tests {
 
     #[test]
     fn reset_clears_state_and_bookkeeping() {
-        let mut c = Cluster::new(2);
+        let mut c = Bench::new(2);
         c.integrate(0, 5, PARAMS);
         let _ = c.fire_scan(PARAMS, true);
         let _ = c.fire_scan(PARAMS, true); // skipped, pending leak
-        c.reset();
+        c.cluster.reset(&mut c.mem);
         assert_eq!(c.state(0), 0);
         assert_eq!(c.state(1), 0);
         // After reset a scan without updates is skipped again (not dirty).
@@ -479,15 +628,15 @@ mod tests {
 
     #[test]
     fn snapshot_and_restore_round_trip_the_architectural_state() {
-        let mut c = Cluster::new(3);
+        let mut c = Bench::new(3);
         c.integrate(1, 7, PARAMS);
         let _ = c.fire_scan(PARAMS, true);
         let _ = c.fire_scan(PARAMS, true); // skipped: pending leak + not dirty
         let snap = c.snapshot();
         assert!(!snap.is_resting());
 
-        let mut fresh = Cluster::new(3);
-        fresh.restore(&snap);
+        let mut fresh = Bench::new(3);
+        fresh.cluster.restore(&mut fresh.mem, &snap);
         // Continuing from the restored state is indistinguishable from
         // continuing on the original cluster.
         c.integrate(1, 5, PARAMS);
@@ -498,16 +647,16 @@ mod tests {
 
     #[test]
     fn snapshot_into_matches_snapshot() {
-        let mut c = Cluster::new(3);
+        let mut c = Bench::new(3);
         c.integrate(2, 5, PARAMS);
         let mut out = ClusterState::resting(3);
-        c.snapshot_into(&mut out);
+        c.cluster.snapshot_into(&c.mem, &mut out);
         assert_eq!(out, c.snapshot());
     }
 
     #[test]
     fn resting_snapshot_matches_a_fresh_cluster() {
-        let c = Cluster::new(4);
+        let c = Bench::new(4);
         assert_eq!(c.snapshot(), ClusterState::resting(4));
         let mut s = ClusterState::resting(2);
         s.states[0] = 9;
@@ -519,8 +668,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "neuron count mismatch")]
     fn restore_rejects_mismatched_snapshot() {
-        let mut c = Cluster::new(2);
-        c.restore(&ClusterState::resting(3));
+        let mut c = Bench::new(2);
+        c.cluster.restore(&mut c.mem, &ClusterState::resting(3));
     }
 
     #[test]
@@ -529,8 +678,8 @@ mod tests {
             leak: 3,
             threshold: 100,
         };
-        let mut eager = Cluster::new(1);
-        let mut lazy = Cluster::new(1);
+        let mut eager = Bench::new(1);
+        let mut lazy = Bench::new(1);
         eager.integrate(0, -120, params);
         lazy.integrate(0, -120, params);
         for _ in 0..10 {
@@ -558,8 +707,8 @@ mod tests {
                 weight: 7,
             },
         ];
-        let mut batched = Cluster::new(8);
-        let mut single = Cluster::new(8);
+        let mut batched = Bench::new(8);
+        let mut single = Bench::new(8);
         // Give both some deferred leak so the window's one-shot catch-up is
         // exercised against per-tap catch-ups.
         for c in [&mut batched, &mut single] {
@@ -567,7 +716,9 @@ mod tests {
             let _ = c.fire_scan_into(PARAMS, true, &mut Vec::new());
             let _ = c.fire_scan_into(PARAMS, true, &mut Vec::new());
         }
-        batched.integrate_all(128, &contributions, PARAMS);
+        batched
+            .cluster
+            .integrate_all(&mut batched.mem, 128, &contributions, PARAMS);
         for c in &contributions {
             single.integrate(c.neuron - 128, c.weight, PARAMS);
         }
@@ -579,14 +730,16 @@ mod tests {
             single.counters().synaptic_ops
         );
         // The span window triple is a third equivalent formulation.
-        let mut windowed = Cluster::new(8);
+        let mut windowed = Bench::new(8);
         windowed.integrate(2, 9, PARAMS);
         let _ = windowed.fire_scan_into(PARAMS, true, &mut Vec::new());
         let _ = windowed.fire_scan_into(PARAMS, true, &mut Vec::new());
-        windowed.open_window(PARAMS);
-        let a = windowed.accumulate_span(2, &[5, -3]);
-        let b = windowed.accumulate_span(5, &[7]);
-        windowed.close_window(a.max(b), 3);
+        windowed
+            .cluster
+            .open_window(&mut windowed.mem, PARAMS, Kernel::Scalar);
+        let a = Kernel::Scalar.accumulate_span(&mut windowed.mem, 2, &[5, -3]);
+        let b = Kernel::Scalar.accumulate_span(&mut windowed.mem, 5, &[7]);
+        windowed.cluster.close_window(a.max(b), 3);
         for i in 0..8 {
             assert_eq!(windowed.state(i), single.state(i), "neuron {i}");
         }

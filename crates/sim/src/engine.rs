@@ -28,6 +28,7 @@ use crate::mapping::LayerMapping;
 use crate::memory::MemoryModel;
 use crate::plan::{EventRow, LayerPlan};
 use crate::regfile::{Register, RegisterFile};
+use crate::simd::Kernel;
 use crate::slice::Slice;
 use crate::state::LayerState;
 use crate::stats::CycleStats;
@@ -69,6 +70,17 @@ pub struct Engine {
     records: Vec<SliceRecord>,
     /// Per-slice read cursors of the reduction, reused across passes.
     cursors: Vec<usize>,
+    /// The membrane kernel every slice runs (see [`Kernel`]); host time
+    /// only, bit-exact either way.
+    kernel: Kernel,
+    /// Whether [`SneConfig::validate`] already passed for the owned (and
+    /// immutable) configuration: the per-run check then collapses to one
+    /// boolean test instead of re-walking the config on every chunk.
+    config_validated: bool,
+    /// Reusable op-sequence buffer: each run rebuilds the sequence for its
+    /// input chunk in place, so steady-state streaming does not reallocate
+    /// it.
+    op_scratch: Vec<Event>,
 }
 
 impl Engine {
@@ -112,7 +124,26 @@ impl Engine {
             exec,
             records: Vec::new(),
             cursors: Vec::new(),
+            kernel: Kernel::auto(),
+            config_validated: false,
+            op_scratch: Vec::new(),
             config,
+        }
+    }
+
+    /// The membrane kernel the engine's slices run.
+    #[must_use]
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Selects the membrane kernel for every slice (takes effect on the next
+    /// run). Host wall-clock choice only: outputs, statistics, traces and
+    /// persisted state are bit-identical for every kernel.
+    pub fn set_kernel(&mut self, kernel: Kernel) {
+        self.kernel = kernel;
+        for slice in &mut self.slices {
+            slice.set_kernel(kernel);
         }
     }
 
@@ -288,7 +319,12 @@ impl Engine {
         mut state: Option<&mut LayerState>,
         resume: bool,
     ) -> Result<LayerRunOutput, SimError> {
-        self.config.validate()?;
+        // The configuration is owned and immutable after construction, so
+        // one successful validation holds for the engine's lifetime.
+        if !self.config_validated {
+            self.config.validate()?;
+            self.config_validated = true;
+        }
         // When the layer's weight sets fit the per-slice filter buffer they
         // are loaded once per pass; otherwise (large fully-connected layers)
         // the weights are streamed from memory per event, which costs extra
@@ -303,11 +339,15 @@ impl Engine {
         self.collector.reset_counters();
 
         // A resumed chunk continues from saved state: no initial RST_OP.
-        let op_sequence = if resume {
-            input.to_op_sequence_continuing()
+        // Built into the engine's reusable scratch buffer (taken out for the
+        // borrow, put back at the end) so steady-state streaming does not
+        // reallocate it per chunk.
+        let mut op_sequence = std::mem::take(&mut self.op_scratch);
+        if resume {
+            input.to_op_sequence_continuing_into(&mut op_sequence);
         } else {
-            input.to_op_sequence()
-        };
+            input.to_op_sequence_into(&mut op_sequence);
+        }
         let timesteps = input.geometry().timesteps;
         // Per-timestep cycle attribution, the layer's schedule for the
         // pipelined mapping mode.
@@ -432,6 +472,9 @@ impl Engine {
                 &mut output_events,
             );
         }
+
+        // Hand the op-sequence buffer back for the next run.
+        self.op_scratch = op_sequence;
 
         // Model the output DMA.
         let (out_writes, out_stalls) = self.model_output_dma(&output_events);

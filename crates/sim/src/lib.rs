@@ -30,6 +30,10 @@
 //!   and consumed by the workers in place of the naive mapping walk.
 //!   Host-time optimisation only — outputs and modelled cycles are
 //!   bit-identical to the naive path.
+//! * [`simd::Kernel`] — the blocked membrane kernel: span accumulation,
+//!   TLU catch-up and fire scans over the per-slice structure-of-arrays
+//!   membrane arena in fixed-width SIMD blocks (SSE2 on x86_64), with a
+//!   manually unrolled scalar oracle that every path must match bit-exactly.
 //! * [`exec::ExecStrategy`] — how those independent units execute on the
 //!   host: sequentially or fanned out over scoped worker threads, with a
 //!   deterministic slice-order reduction that keeps every strategy
@@ -100,6 +104,7 @@ pub mod memory;
 pub mod plan;
 pub mod regfile;
 pub mod sequencer;
+pub mod simd;
 pub mod slice;
 pub mod state;
 pub mod stats;
@@ -116,5 +121,6 @@ pub use error::SimError;
 pub use exec::ExecStrategy;
 pub use mapping::{LayerMapping, LifHardwareParams};
 pub use plan::LayerPlan;
+pub use simd::Kernel;
 pub use state::LayerState;
 pub use stats::CycleStats;

@@ -14,15 +14,25 @@
 //! precompiled-dataflow discipline accelerators like Eyeriss and NullHop bake
 //! into silicon).
 //!
-//! A [`LayerPlan`] holds, per `(border class, input channel)`, one *span
-//! descriptor* per (output channel, kernel row): the receptive-field taps of
-//! a kernel row land on **contiguous** output neurons, so a single base
-//! offset plus a run of pre-resolved weights (in ascending-neuron order)
-//! describes them all. Resolving an event is then one offset add per kernel
-//! row and one clipped span accumulation per cluster — no per-tap index
-//! arithmetic at all. Dense layers get an even simpler fast path: the weight
-//! matrix is transposed once so the contribution weights of an input
-//! position are a single contiguous row slice.
+//! A [`LayerPlan`] holds, per border class, one *span descriptor* per
+//! (output channel, kernel row): the receptive-field taps of a kernel row
+//! land on **contiguous** output neurons, so a single base offset plus a run
+//! of pre-resolved weights (in ascending-neuron order) describes them all.
+//! Resolving an event is then one offset add per kernel row and one clipped
+//! span accumulation per cluster — no per-tap index arithmetic at all.
+//! Dense layers get an even simpler fast path: the weight matrix is
+//! transposed once so the contribution weights of an input position are a
+//! single contiguous row slice.
+//!
+//! The span *weights* are deduplicated: every border class of every input
+//! channel reads one canonical **weight pool** (the kernel stored with its
+//! `kx` axis reversed, so ascending-neuron span order is a contiguous pool
+//! slice), and the per-class tables store only `u32` start offsets into it.
+//! Materializing the weights per `(border class, input channel)` pair — the
+//! layout this one replaced — blew the resident tables up by the border
+//! class count times the channel count; [`LayerPlan::table_entries`] still
+//! reports that logical size while [`LayerPlan::table_bytes`] reports the
+//! deduplicated resident footprint.
 //!
 //! **The plan is a host-side optimisation only.** It changes neither the
 //! modelled cycles nor any output: the naive mapping walk remains the
@@ -34,6 +44,7 @@
 use sne_event::Event;
 
 use crate::mapping::{Contribution, LayerMapping, MapShape};
+use crate::simd::BLOCK_LANES;
 
 /// The resolved view of one event against the plan: everything the fused
 /// slice datapath ([`crate::slice::Slice::process_update_planned`]) needs to
@@ -51,10 +62,20 @@ pub enum EventRow<'a> {
         /// Offset of each kernel row's *lowest* neuron relative to the
         /// event's in-plane position, `rows_per_oc` per output channel.
         row_offsets: &'a [i32],
-        /// Tap weights in ascending-neuron order:
-        /// `row_weights[(oc * rows_per_oc + r) * taps_per_row + j]` belongs
-        /// to neuron `event_base + row_offsets[oc * rows_per_oc + r] + j`.
-        row_weights: &'a [i8],
+        /// Start of each span's weights inside [`EventRow::Conv::weights`],
+        /// parallel to `row_offsets`: the taps of span `s` in
+        /// ascending-neuron order are
+        /// `weights[weight_starts[s]..][..taps_per_row]`, and tap `j`
+        /// belongs to neuron `event_base + row_offsets[s] + j`.
+        weight_starts: &'a [u32],
+        /// The event channel's slice of the canonical deduplicated weight
+        /// pool (`kx`-reversed kernel, one copy shared by every border
+        /// class). The slice runs to the **end** of the pool — past the
+        /// channel's own `out_channels * k * k` bytes — so the blocked
+        /// kernel can always load a full weight vector from any tap (the
+        /// pool carries [`BLOCK_LANES`] bytes of
+        /// trailing padding for the last channel).
+        weights: &'a [i8],
         /// Kernel rows per output channel (un-clipped `ky` taps).
         rows_per_oc: usize,
         /// Taps per kernel row (un-clipped `kx` taps).
@@ -68,18 +89,25 @@ pub enum EventRow<'a> {
     },
     /// Dense: the event's transposed weight row (`weights[o]` is output `o`).
     Dense {
-        /// One weight per output neuron.
+        /// One weight per output neuron; like [`EventRow::Conv::weights`]
+        /// the slice runs to the end of the (padded) transposed matrix, so
+        /// only the first [`EventRow::Dense::outputs`] entries belong to
+        /// this event.
         weights: &'a [i8],
+        /// Number of output neurons (the row's logical length).
+        outputs: usize,
     },
 }
 
-/// The span table of one `(border class, input channel)` pair.
+/// The span table of one border class — shared by every input channel (the
+/// offsets and pool-relative starts do not depend on the channel).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 struct PlanRow {
     /// Lowest-neuron offset of each (output channel, kernel row) span.
     row_offsets: Vec<i32>,
-    /// Span weights, ascending-neuron order (see [`EventRow::Conv`]).
-    row_weights: Vec<i8>,
+    /// Start of each span's weights, relative to the event channel's slice
+    /// of the weight pool (see [`EventRow::Conv`]).
+    weight_starts: Vec<u32>,
     /// Kernel rows per output channel.
     rows_per_oc: usize,
     /// Taps per kernel row.
@@ -104,8 +132,15 @@ enum PlanKind {
         x_class: Vec<u32>,
         /// Number of distinct column classes (row stride of the class grid).
         x_classes: usize,
-        /// Rows indexed by `(yc * x_classes + xc) * in_channels + ch`.
+        /// Rows indexed by `yc * x_classes + xc` (channel-independent).
         rows: Vec<PlanRow>,
+        /// Canonical deduplicated span weights: the kernel transposed to
+        /// `[in_channel][out_channel][ky][k - 1 - kx]`, so every span is a
+        /// contiguous slice in ascending-neuron order. One copy total,
+        /// shared by all border classes.
+        weight_pool: Vec<i8>,
+        /// Pool stride of one input channel (`out_channels * k * k`).
+        pool_stride: usize,
     },
     /// Fully-connected layer: one transposed weight row per input position.
     Dense {
@@ -198,13 +233,49 @@ impl LayerPlan {
         self.geometry == geometry_fingerprint_of(mapping)
     }
 
-    /// Total number of precompiled tap weights — the plan's memory footprint
-    /// in table entries.
+    /// Total number of precompiled tap weights the plan *resolves* — the
+    /// logical table size, counting each (border class, input channel) span
+    /// combination. Deduplication does not change this number; see
+    /// [`LayerPlan::table_bytes`] for the resident footprint.
     #[must_use]
     pub fn table_entries(&self) -> usize {
         match &self.kind {
-            PlanKind::Conv { rows, .. } => rows.iter().map(|r| r.row_weights.len()).sum(),
-            PlanKind::Dense { transposed, .. } => transposed.len(),
+            PlanKind::Conv {
+                rows, in_channels, ..
+            } => {
+                rows.iter()
+                    .map(|r| r.weight_starts.len() * r.taps_per_row)
+                    .sum::<usize>()
+                    * in_channels
+            }
+            PlanKind::Dense { input, outputs, .. } => input.len() * outputs,
+        }
+    }
+
+    /// Bytes actually resident in the compiled tables after span-descriptor
+    /// deduplication: the canonical weight pool plus the per-border-class
+    /// offset/start tables and the axis class indices.
+    #[must_use]
+    pub fn table_bytes(&self) -> usize {
+        match &self.kind {
+            PlanKind::Conv {
+                rows,
+                weight_pool,
+                y_class,
+                x_class,
+                ..
+            } => {
+                weight_pool.len() * std::mem::size_of::<i8>()
+                    + rows
+                        .iter()
+                        .map(|r| {
+                            r.row_offsets.len() * std::mem::size_of::<i32>()
+                                + r.weight_starts.len() * std::mem::size_of::<u32>()
+                        })
+                        .sum::<usize>()
+                    + (y_class.len() + x_class.len()) * std::mem::size_of::<u32>()
+            }
+            PlanKind::Dense { transposed, .. } => transposed.len() * std::mem::size_of::<i8>(),
         }
     }
 
@@ -231,7 +302,8 @@ impl LayerPlan {
         match self.event_row(event) {
             EventRow::Conv {
                 row_offsets,
-                row_weights,
+                weight_starts,
+                weights: pool,
                 rows_per_oc,
                 taps_per_row,
                 event_base,
@@ -250,7 +322,7 @@ impl LayerPlan {
                     for r in 0..rows_per_oc {
                         let span_index = oc * rows_per_oc + r;
                         let lowest = (event_base + i64::from(row_offsets[span_index])) as usize;
-                        let weights = &row_weights[span_index * taps_per_row..][..taps_per_row];
+                        let weights = &pool[weight_starts[span_index] as usize..][..taps_per_row];
                         // Naive emission order walks kx ascending, i.e. the
                         // span's neurons *descending*.
                         for j in (0..taps_per_row).rev() {
@@ -265,8 +337,8 @@ impl LayerPlan {
                     }
                 }
             }
-            EventRow::Dense { weights } => {
-                let end = range.end.min(weights.len());
+            EventRow::Dense { weights, outputs } => {
+                let end = range.end.min(outputs);
                 for (o, &weight) in weights.iter().enumerate().take(end).skip(range.start) {
                     out.push(Contribution { neuron: o, weight });
                 }
@@ -289,18 +361,22 @@ impl LayerPlan {
             PlanKind::Conv {
                 plane,
                 width,
-                in_channels,
                 y_class,
                 x_class,
                 x_classes,
                 rows,
+                weight_pool,
+                pool_stride,
+                ..
             } => {
                 let yc = y_class[usize::from(event.y)] as usize;
                 let xc = x_class[usize::from(event.x)] as usize;
-                let row = &rows[(yc * x_classes + xc) * in_channels + usize::from(event.ch)];
+                let row = &rows[yc * x_classes + xc];
+                let ch = usize::from(event.ch);
                 EventRow::Conv {
                     row_offsets: &row.row_offsets,
-                    row_weights: &row.row_weights,
+                    weight_starts: &row.weight_starts,
+                    weights: &weight_pool[ch * pool_stride..],
                     rows_per_oc: row.rows_per_oc,
                     taps_per_row: row.taps_per_row,
                     event_base: (usize::from(event.y) * width + usize::from(event.x)) as i64,
@@ -315,7 +391,8 @@ impl LayerPlan {
             } => {
                 let in_idx = input.index(event.ch, event.y, event.x);
                 EventRow::Dense {
-                    weights: &transposed[in_idx * outputs..(in_idx + 1) * outputs],
+                    weights: &transposed[in_idx * outputs..],
+                    outputs: *outputs,
                 }
             }
         }
@@ -352,40 +429,57 @@ fn build_conv(input: MapShape, out_channels: u16, kernel: u16, weights: &[i8]) -
     let (y_ranges, y_class) = axis_classes(input.height, kernel);
     let (x_ranges, x_class) = axis_classes(input.width, kernel);
     let k = usize::from(kernel);
-    let mut rows = Vec::with_capacity(y_ranges.len() * x_ranges.len() * in_channels);
+    // One canonical copy of every weight, `[ch][oc][ky][k - 1 - kx]`: the
+    // kx reversal makes the ascending-neuron order of every span (which
+    // walks kx *downwards*) a contiguous forward slice of the pool.
+    let pool_stride = usize::from(out_channels) * k * k;
+    // `BLOCK_LANES` trailing bytes of padding let the blocked kernel load a
+    // full weight vector from any tap of any span (out-of-span lanes are
+    // masked to zero before use, so the padding's value is irrelevant —
+    // zero only for cleanliness).
+    let mut weight_pool = vec![0i8; in_channels * pool_stride + BLOCK_LANES];
+    for ch in 0..in_channels {
+        for oc in 0..usize::from(out_channels) {
+            for ky in 0..k {
+                for rk in 0..k {
+                    let kx = k - 1 - rk;
+                    weight_pool[(ch * pool_stride) + (oc * k + ky) * k + rk] =
+                        weights[((oc * in_channels + ch) * k + ky) * k + kx];
+                }
+            }
+        }
+    }
+    // The span geometry (offsets, pool starts) depends only on the border
+    // class, never on the input channel: one table per (y class, x class).
+    let mut rows = Vec::with_capacity(y_ranges.len() * x_ranges.len());
     for &(ky_lo, ky_hi) in &y_ranges {
         for &(kx_lo, kx_hi) in &x_ranges {
             let rows_per_oc = usize::from(ky_hi - ky_lo + 1);
             let taps_per_row = usize::from(kx_hi - kx_lo + 1);
-            for ch in 0..in_channels {
-                let spans = usize::from(out_channels) * rows_per_oc;
-                let mut row_offsets = Vec::with_capacity(spans);
-                let mut row_weights = Vec::with_capacity(spans * taps_per_row);
-                for oc in 0..usize::from(out_channels) {
-                    for ky in ky_lo..=ky_hi {
-                        // The span's lowest neuron belongs to the largest kx
-                        // tap; ascending neurons walk kx downwards.
-                        let lowest = (oc * plane) as i64
-                            + (half - i64::from(ky)) * width as i64
-                            + (half - i64::from(kx_hi));
-                        row_offsets.push(
-                            i32::try_from(lowest)
-                                .expect("layer exceeds the 2^31-neuron plan limit"),
-                        );
-                        for j in 0..taps_per_row {
-                            let kx = usize::from(kx_hi) - j;
-                            let w_idx = ((oc * in_channels + ch) * k + usize::from(ky)) * k + kx;
-                            row_weights.push(weights[w_idx]);
-                        }
-                    }
+            let spans = usize::from(out_channels) * rows_per_oc;
+            let mut row_offsets = Vec::with_capacity(spans);
+            let mut weight_starts = Vec::with_capacity(spans);
+            for oc in 0..usize::from(out_channels) {
+                for ky in ky_lo..=ky_hi {
+                    // The span's lowest neuron belongs to the largest kx
+                    // tap; ascending neurons walk kx downwards.
+                    let lowest = (oc * plane) as i64
+                        + (half - i64::from(ky)) * width as i64
+                        + (half - i64::from(kx_hi));
+                    row_offsets.push(
+                        i32::try_from(lowest).expect("layer exceeds the 2^31-neuron plan limit"),
+                    );
+                    let start = (oc * k + usize::from(ky)) * k + (k - 1 - usize::from(kx_hi));
+                    weight_starts
+                        .push(u32::try_from(start).expect("weight pool exceeds the u32 limit"));
                 }
-                rows.push(PlanRow {
-                    row_offsets,
-                    row_weights,
-                    rows_per_oc,
-                    taps_per_row,
-                });
             }
+            rows.push(PlanRow {
+                row_offsets,
+                weight_starts,
+                rows_per_oc,
+                taps_per_row,
+            });
         }
     }
     PlanKind::Conv {
@@ -396,13 +490,17 @@ fn build_conv(input: MapShape, out_channels: u16, kernel: u16, weights: &[i8]) -
         x_class,
         x_classes: x_ranges.len(),
         rows,
+        weight_pool,
+        pool_stride,
     }
 }
 
 fn build_dense(input: MapShape, outputs: u16, weights: &[i8]) -> PlanKind {
     let inputs = input.len();
     let outputs = usize::from(outputs);
-    let mut transposed = vec![0i8; inputs * outputs];
+    // Same `BLOCK_LANES` trailing padding as the conv pool: the blocked
+    // kernel may load one full weight vector straddling a row's end.
+    let mut transposed = vec![0i8; inputs * outputs + BLOCK_LANES];
     for o in 0..outputs {
         for i in 0..inputs {
             transposed[i * outputs + o] = weights[o * inputs + i];
@@ -579,6 +677,29 @@ mod tests {
         // 9 taps each.
         assert!(plan.table_entries() > 0);
         assert_plan_matches_naive(&mapping, &[0..128, 17..40]);
+    }
+
+    #[test]
+    fn dedupe_keeps_the_logical_size_but_shrinks_the_resident_tables() {
+        // 16 input channels x 9 border classes share one weight pool: the
+        // logical table counts every (class, channel) span combination,
+        // while the resident bytes hold each weight exactly once and the
+        // span geometry once per border class (it is channel-independent).
+        let mapping = conv(MapShape::new(16, 8, 8), 6, 3, 2);
+        let plan = LayerPlan::build(&mapping);
+        let pool = 16 * 6 * 3 * 3; // one canonical copy of every weight
+        assert!(plan.table_entries() > pool, "logical size kept");
+        assert!(
+            plan.table_bytes() < plan.table_entries(),
+            "resident tables ({} B) must undercut the naive materialization \
+             ({} weights)",
+            plan.table_bytes(),
+            plan.table_entries()
+        );
+        // Dense plans have nothing to dedupe: bytes == entries plus the
+        // kernel's vector-load padding.
+        let dense = LayerPlan::build(&dense(MapShape::new(2, 3, 2), 7, 2));
+        assert_eq!(dense.table_bytes(), dense.table_entries() + BLOCK_LANES);
     }
 
     #[test]

@@ -5,6 +5,21 @@
 //! implements, shifts the addresses relative to each cluster's base and
 //! dispatches the state updates to the clusters. Output spikes are pushed
 //! into per-cluster FIFOs and drained by the slice collector.
+//!
+//! # Structure-of-arrays membrane arena
+//!
+//! Since DESIGN.md §12 the membrane states of **all** clusters live in one
+//! contiguous per-slice `Vec<i16>` (the *arena*), indexed by
+//! `cluster_index * neurons_per_cluster + neuron_index` — i.e. by the
+//! slice-local neuron address itself. A contiguous neuron span therefore is
+//! a single contiguous `i16` stride regardless of how many cluster
+//! boundaries it crosses, which is the shape the blocked
+//! [`Kernel`] needs. The per-cluster TLU bookkeeping
+//! (pending leaks, dirty flag, membrane bound, counters) stays in
+//! [`Cluster`]; every state-touching cluster call receives its arena
+//! segment explicitly. The arena carries [`BLOCK_LANES`] lanes of zeroed
+//! padding behind the last cluster so the blocked kernel's full-vector tail
+//! step is always in bounds.
 
 use serde::{Deserialize, Serialize};
 
@@ -12,6 +27,7 @@ use crate::cluster::{Cluster, ClusterState};
 use crate::config::SneConfig;
 use crate::mapping::{Contribution, LifHardwareParams};
 use crate::plan::EventRow;
+use crate::simd::{Kernel, BLOCK_LANES, LANE_FLOOR};
 
 /// Statistics of one `UPDATE_OP` processed by a slice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,10 +63,40 @@ pub struct FireScanSummary {
     pub skipped_clusters: u64,
 }
 
+/// Reusable per-block cluster-window scratch of the fused compiled datapath
+/// ([`Slice::process_update_block_planned`]): one slot per cluster holding
+/// the window's per-lane running maximum and tap count, validity-tagged by a
+/// monotonically increasing block mark so no per-block clearing walk is
+/// needed. Pure scratch — its contents between calls carry no meaning, so it
+/// lives with the worker's reusable buffers, not in the slice's persisted
+/// state.
+#[derive(Debug, Clone, Default)]
+pub struct WindowScratch {
+    /// Mark of the block currently (or last) using each slot.
+    mark: Vec<u32>,
+    /// Per-lane running membrane maxima of each cluster's open window.
+    lanes: Vec<[i16; BLOCK_LANES]>,
+    /// Synaptic taps accumulated into each cluster's open window.
+    taps: Vec<u64>,
+    /// Indices of the clusters the current block opened a window on, so
+    /// the block-end close loop visits exactly those (at sparse activity a
+    /// block touches one or two clusters, not the whole slice).
+    touched: Vec<u32>,
+    /// Mark of the current block (wraps; wrap resets every slot's mark).
+    block: u32,
+}
+
 /// One slice of the engine.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Slice {
     clusters: Vec<Cluster>,
+    /// The membrane arena: every cluster's states back to back, indexed by
+    /// slice-local neuron address, plus [`BLOCK_LANES`] lanes of padding
+    /// (always zero) so the blocked kernel's tail step has room.
+    membranes: Vec<i16>,
+    /// Which membrane kernel runs the span/scan hot paths. Host-time choice
+    /// only: every kernel is bit-exact (the scalar one is the oracle).
+    kernel: Kernel,
     neurons_per_cluster: usize,
     /// `log2(neurons_per_cluster)` when it is a power of two (the paper's 64
     /// and every test geometry): the hot path then maps neuron → cluster
@@ -66,17 +112,38 @@ pub struct Slice {
     touch_epoch: Vec<u32>,
     /// Epoch of the current event window.
     epoch: u32,
+    /// Number of dirty clusters (updated since their last executed fire
+    /// scan), maintained at every dirty-flag transition so
+    /// [`Slice::all_clusters_clean`] and the all-skip `FIRE_OP` fast path
+    /// are one compare instead of a strided walk over every cluster.
+    #[serde(default)]
+    dirty_count: u32,
+    /// Number of TLU-armed `FIRE_OP`s this slice processed. A clean
+    /// cluster's skip at such a fire is **not posted** to the cluster —
+    /// the cluster is simply left behind this epoch, and the skips it owes
+    /// ([`Cluster::sync_skips`]) materialize right before its next
+    /// per-cluster observation (update integration, executed scan, state
+    /// export). A skipped fire therefore costs one increment here plus a
+    /// read-only dirty check per cluster — no read-modify-write traffic
+    /// across the cluster array — while every observable state stays
+    /// bit-identical to eager per-cluster bookkeeping.
+    #[serde(default)]
+    fire_epoch: u64,
 }
 
 impl Slice {
-    /// Creates a slice with the cluster geometry of `config`.
+    /// Creates a slice with the cluster geometry of `config`, running the
+    /// host-default membrane kernel (see [`Kernel::auto`]).
     #[must_use]
     pub fn new(config: &SneConfig) -> Self {
-        let clusters = (0..config.clusters_per_slice)
+        let clusters: Vec<Cluster> = (0..config.clusters_per_slice)
             .map(|_| Cluster::new(config.neurons_per_cluster))
             .collect();
+        let capacity = config.clusters_per_slice * config.neurons_per_cluster;
         Self {
             clusters,
+            membranes: vec![0; capacity + BLOCK_LANES],
+            kernel: Kernel::auto(),
             neurons_per_cluster: config.neurons_per_cluster,
             cluster_shift: config
                 .neurons_per_cluster
@@ -86,7 +153,20 @@ impl Slice {
             assigned: 0,
             touch_epoch: vec![0; config.clusters_per_slice],
             epoch: 0,
+            dirty_count: 0,
+            fire_epoch: 0,
         }
+    }
+
+    /// The membrane kernel this slice runs.
+    #[must_use]
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Selects the membrane kernel (bit-exact either way; host time only).
+    pub fn set_kernel(&mut self, kernel: Kernel) {
+        self.kernel = kernel;
     }
 
     /// Starts a new event window and returns its epoch (every cluster's
@@ -100,15 +180,6 @@ impl Slice {
             self.epoch = 1;
         }
         self.epoch
-    }
-
-    /// Cluster index of a slice-local neuron index.
-    #[inline]
-    fn cluster_of(&self, local: usize) -> usize {
-        match self.cluster_shift {
-            Some(shift) => local >> shift,
-            None => local / self.neurons_per_cluster,
-        }
     }
 
     /// Number of clusters.
@@ -137,20 +208,36 @@ impl Slice {
     ///
     /// Panics if `count` exceeds the slice capacity.
     pub fn configure_pass(&mut self, base: usize, count: usize) {
+        self.configure_pass_for_resume(base, count);
+        self.reset();
+    }
+
+    /// Configures the slice for a mapping pass **without** resetting neuron
+    /// state: the caller is about to [`Slice::import_state`] a full snapshot
+    /// (every cluster's membranes and TLU bookkeeping), which overwrites the
+    /// state wholesale — the reset walk in between would be pure overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the slice capacity.
+    pub fn configure_pass_for_resume(&mut self, base: usize, count: usize) {
         assert!(
             count <= self.capacity(),
             "pass assignment exceeds slice capacity"
         );
         self.base = base;
         self.assigned = count;
-        self.reset();
     }
 
-    /// Resets all neuron state (`RST_OP`).
+    /// Resets all neuron state (`RST_OP`): one pass over the arena plus the
+    /// per-cluster bookkeeping.
     pub fn reset(&mut self) {
+        self.membranes.fill(0);
         for cluster in &mut self.clusters {
-            cluster.reset();
+            cluster.reset_bookkeeping();
         }
+        self.dirty_count = 0;
+        self.fire_epoch = 0;
     }
 
     /// Snapshots the architectural state of every cluster into `out`
@@ -161,8 +248,12 @@ impl Slice {
     /// Panics if `out` does not hold exactly one slot per cluster.
     pub fn export_state(&self, out: &mut [ClusterState]) {
         assert_eq!(out.len(), self.clusters.len(), "cluster slot mismatch");
-        for (cluster, slot) in self.clusters.iter().zip(out.iter_mut()) {
-            cluster.snapshot_into(slot);
+        let npc = self.neurons_per_cluster;
+        for (i, (cluster, slot)) in self.clusters.iter().zip(out.iter_mut()).enumerate() {
+            cluster.snapshot_into(&self.membranes[i * npc..(i + 1) * npc], slot);
+            // Fold the not-yet-posted fire-scan skips into the snapshot:
+            // the exported state is the synced (eager-bookkeeping) state.
+            slot.pending_leak_steps += cluster.owed_skips(self.fire_epoch);
         }
     }
 
@@ -174,9 +265,15 @@ impl Slice {
     /// a snapshot has the wrong neuron count.
     pub fn import_state(&mut self, states: &[ClusterState]) {
         assert_eq!(states.len(), self.clusters.len(), "cluster slot mismatch");
-        for (cluster, state) in self.clusters.iter_mut().zip(states) {
-            cluster.restore(state);
+        let npc = self.neurons_per_cluster;
+        for (i, (cluster, state)) in self.clusters.iter_mut().zip(states).enumerate() {
+            cluster.restore(&mut self.membranes[i * npc..(i + 1) * npc], state);
+            // The imported snapshot is a synced state (export folds the
+            // owed skips in), so nothing is owed anymore.
+            cluster.mark_scanned(0);
         }
+        self.fire_epoch = 0;
+        self.dirty_count = states.iter().filter(|s| s.dirty).count() as u32;
     }
 
     /// Processes one `UPDATE_OP`: the contributions (already filtered to this
@@ -186,7 +283,8 @@ impl Slice {
     /// This is the **naive reference datapath** — the per-synapse dispatch
     /// the compiled plan's batched window form
     /// ([`Slice::process_update_planned`]) is measured against and must
-    /// reproduce bit-exactly.
+    /// reproduce bit-exactly. It is always scalar (the kernel choice only
+    /// affects the planned spans and the fire scans).
     pub fn process_update(
         &mut self,
         contributions: &[Contribution],
@@ -194,18 +292,39 @@ impl Slice {
         clock_gating: bool,
     ) -> UpdateOutcome {
         let epoch = self.next_epoch();
+        let range = self.assigned_range();
+        let base = self.base;
+        let npc = self.neurons_per_cluster;
+        let shift = self.cluster_shift;
+        let fire_epoch = self.fire_epoch;
+        let clusters = &mut self.clusters[..];
+        let membranes = &mut self.membranes[..];
+        let touch_epoch = &mut self.touch_epoch[..];
+        let mut dirty_count = self.dirty_count;
         let mut active = 0u64;
         for c in contributions {
-            debug_assert!(self.assigned_range().contains(&c.neuron));
-            let local = c.neuron - self.base;
-            let cluster_index = self.cluster_of(local);
-            let neuron_index = local - cluster_index * self.neurons_per_cluster;
-            self.clusters[cluster_index].integrate(neuron_index, c.weight, params);
-            if self.touch_epoch[cluster_index] != epoch {
-                self.touch_epoch[cluster_index] = epoch;
+            debug_assert!(range.contains(&c.neuron));
+            let local = c.neuron - base;
+            let cluster_index = match shift {
+                Some(shift) => local >> shift,
+                None => local / npc,
+            };
+            let cluster_start = cluster_index * npc;
+            let cluster = &mut clusters[cluster_index];
+            cluster.sync_skips(fire_epoch);
+            dirty_count += u32::from(!cluster.is_dirty());
+            cluster.integrate(
+                &mut membranes[cluster_start..cluster_start + npc],
+                local - cluster_start,
+                c.weight,
+                params,
+            );
+            if touch_epoch[cluster_index] != epoch {
+                touch_epoch[cluster_index] = epoch;
                 active += 1;
             }
         }
+        self.dirty_count = dirty_count;
         let gated = if clock_gating {
             self.clusters.len() as u64 - active
         } else {
@@ -234,8 +353,18 @@ impl Slice {
     ///
     /// Exploits the table structure the naive path does not have: weights
     /// are pre-resolved, each (output channel, kernel row) is one contiguous
-    /// neuron span, and spans that stay in the same cluster share one
-    /// open/close (catch-up, dirty, counters) window round trip.
+    /// neuron span — a contiguous arena stride accumulated by the slice's
+    /// [`Kernel`] — and every cluster's open/close (catch-up, dirty,
+    /// counters) window round trip runs **once per block**, not once per
+    /// event. That is exact because between the events of a block no
+    /// observation point intervenes: the cluster's catch-up is idempotent
+    /// while no `FIRE_OP` accrues pending leak, the dirty flag is only read
+    /// at the fire barrier that ends the block, and the committed membrane
+    /// bound is a running maximum — the maximum over the block's per-event
+    /// maxima is bit-identical to chaining one close per event (which is in
+    /// turn the naive oracle's running maximum over every written state).
+    /// The bound stays **exact**, never an overestimate: it decides
+    /// fire-scan walk elision, which the persisted TLU state can observe.
     ///
     /// Pushes one synaptic-ops entry per event into `update_ops` and returns
     /// the **aggregated** outcome of the block. Bit-identical to resolving
@@ -250,6 +379,7 @@ impl Slice {
         params: LifHardwareParams,
         clock_gating: bool,
         update_ops: &mut Vec<u64>,
+        scratch: &mut WindowScratch,
     ) -> UpdateOutcome {
         let range = self.assigned_range();
         // Split the borrows and copy the geometry into locals once per
@@ -259,9 +389,12 @@ impl Slice {
         let base = self.base;
         let npc = self.neurons_per_cluster;
         let shift = self.cluster_shift;
+        let kernel = self.kernel;
         let num_clusters = self.clusters.len() as u64;
+        let fire_epoch = self.fire_epoch;
         let mut epoch = self.epoch;
         let clusters = &mut self.clusters[..];
+        let membranes = &mut self.membranes[..];
         let touch_epoch = &mut self.touch_epoch[..];
         let cluster_of = |local: usize| match shift {
             Some(shift) => local >> shift,
@@ -273,6 +406,35 @@ impl Slice {
         // `(first output channel, last output channel, clamped range end)`,
         // with `first > last` encoding an empty intersection.
         let mut conv_channels: Option<(usize, usize, usize)> = None;
+        let nclusters = clusters.len();
+        if scratch.mark.len() != nclusters {
+            scratch.mark.clear();
+            scratch.mark.resize(nclusters, 0);
+            scratch.lanes.resize(nclusters, LANE_FLOOR);
+            scratch.taps.resize(nclusters, 0);
+            scratch.block = 0;
+        }
+        scratch.block = scratch.block.wrapping_add(1);
+        if scratch.block == 0 {
+            // Wrapped after 2^32 blocks: restart the block-mark space.
+            scratch.mark.iter_mut().for_each(|m| *m = 0);
+            scratch.block = 1;
+        }
+        let block = scratch.block;
+        // Pin every per-cluster array to exactly `nclusters` entries and
+        // clamp the computed cluster index below: together they let the
+        // compiler drop the bounds check from all five per-segment indexings
+        // of the hot walk (the clamp is dead — a span can only land inside
+        // the arena — but it is one `min` the optimizer can see).
+        let clusters = &mut clusters[..nclusters];
+        let touch_epoch = &mut touch_epoch[..nclusters];
+        let mark = &mut scratch.mark[..nclusters];
+        let lanes = &mut scratch.lanes[..nclusters];
+        let taps = &mut scratch.taps[..nclusters];
+        let touched = &mut scratch.touched;
+        touched.clear();
+        let cluster_clamp = nclusters - 1;
+        let mut dirty_count = self.dirty_count;
         let mut aggregate = UpdateOutcome::default();
         for row in rows {
             epoch = epoch.wrapping_add(1);
@@ -281,18 +443,13 @@ impl Slice {
                 touch_epoch.iter_mut().for_each(|e| *e = 0);
                 epoch = 1;
             }
-            // Manually tracked cluster window (usize::MAX = none open):
-            // plain locals keep the event application one straight-line
-            // loop.
-            let mut open = usize::MAX;
-            let mut win_max = i16::from(i8::MIN);
-            let mut win_taps = 0u64;
             let mut active = 0u64;
             let mut ops = 0u64;
             match *row {
                 EventRow::Conv {
                     row_offsets,
-                    row_weights,
+                    weight_starts,
+                    weights: pool,
                     rows_per_oc,
                     taps_per_row,
                     event_base,
@@ -313,11 +470,8 @@ impl Slice {
                         let first_span = first_oc * rows_per_oc;
                         let last_span = (last_oc + 1) * rows_per_oc;
                         let offsets = &row_offsets[first_span..last_span];
-                        let span_weights =
-                            &row_weights[first_span * taps_per_row..last_span * taps_per_row];
-                        for (&offset, taps) in
-                            offsets.iter().zip(span_weights.chunks_exact(taps_per_row))
-                        {
+                        let starts = &weight_starts[first_span..last_span];
+                        for (&offset, &start) in offsets.iter().zip(starts) {
                             let lowest = (event_base + i64::from(offset)) as usize;
                             // Clip the contiguous span to the slice range
                             // (a no-op for fully covered planes).
@@ -326,73 +480,87 @@ impl Slice {
                             if lo >= hi {
                                 continue;
                             }
-                            let mut weights = &taps[lo - lowest..hi - lowest];
+                            // Open-ended weight slice (to the pool's padded
+                            // end): the kernel's masked vector step can then
+                            // always load a full weight vector.
+                            let weights = &pool[start as usize + (lo - lowest)..];
+                            let mut span_len = hi - lo;
+                            let mut woff = 0usize;
                             let mut local = lo - base;
                             loop {
-                                let cluster_index = cluster_of(local);
+                                let cluster_index = cluster_of(local).min(cluster_clamp);
                                 let cluster_start = cluster_index * npc;
-                                let take = weights.len().min(cluster_start + npc - local);
-                                if cluster_index != open {
-                                    if open != usize::MAX {
-                                        clusters[open].close_window(win_max, win_taps);
-                                        ops += win_taps;
-                                    }
-                                    clusters[cluster_index].open_window(params);
-                                    if touch_epoch[cluster_index] != epoch {
-                                        touch_epoch[cluster_index] = epoch;
-                                        active += 1;
-                                    }
-                                    open = cluster_index;
-                                    win_max = i16::from(i8::MIN);
-                                    win_taps = 0;
+                                let take = span_len.min(cluster_start + npc - local);
+                                if mark[cluster_index] != block {
+                                    mark[cluster_index] = block;
+                                    lanes[cluster_index] = LANE_FLOOR;
+                                    taps[cluster_index] = 0;
+                                    touched.push(cluster_index as u32);
+                                    let cluster = &mut clusters[cluster_index];
+                                    cluster.sync_skips(fire_epoch);
+                                    dirty_count += u32::from(!cluster.is_dirty());
+                                    let seg = &mut membranes[cluster_start..cluster_start + npc];
+                                    cluster.open_window(seg, params, kernel);
                                 }
-                                let span_max = clusters[cluster_index]
-                                    .accumulate_span(local - cluster_start, &weights[..take]);
-                                win_max = win_max.max(span_max);
-                                win_taps += take as u64;
-                                if take == weights.len() {
+                                if touch_epoch[cluster_index] != epoch {
+                                    touch_epoch[cluster_index] = epoch;
+                                    active += 1;
+                                }
+                                kernel.accumulate_span_max(
+                                    membranes,
+                                    local,
+                                    &weights[woff..],
+                                    take,
+                                    &mut lanes[cluster_index],
+                                );
+                                taps[cluster_index] += take as u64;
+                                ops += take as u64;
+                                span_len -= take;
+                                if span_len == 0 {
                                     break;
                                 }
                                 local += take;
-                                weights = &weights[take..];
+                                woff += take;
                             }
                         }
                     }
                 }
-                EventRow::Dense { weights } => {
+                EventRow::Dense { weights, outputs } => {
                     // Dense outputs are contiguous: walk whole clusters.
-                    let end = range.end.min(weights.len());
+                    let end = range.end.min(outputs);
                     let mut o = range.start.min(end);
                     while o < end {
                         let local = o - base;
-                        let cluster_index = cluster_of(local);
+                        let cluster_index = cluster_of(local).min(cluster_clamp);
                         let cluster_start = cluster_index * npc;
                         let run_end = end.min(base + cluster_start + npc);
-                        if cluster_index != open {
-                            if open != usize::MAX {
-                                clusters[open].close_window(win_max, win_taps);
-                                ops += win_taps;
-                            }
-                            clusters[cluster_index].open_window(params);
-                            if touch_epoch[cluster_index] != epoch {
-                                touch_epoch[cluster_index] = epoch;
-                                active += 1;
-                            }
-                            open = cluster_index;
-                            win_max = i16::from(i8::MIN);
-                            win_taps = 0;
+                        if mark[cluster_index] != block {
+                            mark[cluster_index] = block;
+                            lanes[cluster_index] = LANE_FLOOR;
+                            taps[cluster_index] = 0;
+                            touched.push(cluster_index as u32);
+                            let cluster = &mut clusters[cluster_index];
+                            cluster.sync_skips(fire_epoch);
+                            dirty_count += u32::from(!cluster.is_dirty());
+                            let seg = &mut membranes[cluster_start..cluster_start + npc];
+                            cluster.open_window(seg, params, kernel);
                         }
-                        let span_max = clusters[cluster_index]
-                            .accumulate_span(local - cluster_start, &weights[o..run_end]);
-                        win_max = win_max.max(span_max);
-                        win_taps += (run_end - o) as u64;
+                        if touch_epoch[cluster_index] != epoch {
+                            touch_epoch[cluster_index] = epoch;
+                            active += 1;
+                        }
+                        kernel.accumulate_span_max(
+                            membranes,
+                            local,
+                            &weights[o..],
+                            run_end - o,
+                            &mut lanes[cluster_index],
+                        );
+                        taps[cluster_index] += (run_end - o) as u64;
+                        ops += (run_end - o) as u64;
                         o = run_end;
                     }
                 }
-            }
-            if open != usize::MAX {
-                clusters[open].close_window(win_max, win_taps);
-                ops += win_taps;
             }
             update_ops.push(ops);
             aggregate.synaptic_ops += ops;
@@ -404,7 +572,22 @@ impl Slice {
                 aggregate.active_clusters += num_clusters;
             }
         }
+        // One close per cluster the block touched: commits the exact
+        // block-wide membrane maximum (the horizontal lane reduction runs
+        // once per cluster per block, never per span or per event), the
+        // dirty flag and the tap counter in a single window round trip.
+        // The touched list holds each opened cluster exactly once (guarded
+        // by the block mark), so the close loop never walks the slice.
+        for &cluster_index in touched.iter() {
+            let cluster_index = cluster_index as usize;
+            debug_assert_eq!(mark[cluster_index], block);
+            clusters[cluster_index].close_window(
+                kernel.reduce_lane_max(&lanes[cluster_index]),
+                taps[cluster_index],
+            );
+        }
         self.epoch = epoch;
+        self.dirty_count = dirty_count;
         aggregate
     }
 
@@ -423,6 +606,7 @@ impl Slice {
             params,
             clock_gating,
             &mut update_ops,
+            &mut WindowScratch::default(),
         )
     }
 
@@ -453,16 +637,65 @@ impl Slice {
         tlu_enabled: bool,
         out: &mut Vec<usize>,
     ) -> FireScanSummary {
+        // This op's post-fire epoch: skips are deferred by *not* advancing
+        // a clean cluster to it (the owed skips materialize at the
+        // cluster's next per-cluster observation, see `Slice::fire_epoch`),
+        // executed scans advance their cluster past it explicitly.
+        let next_epoch = self.fire_epoch + u64::from(tlu_enabled);
+        // The all-clean fast path: when no cluster was updated since its
+        // last scan, this `FIRE_OP` is a TLU skip for every one of them —
+        // one compare and one increment, no cluster is touched at all. In
+        // the steady state of sparse workloads most slices take this path
+        // on most timesteps — it is what keeps the host-time floor of a
+        // run event-bound instead of timestep-bound.
+        if tlu_enabled && self.dirty_count == 0 {
+            self.fire_epoch = next_epoch;
+            return FireScanSummary {
+                scanned_clusters: 0,
+                skipped_clusters: self.clusters.len() as u64,
+            };
+        }
+        let npc = self.neurons_per_cluster;
+        let kernel = self.kernel;
+        let fire_epoch = self.fire_epoch;
+        let membranes = &mut self.membranes[..];
+        let mut dirty_count = self.dirty_count;
         let mut summary = FireScanSummary::default();
         for (cluster_index, cluster) in self.clusters.iter_mut().enumerate() {
-            let cluster_base = self.base + cluster_index * self.neurons_per_cluster;
-            let local_start = out.len();
-            let executed = cluster.fire_scan_into(params, tlu_enabled, out);
-            if executed {
-                summary.scanned_clusters += 1;
-            } else {
+            // The TLU skip decision hoisted out of [`Cluster::fire_scan_into`]:
+            // a clean cluster's skip is deferred entirely — this branch is a
+            // read-only load of the dirty flag, so the skip costs no
+            // read-modify-write traffic and no arena machinery.
+            let was_dirty = cluster.is_dirty();
+            if tlu_enabled && !was_dirty {
                 summary.skipped_clusters += 1;
+                continue;
             }
+            // An executing scan observes the cluster: settle any owed skips
+            // first (a dirty cluster synced when the update arrived, so
+            // this is one compare), then mark the scan as executed.
+            cluster.sync_skips(fire_epoch);
+            // Bound elision resolved before the walk machinery: a dirty
+            // cluster whose membrane bound proves no spike is possible costs
+            // one compare and three counter bumps, no arena segmentation.
+            if cluster.scan_elides(params) {
+                cluster.mark_scanned(next_epoch);
+                dirty_count -= u32::from(was_dirty);
+                summary.scanned_clusters += 1;
+                continue;
+            }
+            let cluster_base = self.base + cluster_index * npc;
+            let cluster_start = cluster_index * npc;
+            let local_start = out.len();
+            cluster.scan_walk(
+                &mut membranes[cluster_start..cluster_start + npc],
+                params,
+                kernel,
+                out,
+            );
+            cluster.mark_scanned(next_epoch);
+            dirty_count -= u32::from(was_dirty);
+            summary.scanned_clusters += 1;
             // Shift the appended local indices to global addresses, dropping
             // neurons beyond the assigned range: they are architectural
             // padding (the last cluster of a pass may be partially used) and
@@ -478,7 +711,35 @@ impl Slice {
             }
             out.truncate(write);
         }
+        self.dirty_count = dirty_count;
+        self.fire_epoch = next_epoch;
         summary
+    }
+
+    /// Whether every cluster is clean (no update since its last executed
+    /// fire scan), i.e. the next `FIRE_OP` would TLU-skip all of them. One
+    /// compare against the maintained dirty-cluster count — the worker's
+    /// all-fire-tail fast-forward gates on this per remaining op.
+    #[must_use]
+    pub fn all_clusters_clean(&self) -> bool {
+        debug_assert_eq!(
+            self.dirty_count as usize,
+            self.clusters.iter().filter(|c| c.is_dirty()).count(),
+            "slice dirty-cluster count out of sync"
+        );
+        self.dirty_count == 0
+    }
+
+    /// Applies the TLU skip bookkeeping of `n` consecutive `FIRE_OP`s to
+    /// every cluster at once — bit-identical to `n` calls of
+    /// [`Slice::process_fire_into`] on a slice whose clusters are all clean
+    /// (each such call is a skip for every cluster and fires nothing). Only
+    /// valid while [`Slice::all_clusters_clean`] holds; skips keep every
+    /// cluster clean, so one check covers all `n` — and the skips are
+    /// deferred via the fire epoch, making the whole batch O(1).
+    pub fn note_skipped_fires(&mut self, n: u32) {
+        debug_assert!(self.all_clusters_clean());
+        self.fire_epoch += u64::from(n);
     }
 
     /// Total synaptic operations performed by this slice's clusters.
@@ -599,7 +860,9 @@ mod tests {
         slice.export_state(&mut saved);
 
         let mut resumed = Slice::new(&small_config());
-        resumed.configure_pass(0, 32);
+        // The resume form skips the reset: import_state overwrites
+        // everything anyway.
+        resumed.configure_pass_for_resume(0, 32);
         resumed.import_state(&saved);
         // One more contribution pushes neuron 9 over the threshold on both.
         for s in [&mut slice, &mut resumed] {
@@ -638,5 +901,39 @@ mod tests {
         // Without TLU every cluster scans.
         let fire = slice.process_fire(PARAMS, false);
         assert_eq!(fire.scanned_clusters, 4);
+    }
+
+    #[test]
+    fn scalar_and_blocked_slices_agree_on_planned_updates() {
+        // A dense row that crosses every cluster boundary of the slice,
+        // applied via the planned path under both kernels, must leave
+        // bit-identical state and fire the same neurons.
+        let weights: Vec<i8> = (0..32).map(|i| (i as i8) - 16).collect();
+        let mut outcomes = Vec::new();
+        let mut states = Vec::new();
+        let mut fired = Vec::new();
+        for kernel in [Kernel::Scalar, Kernel::Blocked] {
+            let mut slice = Slice::new(&small_config());
+            slice.set_kernel(kernel);
+            assert_eq!(slice.kernel(), kernel);
+            slice.configure_pass(0, 32);
+            for _ in 0..12 {
+                outcomes.push(slice.process_update_planned(
+                    EventRow::Dense {
+                        weights: &weights,
+                        outputs: weights.len(),
+                    },
+                    PARAMS,
+                    true,
+                ));
+            }
+            let mut saved = vec![ClusterState::resting(8); 4];
+            slice.export_state(&mut saved);
+            states.push(saved);
+            fired.push(slice.process_fire(PARAMS, true).fired);
+        }
+        assert_eq!(outcomes[..12], outcomes[12..]);
+        assert_eq!(states[0], states[1]);
+        assert_eq!(fired[0], fired[1]);
     }
 }

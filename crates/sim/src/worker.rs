@@ -19,7 +19,7 @@ use sne_event::{Event, EventOp};
 use crate::cluster::ClusterState;
 use crate::mapping::{Contribution, LayerMapping, LifHardwareParams};
 use crate::plan::EventRow;
-use crate::slice::Slice;
+use crate::slice::{Slice, WindowScratch};
 use crate::stats::CycleStats;
 
 /// Read-only context shared by every slice worker of a layer run.
@@ -93,6 +93,9 @@ pub struct SliceRecord {
     contributions: Vec<Contribution>,
     /// Scratch: fired neuron indices of the current scan (reused).
     fired_neurons: Vec<usize>,
+    /// Scratch: the compiled datapath's per-block cluster windows (reused;
+    /// self-invalidating via its block mark, so `clear` leaves it alone).
+    windows: WindowScratch,
 }
 
 impl SliceRecord {
@@ -129,19 +132,48 @@ impl SliceRecord {
 /// the engine's crossbar, collector, trace and cycle accounting are *not*
 /// touched here; they belong to the deterministic reduction that follows.
 pub fn run_slice_pass(task: &mut SliceTask<'_>, ctx: &WorkerContext<'_>) {
-    task.slice.configure_pass(task.base, task.count);
-    if ctx.resume {
-        if let Some(state) = task.state.as_deref() {
+    // A resuming stateful run restores every cluster's membranes and TLU
+    // bookkeeping wholesale, so the configure-time reset walk would be dead
+    // work — skip it (per-pass counters flow through the record, not the
+    // cluster counters, so the outcome is identical).
+    match (ctx.resume, task.state.as_deref()) {
+        (true, Some(state)) => {
+            task.slice.configure_pass_for_resume(task.base, task.count);
             task.slice.import_state(state);
         }
+        _ => task.slice.configure_pass(task.base, task.count),
     }
     let record = &mut *task.record;
     record.clear();
     record.active = task.count > 0;
     if record.active {
+        // First index of the all-fire tail: every op at or after it is a
+        // `FIRE_OP` (== `ops.len()` when the sequence does not end in one).
+        // Once the walk reaches it with every cluster clean, the remaining
+        // scans are TLU skips for every cluster — and skips keep clusters
+        // clean, so the whole tail collapses into one batched bookkeeping
+        // step below instead of a per-op, per-cluster walk. This is what
+        // holds the host-time floor of a sparse run: passes whose op stream
+        // carries no events (every layer past the first, when nothing
+        // spikes) fast-forward in O(ops) record pushes.
+        let mut tail_fires = ctx.ops.len();
+        while tail_fires > 0 && ctx.ops[tail_fires - 1].op == EventOp::Fire {
+            tail_fires -= 1;
+        }
         let mut update_index = 0usize;
         let mut op_index = 0usize;
         while op_index < ctx.ops.len() {
+            if ctx.tlu_enabled && op_index >= tail_fires && task.slice.all_clusters_clean() {
+                let fires = (ctx.ops.len() - op_index) as u32;
+                task.slice.note_skipped_fires(fires);
+                let skipped = task.slice.num_clusters() as u64;
+                record.tlu_skipped_updates += u64::from(fires) * skipped * ctx.neurons_per_cluster;
+                for _ in 0..fires {
+                    record.scanned.push(false);
+                    record.fire_counts.push(0);
+                }
+                break;
+            }
             let op = &ctx.ops[op_index];
             match op.op {
                 EventOp::Reset => task.slice.reset(),
@@ -166,6 +198,7 @@ pub fn run_slice_pass(task: &mut SliceTask<'_>, ctx: &WorkerContext<'_>) {
                                 ctx.params,
                                 ctx.clock_gating,
                                 &mut record.update_ops,
+                                &mut record.windows,
                             );
                             update_index += events;
                             op_index = block_end - 1;

@@ -9,7 +9,7 @@ use sne_model::quant::{
 };
 use sne_sim::cluster::Cluster;
 use sne_sim::mapping::{LayerMapping, LifHardwareParams, MapShape};
-use sne_sim::{Engine, SneConfig};
+use sne_sim::{Engine, Kernel, SneConfig};
 
 fn arbitrary_op() -> impl Strategy<Value = EventOp> {
     prop_oneof![
@@ -86,24 +86,28 @@ proptest! {
         let params = LifHardwareParams { leak, threshold };
         let mut eager = Cluster::new(1);
         let mut lazy = Cluster::new(1);
+        // The membrane arena normally lives in the owning slice; standalone
+        // clusters get a local one-neuron buffer each.
+        let mut eager_mem = [0i16; 1];
+        let mut lazy_mem = [0i16; 1];
         let mut fired = Vec::new();
         for step in &pattern {
             if let Some(w) = step {
-                eager.integrate(0, *w, params);
-                lazy.integrate(0, *w, params);
+                eager.integrate(&mut eager_mem, 0, *w, params);
+                lazy.integrate(&mut lazy_mem, 0, *w, params);
             }
             fired.clear();
-            let _ = eager.fire_scan_into(params, false, &mut fired);
+            let _ = eager.fire_scan_into(&mut eager_mem, params, false, Kernel::Scalar, &mut fired);
             let fired_eager = !fired.is_empty();
             fired.clear();
-            let _ = lazy.fire_scan_into(params, true, &mut fired);
+            let _ = lazy.fire_scan_into(&mut lazy_mem, params, true, Kernel::Scalar, &mut fired);
             let fired_lazy = !fired.is_empty();
             prop_assert_eq!(fired_eager, fired_lazy);
         }
         // Force both to materialize any pending leak, then compare states.
-        eager.integrate(0, 0, params);
-        lazy.integrate(0, 0, params);
-        prop_assert_eq!(eager.state(0), lazy.state(0));
+        eager.integrate(&mut eager_mem, 0, 0, params);
+        lazy.integrate(&mut lazy_mem, 0, 0, params);
+        prop_assert_eq!(eager_mem[0], lazy_mem[0]);
     }
 
     /// Stream statistics: activity is always in [0, 1] and equals
