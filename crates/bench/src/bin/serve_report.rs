@@ -1,30 +1,62 @@
 //! Measures the serving front-end end to end over loopback HTTP and emits a
-//! machine-readable `BENCH_serve.json`: closed-loop clients at 1/4/16
-//! concurrency, throughput and p50/p99 request latency per level, with
-//! **bit-exactness against a direct session asserted before any timing**.
+//! machine-readable `BENCH_serve.json`, with **bit-exactness against a
+//! direct session asserted before any timing**. Four phases:
+//!
+//! 1. **Closed-loop** — 1/4/16 keep-alive clients issuing back-to-back
+//!    requests: throughput and p50/p99 request latency per level.
+//! 2. **Streaming sessions** — concurrent chunked sessions over keep-alive
+//!    connections, exercising the scheduler's affinity hints (the
+//!    `affinity_hits + affinity_misses > 0` telemetry gate).
+//! 3. **Open-loop** — a fixed arrival-rate sweep (fractions of the measured
+//!    closed-loop capacity). Latency is measured from each request's
+//!    *scheduled* arrival, so queueing delay at over-capacity rates is not
+//!    coordinated away; per-response server-side queue/service breakdowns
+//!    identify what saturates first.
+//! 4. **Idle soak** — thousands of parked keep-alive connections held
+//!    through a quiet window: process CPU over the window must stay ~idle
+//!    and every parked connection must still answer afterwards.
 //!
 //! ```bash
-//! cargo run --release -p sne_bench --bin serve_report              # full run
-//! cargo run --release -p sne_bench --bin serve_report -- --smoke   # CI smoke
+//! cargo run --release -p sne_bench --bin serve_report                   # full run
+//! cargo run --release -p sne_bench --bin serve_report -- --smoke        # CI smoke
+//! cargo run --release -p sne_bench --bin serve_report -- --phase open   # open-loop + soak only
 //! cargo run --release -p sne_bench --bin serve_report -- --out x.json
 //! ```
 
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use sne::batch::LatencySummary;
 use sne::compile::CompiledNetwork;
 use sne::session::InferenceSession;
 use sne_bench::benchmark_network;
 use sne_event::EventStream;
-use sne_serve::{client, Json, ServerBuilder};
+use sne_serve::client::{self, Connection};
+use sne_serve::{Json, ServerBuilder};
 use sne_sim::{ExecStrategy, SneConfig};
 
 /// Closed-loop concurrency levels (clients issuing back-to-back requests).
 const CLIENT_LEVELS: [usize; 3] = [1, 4, 16];
 /// Engines in the served model's pool.
 const LANES: usize = 4;
+/// Open-loop offered rates as fractions of measured closed-loop capacity.
+const OPEN_FRACTIONS_FULL: [f64; 4] = [0.5, 0.8, 1.1, 1.5];
+const OPEN_FRACTIONS_SMOKE: [f64; 2] = [0.8, 1.5];
+/// Committed p99 at the 1-client closed-loop level (the regression floor).
+const P99_1CLIENT_FLOOR_US: f64 = 699.0;
+/// Absolute throughput target: 2x the thread-per-connection ceiling.
+const THROUGHPUT_FLOOR_RPS: f64 = 6200.0;
+/// Idle-soak CPU budget as a fraction of the soak window.
+const SOAK_CPU_BUDGET: f64 = 0.10;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Phase {
+    Closed,
+    Open,
+    All,
+}
 
 struct LevelResult {
     clients: usize,
@@ -33,26 +65,55 @@ struct LevelResult {
     latency: LatencySummary,
 }
 
-/// Runs `clients` closed-loop client threads for `per_client` requests each
-/// and returns throughput plus client-observed latency order statistics.
-fn run_level(
-    addr: SocketAddr,
-    streams: &[EventStream],
-    clients: usize,
-    per_client: u32,
-) -> LevelResult {
+struct OpenResult {
+    offered_rps: f64,
+    achieved_rps: f64,
+    sent: u64,
+    ok: u64,
+    shed: u64,
+    failed: u64,
+    latency: LatencySummary,
+    queue_mean_us: f64,
+    service_mean_us: f64,
+}
+
+struct SoakResult {
+    connections: usize,
+    window_s: f64,
+    cpu_ms: f64,
+    failed_requests: u64,
+}
+
+/// This process's cumulative CPU time (user + system) in milliseconds,
+/// from `/proc/self/stat` (0.0 where unavailable — the soak gate then
+/// passes trivially on non-Linux hosts).
+fn process_cpu_ms() -> f64 {
+    let Ok(stat) = std::fs::read_to_string("/proc/self/stat") else {
+        return 0.0;
+    };
+    // Fields after the parenthesized comm; utime/stime are stat fields
+    // 14/15, i.e. indices 11/12 past the comm, in clock ticks (100 Hz).
+    let rest = stat.rsplit_once(')').map_or("", |(_, r)| r);
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    let tick = |i: usize| -> f64 { fields.get(i).and_then(|v| v.parse().ok()).unwrap_or(0.0) };
+    (tick(11) + tick(12)) * 1000.0 / 100.0
+}
+
+/// Runs `clients` closed-loop client threads, each on one persistent
+/// keep-alive connection, for `per_client` requests each.
+fn run_level(addr: SocketAddr, bodies: &[String], clients: usize, per_client: u32) -> LevelResult {
     let start = Instant::now();
     let latencies: Vec<f64> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 scope.spawn(move || {
+                    let mut conn = Connection::connect(addr).expect("connect failed");
                     let mut samples = Vec::with_capacity(per_client as usize);
                     for i in 0..per_client {
-                        let stream = &streams[(c + i as usize * clients) % streams.len()];
-                        let body = client::infer_body("bench", stream);
+                        let body = &bodies[(c + i as usize * clients) % bodies.len()];
                         let sent = Instant::now();
                         let (status, response) =
-                            client::post(addr, "/v1/infer", &body).expect("request failed");
+                            conn.post("/v1/infer", body).expect("request failed");
                         assert_eq!(status, 200, "{response}");
                         samples.push(sent.elapsed().as_secs_f64() * 1e6);
                     }
@@ -74,6 +135,182 @@ fn run_level(
     }
 }
 
+/// Streaming-session phase: `sessions` concurrent chunked sessions, each
+/// over one keep-alive connection, pushing `chunks` chunks then closing.
+/// This is what makes the scheduler's affinity telemetry live: every push
+/// after a session's first carries the parked lane hint.
+fn run_streaming(addr: SocketAddr, sessions: usize, chunks: usize) -> LevelResult {
+    let start = Instant::now();
+    let latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|s| {
+                scope.spawn(move || {
+                    let feed = sne::proportionality::stream_with_activity(
+                        (2, 16, 16),
+                        (chunks * 4) as u32,
+                        0.03,
+                        7000 + s as u64,
+                    );
+                    let mut conn = Connection::connect(addr).expect("connect failed");
+                    let mut samples = Vec::with_capacity(chunks);
+                    for (i, chunk) in feed.chunks(4).enumerate() {
+                        let body = client::infer_body("bench", &chunk);
+                        let path = format!("/v1/stream/bench-s{s}/push");
+                        let sent = Instant::now();
+                        let (status, response) = conn.post(&path, &body).expect("push failed");
+                        assert_eq!(status, 200, "push {i}: {response}");
+                        samples.push(sent.elapsed().as_secs_f64() * 1e6);
+                    }
+                    let (status, response) = conn
+                        .post(&format!("/v1/stream/bench-s{s}/close"), "")
+                        .expect("close failed");
+                    assert_eq!(status, 200, "{response}");
+                    samples
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("session thread panicked"))
+            .collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    LevelResult {
+        clients: sessions,
+        requests: latencies.len() as u32,
+        throughput_rps: latencies.len() as f64 / elapsed,
+        latency: LatencySummary::from_samples_us(&latencies),
+    }
+}
+
+/// Open-loop run at a fixed offered rate: arrival `k` is *due* at
+/// `t0 + k/rate`; a pool of sender threads serves the schedule and each
+/// request's latency is measured from its due time, so when the server
+/// falls behind the wait shows up in the numbers instead of silently
+/// stretching the arrival process.
+fn run_open_loop(
+    addr: SocketAddr,
+    bodies: &[String],
+    offered_rps: f64,
+    window: Duration,
+    senders: usize,
+) -> OpenResult {
+    let total = ((offered_rps * window.as_secs_f64()) as usize).max(senders);
+    let next = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    let per_thread: Vec<(Vec<f64>, u64, u64, u64, f64, f64)> = std::thread::scope(|scope| {
+        let next = &next;
+        let handles: Vec<_> = (0..senders)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut conn = Connection::connect(addr).expect("connect failed");
+                    let mut latencies = Vec::new();
+                    let (mut ok, mut shed, mut failed) = (0u64, 0u64, 0u64);
+                    let (mut queue_us, mut service_us) = (0.0f64, 0.0f64);
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= total {
+                            break;
+                        }
+                        let due = t0 + Duration::from_secs_f64(k as f64 / offered_rps);
+                        let now = Instant::now();
+                        if due > now {
+                            std::thread::sleep(due - now);
+                        }
+                        match conn.post("/v1/infer", &bodies[k % bodies.len()]) {
+                            Ok((200, body)) => {
+                                ok += 1;
+                                latencies.push(due.elapsed().as_secs_f64() * 1e6);
+                                if let Ok(doc) = Json::parse(&body) {
+                                    queue_us +=
+                                        doc.get("queue_us").and_then(Json::as_f64).unwrap_or(0.0);
+                                    service_us +=
+                                        doc.get("service_us").and_then(Json::as_f64).unwrap_or(0.0);
+                                }
+                            }
+                            Ok((429, _)) => shed += 1,
+                            Ok(_) => failed += 1,
+                            Err(_) => {
+                                failed += 1;
+                                if let Ok(fresh) = Connection::connect(addr) {
+                                    conn = fresh;
+                                }
+                            }
+                        }
+                    }
+                    (latencies, ok, shed, failed, queue_us, service_us)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sender thread panicked"))
+            .collect()
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let mut latencies = Vec::new();
+    let (mut ok, mut shed, mut failed) = (0u64, 0u64, 0u64);
+    let (mut queue_total, mut service_total) = (0.0f64, 0.0f64);
+    for (l, o, s, f, q, sv) in per_thread {
+        latencies.extend(l);
+        ok += o;
+        shed += s;
+        failed += f;
+        queue_total += q;
+        service_total += sv;
+    }
+    OpenResult {
+        offered_rps,
+        achieved_rps: ok as f64 / elapsed,
+        sent: total as u64,
+        ok,
+        shed,
+        failed,
+        latency: LatencySummary::from_samples_us(&latencies),
+        queue_mean_us: if ok > 0 { queue_total / ok as f64 } else { 0.0 },
+        service_mean_us: if ok > 0 {
+            service_total / ok as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Idle-connection soak: `target` keep-alive connections parked through a
+/// quiet `window` (process CPU measured across it), then one probe request
+/// over every parked connection — all must still answer.
+fn run_soak(addr: SocketAddr, target: usize, window: Duration) -> SoakResult {
+    let mut parked = Vec::with_capacity(target);
+    for i in 0..target {
+        parked.push(Connection::connect(addr).expect("soak connect failed"));
+        if i % 64 == 63 {
+            // Give the reactor's accept loop a scheduling quantum so the
+            // listener backlog never overflows.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    // Quiesce (late ACKs, accept bursts), then measure the quiet window.
+    std::thread::sleep(Duration::from_millis(300));
+    let cpu_before = process_cpu_ms();
+    std::thread::sleep(window);
+    let cpu_ms = process_cpu_ms() - cpu_before;
+    // Every parked connection must still be live.
+    let mut failed = 0u64;
+    for conn in &mut parked {
+        let _ = conn.set_read_timeout(Some(Duration::from_secs(10)));
+        match conn.get("/healthz") {
+            Ok((200, _)) => {}
+            _ => failed += 1,
+        }
+    }
+    SoakResult {
+        connections: target,
+        window_s: window.as_secs_f64(),
+        cpu_ms,
+        failed_requests: failed,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -82,7 +319,18 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_serve.json".to_owned());
-    let per_client: u32 = if smoke { 4 } else { 40 };
+    let phase = match args
+        .iter()
+        .position(|a| a == "--phase")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("closed") => Phase::Closed,
+        Some("open") => Phase::Open,
+        Some("all") | None => Phase::All,
+        Some(other) => panic!("unknown --phase {other} (closed|open|all)"),
+    };
+    let per_client: u32 = if smoke { 6 } else { 200 };
 
     // A 16x16 two-layer eCNN: small enough that the HTTP wire is a visible
     // fraction of the request, large enough to exercise the whole datapath.
@@ -90,6 +338,10 @@ fn main() {
     let config = SneConfig::with_slices(4);
     let streams: Vec<EventStream> = (0..8)
         .map(|i| sne::proportionality::stream_with_activity((2, 16, 16), 12, 0.03, 900 + i))
+        .collect();
+    let bodies: Vec<String> = streams
+        .iter()
+        .map(|s| client::infer_body("bench", s))
         .collect();
 
     let server = ServerBuilder::new()
@@ -106,13 +358,14 @@ fn main() {
     let addr = server.addr();
 
     // Gate: every served result must be BIT-identical to a direct session
-    // call before anything is timed.
+    // call before anything is timed — over a keep-alive connection, like
+    // all the traffic that follows.
     let mut session =
         InferenceSession::new(Arc::clone(&network) as Arc<CompiledNetwork>, config).unwrap();
-    for stream in &streams {
+    let mut gate_conn = Connection::connect(addr).expect("connect failed");
+    for (stream, body) in streams.iter().zip(&bodies) {
         let expected = session.infer(stream).unwrap();
-        let (status, body) =
-            client::post(addr, "/v1/infer", &client::infer_body("bench", stream)).unwrap();
+        let (status, body) = gate_conn.post("/v1/infer", body).unwrap();
         assert_eq!(status, 200, "{body}");
         let doc = Json::parse(&body).unwrap();
         assert_eq!(
@@ -133,32 +386,103 @@ fn main() {
             "served energy diverged bit-wise from the direct session"
         );
     }
+    drop(gate_conn);
 
     println!("Serving front-end over loopback HTTP ({LANES}-engine pool, 16x16 eCNN, 12 timesteps, 3 % activity)");
     println!(
-        "bit-exactness vs direct session: verified on {} streams",
+        "bit-exactness vs direct session: verified on {} streams (keep-alive)",
         streams.len()
     );
     println!();
 
+    // ---- closed-loop phase -------------------------------------------------
     let mut levels = Vec::new();
-    for clients in CLIENT_LEVELS {
-        let level = run_level(addr, &streams, clients, per_client);
+    let mut streaming: Option<LevelResult> = None;
+    if phase != Phase::Open {
+        for clients in CLIENT_LEVELS {
+            let level = run_level(addr, &bodies, clients, per_client);
+            println!(
+                "closed  {:>2} clients: {:>8.1} req/s   p50 {:>8.1} us   p99 {:>8.1} us",
+                level.clients, level.throughput_rps, level.latency.p50_us, level.latency.p99_us
+            );
+            levels.push(level);
+        }
+        let (sessions, chunks) = if smoke { (4, 6) } else { (8, 12) };
+        let result = run_streaming(addr, sessions, chunks);
         println!(
-            "{:>2} clients: {:>8.1} req/s   p50 {:>8.1} us   p99 {:>8.1} us",
-            level.clients, level.throughput_rps, level.latency.p50_us, level.latency.p99_us
+            "stream  {:>2} sessions: {:>7.1} push/s  p50 {:>8.1} us   p99 {:>8.1} us",
+            result.clients, result.throughput_rps, result.latency.p50_us, result.latency.p99_us
         );
-        levels.push(level);
+        streaming = Some(result);
     }
 
+    // ---- open-loop phase ---------------------------------------------------
+    let mut open_results = Vec::new();
+    let mut soak: Option<SoakResult> = None;
+    if phase != Phase::Closed {
+        // Capacity estimate drives the offered-rate sweep: best closed-loop
+        // level when that phase ran, a short probe otherwise.
+        let capacity = levels
+            .iter()
+            .map(|l| l.throughput_rps)
+            .fold(f64::NAN, f64::max);
+        let capacity = if capacity.is_nan() {
+            let probe = run_level(addr, &bodies, 8, if smoke { 8 } else { 100 });
+            println!(
+                "probe    8 clients: {:>8.1} req/s (capacity estimate)",
+                probe.throughput_rps
+            );
+            probe.throughput_rps
+        } else {
+            capacity
+        };
+        let fractions: &[f64] = if smoke {
+            &OPEN_FRACTIONS_SMOKE
+        } else {
+            &OPEN_FRACTIONS_FULL
+        };
+        let window = if smoke {
+            Duration::from_millis(400)
+        } else {
+            Duration::from_millis(2500)
+        };
+        let senders = if smoke { 8 } else { 64 };
+        for &fraction in fractions {
+            let offered = capacity * fraction;
+            let result = run_open_loop(addr, &bodies, offered, window, senders);
+            println!(
+                "open   {:>7.0} rps offered: {:>8.1} achieved   p50 {:>9.1} us   p99 {:>9.1} us   queue {:>8.1} us   shed {}",
+                result.offered_rps,
+                result.achieved_rps,
+                result.latency.p50_us,
+                result.latency.p99_us,
+                result.queue_mean_us,
+                result.shed
+            );
+            open_results.push(result);
+        }
+
+        // Idle soak: parked keep-alive connections must cost ~nothing.
+        let (target, window) = if smoke {
+            (256, Duration::from_secs(1))
+        } else {
+            (5000, Duration::from_secs(2))
+        };
+        let result = run_soak(addr, target, window);
+        println!(
+            "soak   {:>5} parked keep-alive conns over {:.1} s: {:.1} ms CPU, {} failed probes",
+            result.connections, result.window_s, result.cpu_ms, result.failed_requests
+        );
+        soak = Some(result);
+    }
+
+    // ---- telemetry + gates -------------------------------------------------
     let (status, stats_body) = client::get(addr, "/v1/stats").unwrap();
     assert_eq!(status, 200);
     let stats = Json::parse(&stats_body).unwrap();
     let completed = stats.get("completed").and_then(Json::as_u64).unwrap();
     let errors = stats.get("errors").and_then(Json::as_u64).unwrap();
     assert_eq!(errors, 0, "server recorded errors during the bench");
-    // The per-model scheduler telemetry: worker count, steal volume and the
-    // affinity hit rate the work-stealing scheduler reported for the run.
     let model = stats.get("models").and_then(|m| m.get("bench")).unwrap();
     let field = |key: &str| model.get(key).and_then(Json::as_u64).unwrap();
     let workers = field("workers");
@@ -166,14 +490,84 @@ fn main() {
     let affinity_hits = field("affinity_hits");
     let affinity_misses = field("affinity_misses");
     assert_eq!(field("pending"), 0, "backlog left after the bench");
+    if streaming.is_some() {
+        // The telemetry gate: the streaming phase must leave the affinity
+        // counters live — a zeroed pair means the hint path is dead again.
+        assert!(
+            affinity_hits + affinity_misses > 0,
+            "streaming phase ran but scheduler affinity telemetry is dead"
+        );
+    }
+
+    let p99_1client = levels
+        .iter()
+        .find(|l| l.clients == 1)
+        .map(|l| l.latency.p99_us);
+    if let Some(p99) = p99_1client {
+        let floor = if smoke {
+            // Smoke runs are tiny and often share noisy CI hosts: gate
+            // loosely, the full run enforces the committed floor.
+            P99_1CLIENT_FLOOR_US * 10.0
+        } else {
+            P99_1CLIENT_FLOOR_US
+        };
+        assert!(
+            p99 <= floor,
+            "1-client p99 {p99:.1} us regressed past the {floor:.1} us floor"
+        );
+    }
+
+    let best_rps = levels
+        .iter()
+        .map(|l| l.throughput_rps)
+        .chain(open_results.iter().map(|r| r.achieved_rps))
+        .fold(0.0f64, f64::max);
+    let throughput_met = best_rps >= THROUGHPUT_FLOOR_RPS;
+    // The documented fallback: on a small host the bound must be
+    // queue-wait (inference capacity), not connection handling — the
+    // per-response breakdown at the top offered rate shows which.
+    let queue_bound = open_results
+        .last()
+        .is_some_and(|top| top.queue_mean_us > top.service_mean_us);
+    if !open_results.is_empty() && !smoke {
+        assert!(
+            throughput_met || queue_bound,
+            "throughput {best_rps:.1} rps under the {THROUGHPUT_FLOOR_RPS} floor and the top \
+             offered rate is not queue-bound (queue-wait must dominate service when capacity \
+             saturates)"
+        );
+    }
+    if let Some(soak) = &soak {
+        assert_eq!(
+            soak.failed_requests, 0,
+            "parked keep-alive connections failed their post-soak probes"
+        );
+        let budget_ms = soak.window_s * 1000.0 * SOAK_CPU_BUDGET;
+        assert!(
+            soak.cpu_ms <= budget_ms,
+            "idle soak burned {:.1} ms CPU over {:.1} s (budget {budget_ms:.0} ms): parked \
+             connections are not free",
+            soak.cpu_ms,
+            soak.window_s
+        );
+    }
     server.shutdown();
 
+    // ---- report ------------------------------------------------------------
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"serve_report\",\n");
     json.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if smoke { "smoke" } else { "full" }
+    ));
+    json.push_str(&format!(
+        "  \"phase\": \"{}\",\n",
+        match phase {
+            Phase::Closed => "closed",
+            Phase::Open => "open",
+            Phase::All => "all",
+        }
     ));
     json.push_str(&format!(
         "  \"host_parallelism\": {},\n",
@@ -201,7 +595,44 @@ fn main() {
             if i + 1 < levels.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n");
+    json.push_str("  ],\n");
+    if let Some(streaming) = &streaming {
+        json.push_str(&format!(
+            "  \"streaming\": {{\"sessions\": {}, \"pushes\": {}, \"throughput_rps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}},\n",
+            streaming.clients,
+            streaming.requests,
+            streaming.throughput_rps,
+            streaming.latency.p50_us,
+            streaming.latency.p99_us,
+        ));
+    }
+    json.push_str("  \"open_loop\": [\n");
+    for (i, r) in open_results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"offered_rps\": {:.1}, \"achieved_rps\": {:.1}, \"sent\": {}, \"ok\": {}, \"shed\": {}, \"failed\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"queue_mean_us\": {:.1}, \"service_mean_us\": {:.1}}}{}\n",
+            r.offered_rps,
+            r.achieved_rps,
+            r.sent,
+            r.ok,
+            r.shed,
+            r.failed,
+            r.latency.p50_us,
+            r.latency.p99_us,
+            r.queue_mean_us,
+            r.service_mean_us,
+            if i + 1 < open_results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    if let Some(soak) = &soak {
+        json.push_str(&format!(
+            "  \"idle_soak\": {{\"connections\": {}, \"window_s\": {:.1}, \"cpu_ms\": {:.1}, \"failed_requests\": {}}},\n",
+            soak.connections, soak.window_s, soak.cpu_ms, soak.failed_requests
+        ));
+    }
+    json.push_str(&format!(
+        "  \"gates\": {{\"p99_1client_floor_us\": {P99_1CLIENT_FLOOR_US}, \"throughput_floor_rps\": {THROUGHPUT_FLOOR_RPS}, \"throughput_met\": {throughput_met}, \"queue_bound_saturation\": {queue_bound}}}\n"
+    ));
     json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
 

@@ -431,18 +431,55 @@ struct Job {
     kind: JobKind,
 }
 
+/// How a completed inference's [`RequestRecord`] travels back to its
+/// submitter: over a channel (the synchronous [`Scheduler::submit`] /
+/// [`Scheduler::call`] paths block on the receiver) or into a callback run
+/// on the worker thread right after completion (the nonblocking
+/// [`Scheduler::call_async`] path an event-driven server uses). A callback
+/// must be quick and must never block on the scheduler itself — it runs
+/// inline in the worker loop, ahead of the worker's next job.
+enum InferReply {
+    Channel(mpsc::Sender<RequestRecord>),
+    Callback(Box<dyn FnOnce(RequestRecord) + Send>),
+}
+
+impl InferReply {
+    fn complete(self, record: RequestRecord) {
+        match self {
+            // A dropped receiver (caller gave up) is not an error.
+            Self::Channel(tx) => drop(tx.send(record)),
+            Self::Callback(f) => f(record),
+        }
+    }
+}
+
+/// [`InferReply`], for streaming pushes.
+enum PushReply {
+    Channel(mpsc::Sender<PushRecord>),
+    Callback(Box<dyn FnOnce(PushRecord) + Send>),
+}
+
+impl PushReply {
+    fn complete(self, record: PushRecord) {
+        match self {
+            Self::Channel(tx) => drop(tx.send(record)),
+            Self::Callback(f) => f(record),
+        }
+    }
+}
+
 enum JobKind {
     /// Whole-sample inference on the serving engine's scratch client.
     Infer {
         stream: Arc<EventStream>,
-        reply: mpsc::Sender<RequestRecord>,
+        reply: InferReply,
     },
     /// One chunk of an external client's feed; the [`ClientState`] travels
     /// with the job and comes back in the [`PushRecord`].
     Push {
         client: Box<ClientState>,
         chunk: Arc<EventStream>,
-        reply: mpsc::Sender<PushRecord>,
+        reply: PushReply,
     },
 }
 
@@ -730,7 +767,7 @@ impl Scheduler {
             None,
             JobKind::Infer {
                 stream: stream.into(),
-                reply: self.results_tx.clone(),
+                reply: InferReply::Channel(self.results_tx.clone()),
             },
         );
         self.outstanding += 1;
@@ -776,10 +813,33 @@ impl Scheduler {
             affinity,
             JobKind::Infer {
                 stream: stream.into(),
-                reply: tx,
+                reply: InferReply::Channel(tx),
             },
         );
         rx.recv().expect("scheduler worker disconnected")
+    }
+
+    /// Nonblocking [`Scheduler::call_with_affinity`]: enqueues the request
+    /// on the interactive lane and returns immediately; `on_done` runs on
+    /// the serving worker thread right after completion. This is the entry
+    /// point for event-driven callers (a nonblocking reactor cannot park a
+    /// thread per request). The callback must be quick and must not block
+    /// on the scheduler — it runs ahead of the worker's next job. Returns
+    /// the request id.
+    pub fn call_async(
+        &self,
+        stream: impl Into<Arc<EventStream>>,
+        affinity: Option<usize>,
+        on_done: impl FnOnce(RequestRecord) + Send + 'static,
+    ) -> u64 {
+        self.enqueue(
+            Priority::Interactive,
+            affinity,
+            JobKind::Infer {
+                stream: stream.into(),
+                reply: InferReply::Callback(Box::new(on_done)),
+            },
+        )
     }
 
     /// Synchronous interactive streaming round trip: sends `client` and one
@@ -802,10 +862,32 @@ impl Scheduler {
             JobKind::Push {
                 client: Box::new(client),
                 chunk: chunk.into(),
-                reply: tx,
+                reply: PushReply::Channel(tx),
             },
         );
         rx.recv().expect("scheduler worker disconnected")
+    }
+
+    /// Nonblocking [`Scheduler::call_push`]: the advanced [`ClientState`]
+    /// comes back inside the [`PushRecord`] handed to `on_done` on the
+    /// serving worker thread. Same contract as [`Scheduler::call_async`].
+    /// Returns the request id.
+    pub fn call_push_async(
+        &self,
+        client: ClientState,
+        chunk: impl Into<Arc<EventStream>>,
+        affinity: Option<usize>,
+        on_done: impl FnOnce(PushRecord) + Send + 'static,
+    ) -> u64 {
+        self.enqueue(
+            Priority::Interactive,
+            affinity,
+            JobKind::Push {
+                client: Box::new(client),
+                chunk: chunk.into(),
+                reply: PushReply::Callback(Box::new(on_done)),
+            },
+        )
     }
 
     /// Graceful shutdown: queued work is finished, then the workers exit and
@@ -898,7 +980,6 @@ fn worker_loop(shared: &SchedShared, index: usize, mut engine: PooledEngine) {
         }
         let queue_us = job.enqueued.elapsed().as_secs_f64() * 1e6;
         let service_start = Instant::now();
-        // A dropped receiver (caller gave up) is not an error.
         match job.kind {
             JobKind::Infer { stream, reply } => {
                 let result = engine.infer(&stream);
@@ -906,7 +987,7 @@ fn worker_loop(shared: &SchedShared, index: usize, mut engine: PooledEngine) {
                 shared
                     .recorder
                     .record(queue_us, service_us, result.is_err());
-                let _ = reply.send(RequestRecord {
+                reply.complete(RequestRecord {
                     id: job.id,
                     result,
                     lane,
@@ -924,7 +1005,7 @@ fn worker_loop(shared: &SchedShared, index: usize, mut engine: PooledEngine) {
                 shared
                     .recorder
                     .record(queue_us, service_us, result.is_err());
-                let _ = reply.send(PushRecord {
+                reply.complete(PushRecord {
                     id: job.id,
                     client: *client,
                     result,
@@ -1772,7 +1853,7 @@ mod tests {
             affinity: None,
             kind: JobKind::Infer {
                 stream: Arc::new(EventStream::new(8, 8, 2, 8)),
-                reply,
+                reply: InferReply::Channel(reply),
             },
         }
     }

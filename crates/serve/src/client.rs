@@ -1,11 +1,20 @@
 //! A tiny blocking HTTP client for the loopback tests, the `serve_report`
 //! benchmark and the `serve_demo` example.
 //!
-//! One request per connection, matching the server's `Connection: close`
-//! policy: connect, send, read to EOF, split status from body.
+//! Two flavors:
+//!
+//! - [`request`]/[`post`]/[`get`] — one request per connection
+//!   (`Connection: close`, read to EOF). Simple, and still the right tool
+//!   for one-shot probes.
+//! - [`Connection`] — a persistent HTTP/1.1 keep-alive connection: many
+//!   requests over one socket, responses framed by `Content-Length`, the
+//!   last response's headers retained for inspection (`X-Request-Id`,
+//!   `Retry-After`, ...). This is how a streaming client is meant to talk
+//!   to the reactor: one connection for the whole chunk sequence.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 use sne_event::EventStream;
 
@@ -26,7 +35,11 @@ pub fn infer_body(model: &str, stream: &EventStream) -> String {
     )
 }
 
-/// Issues one request and returns `(status, body)`.
+fn invalid() -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response")
+}
+
+/// Issues one request on a fresh connection and returns `(status, body)`.
 ///
 /// # Errors
 ///
@@ -47,7 +60,6 @@ pub fn request(
     stream.flush()?;
     let mut response = String::new();
     stream.read_to_string(&mut response)?;
-    let invalid = || std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response");
     let status: u16 = response
         .split_whitespace()
         .nth(1)
@@ -57,7 +69,7 @@ pub fn request(
     Ok((status, body.to_owned()))
 }
 
-/// `POST` with a JSON body.
+/// `POST` with a JSON body on a fresh connection.
 ///
 /// # Errors
 ///
@@ -66,11 +78,184 @@ pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<(u16, S
     request(addr, "POST", path, body)
 }
 
-/// Bodyless `GET`.
+/// Bodyless `GET` on a fresh connection.
 ///
 /// # Errors
 ///
 /// Same as [`request`].
 pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
     request(addr, "GET", path, "")
+}
+
+/// A persistent HTTP/1.1 keep-alive connection. Responses are framed by
+/// `Content-Length`, so the socket stays open between requests; the
+/// server parks it for the next one.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    addr: SocketAddr,
+    /// Bytes read past the previous response's end.
+    buf: Vec<u8>,
+    /// Headers of the most recent response, lower-cased names.
+    last_headers: Vec<(String, String)>,
+}
+
+impl Connection {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            addr,
+            buf: Vec::new(),
+            last_headers: Vec::new(),
+        })
+    }
+
+    /// Bounds how long [`Connection::request`] blocks on a read.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-option failure.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// A header from the most recent response (name matched
+    /// case-insensitively), e.g. `X-Request-Id` or `Retry-After`.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.last_headers
+            .iter()
+            .find(|(n, _)| *n == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Issues one request on the persistent connection and returns
+    /// `(status, body)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; a malformed response is
+    /// [`std::io::ErrorKind::InvalidData`]; a connection the server closed
+    /// before the full response is [`std::io::ErrorKind::UnexpectedEof`].
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, String)> {
+        self.request_with_headers(method, path, body, &[])
+    }
+
+    /// Like [`Connection::request`] with extra request headers (e.g.
+    /// `("X-Request-Id", "trace-42")`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Connection::request`].
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<(u16, String)> {
+        let mut raw = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+            self.addr,
+            body.len(),
+        );
+        for (name, value) in headers {
+            raw.push_str(name);
+            raw.push_str(": ");
+            raw.push_str(value);
+            raw.push_str("\r\n");
+        }
+        raw.push_str("\r\n");
+        raw.push_str(body);
+        self.stream.write_all(raw.as_bytes())?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// `POST` with a JSON body on the persistent connection.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Connection::request`].
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        self.request("POST", path, body)
+    }
+
+    /// Bodyless `GET` on the persistent connection.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Connection::request`].
+    pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        self.request("GET", path, "")
+    }
+
+    fn fill(&mut self) -> std::io::Result<usize> {
+        let mut scratch = [0u8; 8192];
+        let n = self.stream.read(&mut scratch)?;
+        self.buf.extend_from_slice(&scratch[..n]);
+        Ok(n)
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+        // Accumulate until the blank line terminating the header section.
+        let head_end = loop {
+            if let Some(pos) = find_blank_line(&self.buf) {
+                break pos;
+            }
+            if self.fill()? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before response headers",
+                ));
+            }
+        };
+        let head = std::str::from_utf8(&self.buf[..head_end]).map_err(|_| invalid())?;
+        let mut lines = head.split("\r\n");
+        let status: u16 = lines
+            .next()
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(invalid)?;
+        self.last_headers = lines
+            .filter_map(|line| {
+                let (name, value) = line.split_once(':')?;
+                Some((name.trim().to_ascii_lowercase(), value.trim().to_owned()))
+            })
+            .collect();
+        let content_length: usize = self
+            .header("content-length")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(invalid)?;
+        let body_start = head_end + 4;
+        while self.buf.len() < body_start + content_length {
+            if self.fill()? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before response body",
+                ));
+            }
+        }
+        let body = String::from_utf8(self.buf[body_start..body_start + content_length].to_vec())
+            .map_err(|_| invalid())?;
+        self.buf.drain(..body_start + content_length);
+        Ok((status, body))
+    }
+}
+
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
 }

@@ -1,11 +1,19 @@
-//! A minimal HTTP/1.1 layer over [`std::net::TcpStream`].
+//! A minimal HTTP/1.1 layer built around an **incremental** request parser.
 //!
-//! Sized for the serving front-end's needs: one request per connection
-//! (`Connection: close` on every response), request bodies bounded by
-//! `Content-Length`, chunked transfer encoding not supported. The point is a
-//! dependency-free loopback-testable wire, not a general web server.
+//! The serving front-end's reactor reads whatever bytes the socket has and
+//! feeds them to a [`RequestParser`]; the parser accumulates across partial
+//! reads (request line, headers, `Content-Length`-bound body can each arrive
+//! split at any byte boundary) and yields a [`Request`] only once it is
+//! complete. Keep-alive is the default for HTTP/1.1 (`Connection: close`
+//! honored, HTTP/1.0 defaults to close); chunked transfer encoding is not
+//! supported. Every bound ([`MAX_BODY_BYTES`], [`MAX_HEADER_BYTES`],
+//! [`MAX_HEADERS`]) is enforced *during* accumulation, so a hostile client
+//! cannot grow buffers past them no matter how it fragments its bytes.
+//!
+//! [`read_request`]/[`write_response`] remain as blocking conveniences for
+//! tests and simple clients; the server itself never blocks on a socket.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
@@ -19,12 +27,16 @@ pub const MAX_HEADER_BYTES: u64 = 64 * 1024;
 /// Upper bound on the number of header lines.
 pub const MAX_HEADERS: usize = 100;
 
-/// How long a connection may idle mid-request before the read fails.
+/// Default bound on how long a connection may idle mid-request before the
+/// reactor's timer wheel evicts it (the slow-loris guard; configurable per
+/// server).
 pub const READ_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// How long a blocked response write may stall before it fails — without it
-/// a client that never reads would park its handler thread forever (and
-/// with it, graceful shutdown).
+/// Default bound on how long a parked keep-alive connection may sit between
+/// requests before it is closed (configurable per server).
+pub const KEEPALIVE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// How long a blocked response write may stall in the blocking helpers.
 pub const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// One parsed request.
@@ -37,6 +49,13 @@ pub struct Request {
     pub path: String,
     /// Raw body bytes decoded to UTF-8.
     pub body: String,
+    /// Whether the connection should be kept open after the response
+    /// (HTTP/1.1 default unless `Connection: close`; HTTP/1.0 default close
+    /// unless `Connection: keep-alive`).
+    pub keep_alive: bool,
+    /// The client's `X-Request-Id` header, if it sent one (echoed on the
+    /// response; the server generates one otherwise).
+    pub request_id: Option<String>,
 }
 
 /// Why a request could not be parsed.
@@ -65,8 +84,235 @@ impl From<std::io::Error> for HttpError {
     }
 }
 
-/// Reads one HTTP/1.1 request (request line, headers, `Content-Length`-bound
-/// body) from `stream`.
+/// The parsed request line + headers, held while the body accumulates.
+#[derive(Debug)]
+struct Head {
+    method: String,
+    path: String,
+    content_length: usize,
+    keep_alive: bool,
+    request_id: Option<String>,
+    /// Byte offset of the body's first byte in the parser buffer.
+    body_start: usize,
+}
+
+/// Incremental HTTP/1.1 request parser: feed it bytes as they arrive, take
+/// a [`Request`] once one is complete. Bytes beyond the completed request
+/// stay buffered ([`RequestParser::buffered`]) — the server treats them as
+/// pipelining, which it rejects (strictly one in-flight request per
+/// connection).
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already scanned for line terminators.
+    scanned: usize,
+    /// Start offset of the line currently being scanned.
+    line_start: usize,
+    /// `(start, end)` of each completed header-section line (request line
+    /// first), trailing `\r` stripped.
+    lines: Vec<(usize, usize)>,
+    head: Option<Head>,
+}
+
+impl RequestParser {
+    /// An empty parser.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly read bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a completed request. Non-zero
+    /// right after [`RequestParser::try_take`] returned a request means the
+    /// client pipelined.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the parser holds any bytes of a not-yet-complete request —
+    /// the state in which a read deadline applies (a connection with an
+    /// empty parser is merely idle between keep-alive requests).
+    #[must_use]
+    pub fn mid_request(&self) -> bool {
+        !self.buf.is_empty() || self.head.is_some()
+    }
+
+    /// Tries to complete one request from the buffered bytes.
+    ///
+    /// # Errors
+    ///
+    /// `Err` means the connection is unrecoverable (bounds exceeded or
+    /// malformed framing) — respond 400 and close.
+    pub fn try_take(&mut self) -> Result<Option<Request>, &'static str> {
+        if self.head.is_none() {
+            self.scan_head()?;
+        }
+        let Some(head) = &self.head else {
+            return Ok(None);
+        };
+        let total = head.body_start + head.content_length;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let head = self.head.take().expect("checked above");
+        let body = String::from_utf8(self.buf[head.body_start..total].to_vec())
+            .map_err(|_| "body is not UTF-8")?;
+        self.buf.drain(..total);
+        self.scanned = 0;
+        self.line_start = 0;
+        self.lines.clear();
+        Ok(Some(Request {
+            method: head.method,
+            path: head.path,
+            body,
+            keep_alive: head.keep_alive,
+            request_id: head.request_id,
+        }))
+    }
+
+    /// Scans newly fed bytes for header-section lines; parses the head once
+    /// the blank separator line arrives.
+    fn scan_head(&mut self) -> Result<(), &'static str> {
+        while self.scanned < self.buf.len() {
+            if self.buf[self.scanned] != b'\n' {
+                self.scanned += 1;
+                continue;
+            }
+            // One complete line (strip the \n and an optional \r).
+            let mut end = self.scanned;
+            if end > self.line_start && self.buf[end - 1] == b'\r' {
+                end -= 1;
+            }
+            let start = self.line_start;
+            self.scanned += 1;
+            self.line_start = self.scanned;
+            if end == start {
+                // Blank line: the header section is complete.
+                if self.lines.is_empty() {
+                    return Err("empty request");
+                }
+                let body_start = self.scanned;
+                self.head = Some(self.parse_head(body_start)?);
+                return Ok(());
+            }
+            self.lines.push((start, end));
+            if self.lines.len() > MAX_HEADERS {
+                return Err("too many headers");
+            }
+        }
+        if self.buf.len() as u64 > MAX_HEADER_BYTES {
+            return Err("request header section too large");
+        }
+        Ok(())
+    }
+
+    /// Parses the accumulated request line + header lines.
+    fn parse_head(&self, body_start: usize) -> Result<Head, &'static str> {
+        let line = |&(s, e): &(usize, usize)| {
+            std::str::from_utf8(&self.buf[s..e]).map_err(|_| "header bytes are not UTF-8")
+        };
+        let request_line = line(&self.lines[0])?;
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().ok_or("missing method")?.to_owned();
+        let path = parts.next().ok_or("missing path")?.to_owned();
+        let version = parts.next().ok_or("missing version")?;
+        if !version.starts_with("HTTP/1.") {
+            return Err("unsupported HTTP version");
+        }
+        // HTTP/1.1 keeps the connection unless told otherwise; HTTP/1.0
+        // closes unless told otherwise.
+        let mut keep_alive = version != "HTTP/1.0";
+        let mut content_length: u64 = 0;
+        let mut request_id = None;
+        for range in &self.lines[1..] {
+            let header = line(range)?;
+            let Some((name, value)) = header.split_once(':') else {
+                continue;
+            };
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().map_err(|_| "bad content-length")?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            } else if name.eq_ignore_ascii_case("x-request-id") && !value.is_empty() {
+                request_id = Some(value.to_owned());
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                return Err("chunked transfer encoding not supported");
+            }
+        }
+        if content_length > MAX_BODY_BYTES {
+            return Err("body too large");
+        }
+        Ok(Head {
+            method,
+            path,
+            content_length: content_length as usize,
+            keep_alive,
+            request_id,
+            body_start,
+        })
+    }
+}
+
+/// Reason phrase for the status codes the server emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Formats one `application/json` response with the given connection
+/// disposition, optional `X-Request-Id` echo and extra headers.
+#[must_use]
+pub fn format_response(
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    request_id: Option<&str>,
+    extra_headers: &[(&str, &str)],
+) -> String {
+    let mut response = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    if let Some(id) = request_id {
+        response.push_str("X-Request-Id: ");
+        response.push_str(id);
+        response.push_str("\r\n");
+    }
+    for (name, value) in extra_headers {
+        response.push_str(name);
+        response.push_str(": ");
+        response.push_str(value);
+        response.push_str("\r\n");
+    }
+    response.push_str("\r\n");
+    response.push_str(body);
+    response
+}
+
+/// Blocking convenience: reads one complete request from `stream` (with
+/// [`READ_TIMEOUT`]) through a [`RequestParser`].
 ///
 /// # Errors
 ///
@@ -75,90 +321,33 @@ impl From<std::io::Error> for HttpError {
 /// body larger than [`MAX_BODY_BYTES`]).
 pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
-    // Everything the parser will ever read is bounded up front, so a client
-    // streaming garbage (e.g. an endless header with no newline) hits EOF at
-    // the cap instead of growing buffers without limit.
-    let mut reader = BufReader::new((&*stream).take(MAX_HEADER_BYTES + MAX_BODY_BYTES));
-    let mut request_line = String::new();
-    if reader.read_line(&mut request_line)? == 0 {
-        return Err(HttpError::Malformed("empty request"));
-    }
-    if request_line.len() as u64 > MAX_HEADER_BYTES {
-        return Err(HttpError::Malformed("request line too long"));
-    }
-    let mut parts = request_line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or(HttpError::Malformed("missing method"))?
-        .to_owned();
-    let path = parts
-        .next()
-        .ok_or(HttpError::Malformed("missing path"))?
-        .to_owned();
-    let version = parts
-        .next()
-        .ok_or(HttpError::Malformed("missing version"))?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::Malformed("unsupported HTTP version"));
-    }
-
-    let mut content_length: u64 = 0;
-    for header_count in 0.. {
-        if header_count >= MAX_HEADERS {
-            return Err(HttpError::Malformed("too many headers"));
+    let mut parser = RequestParser::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(request) = parser.try_take().map_err(HttpError::Malformed)? {
+            return Ok(request);
         }
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
-            return Err(HttpError::Malformed("truncated headers"));
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed(if parser.mid_request() {
+                "truncated request"
+            } else {
+                "empty request"
+            }));
         }
-        if line.len() as u64 > MAX_HEADER_BYTES {
-            return Err(HttpError::Malformed("header line too long"));
-        }
-        let line = line.trim_end();
-        if line.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = line.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| HttpError::Malformed("bad content-length"))?;
-            }
-        }
+        parser.feed(&chunk[..n]);
     }
-    if content_length > MAX_BODY_BYTES {
-        return Err(HttpError::Malformed("body too large"));
-    }
-    let mut body_bytes = vec![0u8; content_length as usize];
-    reader.read_exact(&mut body_bytes)?;
-    let body =
-        String::from_utf8(body_bytes).map_err(|_| HttpError::Malformed("body is not UTF-8"))?;
-    Ok(Request { method, path, body })
 }
 
-/// Writes one `application/json` response with `Connection: close` and
-/// flushes it.
+/// Blocking convenience: writes one `Connection: close` JSON response and
+/// flushes it (with [`WRITE_TIMEOUT`]).
 ///
 /// # Errors
 ///
 /// Propagates socket write failures.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
     stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
-    let reason = match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        409 => "Conflict",
-        503 => "Service Unavailable",
-        _ => "Internal Server Error",
-    };
-    let response = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len(),
-    );
-    stream.write_all(response.as_bytes())?;
+    stream.write_all(format_response(status, body, false, None, &[]).as_bytes())?;
     stream.flush()
 }
 
@@ -197,6 +386,8 @@ mod tests {
         assert_eq!(request.method, "POST");
         assert_eq!(request.path, "/v1/infer");
         assert_eq!(request.body, "{\"a\": 1}\n");
+        assert!(request.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(request.request_id, None);
     }
 
     #[test]
@@ -205,6 +396,20 @@ mod tests {
         assert_eq!(request.method, "GET");
         assert_eq!(request.path, "/v1/stats");
         assert!(request.body.is_empty());
+    }
+
+    #[test]
+    fn connection_and_request_id_headers_are_decoded() {
+        let request = round_trip(
+            "POST / HTTP/1.1\r\nConnection: close\r\nX-Request-Id: abc-123\r\nContent-Length: 0\r\n\r\n",
+        )
+        .unwrap();
+        assert!(!request.keep_alive);
+        assert_eq!(request.request_id.as_deref(), Some("abc-123"));
+        let old = round_trip("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!old.keep_alive, "HTTP/1.0 defaults to close");
+        let old_ka = round_trip("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(old_ka.keep_alive);
     }
 
     #[test]
@@ -233,6 +438,60 @@ mod tests {
     }
 
     #[test]
+    fn incremental_parse_survives_any_byte_split() {
+        let raw =
+            "POST /v1/infer HTTP/1.1\r\nX-Request-Id: r-9\r\nContent-Length: 11\r\n\r\nhello world";
+        // Feed the request one byte at a time: the request must appear
+        // exactly once, exactly at the final byte.
+        let mut parser = RequestParser::new();
+        for (i, byte) in raw.bytes().enumerate() {
+            assert!(
+                parser.try_take().unwrap().is_none(),
+                "complete after {i} bytes?"
+            );
+            parser.feed(&[byte]);
+        }
+        let request = parser.try_take().unwrap().expect("complete at last byte");
+        assert_eq!(request.body, "hello world");
+        assert_eq!(request.request_id.as_deref(), Some("r-9"));
+        assert_eq!(parser.buffered(), 0);
+        assert!(!parser.mid_request());
+
+        // And in two uneven halves straddling the header/body boundary.
+        let mut parser = RequestParser::new();
+        parser.feed(&raw.as_bytes()[..50]);
+        assert!(parser.try_take().unwrap().is_none());
+        assert!(parser.mid_request());
+        parser.feed(&raw.as_bytes()[50..]);
+        assert_eq!(parser.try_take().unwrap().unwrap().body, "hello world");
+    }
+
+    #[test]
+    fn pipelined_bytes_stay_buffered() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET /v1/stats HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n");
+        let first = parser.try_take().unwrap().unwrap();
+        assert_eq!(first.path, "/v1/stats");
+        assert!(parser.buffered() > 0, "second request still buffered");
+    }
+
+    #[test]
+    fn oversized_header_section_fails_during_accumulation() {
+        let mut parser = RequestParser::new();
+        // An endless header line with no newline must fail once past the
+        // bound, even though no line terminator ever arrives.
+        parser.feed(&vec![b'a'; MAX_HEADER_BYTES as usize + 2]);
+        assert!(parser.try_take().is_err());
+        // Too many header lines fails without a blank separator.
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET / HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            parser.feed(format!("H{i}: v\r\n").as_bytes());
+        }
+        assert!(parser.try_take().is_err());
+    }
+
+    #[test]
     fn response_writer_emits_valid_http() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
@@ -249,5 +508,16 @@ mod tests {
         assert!(raw.starts_with("HTTP/1.1 404 Not Found\r\n"));
         assert!(raw.contains("Content-Length: 16\r\n"));
         assert!(raw.ends_with("{\"error\":\"nope\"}"));
+    }
+
+    #[test]
+    fn format_response_headers() {
+        let keep = format_response(200, "{}", true, Some("id-1"), &[("Retry-After", "1")]);
+        assert!(keep.contains("Connection: keep-alive\r\n"));
+        assert!(keep.contains("X-Request-Id: id-1\r\n"));
+        assert!(keep.contains("Retry-After: 1\r\n"));
+        let close = format_response(429, "{}", false, None, &[]);
+        assert!(close.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(close.contains("Connection: close\r\n"));
     }
 }

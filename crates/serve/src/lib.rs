@@ -8,11 +8,14 @@
 //!    per model, shared by every engine and client;
 //! 2. [`sne::batch::EnginePool`] — a fleet of warm engines per model,
 //!    checked out per request;
-//! 3. this crate — a std-only HTTP/1.1 server (`std::net::TcpListener`, a
+//! 3. this crate — a std-only HTTP/1.1 server (nonblocking sockets driven
+//!    by a hand-rolled [`reactor`] — epoll on Linux, `poll(2)` elsewhere — a
 //!    hand-rolled [`json`] codec, no new dependencies) exposing one-shot
 //!    inference, session-keyed streaming whose neuron state survives between
-//!    requests, live latency/throughput stats, and graceful shutdown that
-//!    drains in-flight requests.
+//!    requests, HTTP/1.1 keep-alive with slow-loris read deadlines,
+//!    per-model admission control with 429 load-shedding, request-id
+//!    propagation, live latency/throughput/per-route stats, `GET /healthz`,
+//!    and graceful shutdown that drains in-flight requests.
 //!
 //! # Example
 //!
@@ -50,6 +53,7 @@
 pub mod client;
 pub mod http;
 pub mod json;
+pub mod reactor;
 pub mod server;
 
 pub use json::{Json, JsonError};

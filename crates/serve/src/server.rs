@@ -1,16 +1,37 @@
-//! The serving front-end: model registry, request routing, session table,
-//! stats, graceful shutdown.
+//! The serving front-end: a nonblocking reactor multiplexing every
+//! connection on one thread, model registry, session table, admission
+//! control, stats, graceful shutdown.
 //!
-//! One [`Server`] owns a set of named models, each backed by its own
-//! [`EnginePool`] over a shared [`RuntimeArtifact`] and fronted by a
-//! work-stealing [`Scheduler`] whose workers own the pool's engines.
-//! Connections are accepted on a listener thread and handled one request
-//! per connection; every inference is an interactive [`Scheduler::call`]
-//! (placed ahead of any bulk backlog, queue-wait measured). Streaming
-//! clients park a [`ClientState`] in the session table between requests
-//! together with the lane that served them last, so the next chunk carries
-//! an affinity hint to the warm engine — a hint only: a steal serves it
-//! bit-identically, and a session can span any number of connections.
+//! ## Architecture (DESIGN.md §13)
+//!
+//! One reactor thread owns a [`Poller`] (epoll on Linux) and every
+//! connection's read/write state machine; inference never runs on it.
+//! A complete request is either answered inline (stats, health, session
+//! close) or **dispatched**: admission-checked against a bounded in-flight
+//! budget per model, then handed to the model's work-stealing [`Scheduler`]
+//! via its nonblocking `call_async`/`call_push_async` entry points. The
+//! serving worker thread finishes the inference, formats the response,
+//! pushes it onto the completion queue and wakes the reactor, which writes
+//! it out with backpressure (partial writes park the connection on write
+//! interest). Connections are HTTP/1.1 **keep-alive** by default, so a
+//! streaming client's chunk sequence reuses one connection instead of
+//! paying connect + teardown per push; parked idle connections cost nothing
+//! but their descriptor — the kernel only reports ready ones.
+//!
+//! Deadlines live on the reactor's timer wheel: a connection mid-request
+//! must deliver the complete request within the read deadline (slow-loris
+//! eviction with a best-effort 408), and a parked keep-alive connection is
+//! closed after the keep-alive timeout. While a request is dispatched no
+//! deadline runs — service time is the engine's business.
+//!
+//! Load shedding: once a model's in-flight budget is exhausted, new work is
+//! answered `429 Too Many Requests` with a `Retry-After` header instead of
+//! queueing without bound — the accept loop never stalls behind inference.
+//!
+//! Every response carries an `X-Request-Id` (echoed from the request when
+//! the client sent one, generated otherwise); per-route counters and a ring
+//! of recent request records are served from `GET /v1/stats`, and
+//! `GET /healthz` answers from the reactor alone.
 //!
 //! ## Endpoints
 //!
@@ -19,23 +40,27 @@
 //! | `POST /v1/infer` | `{"model","timesteps","events":[[t,ch,x,y],..]}` | one whole-sample inference |
 //! | `POST /v1/stream/{id}/push` | same (`model` required on first push) | stream one chunk; neuron state survives between requests |
 //! | `POST /v1/stream/{id}/close` | — | remove the session, return its accumulated summary |
-//! | `GET /v1/stats` | — | throughput, p50/p95/p99 latency, per-model counters |
+//! | `GET /v1/stats` | — | throughput, latency percentiles, per-model and per-route counters |
+//! | `GET /healthz` | — | liveness: `{"status":"ok",...}` |
 //!
 //! Errors are `{"error": "..."}` with 400 (bad request), 404 (unknown
-//! model/session/route), 405 (wrong method) or 409 (session busy).
+//! model/session/route), 405 (wrong method), 408 (read deadline), 409
+//! (session busy), 429 (shed) or 503 (capacity).
 //!
 //! ## Graceful shutdown
 //!
-//! [`Server::shutdown`] stops accepting, wakes the listener, then **joins
-//! every in-flight connection handler** — accepted requests always complete
-//! and flush their response before the server returns.
+//! [`Server::shutdown`] stops accepting, closes parked idle connections,
+//! and drains every in-flight request — dispatched work completes and its
+//! response is flushed before the reactor exits.
 
 use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use sne::artifact::{ClientState, RuntimeArtifact};
 use sne::batch::{EnginePool, LatencyRecorder, LatencySummary, Scheduler};
@@ -46,8 +71,9 @@ use sne::SneError;
 use sne_event::{Event, EventStream};
 use sne_sim::{ExecStrategy, SneConfig};
 
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::http::{format_response, Request, RequestParser};
 use crate::json::Json;
+use crate::reactor::{Interest, PollEvent, Poller, TimerEntry, TimerWheel, WakePipe, Waker};
 
 /// Upper bound on one request's timestep window. It bounds the per-timestep
 /// bookkeeping (and engine loop) a single request can trigger — the
@@ -60,19 +86,41 @@ pub const MAX_REQUEST_TIMESTEPS: u64 = 1 << 16;
 /// limit.
 pub const MAX_STREAM_SESSIONS: usize = 1024;
 
-/// Upper bound on concurrently served connections (one handler thread
-/// each); connections beyond it are answered 503 and closed immediately, so
-/// a flood cannot exhaust OS threads/memory.
-pub const MAX_CONNECTIONS: usize = 256;
+/// Default bound on concurrently open connections (override with
+/// [`ServerBuilder::max_connections`]). A connection is one slab slot and
+/// one descriptor — not a thread — so the reactor holds thousands of
+/// parked keep-alive sessions comfortably; beyond the cap a fresh
+/// connection is answered 503 and closed.
+pub const MAX_CONNECTIONS: usize = 8192;
+
+/// Default per-model admission budget: dispatched requests in flight
+/// (queued + executing) before new ones are shed with 429 (override with
+/// [`ServerBuilder::admission_limit`]).
+pub const ADMISSION_LIMIT: usize = 256;
+
+/// Entries kept in the recent-request ring served by `/v1/stats`.
+const REQUEST_LOG_CAPACITY: usize = 64;
+
+/// Extra time given to not-yet-parked connections at shutdown to deliver
+/// their in-flight request before the reactor closes them.
+const SHUTDOWN_DRAIN_GRACE: Duration = Duration::from_secs(1);
+
+/// Reactor read scratch size.
+const SCRATCH_BYTES: usize = 16 * 1024;
 
 /// One registered model: its engine pool, the work-stealing scheduler
-/// whose workers own the pool's engines, and request counters.
+/// whose workers own the pool's engines, admission bookkeeping and request
+/// counters.
 #[derive(Debug)]
 struct ModelEntry {
     pool: Arc<EnginePool>,
     scheduler: Scheduler,
     requests: AtomicU64,
     errors: AtomicU64,
+    /// Dispatched requests in flight (admission-queue occupancy).
+    inflight: AtomicU64,
+    /// Requests shed with 429 because the admission budget was exhausted.
+    shed: AtomicU64,
 }
 
 /// One parked streaming session. `client` is `None` while a request is
@@ -86,34 +134,169 @@ struct StreamEntry {
     preferred_lane: Option<usize>,
 }
 
+/// Per-route request/error counters (an error is any response ≥ 400).
+#[derive(Debug, Default)]
+struct RouteCounter {
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl RouteCounter {
+    fn hit(&self, status: u16) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "requests",
+                Json::from(self.requests.load(Ordering::Relaxed)),
+            ),
+            ("errors", Json::from(self.errors.load(Ordering::Relaxed))),
+        ])
+    }
+}
+
+#[derive(Debug, Default)]
+struct RouteCounters {
+    infer: RouteCounter,
+    stream_push: RouteCounter,
+    stream_close: RouteCounter,
+    stats: RouteCounter,
+    healthz: RouteCounter,
+    other: RouteCounter,
+}
+
+impl RouteCounters {
+    fn counter(&self, route: &'static str) -> &RouteCounter {
+        match route {
+            "infer" => &self.infer,
+            "stream_push" => &self.stream_push,
+            "stream_close" => &self.stream_close,
+            "stats" => &self.stats,
+            "healthz" => &self.healthz,
+            _ => &self.other,
+        }
+    }
+}
+
+/// One recent request, kept in a bounded ring for `/v1/stats` — the
+/// request-id is how a latency record is tied back to a specific request.
+#[derive(Debug, Clone)]
+struct RequestLog {
+    id: String,
+    route: &'static str,
+    status: u16,
+    queue_us: f64,
+    service_us: f64,
+}
+
+/// A finished response traveling from a scheduler worker thread back to the
+/// reactor: the formatted bytes plus the connection's identity (token +
+/// generation — a recycled slot fails the generation check and the response
+/// is dropped, never delivered to a stranger).
+#[derive(Debug)]
+struct Completion {
+    token: usize,
+    gen: u64,
+    response: String,
+    keep_alive: bool,
+}
+
+/// Tunables fixed at server start.
+#[derive(Debug, Clone, Copy)]
+struct ServerConfig {
+    read_deadline: Duration,
+    keepalive_timeout: Duration,
+    max_connections: usize,
+    admission_limit: usize,
+    retry_after_s: u64,
+}
+
 #[derive(Debug)]
 struct ServerShared {
     /// Registration order preserved for `/v1/stats`.
     models: Vec<(String, ModelEntry)>,
     streams: Mutex<HashMap<String, StreamEntry>>,
     recorder: LatencyRecorder,
+    routes: RouteCounters,
+    request_log: Mutex<std::collections::VecDeque<RequestLog>>,
+    next_request_id: AtomicU64,
     started: Instant,
     shutting_down: AtomicBool,
-    connections: Mutex<Vec<JoinHandle<()>>>,
+    completions: Mutex<Vec<Completion>>,
+    waker: Waker,
+    /// Open-connection gauge (reactor-maintained, read by stats/health).
+    connections: AtomicUsize,
+    /// Connections evicted by the read-deadline (slow-loris) timer.
+    evictions: AtomicU64,
+    config: ServerConfig,
 }
 
 impl ServerShared {
-    fn model(&self, name: &str) -> Option<&ModelEntry> {
-        self.models
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, entry)| entry)
+    fn model_index(&self, name: &str) -> Option<usize> {
+        self.models.iter().position(|(n, _)| n == name)
+    }
+
+    fn log_request(
+        &self,
+        id: &str,
+        route: &'static str,
+        status: u16,
+        queue_us: f64,
+        service_us: f64,
+    ) {
+        self.routes.counter(route).hit(status);
+        let mut log = self.request_log.lock().expect("request log poisoned");
+        if log.len() == REQUEST_LOG_CAPACITY {
+            log.pop_front();
+        }
+        log.push_back(RequestLog {
+            id: id.to_owned(),
+            route,
+            status,
+            queue_us,
+            service_us,
+        });
+    }
+
+    /// Queues a finished response for the reactor and wakes it.
+    fn complete(&self, completion: Completion) {
+        self.completions
+            .lock()
+            .expect("completion queue poisoned")
+            .push(completion);
+        self.waker.wake();
     }
 }
 
-/// Configures the models a [`Server`] exposes, then starts it.
-#[derive(Debug, Default)]
+/// Configures the models and limits a [`Server`] exposes, then starts it.
+#[derive(Debug)]
 pub struct ServerBuilder {
     models: Vec<(String, Arc<EnginePool>)>,
+    config: ServerConfig,
+}
+
+impl Default for ServerBuilder {
+    fn default() -> Self {
+        Self {
+            models: Vec::new(),
+            config: ServerConfig {
+                read_deadline: crate::http::READ_TIMEOUT,
+                keepalive_timeout: crate::http::KEEPALIVE_TIMEOUT,
+                max_connections: MAX_CONNECTIONS,
+                admission_limit: ADMISSION_LIMIT,
+                retry_after_s: 1,
+            },
+        }
+    }
 }
 
 impl ServerBuilder {
-    /// An empty registry.
+    /// An empty registry with default limits.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
@@ -155,15 +338,59 @@ impl ServerBuilder {
         self
     }
 
+    /// Bound on how long a connection may take to deliver one complete
+    /// request once its first byte arrived (the slow-loris guard; default
+    /// [`crate::http::READ_TIMEOUT`]).
+    #[must_use]
+    pub fn read_deadline(mut self, deadline: Duration) -> Self {
+        self.config.read_deadline = deadline;
+        self
+    }
+
+    /// Bound on how long a parked keep-alive connection may idle between
+    /// requests (default [`crate::http::KEEPALIVE_TIMEOUT`]).
+    #[must_use]
+    pub fn keepalive_timeout(mut self, timeout: Duration) -> Self {
+        self.config.keepalive_timeout = timeout;
+        self
+    }
+
+    /// Bound on concurrently open connections (default
+    /// [`MAX_CONNECTIONS`]); beyond it fresh connections get 503.
+    #[must_use]
+    pub fn max_connections(mut self, cap: usize) -> Self {
+        self.config.max_connections = cap.max(1);
+        self
+    }
+
+    /// Per-model admission budget: dispatched requests in flight before new
+    /// ones are shed with 429 (default [`ADMISSION_LIMIT`]).
+    #[must_use]
+    pub fn admission_limit(mut self, limit: usize) -> Self {
+        self.config.admission_limit = limit.max(1);
+        self
+    }
+
+    /// `Retry-After` seconds advertised on shed (429) responses (default 1).
+    #[must_use]
+    pub fn retry_after_secs(mut self, seconds: u64) -> Self {
+        self.config.retry_after_s = seconds;
+        self
+    }
+
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback port)
-    /// and starts the accept loop.
+    /// and starts the reactor thread.
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates bind/poller-creation failures.
     pub fn start(self, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let wake = WakePipe::new()?;
+        let poller = Poller::new()?;
+        let config = self.config;
         let shared = Arc::new(ServerShared {
             models: self
                 .models
@@ -180,22 +407,35 @@ impl ServerBuilder {
                             scheduler,
                             requests: AtomicU64::new(0),
                             errors: AtomicU64::new(0),
+                            inflight: AtomicU64::new(0),
+                            shed: AtomicU64::new(0),
                         },
                     )
                 })
                 .collect(),
             streams: Mutex::new(HashMap::new()),
             recorder: LatencyRecorder::new(),
+            routes: RouteCounters::default(),
+            request_log: Mutex::new(std::collections::VecDeque::new()),
+            next_request_id: AtomicU64::new(1),
             started: Instant::now(),
             shutting_down: AtomicBool::new(false),
-            connections: Mutex::new(Vec::new()),
+            completions: Mutex::new(Vec::new()),
+            waker: wake.waker(),
+            connections: AtomicUsize::new(0),
+            evictions: AtomicU64::new(0),
+            config,
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept_handle = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+        let reactor_shared = Arc::clone(&shared);
+        let reactor_handle = std::thread::Builder::new()
+            .name("sne-reactor".to_owned())
+            .spawn(move || {
+                Reactor::new(listener, wake, poller, reactor_shared).run();
+            })?;
         Ok(Server {
             addr,
             shared,
-            accept_handle: Some(accept_handle),
+            reactor_handle: Some(reactor_handle),
         })
     }
 }
@@ -206,7 +446,7 @@ impl ServerBuilder {
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<ServerShared>,
-    accept_handle: Option<JoinHandle<()>>,
+    reactor_handle: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -226,40 +466,27 @@ impl Server {
             .len()
     }
 
-    /// Graceful shutdown: stop accepting, then wait for every in-flight
-    /// connection to complete and flush its response. Idempotent; also runs
-    /// on drop.
+    /// Currently open connections (including parked keep-alive ones).
+    #[must_use]
+    pub fn open_connections(&self) -> usize {
+        self.shared.connections.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: stop accepting, close parked idle connections,
+    /// then wait for every in-flight request to complete and flush its
+    /// response. Idempotent; also runs on drop.
     pub fn shutdown(mut self) {
         self.close_and_drain();
     }
 
     fn close_and_drain(&mut self) {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
-        // Wake the listener with a throwaway connection so `accept` returns
-        // and observes the flag. A wildcard bind address (0.0.0.0 / ::) is
-        // not connectable on every platform — rewrite it to loopback.
-        let mut wake = self.addr;
-        if wake.ip().is_unspecified() {
-            wake.set_ip(match wake.ip() {
-                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
+        self.shared.waker.wake();
+        if let Some(handle) = self.reactor_handle.take() {
+            handle.join().expect("reactor thread panicked");
         }
-        let _ = TcpStream::connect(wake);
-        if let Some(handle) = self.accept_handle.take() {
-            handle.join().expect("accept thread panicked");
-        }
-        // Drain: every accepted request finishes and responds.
-        let handles: Vec<JoinHandle<()>> = std::mem::take(
-            &mut *self
-                .shared
-                .connections
-                .lock()
-                .expect("connection table poisoned"),
-        );
-        for handle in handles {
-            handle.join().expect("connection handler panicked");
-        }
+        // Dropping `shared`'s last strong references later drains the
+        // per-model schedulers (graceful drain-first worker shutdown).
     }
 }
 
@@ -269,75 +496,620 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
-    for incoming in listener.incoming() {
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            return;
-        }
-        let Ok(mut stream) = incoming else { continue };
-        let mut connections = shared
-            .connections
-            .lock()
-            .expect("connection table poisoned");
-        // Reap finished handlers so a long-lived server does not accumulate
-        // one JoinHandle per connection ever served.
-        let mut i = 0;
-        while i < connections.len() {
-            if connections[i].is_finished() {
-                let finished = connections.swap_remove(i);
-                let _ = finished.join();
-            } else {
-                i += 1;
-            }
-        }
-        // Bound the handler-thread fleet: beyond the cap a connection is
-        // answered 503 and closed on the accept thread instead of spawning.
-        if connections.len() >= MAX_CONNECTIONS {
-            drop(connections);
-            let _ = write_response(
-                &mut stream,
-                503,
-                &error_body("server at connection capacity"),
-            );
-            continue;
-        }
-        let handler_shared = Arc::clone(shared);
-        let handle = std::thread::spawn(move || handle_connection(stream, &handler_shared));
-        connections.push(handle);
-    }
+// ---------------------------------------------------------------------------
+// Reactor
+// ---------------------------------------------------------------------------
+
+const LISTENER_TOKEN: usize = usize::MAX;
+const WAKE_TOKEN: usize = usize::MAX - 1;
+
+/// One connection's state. The state machine is: read bytes → parser →
+/// complete request → inline answer or dispatch → response bytes in `out` →
+/// flushed → parked (keep-alive) or closed.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    /// Slot generation at insert; completions and timers carrying an older
+    /// generation are stale.
+    gen: u64,
+    parser: RequestParser,
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Disposition once `out` is flushed.
+    keep_alive_after: bool,
+    /// A scheduler job is in flight for this connection.
+    dispatched: bool,
+    /// Peer half-closed its sending side (EOF seen).
+    read_closed: bool,
+    /// The read deadline armed when the current request's first byte
+    /// arrived (false while parked between requests).
+    request_started: bool,
+    /// Requests completed on this connection.
+    served: u64,
+    /// Identity of the currently armed timer (0 = none); stale wheel
+    /// entries fail this comparison and are ignored.
+    arm_id: u64,
+    /// Interest currently registered with the poller (None = deregistered).
+    registered: Option<Interest>,
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &ServerShared) {
-    let (status, body) = match read_request(&mut stream) {
-        Ok(request) => route(shared, &request),
-        Err(HttpError::Malformed(message)) => (400, error_body(message)),
-        // Socket-level failure: nothing sensible to respond to.
-        Err(HttpError::Io(_)) => return,
-    };
-    let _ = write_response(&mut stream, status, &body);
+#[derive(Debug)]
+struct Slot {
+    gen: u64,
+    conn: Option<Conn>,
+}
+
+struct Reactor {
+    listener: Option<TcpListener>,
+    wake: WakePipe,
+    poller: Poller,
+    shared: Arc<ServerShared>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    open: usize,
+    wheel: TimerWheel,
+    next_arm: u64,
+    scratch: Vec<u8>,
+}
+
+impl Reactor {
+    fn new(
+        listener: TcpListener,
+        wake: WakePipe,
+        poller: Poller,
+        shared: Arc<ServerShared>,
+    ) -> Self {
+        let config = shared.config;
+        // Tick ≈ deadline/8 keeps eviction latency within ~12% of the
+        // configured deadline while bounding wheel sweeps.
+        let granularity =
+            (config.read_deadline / 8).clamp(Duration::from_millis(5), Duration::from_millis(100));
+        let horizon = config.read_deadline.max(config.keepalive_timeout);
+        Self {
+            listener: Some(listener),
+            wake,
+            poller,
+            shared,
+            slots: Vec::new(),
+            free: Vec::new(),
+            open: 0,
+            wheel: TimerWheel::new(granularity, horizon),
+            next_arm: 0,
+            scratch: vec![0u8; SCRATCH_BYTES],
+        }
+    }
+
+    fn run(mut self) {
+        if let Some(listener) = &self.listener {
+            if self
+                .poller
+                .register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)
+                .is_err()
+            {
+                return;
+            }
+        }
+        if self
+            .poller
+            .register(self.wake.fd(), WAKE_TOKEN, Interest::READ)
+            .is_err()
+        {
+            return;
+        }
+        let mut events: Vec<PollEvent> = Vec::new();
+        let mut expired: Vec<TimerEntry> = Vec::new();
+        let mut shutdown_seen = false;
+        loop {
+            let now = Instant::now();
+            let timeout = self.wheel.next_timeout(now);
+            if self.poller.wait(&mut events, timeout).is_err() {
+                // Unrecoverable poller failure: tear everything down.
+                break;
+            }
+            let drained_events = std::mem::take(&mut events);
+            for event in &drained_events {
+                match event.token {
+                    LISTENER_TOKEN => self.accept_ready(),
+                    WAKE_TOKEN => self.wake.drain(),
+                    token => self.conn_ready(token, event),
+                }
+            }
+            events = drained_events;
+            self.deliver_completions();
+            let now = Instant::now();
+            expired.clear();
+            self.wheel.advance(now, &mut expired);
+            for entry in &expired {
+                self.timer_fired(entry);
+            }
+            if self.shared.shutting_down.load(Ordering::SeqCst) {
+                if !shutdown_seen {
+                    shutdown_seen = true;
+                    self.begin_shutdown();
+                }
+                if self.open == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Shutdown phase 1: stop accepting, close parked idle connections, and
+    /// give not-yet-complete requests a short drain grace.
+    fn begin_shutdown(&mut self) {
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.deregister(listener.as_raw_fd());
+        }
+        let now = Instant::now();
+        for token in 0..self.slots.len() {
+            let Some(conn) = &self.slots[token].conn else {
+                continue;
+            };
+            let parked_idle = !conn.dispatched
+                && !conn.parser.mid_request()
+                && conn.out_pos >= conn.out.len()
+                && conn.served > 0;
+            let silent_fresh = !conn.dispatched && !conn.parser.mid_request() && conn.served == 0;
+            if parked_idle {
+                self.close_conn(token);
+            } else if silent_fresh || conn.parser.mid_request() {
+                // Connections still owed a request get a bounded grace to
+                // deliver it; a silent one cannot stall shutdown forever.
+                let deadline = now + self.shared.config.read_deadline.min(SHUTDOWN_DRAIN_GRACE);
+                self.arm_deadline(token, deadline);
+            }
+        }
+    }
+
+    // -- connection lifecycle ------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _peer)) => self.admit_connection(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                // Transient accept failure (e.g. aborted handshake): keep
+                // accepting.
+                Err(_) => {}
+            }
+        }
+    }
+
+    fn admit_connection(&mut self, stream: TcpStream) {
+        if self.open >= self.shared.config.max_connections {
+            // Best effort: tell the client why before dropping it. The
+            // socket is fresh, so a single nonblocking write of ~150 bytes
+            // either lands in the empty send buffer or is dropped.
+            let _ = stream.set_nonblocking(true);
+            let body = error_body("server at connection capacity");
+            let response = format_response(503, &body, false, None, &[]);
+            let mut stream = stream;
+            let _ = stream.write(response.as_bytes());
+            return;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let token = self.free.pop().unwrap_or_else(|| {
+            self.slots.push(Slot { gen: 0, conn: None });
+            self.slots.len() - 1
+        });
+        let slot = &mut self.slots[token];
+        slot.gen += 1;
+        let conn = Conn {
+            stream,
+            gen: slot.gen,
+            parser: RequestParser::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            keep_alive_after: false,
+            dispatched: false,
+            read_closed: false,
+            request_started: false,
+            served: 0,
+            arm_id: 0,
+            registered: None,
+        };
+        slot.conn = Some(conn);
+        self.open += 1;
+        self.shared.connections.store(self.open, Ordering::Relaxed);
+        self.update_registration(token);
+        // Pre-first-byte deadline: a connection that never sends a request
+        // is reaped like an idle keep-alive one.
+        let deadline = Instant::now() + self.shared.config.keepalive_timeout;
+        self.arm_deadline(token, deadline);
+    }
+
+    fn close_conn(&mut self, token: usize) {
+        let Some(conn) = self.slots[token].conn.take() else {
+            return;
+        };
+        if conn.registered.is_some() {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        }
+        drop(conn);
+        self.free.push(token);
+        self.open -= 1;
+        self.shared.connections.store(self.open, Ordering::Relaxed);
+    }
+
+    /// Syncs the poller registration with the connection's desired
+    /// interest: read while the peer can still send, write while response
+    /// bytes are pending, deregistered entirely when neither applies (e.g.
+    /// half-closed and waiting on a dispatched completion).
+    fn update_registration(&mut self, token: usize) {
+        let Some(conn) = self.slots[token].conn.as_mut() else {
+            return;
+        };
+        let desired = Interest {
+            readable: !conn.read_closed,
+            writable: conn.out_pos < conn.out.len(),
+        };
+        let fd = conn.stream.as_raw_fd();
+        match (conn.registered, desired.readable || desired.writable) {
+            (None, true) if self.poller.register(fd, token, desired).is_ok() => {
+                conn.registered = Some(desired);
+            }
+            (Some(current), true)
+                if current != desired && self.poller.modify(fd, token, desired).is_ok() =>
+            {
+                conn.registered = Some(desired);
+            }
+            (Some(_), false) => {
+                let _ = self.poller.deregister(fd);
+                conn.registered = None;
+            }
+            _ => {}
+        }
+    }
+
+    fn arm_deadline(&mut self, token: usize, deadline: Instant) {
+        let Some(conn) = self.slots[token].conn.as_mut() else {
+            return;
+        };
+        self.next_arm += 1;
+        conn.arm_id = self.next_arm;
+        self.wheel.schedule(token, self.next_arm, deadline);
+    }
+
+    fn disarm_deadline(&mut self, token: usize) {
+        if let Some(conn) = self.slots[token].conn.as_mut() {
+            conn.arm_id = 0;
+        }
+    }
+
+    fn timer_fired(&mut self, entry: &TimerEntry) {
+        let Some(conn) = self
+            .slots
+            .get_mut(entry.token)
+            .and_then(|s| s.conn.as_mut())
+        else {
+            return;
+        };
+        if conn.arm_id != entry.gen {
+            return; // stale: the deadline was re-armed or the slot recycled
+        }
+        conn.arm_id = 0;
+        if conn.dispatched {
+            return; // no deadline governs a dispatched request
+        }
+        if conn.parser.mid_request() {
+            // Slow-loris eviction: the request failed to arrive within the
+            // read deadline. Best-effort 408, then close.
+            self.shared.evictions.fetch_add(1, Ordering::Relaxed);
+            let body = error_body("request read deadline exceeded");
+            let response = format_response(408, &body, false, None, &[]);
+            let _ = conn.stream.write(response.as_bytes());
+        }
+        // Idle keep-alive expiry (or fresh-and-silent): close quietly.
+        self.close_conn(entry.token);
+    }
+
+    // -- readiness handlers --------------------------------------------------
+
+    fn conn_ready(&mut self, token: usize, event: &PollEvent) {
+        if self
+            .slots
+            .get(token)
+            .and_then(|s| s.conn.as_ref())
+            .is_none()
+        {
+            return; // closed earlier this iteration
+        }
+        if event.readable || event.hangup {
+            self.conn_readable(token);
+        }
+        if self.slots[token].conn.is_some() && event.writable {
+            self.conn_writable(token);
+        }
+    }
+
+    fn conn_readable(&mut self, token: usize) {
+        loop {
+            let Some(conn) = self.slots[token].conn.as_mut() else {
+                return;
+            };
+            match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    let busy = conn.dispatched || conn.out_pos < conn.out.len();
+                    if busy {
+                        // Bytes before the previous response finished:
+                        // pipelining, which this server strictly rejects.
+                        self.close_conn(token);
+                        return;
+                    }
+                    conn.parser.feed(&self.scratch[..n]);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+        self.after_read(token);
+    }
+
+    fn after_read(&mut self, token: usize) {
+        let Some(conn) = self.slots[token].conn.as_mut() else {
+            return;
+        };
+        let read_closed = conn.read_closed;
+        if !conn.dispatched && conn.out_pos >= conn.out.len() {
+            match conn.parser.try_take() {
+                Err(message) => {
+                    let body = error_body(message);
+                    self.respond_inline(token, 400, body, false, None, &[]);
+                    return;
+                }
+                Ok(Some(request)) => {
+                    if self.slots[token]
+                        .conn
+                        .as_ref()
+                        .is_some_and(|c| c.parser.buffered() > 0)
+                    {
+                        let body =
+                            error_body("pipelined requests are not supported: await the response");
+                        self.respond_inline(token, 400, body, false, None, &[]);
+                        return;
+                    }
+                    if let Some(conn) = self.slots[token].conn.as_mut() {
+                        conn.request_started = false;
+                    }
+                    self.disarm_deadline(token);
+                    self.handle_request(token, request);
+                    return;
+                }
+                Ok(None) => {
+                    if conn.parser.mid_request() && !conn.request_started {
+                        // First bytes of a new request: the read deadline
+                        // starts now (replacing the idle keep-alive one).
+                        conn.request_started = true;
+                        let deadline = Instant::now() + self.shared.config.read_deadline;
+                        self.arm_deadline(token, deadline);
+                    }
+                }
+            }
+        }
+        let Some(conn) = self.slots[token].conn.as_mut() else {
+            return;
+        };
+        if read_closed {
+            let idle = !conn.dispatched && conn.out_pos >= conn.out.len();
+            if idle {
+                // EOF with nothing owed (a half-open or fully closed peer
+                // with no outstanding request): tear down. A mid-request
+                // EOF can never complete either.
+                self.close_conn(token);
+                return;
+            }
+        }
+        self.update_registration(token);
+    }
+
+    fn conn_writable(&mut self, token: usize) {
+        self.flush_conn(token);
+    }
+
+    /// Writes pending response bytes; on full flush the connection parks
+    /// (keep-alive) or closes.
+    fn flush_conn(&mut self, token: usize) {
+        loop {
+            let Some(conn) = self.slots[token].conn.as_mut() else {
+                return;
+            };
+            if conn.out_pos >= conn.out.len() {
+                break;
+            }
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => {
+                    self.close_conn(token);
+                    return;
+                }
+                Ok(n) => conn.out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.update_registration(token);
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+        // Fully flushed.
+        let Some(conn) = self.slots[token].conn.as_mut() else {
+            return;
+        };
+        conn.out.clear();
+        conn.out_pos = 0;
+        conn.served += 1;
+        let shutting_down = self.shared.shutting_down.load(Ordering::SeqCst);
+        if !conn.keep_alive_after || conn.read_closed || shutting_down {
+            self.close_conn(token);
+            return;
+        }
+        // Park: wait for the next request on this connection.
+        conn.request_started = false;
+        self.update_registration(token);
+        let deadline = Instant::now() + self.shared.config.keepalive_timeout;
+        self.arm_deadline(token, deadline);
+    }
+
+    /// Queues an inline response (no scheduler round trip) and tries to
+    /// flush it immediately.
+    fn respond_inline(
+        &mut self,
+        token: usize,
+        status: u16,
+        body: String,
+        keep_alive: bool,
+        request_id: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) {
+        let Some(conn) = self.slots[token].conn.as_mut() else {
+            return;
+        };
+        let response = format_response(status, &body, keep_alive, request_id, extra_headers);
+        conn.out.extend_from_slice(response.as_bytes());
+        conn.keep_alive_after = keep_alive;
+        self.flush_conn(token);
+    }
+
+    fn deliver_completions(&mut self) {
+        let completions: Vec<Completion> = {
+            let mut queue = self
+                .shared
+                .completions
+                .lock()
+                .expect("completion queue poisoned");
+            std::mem::take(&mut *queue)
+        };
+        for completion in completions {
+            let Some(conn) = self
+                .slots
+                .get_mut(completion.token)
+                .and_then(|s| s.conn.as_mut())
+            else {
+                continue; // connection died while the job ran
+            };
+            if conn.gen != completion.gen {
+                continue; // slot recycled: response belongs to a dead conn
+            }
+            conn.dispatched = false;
+            conn.out.extend_from_slice(completion.response.as_bytes());
+            conn.keep_alive_after = completion.keep_alive;
+            self.flush_conn(completion.token);
+        }
+    }
+
+    // -- routing -------------------------------------------------------------
+
+    fn handle_request(&mut self, token: usize, request: Request) {
+        let shared = Arc::clone(&self.shared);
+        let request_id = request.request_id.clone().unwrap_or_else(|| {
+            format!(
+                "sne-{:08x}",
+                shared.next_request_id.fetch_add(1, Ordering::Relaxed)
+            )
+        });
+        let gen = self.slots[token]
+            .conn
+            .as_ref()
+            .map(|c| c.gen)
+            .unwrap_or_default();
+        match route(&shared, token, gen, &request, &request_id) {
+            RouteOutcome::Inline {
+                route: route_tag,
+                status,
+                body,
+                extra,
+            } => {
+                shared.log_request(&request_id, route_tag, status, 0.0, 0.0);
+                let extra_refs: Vec<(&str, &str)> =
+                    extra.iter().map(|(n, v)| (*n, v.as_str())).collect();
+                self.respond_inline(
+                    token,
+                    status,
+                    body,
+                    request.keep_alive,
+                    Some(&request_id),
+                    &extra_refs,
+                );
+            }
+            RouteOutcome::Dispatched => {
+                if let Some(conn) = self.slots[token].conn.as_mut() {
+                    conn.dispatched = true;
+                }
+                self.update_registration(token);
+            }
+        }
+    }
 }
 
 fn error_body(message: &str) -> String {
     Json::obj(vec![("error", Json::from(message))]).to_string()
 }
 
-fn route(shared: &ServerShared, request: &Request) -> (u16, String) {
+enum RouteOutcome {
+    Inline {
+        route: &'static str,
+        status: u16,
+        body: String,
+        extra: Vec<(&'static str, String)>,
+    },
+    Dispatched,
+}
+
+fn inline(route: &'static str, status: u16, body: String) -> RouteOutcome {
+    RouteOutcome::Inline {
+        route,
+        status,
+        body,
+        extra: Vec::new(),
+    }
+}
+
+fn route(
+    shared: &Arc<ServerShared>,
+    token: usize,
+    gen: u64,
+    request: &Request,
+    request_id: &str,
+) -> RouteOutcome {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/infer") => handle_infer(shared, &request.body),
-        ("GET", "/v1/stats") => (200, stats_body(shared)),
+        ("POST", "/v1/infer") => handle_infer(shared, token, gen, request, request_id),
+        ("GET", "/v1/stats") => inline("stats", 200, stats_body(shared)),
+        ("GET", "/healthz") => inline("healthz", 200, healthz_body(shared)),
         (method, path) => {
             if let Some(rest) = path.strip_prefix("/v1/stream/") {
                 if method != "POST" {
-                    return (405, error_body("streaming endpoints are POST"));
+                    return inline(
+                        "stream_push",
+                        405,
+                        error_body("streaming endpoints are POST"),
+                    );
                 }
                 if let Some(id) = rest.strip_suffix("/push") {
-                    return handle_stream_push(shared, id, &request.body);
+                    return handle_stream_push(shared, token, gen, id, request, request_id);
                 }
                 if let Some(id) = rest.strip_suffix("/close") {
-                    return handle_stream_close(shared, id);
+                    let (status, body) = handle_stream_close(shared, id);
+                    return inline("stream_close", status, body);
                 }
             }
-            (404, error_body("unknown route"))
+            inline("other", 404, error_body("unknown route"))
         }
     }
 }
@@ -417,50 +1189,115 @@ fn result_members(model: &str, result: &InferenceResult) -> Vec<(&'static str, J
     ]
 }
 
-fn handle_infer(shared: &ServerShared, body: &str) -> (u16, String) {
-    let doc = match Json::parse(body) {
+/// Admission check: claims one in-flight slot of `entry`'s budget, or
+/// produces the 429 shed response.
+fn admit(shared: &ServerShared, entry: &ModelEntry) -> Result<(), RouteOutcome> {
+    let limit = shared.config.admission_limit as u64;
+    // fetch_add then correct: contention-free fast path, and the transient
+    // overshoot is invisible (the slot is released before the 429 returns).
+    let occupied = entry.inflight.fetch_add(1, Ordering::AcqRel);
+    if occupied >= limit {
+        entry.inflight.fetch_sub(1, Ordering::AcqRel);
+        entry.shed.fetch_add(1, Ordering::Relaxed);
+        return Err(RouteOutcome::Inline {
+            route: "infer",
+            status: 429,
+            body: error_body("admission queue full: retry later"),
+            extra: vec![("Retry-After", shared.config.retry_after_s.to_string())],
+        });
+    }
+    Ok(())
+}
+
+fn handle_infer(
+    shared: &Arc<ServerShared>,
+    token: usize,
+    gen: u64,
+    request: &Request,
+    request_id: &str,
+) -> RouteOutcome {
+    let doc = match Json::parse(&request.body) {
         Ok(doc) => doc,
-        Err(e) => return (400, error_body(&e.to_string())),
+        Err(e) => return inline("infer", 400, error_body(&e.to_string())),
     };
     let Some(model_name) = doc.get("model").and_then(Json::as_str) else {
-        return (400, error_body("missing 'model'"));
+        return inline("infer", 400, error_body("missing 'model'"));
     };
-    let Some(entry) = shared.model(model_name) else {
-        return (404, error_body("unknown model"));
+    let Some(index) = shared.model_index(model_name) else {
+        return inline("infer", 404, error_body("unknown model"));
     };
+    let entry = &shared.models[index].1;
     entry.requests.fetch_add(1, Ordering::Relaxed);
     let stream = match parse_event_stream(&doc, entry.pool.artifact()) {
         Ok(stream) => stream,
         Err(message) => {
             entry.errors.fetch_add(1, Ordering::Relaxed);
-            return (400, error_body(&message));
+            return inline("infer", 400, error_body(&message));
         }
     };
-    // Interactive priority lane: one-shot inferences are latency-sensitive
-    // and cut ahead of any bulk backlog on the fleet.
-    let record = entry.scheduler.call(stream);
-    shared
-        .recorder
-        .record(record.queue_us, record.service_us, record.result.is_err());
-    match record.result {
-        Ok(result) => {
-            let mut members = result_members(model_name, &result);
-            members.push(("lane", Json::from(record.lane)));
-            members.push(("queue_us", Json::from(record.queue_us)));
-            members.push(("service_us", Json::from(record.service_us)));
-            (200, Json::obj(members).to_string())
-        }
-        Err(error) => {
+    match admit(shared, entry) {
+        Ok(()) => {}
+        Err(shed) => {
             entry.errors.fetch_add(1, Ordering::Relaxed);
-            (400, error_body(&error.to_string()))
+            return shed;
         }
     }
+    let callback_shared = Arc::clone(shared);
+    let model_name = model_name.to_owned();
+    let request_id = request_id.to_owned();
+    let keep_alive = request.keep_alive;
+    // Interactive priority lane: one-shot inferences are latency-sensitive
+    // and cut ahead of any bulk backlog on the fleet. The callback runs on
+    // the serving worker: it formats the response and wakes the reactor.
+    entry.scheduler.call_async(stream, None, move |record| {
+        let shared = callback_shared;
+        let entry = &shared.models[index].1;
+        entry.inflight.fetch_sub(1, Ordering::AcqRel);
+        shared
+            .recorder
+            .record(record.queue_us, record.service_us, record.result.is_err());
+        let (status, body) = match record.result {
+            Ok(result) => {
+                let mut members = result_members(&model_name, &result);
+                members.push(("lane", Json::from(record.lane)));
+                members.push(("queue_us", Json::from(record.queue_us)));
+                members.push(("service_us", Json::from(record.service_us)));
+                members.push(("request_id", Json::from(request_id.as_str())));
+                (200, Json::obj(members).to_string())
+            }
+            Err(error) => {
+                entry.errors.fetch_add(1, Ordering::Relaxed);
+                (400, error_body(&error.to_string()))
+            }
+        };
+        shared.log_request(
+            &request_id,
+            "infer",
+            status,
+            record.queue_us,
+            record.service_us,
+        );
+        shared.complete(Completion {
+            token,
+            gen,
+            response: format_response(status, &body, keep_alive, Some(&request_id), &[]),
+            keep_alive,
+        });
+    });
+    RouteOutcome::Dispatched
 }
 
-fn handle_stream_push(shared: &ServerShared, id: &str, body: &str) -> (u16, String) {
-    let doc = match Json::parse(body) {
+fn handle_stream_push(
+    shared: &Arc<ServerShared>,
+    token: usize,
+    gen: u64,
+    id: &str,
+    request: &Request,
+    request_id: &str,
+) -> RouteOutcome {
+    let doc = match Json::parse(&request.body) {
         Ok(doc) => doc,
-        Err(e) => return (400, error_body(&e.to_string())),
+        Err(e) => return inline("stream_push", 400, error_body(&e.to_string())),
     };
     let requested_model = doc.get("model").and_then(Json::as_str);
 
@@ -471,23 +1308,39 @@ fn handle_stream_push(shared: &ServerShared, id: &str, body: &str) -> (u16, Stri
         let mut streams = shared.streams.lock().expect("session table poisoned");
         if let Some(entry) = streams.get_mut(id) {
             if requested_model.is_some_and(|m| m != entry.model) {
-                return (400, error_body("session is bound to a different model"));
+                return inline(
+                    "stream_push",
+                    400,
+                    error_body("session is bound to a different model"),
+                );
             }
             let Some(client) = entry.client.take() else {
-                return (409, error_body("session busy: a push is in flight"));
+                return inline(
+                    "stream_push",
+                    409,
+                    error_body("session busy: a push is in flight"),
+                );
             };
             (entry.model.clone(), client, false, entry.preferred_lane)
         } else {
             let Some(model_name) = requested_model else {
-                return (400, error_body("first push must name a 'model'"));
+                return inline(
+                    "stream_push",
+                    400,
+                    error_body("first push must name a 'model'"),
+                );
             };
-            let Some(entry) = shared.model(model_name) else {
-                return (404, error_body("unknown model"));
+            let Some(index) = shared.model_index(model_name) else {
+                return inline("stream_push", 404, error_body("unknown model"));
             };
             if streams.len() >= MAX_STREAM_SESSIONS {
-                return (503, error_body("session table full: close idle sessions"));
+                return inline(
+                    "stream_push",
+                    503,
+                    error_body("session table full: close idle sessions"),
+                );
             }
-            let client = entry.pool.artifact().new_client();
+            let client = shared.models[index].1.pool.artifact().new_client();
             streams.insert(
                 id.to_owned(),
                 StreamEntry {
@@ -500,28 +1353,22 @@ fn handle_stream_push(shared: &ServerShared, id: &str, body: &str) -> (u16, Stri
         }
     };
 
-    let entry = shared.model(&model_name).expect("session names a model");
+    let index = shared
+        .model_index(&model_name)
+        .expect("session names a model");
+    let entry = &shared.models[index].1;
     entry.requests.fetch_add(1, Ordering::Relaxed);
-    // Re-park the client after the push (remembering which lane served it,
-    // the next chunk's affinity hint); on a *failed first* push the freshly
-    // created entry is removed instead — the client was never told a
-    // session exists, so keeping it would leak one table slot per bad
-    // request.
-    let park = |client: ClientState, served_lane: Option<usize>| {
+
+    // Settles a failed push on the reactor thread (parse/admission errors
+    // happen before dispatch): a failed FIRST push removes the freshly
+    // created entry — the client was never told a session exists, so
+    // keeping it would leak one table slot per bad request.
+    let settle_error_inline = |client: ClientState| {
         let mut streams = shared.streams.lock().expect("session table poisoned");
-        if let Some(entry) = streams.get_mut(id) {
-            entry.client = Some(client);
-            if served_lane.is_some() {
-                entry.preferred_lane = served_lane;
-            }
-        }
-    };
-    let settle_error = |client: ClientState| {
         if created {
-            let mut streams = shared.streams.lock().expect("session table poisoned");
             streams.remove(id);
-        } else {
-            park(client, None);
+        } else if let Some(entry) = streams.get_mut(id) {
+            entry.client = Some(client);
         }
     };
 
@@ -529,50 +1376,111 @@ fn handle_stream_push(shared: &ServerShared, id: &str, body: &str) -> (u16, Stri
         Ok(chunk) => chunk,
         Err(message) => {
             entry.errors.fetch_add(1, Ordering::Relaxed);
-            settle_error(client);
-            return (400, error_body(&message));
+            settle_error_inline(client);
+            return inline("stream_push", 400, error_body(&message));
         }
     };
+    match admit(shared, entry) {
+        Ok(()) => {}
+        Err(RouteOutcome::Inline {
+            status,
+            body,
+            extra,
+            ..
+        }) => {
+            entry.errors.fetch_add(1, Ordering::Relaxed);
+            settle_error_inline(client);
+            return RouteOutcome::Inline {
+                route: "stream_push",
+                status,
+                body,
+                extra,
+            };
+        }
+        Err(outcome) => return outcome,
+    }
+
+    let callback_shared = Arc::clone(shared);
+    let session_id = id.to_owned();
+    let request_id = request_id.to_owned();
+    let keep_alive = request.keep_alive;
     // Interactive priority lane, with the parked affinity hint: the warm
     // engine when the fleet has room, any engine (bit-identically) when
-    // load says otherwise.
-    let record = entry.scheduler.call_push(client, chunk, preferred_lane);
-    shared
-        .recorder
-        .record(record.queue_us, record.service_us, record.result.is_err());
-    let client = record.client;
-    let chunks_pushed = client.chunks_pushed();
-    match record.result {
-        Ok(ChunkOutput {
-            output,
-            stats,
-            start_timestep,
-            timesteps,
-        }) => {
-            park(client, Some(record.lane));
-            (
-                200,
-                Json::obj(vec![
-                    ("session", Json::from(id)),
-                    ("model", Json::from(model_name.as_str())),
-                    ("start_timestep", Json::from(u64::from(start_timestep))),
-                    ("timesteps", Json::from(u64::from(timesteps))),
-                    ("chunks_pushed", Json::from(chunks_pushed)),
-                    ("total_cycles", Json::from(stats.total_cycles)),
-                    ("events", events_json(&output)),
-                    ("lane", Json::from(record.lane)),
-                    ("queue_us", Json::from(record.queue_us)),
-                    ("service_us", Json::from(record.service_us)),
-                ])
-                .to_string(),
-            )
-        }
-        Err(error) => {
-            entry.errors.fetch_add(1, Ordering::Relaxed);
-            settle_error(client);
-            (400, error_body(&error.to_string()))
-        }
-    }
+    // load says otherwise. The callback re-parks the advanced client state
+    // — even when the connection has meanwhile died, so a mid-stream client
+    // disconnect frees the session slot instead of wedging it busy.
+    entry
+        .scheduler
+        .call_push_async(client, chunk, preferred_lane, move |record| {
+            let shared = callback_shared;
+            let entry = &shared.models[index].1;
+            entry.inflight.fetch_sub(1, Ordering::AcqRel);
+            shared
+                .recorder
+                .record(record.queue_us, record.service_us, record.result.is_err());
+            let client = record.client;
+            let chunks_pushed = client.chunks_pushed();
+            let park = |client: ClientState, served_lane: Option<usize>| {
+                let mut streams = shared.streams.lock().expect("session table poisoned");
+                if let Some(entry) = streams.get_mut(&session_id) {
+                    entry.client = Some(client);
+                    if served_lane.is_some() {
+                        entry.preferred_lane = served_lane;
+                    }
+                }
+            };
+            let (status, body) = match record.result {
+                Ok(ChunkOutput {
+                    output,
+                    stats,
+                    start_timestep,
+                    timesteps,
+                }) => {
+                    park(client, Some(record.lane));
+                    (
+                        200,
+                        Json::obj(vec![
+                            ("session", Json::from(session_id.as_str())),
+                            ("model", Json::from(model_name.as_str())),
+                            ("start_timestep", Json::from(u64::from(start_timestep))),
+                            ("timesteps", Json::from(u64::from(timesteps))),
+                            ("chunks_pushed", Json::from(chunks_pushed)),
+                            ("total_cycles", Json::from(stats.total_cycles)),
+                            ("events", events_json(&output)),
+                            ("lane", Json::from(record.lane)),
+                            ("queue_us", Json::from(record.queue_us)),
+                            ("service_us", Json::from(record.service_us)),
+                            ("request_id", Json::from(request_id.as_str())),
+                        ])
+                        .to_string(),
+                    )
+                }
+                Err(error) => {
+                    entry.errors.fetch_add(1, Ordering::Relaxed);
+                    if created {
+                        let mut streams = shared.streams.lock().expect("session table poisoned");
+                        streams.remove(&session_id);
+                    } else {
+                        park(client, None);
+                    }
+                    (400, error_body(&error.to_string()))
+                }
+            };
+            shared.log_request(
+                &request_id,
+                "stream_push",
+                status,
+                record.queue_us,
+                record.service_us,
+            );
+            shared.complete(Completion {
+                token,
+                gen,
+                response: format_response(status, &body, keep_alive, Some(&request_id), &[]),
+                keep_alive,
+            });
+        });
+    RouteOutcome::Dispatched
 }
 
 fn handle_stream_close(shared: &ServerShared, id: &str) -> (u16, String) {
@@ -587,7 +1495,10 @@ fn handle_stream_close(shared: &ServerShared, id: &str) -> (u16, String) {
         }
         streams.remove(id).expect("session present")
     };
-    let model = shared.model(&entry.model).expect("session names a model");
+    let index = shared
+        .model_index(&entry.model)
+        .expect("session names a model");
+    let model = &shared.models[index].1;
     let client = entry.client.expect("checked non-busy");
     let summary = model.pool.artifact().summary(&client);
     let mut members = result_members(&entry.model, &summary);
@@ -610,6 +1521,22 @@ fn latency_json(summary: &LatencySummary) -> Json {
         ("p99", Json::from(summary.p99_us)),
         ("max", Json::from(summary.max_us)),
     ])
+}
+
+fn healthz_body(shared: &ServerShared) -> String {
+    Json::obj(vec![
+        ("status", Json::from("ok")),
+        (
+            "uptime_s",
+            Json::from(shared.started.elapsed().as_secs_f64()),
+        ),
+        (
+            "connections",
+            Json::from(shared.connections.load(Ordering::Relaxed)),
+        ),
+        ("models", Json::from(shared.models.len())),
+    ])
+    .to_string()
 }
 
 fn stats_body(shared: &ServerShared) -> String {
@@ -642,11 +1569,41 @@ fn stats_body(shared: &ServerShared) -> String {
                         ("plan_table_bytes", Json::from(plan_bytes)),
                         ("workers", Json::from(entry.scheduler.workers())),
                         ("pending", Json::from(entry.scheduler.pending())),
+                        (
+                            "inflight",
+                            Json::from(entry.inflight.load(Ordering::Relaxed)),
+                        ),
+                        ("shed", Json::from(entry.shed.load(Ordering::Relaxed))),
                         ("steals", Json::from(sched.steals)),
                         ("affinity_hits", Json::from(sched.affinity_hits)),
                         ("affinity_misses", Json::from(sched.affinity_misses)),
                     ]),
                 )
+            })
+            .collect(),
+    );
+    let routes = Json::obj(vec![
+        ("infer", shared.routes.infer.json()),
+        ("stream_push", shared.routes.stream_push.json()),
+        ("stream_close", shared.routes.stream_close.json()),
+        ("stats", shared.routes.stats.json()),
+        ("healthz", shared.routes.healthz.json()),
+        ("other", shared.routes.other.json()),
+    ]);
+    let recent = Json::Arr(
+        shared
+            .request_log
+            .lock()
+            .expect("request log poisoned")
+            .iter()
+            .map(|entry| {
+                Json::obj(vec![
+                    ("id", Json::from(entry.id.as_str())),
+                    ("route", Json::from(entry.route)),
+                    ("status", Json::from(u64::from(entry.status))),
+                    ("queue_us", Json::from(entry.queue_us)),
+                    ("service_us", Json::from(entry.service_us)),
+                ])
             })
             .collect(),
     );
@@ -659,8 +1616,18 @@ fn stats_body(shared: &ServerShared) -> String {
             "active_streams",
             Json::from(shared.streams.lock().expect("session table poisoned").len()),
         ),
+        (
+            "connections",
+            Json::from(shared.connections.load(Ordering::Relaxed)),
+        ),
+        (
+            "evictions",
+            Json::from(shared.evictions.load(Ordering::Relaxed)),
+        ),
         ("queue_latency_us", latency_json(&stats.queue)),
         ("service_latency_us", latency_json(&stats.service)),
+        ("routes", routes),
+        ("recent_requests", recent),
         ("models", models),
     ])
     .to_string()
