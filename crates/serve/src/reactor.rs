@@ -82,14 +82,30 @@ mod sys {
     const EPOLLHUP: u32 = 0x10;
     const EPOLLRDHUP: u32 = 0x2000;
 
-    /// `struct epoll_event` — packed on x86-64, which `repr(C, packed)`
-    /// reproduces on every architecture (the kernel only cares that userland
-    /// and kernel agree, and the packed layout is the portable subset).
-    #[repr(C, packed)]
+    /// `struct epoll_event` — the kernel packs it on x86-64 only (the
+    /// `EPOLL_PACKED` attribute in the UAPI headers); every other Linux
+    /// architecture uses the naturally aligned/padded C layout. The
+    /// conditional mirrors the libc crate: packing unconditionally would
+    /// shift the `data` offset and shrink the array stride on e.g. aarch64,
+    /// corrupting tokens and overrunning the `epoll_wait` buffer.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
     struct EpollEvent {
         events: u32,
         data: u64,
     }
+
+    // Layout guard: the kernel reads/writes exactly these sizes.
+    #[cfg(target_arch = "x86_64")]
+    const _: () = assert!(std::mem::size_of::<EpollEvent>() == 12);
+    #[cfg(not(target_arch = "x86_64"))]
+    const _: () = assert!(
+        // events (4 bytes) + padding up to u64's alignment (>= 4 on every
+        // Linux target) + data (8 bytes): 16 where u64 is 8-aligned, 12
+        // where it is 4-aligned — exactly the kernel's unpacked layout.
+        std::mem::size_of::<EpollEvent>()
+            == std::mem::align_of::<u64>() + std::mem::size_of::<u64>()
+    );
 
     extern "C" {
         fn epoll_create1(flags: c_int) -> c_int;
@@ -283,9 +299,16 @@ mod sys {
                     revents: 0,
                 })
                 .collect();
+            // Mirrors the epoll backend: zero means "return immediately"
+            // (a timer tick is already due), and fractional milliseconds
+            // round up so a pending timer cannot become a sub-ms spin loop.
             let timeout_ms: c_int = match timeout {
                 None => -1,
-                Some(t) => c_int::try_from(t.as_millis()).unwrap_or(c_int::MAX).max(1),
+                Some(t) if t.is_zero() => 0,
+                Some(t) => {
+                    let ms = t.as_millis() + u128::from(t.subsec_nanos() % 1_000_000 != 0);
+                    c_int::try_from(ms).unwrap_or(c_int::MAX)
+                }
             };
             // SAFETY: `fds` is a live array of initialized pollfd entries.
             let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };

@@ -20,9 +20,11 @@
 //!
 //! Deadlines live on the reactor's timer wheel: a connection mid-request
 //! must deliver the complete request within the read deadline (slow-loris
-//! eviction with a best-effort 408), and a parked keep-alive connection is
-//! closed after the keep-alive timeout. While a request is dispatched no
-//! deadline runs — service time is the engine's business.
+//! eviction with a best-effort 408), a parked keep-alive connection is
+//! closed after the keep-alive timeout, and a partially flushed response
+//! must make write progress within the read deadline (write-stall guard —
+//! a peer that stops reading is reaped, not waited on). While a request is
+//! dispatched no deadline runs — service time is the engine's business.
 //!
 //! Load shedding: once a model's in-flight budget is exhausted, new work is
 //! answered `429 Too Many Requests` with a `Retry-After` header instead of
@@ -635,7 +637,8 @@ impl Reactor {
     }
 
     /// Shutdown phase 1: stop accepting, close parked idle connections, and
-    /// give not-yet-complete requests a short drain grace.
+    /// give not-yet-complete requests — and not-yet-drained responses — a
+    /// short drain grace.
     fn begin_shutdown(&mut self) {
         if let Some(listener) = self.listener.take() {
             let _ = self.poller.deregister(listener.as_raw_fd());
@@ -645,16 +648,20 @@ impl Reactor {
             let Some(conn) = &self.slots[token].conn else {
                 continue;
             };
-            let parked_idle = !conn.dispatched
-                && !conn.parser.mid_request()
-                && conn.out_pos >= conn.out.len()
-                && conn.served > 0;
-            let silent_fresh = !conn.dispatched && !conn.parser.mid_request() && conn.served == 0;
+            let mid_request = conn.parser.mid_request();
+            let pending_out = conn.out_pos < conn.out.len();
+            let parked_idle = !conn.dispatched && !mid_request && !pending_out && conn.served > 0;
+            let silent_fresh = !conn.dispatched && !mid_request && conn.served == 0;
             if parked_idle {
                 self.close_conn(token);
-            } else if silent_fresh || conn.parser.mid_request() {
-                // Connections still owed a request get a bounded grace to
-                // deliver it; a silent one cannot stall shutdown forever.
+            } else if pending_out || silent_fresh || mid_request {
+                // Connections still owed a request — or still owed response
+                // bytes the peer has not drained — get a bounded grace; a
+                // silent sender or stalled reader cannot stall shutdown
+                // forever. (The write-stall guard armed when the flush
+                // parked may be far out; this shortens it.) Dispatched
+                // requests keep no deadline: their inference completes, and
+                // the completion flush arms the drain-bounded guard above.
                 let deadline = now + self.shared.config.read_deadline.min(SHUTDOWN_DRAIN_GRACE);
                 self.arm_deadline(token, deadline);
             }
@@ -939,6 +946,17 @@ impl Reactor {
                 Ok(n) => conn.out_pos += n,
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     self.update_registration(token);
+                    // Write-stall guard: a peer that stops reading its
+                    // response must make progress within the read deadline
+                    // (each successful partial write re-parks here and
+                    // re-arms), else the connection is reaped — during
+                    // shutdown within the shorter drain grace, so a stalled
+                    // reader cannot hang the reactor join forever.
+                    let mut bound = self.shared.config.read_deadline;
+                    if self.shared.shutting_down.load(Ordering::SeqCst) {
+                        bound = bound.min(SHUTDOWN_DRAIN_GRACE);
+                    }
+                    self.arm_deadline(token, Instant::now() + bound);
                     return;
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -1189,9 +1207,29 @@ fn result_members(model: &str, result: &InferenceResult) -> Vec<(&'static str, J
     ]
 }
 
+/// The 429 produced when a model's admission budget is exhausted. A
+/// dedicated type (rather than a pre-built [`RouteOutcome`]) so callers are
+/// forced through [`Shed::into_outcome`] — every `Err` path visibly settles
+/// its taken session state before converting to a response.
+struct Shed {
+    body: String,
+    retry_after: String,
+}
+
+impl Shed {
+    fn into_outcome(self, route: &'static str) -> RouteOutcome {
+        RouteOutcome::Inline {
+            route,
+            status: 429,
+            body: self.body,
+            extra: vec![("Retry-After", self.retry_after)],
+        }
+    }
+}
+
 /// Admission check: claims one in-flight slot of `entry`'s budget, or
 /// produces the 429 shed response.
-fn admit(shared: &ServerShared, entry: &ModelEntry) -> Result<(), RouteOutcome> {
+fn admit(shared: &ServerShared, entry: &ModelEntry) -> Result<(), Shed> {
     let limit = shared.config.admission_limit as u64;
     // fetch_add then correct: contention-free fast path, and the transient
     // overshoot is invisible (the slot is released before the 429 returns).
@@ -1199,11 +1237,9 @@ fn admit(shared: &ServerShared, entry: &ModelEntry) -> Result<(), RouteOutcome> 
     if occupied >= limit {
         entry.inflight.fetch_sub(1, Ordering::AcqRel);
         entry.shed.fetch_add(1, Ordering::Relaxed);
-        return Err(RouteOutcome::Inline {
-            route: "infer",
-            status: 429,
+        return Err(Shed {
             body: error_body("admission queue full: retry later"),
-            extra: vec![("Retry-After", shared.config.retry_after_s.to_string())],
+            retry_after: shared.config.retry_after_s.to_string(),
         });
     }
     Ok(())
@@ -1235,12 +1271,9 @@ fn handle_infer(
             return inline("infer", 400, error_body(&message));
         }
     };
-    match admit(shared, entry) {
-        Ok(()) => {}
-        Err(shed) => {
-            entry.errors.fetch_add(1, Ordering::Relaxed);
-            return shed;
-        }
+    if let Err(shed) = admit(shared, entry) {
+        entry.errors.fetch_add(1, Ordering::Relaxed);
+        return shed.into_outcome("infer");
     }
     let callback_shared = Arc::clone(shared);
     let model_name = model_name.to_owned();
@@ -1380,24 +1413,10 @@ fn handle_stream_push(
             return inline("stream_push", 400, error_body(&message));
         }
     };
-    match admit(shared, entry) {
-        Ok(()) => {}
-        Err(RouteOutcome::Inline {
-            status,
-            body,
-            extra,
-            ..
-        }) => {
-            entry.errors.fetch_add(1, Ordering::Relaxed);
-            settle_error_inline(client);
-            return RouteOutcome::Inline {
-                route: "stream_push",
-                status,
-                body,
-                extra,
-            };
-        }
-        Err(outcome) => return outcome,
+    if let Err(shed) = admit(shared, entry) {
+        entry.errors.fetch_add(1, Ordering::Relaxed);
+        settle_error_inline(client);
+        return shed.into_outcome("stream_push");
     }
 
     let callback_shared = Arc::clone(shared);
