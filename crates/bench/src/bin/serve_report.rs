@@ -15,6 +15,10 @@
 //! 4. **Idle soak** — thousands of parked keep-alive connections held
 //!    through a quiet window: process CPU over the window must stay ~idle
 //!    and every parked connection must still answer afterwards.
+//! 5. **Durable tier** — the server runs with a park-to-disk session store
+//!    (DESIGN.md §14) and a warm capacity smaller than the session count
+//!    driven here, so LRU demotion and fault-in both fire; the report
+//!    asserts the durability counters are live and records them.
 //!
 //! ```bash
 //! cargo run --release -p sne_bench --bin serve_report                   # full run
@@ -34,7 +38,7 @@ use sne::session::InferenceSession;
 use sne_bench::benchmark_network;
 use sne_event::EventStream;
 use sne_serve::client::{self, Connection};
-use sne_serve::{Json, ServerBuilder};
+use sne_serve::{FsyncPolicy, Json, ServerBuilder};
 use sne_sim::{ExecStrategy, SneConfig};
 
 /// Closed-loop concurrency levels (clients issuing back-to-back requests).
@@ -50,6 +54,9 @@ const P99_1CLIENT_FLOOR_US: f64 = 699.0;
 const THROUGHPUT_FLOOR_RPS: f64 = 6200.0;
 /// Idle-soak CPU budget as a fraction of the soak window.
 const SOAK_CPU_BUDGET: f64 = 0.10;
+/// Warm-session capacity of the served model: the durability phase drives
+/// more sessions than this so LRU park-to-disk demotion actually fires.
+const WARM_CAPACITY: usize = 8;
 
 #[derive(Clone, Copy, PartialEq)]
 enum Phase {
@@ -311,6 +318,47 @@ fn run_soak(addr: SocketAddr, target: usize, window: Duration) -> SoakResult {
     }
 }
 
+/// Durable-tier exercise: `sessions` streaming sessions (more than the
+/// warm capacity) pushed round-robin over one connection for `rounds`
+/// passes, so LRU demotion to disk and fault-in from disk both fire
+/// deterministically, then every session closes with a summary — cold
+/// ones included. Returns the push latencies.
+fn run_durability(addr: SocketAddr, sessions: usize, rounds: usize) -> LevelResult {
+    let start = Instant::now();
+    let mut conn = Connection::connect(addr).expect("connect failed");
+    let mut samples = Vec::with_capacity(sessions * rounds);
+    for r in 0..rounds {
+        for s in 0..sessions {
+            let feed = sne::proportionality::stream_with_activity(
+                (2, 16, 16),
+                4,
+                0.03,
+                8600 + (r * sessions + s) as u64,
+            );
+            let body = client::infer_body("bench", &feed);
+            let sent = Instant::now();
+            let (status, response) = conn
+                .post(&format!("/v1/stream/park-{s}/push"), &body)
+                .expect("push failed");
+            assert_eq!(status, 200, "round {r} session {s}: {response}");
+            samples.push(sent.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    for s in 0..sessions {
+        let (status, response) = conn
+            .post(&format!("/v1/stream/park-{s}/close"), "")
+            .expect("close failed");
+        assert_eq!(status, 200, "close {s}: {response}");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    LevelResult {
+        clients: sessions,
+        requests: samples.len() as u32,
+        throughput_rps: samples.len() as f64 / elapsed,
+        latency: LatencySummary::from_samples_us(&samples),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -344,6 +392,12 @@ fn main() {
         .map(|s| client::infer_body("bench", s))
         .collect();
 
+    // The bench server runs the durable tier for real: every push parks a
+    // snapshot (write-ahead, FsyncPolicy::Never keeps the wire numbers
+    // about the datapath, not the disk), and the warm capacity is small
+    // enough that the durability phase forces demotion + fault-in.
+    let store_dir = std::env::temp_dir().join(format!("sne-serve-report-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
     let server = ServerBuilder::new()
         .register(
             "bench",
@@ -353,6 +407,9 @@ fn main() {
             ExecStrategy::Sequential,
         )
         .expect("model registers")
+        .durable_store(&store_dir)
+        .fsync_policy(FsyncPolicy::Never)
+        .session_capacity(WARM_CAPACITY)
         .start("127.0.0.1:0")
         .expect("server starts");
     let addr = server.addr();
@@ -476,6 +533,24 @@ fn main() {
         soak = Some(result);
     }
 
+    // ---- durable-tier phase ------------------------------------------------
+    // More sessions than the warm capacity, pushed round-robin: park-to-disk
+    // demotion and fault-in must both fire, and every close — cold sessions
+    // included — must still produce a summary.
+    let (park_sessions, park_rounds) = if smoke {
+        (WARM_CAPACITY + 2, 2)
+    } else {
+        (WARM_CAPACITY + 4, 3)
+    };
+    let durability_level = run_durability(addr, park_sessions, park_rounds);
+    println!(
+        "durable {:>2} sessions: {:>7.1} push/s  p50 {:>8.1} us   p99 {:>8.1} us   (warm capacity {WARM_CAPACITY})",
+        durability_level.clients,
+        durability_level.throughput_rps,
+        durability_level.latency.p50_us,
+        durability_level.latency.p99_us
+    );
+
     // ---- telemetry + gates -------------------------------------------------
     let (status, stats_body) = client::get(addr, "/v1/stats").unwrap();
     assert_eq!(status, 200);
@@ -498,6 +573,30 @@ fn main() {
             "streaming phase ran but scheduler affinity telemetry is dead"
         );
     }
+
+    // The durability gate: the round-robin phase oversubscribed the warm
+    // capacity, so both directions of the disk tier must have fired, and
+    // closing every session must have reclaimed every snapshot.
+    let durability = stats
+        .get("durability")
+        .expect("durable server exposes durability stats");
+    let dur = |key: &str| durability.get(key).and_then(Json::as_u64).unwrap();
+    let parked_to_disk = dur("parked_to_disk");
+    let faulted_in = dur("faulted_in");
+    assert!(
+        parked_to_disk > 0,
+        "oversubscribed warm capacity but no session was demoted to disk"
+    );
+    assert!(
+        faulted_in > 0,
+        "cold sessions were pushed to but none faulted in from disk"
+    );
+    assert_eq!(dur("cold_sessions"), 0, "closes left cold sessions behind");
+    assert_eq!(
+        dur("corrupt_discarded"),
+        0,
+        "the store discarded snapshots during a clean bench"
+    );
 
     let p99_1client = levels
         .iter()
@@ -552,6 +651,7 @@ fn main() {
         );
     }
     server.shutdown();
+    let _ = std::fs::remove_dir_all(&store_dir);
 
     // ---- report ------------------------------------------------------------
     let mut json = String::new();
@@ -581,6 +681,16 @@ fn main() {
     json.push_str(&format!("  \"server_completed_requests\": {completed},\n"));
     json.push_str(&format!(
         "  \"scheduler\": {{\"workers\": {workers}, \"steals\": {steals}, \"affinity_hits\": {affinity_hits}, \"affinity_misses\": {affinity_misses}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"durability\": {{\"warm_capacity\": {WARM_CAPACITY}, \"sessions\": {}, \"pushes\": {}, \"push_p50_us\": {:.1}, \"push_p99_us\": {:.1}, \"parked_to_disk\": {parked_to_disk}, \"faulted_in\": {faulted_in}, \"recovered_on_boot\": {}, \"corrupt_discarded\": {}, \"cold_sessions\": {}}},\n",
+        durability_level.clients,
+        durability_level.requests,
+        durability_level.latency.p50_us,
+        durability_level.latency.p99_us,
+        dur("recovered_on_boot"),
+        dur("corrupt_discarded"),
+        dur("cold_sessions"),
     ));
     json.push_str("  \"levels\": [\n");
     for (i, level) in levels.iter().enumerate() {
@@ -639,6 +749,9 @@ fn main() {
     println!();
     println!(
         "scheduler: {workers} workers, {steals} steals, affinity {affinity_hits} hits / {affinity_misses} misses"
+    );
+    println!(
+        "durable tier: {parked_to_disk} demotions to disk, {faulted_in} fault-ins, all snapshots reclaimed on close"
     );
     println!("wrote {out_path}");
 }

@@ -36,7 +36,7 @@ use crate::session::{check_geometry, classify, run_stages, ChunkOutput};
 use crate::SneError;
 
 /// Per-layer accumulation across the chunks of a streamed inference.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct LayerTotals {
     pub description: String,
     pub neurons: f64,
@@ -349,7 +349,11 @@ impl RuntimeArtifact {
 /// connected client with [`RuntimeArtifact::new_client`]; it carries no
 /// engine, so it can wait in a session table between requests while the
 /// engines serve other clients.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the full architectural state (neuron membranes, TLU
+/// bookkeeping, cursor and accumulators) — it is what the durability tests
+/// mean by "bit-identical after restore".
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClientState {
     pub(crate) states: Vec<LayerState>,
     pub(crate) elapsed_timesteps: u32,

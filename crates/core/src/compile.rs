@@ -229,6 +229,26 @@ impl CompiledNetwork {
         })
     }
 
+    /// Reassembles a network from its decoded parts (the snapshot restore
+    /// path), applying the same "at least one accelerated stage" invariant
+    /// as the compilers.
+    pub(crate) fn from_parts(
+        input_shape: (u16, u16, u16),
+        output_classes: u16,
+        stages: Vec<Stage>,
+        scales: Vec<f32>,
+    ) -> Result<Self, SneError> {
+        if stages.iter().all(|s| s.mapping().is_none()) {
+            return Err(SneError::EmptyNetwork);
+        }
+        Ok(Self {
+            input_shape,
+            output_classes,
+            stages,
+            scales,
+        })
+    }
+
     /// Input shape expected by the network, `(channels, height, width)`.
     #[must_use]
     pub fn input_shape(&self) -> (u16, u16, u16) {

@@ -4,6 +4,7 @@ use std::fmt;
 use sne_event::EventError;
 use sne_model::ModelError;
 use sne_sim::SimError;
+use sne_store::StoreError;
 
 /// Errors of the top-level SNE API.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +27,9 @@ pub enum SneError {
     EmptyNetwork,
     /// A batch runner was requested with zero lanes.
     EmptyBatch,
+    /// A durable snapshot could not be written, read or decoded (torn
+    /// write, digest mismatch, wrong artifact, unsupported format, I/O).
+    Snapshot(StoreError),
     /// The network cannot run in the pipelined layer-per-slice mode because a
     /// layer does not fit in the slices allocated to it.
     PipelineDoesNotFit {
@@ -50,6 +54,7 @@ impl fmt::Display for SneError {
                 found.0, found.1, found.2, expected.0, expected.1, expected.2
             ),
             Self::EmptyNetwork => write!(f, "compiled network has no accelerated stage"),
+            Self::Snapshot(e) => write!(f, "snapshot error: {e}"),
             Self::EmptyBatch => write!(f, "a batch runner needs at least one lane"),
             Self::PipelineDoesNotFit { layer, required_neurons, available_neurons } => write!(
                 f,
@@ -65,6 +70,7 @@ impl Error for SneError {
             Self::Model(e) => Some(e),
             Self::Sim(e) => Some(e),
             Self::Event(e) => Some(e),
+            Self::Snapshot(e) => Some(e),
             _ => None,
         }
     }
@@ -88,6 +94,12 @@ impl From<EventError> for SneError {
     }
 }
 
+impl From<StoreError> for SneError {
+    fn from(value: StoreError) -> Self {
+        Self::Snapshot(value)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +113,9 @@ mod tests {
         assert!(matches!(err, SneError::Sim(_)));
         let err: SneError = EventError::EmptyGeometry.into();
         assert!(matches!(err, SneError::Event(_)));
+        let err: SneError = StoreError::BadMagic.into();
+        assert!(matches!(err, SneError::Snapshot(_)));
+        assert!(err.source().is_some());
     }
 
     #[test]

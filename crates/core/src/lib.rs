@@ -82,6 +82,7 @@ pub mod proportionality;
 pub mod report;
 pub mod run;
 pub mod session;
+pub mod snapshot;
 
 mod error;
 
@@ -104,3 +105,4 @@ pub use sne_energy;
 pub use sne_event;
 pub use sne_model;
 pub use sne_sim;
+pub use sne_store;

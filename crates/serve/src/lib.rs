@@ -17,6 +17,12 @@
 //!    propagation, live latency/throughput/per-route stats, `GET /healthz`,
 //!    and graceful shutdown that drains in-flight requests.
 //!
+//! With [`ServerBuilder::durable_store`] the session table grows a disk
+//! tier (DESIGN.md §14): every push parks a versioned, digest-checked
+//! snapshot in an `sne_store::SessionStore`, idle sessions are demoted to
+//! disk instead of refused at capacity, and a restart — including after
+//! `kill -9` — recovers every parked session bit-identically.
+//!
 //! # Example
 //!
 //! ```
@@ -57,4 +63,7 @@ pub mod reactor;
 pub mod server;
 
 pub use json::{Json, JsonError};
-pub use server::{Server, ServerBuilder};
+pub use server::{DurabilityStats, Server, ServerBuilder};
+// The store's fsync policy is part of the builder surface
+// ([`ServerBuilder::fsync_policy`]).
+pub use sne_store::FsyncPolicy;

@@ -30,6 +30,24 @@
 //! answered `429 Too Many Requests` with a `Retry-After` header instead of
 //! queueing without bound — the accept loop never stalls behind inference.
 //!
+//! ## Durability (DESIGN.md §14)
+//!
+//! With [`ServerBuilder::durable_store`] the session table becomes
+//! two-tiered: **warm** sessions hold their neuron state in memory, and
+//! every successful push also parks a versioned, digest-checked snapshot
+//! of the advanced state in the store (write-ahead: journal append, tmp
+//! write, rename). When the warm tier hits the configured capacity, the
+//! least-recently-used parked session is demoted to the **cold** tier — a
+//! map move, since its snapshot is already current on disk — instead of
+//! refusing new sessions with 503. A push to a cold session faults it
+//! back in (load, verify digests, restore, promote), bit-identically to a
+//! session that never left memory. On start the store is scanned: torn or
+//! corrupt snapshots and snapshots bound to an unregistered artifact are
+//! discarded (counted, never resurrected), survivors are adopted into the
+//! cold tier — a `kill -9` loses at most the push that was in flight.
+//! Closing a session reclaims its disk snapshot in every tier, so a
+//! closed id can never resurrect after a restart.
+//!
 //! Every response carries an `X-Request-Id` (echoed from the request when
 //! the client sent one, generated otherwise); per-route counters and a ring
 //! of recent request records are served from `GET /v1/stats`, and
@@ -59,8 +77,9 @@ use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::fd::AsRawFd;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -72,6 +91,7 @@ use sne::session::ChunkOutput;
 use sne::SneError;
 use sne_event::{Event, EventStream};
 use sne_sim::{ExecStrategy, SneConfig};
+use sne_store::{FsyncPolicy, Header, SessionStore};
 
 use crate::http::{format_response, Request, RequestParser};
 use crate::json::Json;
@@ -83,9 +103,10 @@ use crate::reactor::{Interest, PollEvent, Poller, TimerEntry, TimerWheel, WakePi
 /// "events": []}` is a tiny body.
 pub const MAX_REQUEST_TIMESTEPS: u64 = 1 << 16;
 
-/// Upper bound on concurrently parked streaming sessions; creation beyond
-/// it is refused with 503 so unclosed sessions cannot grow memory without
-/// limit.
+/// Default bound on concurrently warm (in-memory) streaming sessions
+/// (override with [`ServerBuilder::session_capacity`]). Beyond it a new
+/// session is refused with 503 — or, with a durable store configured, the
+/// least-recently-used parked session is demoted to the disk tier instead.
 pub const MAX_STREAM_SESSIONS: usize = 1024;
 
 /// Default bound on concurrently open connections (override with
@@ -110,6 +131,16 @@ const SHUTDOWN_DRAIN_GRACE: Duration = Duration::from_secs(1);
 /// Reactor read scratch size.
 const SCRATCH_BYTES: usize = 16 * 1024;
 
+/// Locks `m`, recovering the data if a previous holder panicked. Every
+/// structure behind the server's mutexes is kept coherent across each
+/// individual mutation (map insert/remove, queue push, ring rotation), so
+/// a poisoned guard's contents are still usable — and a serving front-end
+/// must keep answering after one panicked request rather than convert
+/// every subsequent request into a cascading panic.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// One registered model: its engine pool, the work-stealing scheduler
 /// whose workers own the pool's engines, admission bookkeeping and request
 /// counters.
@@ -125,15 +156,79 @@ struct ModelEntry {
     shed: AtomicU64,
 }
 
-/// One parked streaming session. `client` is `None` while a request is
+/// One warm streaming session. `client` is `None` while a request is
 /// in flight for it (concurrent pushes to the same session conflict).
 /// `preferred_lane` remembers the engine that served the last chunk — the
-/// affinity hint for the next one.
+/// affinity hint for the next one. `last_used` is the session table's
+/// logical clock at the last touch, the LRU key for park-to-disk
+/// demotion.
 #[derive(Debug)]
 struct StreamEntry {
     model: String,
     client: Option<ClientState>,
     preferred_lane: Option<usize>,
+    last_used: u64,
+}
+
+/// The two-tier session table. `warm` sessions hold neuron state in
+/// memory; `cold` sessions live only as store snapshots and keep just
+/// their model's registry index here (populated by LRU demotion and boot
+/// recovery — both require a durable store). `clock` is the logical LRU
+/// counter bumped on every session touch.
+#[derive(Debug, Default)]
+struct SessionTable {
+    warm: HashMap<String, StreamEntry>,
+    cold: HashMap<String, usize>,
+    clock: u64,
+}
+
+impl SessionTable {
+    /// The least-recently-used warm session that is parked (no push in
+    /// flight) — the only kind that can be demoted, since a parked
+    /// session's snapshot is already current on disk.
+    fn lru_parked(&self) -> Option<String> {
+        self.warm
+            .iter()
+            .filter(|(_, e)| e.client.is_some())
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(id, _)| id.clone())
+    }
+}
+
+/// The disk tier behind the session table: the snapshot store plus the
+/// durability counters surfaced by `/v1/stats`. Lock order: the session
+/// table lock and the store lock are never held together except during
+/// cold-session fault-in and demotion, where the table lock is taken
+/// first.
+#[derive(Debug)]
+struct DurableTier {
+    store: Mutex<SessionStore>,
+    /// Warm sessions demoted to the disk tier by LRU eviction.
+    parked_to_disk: AtomicU64,
+    /// Cold sessions promoted back to memory by a push.
+    faulted_in: AtomicU64,
+    /// Snapshots adopted into the cold tier by the boot recovery scan.
+    recovered_on_boot: AtomicU64,
+    /// Snapshots discarded as torn, corrupt, or bound to an unregistered
+    /// artifact (boot scan and runtime fault-in combined).
+    corrupt_discarded: AtomicU64,
+}
+
+/// A point-in-time copy of the durability counters
+/// ([`Server::durability`]; also under `"durability"` in `/v1/stats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DurabilityStats {
+    /// Warm sessions demoted to the disk tier by LRU eviction.
+    pub parked_to_disk: u64,
+    /// Cold sessions promoted back to memory by a push.
+    pub faulted_in: u64,
+    /// Snapshots adopted into the cold tier by the boot recovery scan.
+    pub recovered_on_boot: u64,
+    /// Snapshots discarded as torn, corrupt, or bound to an unregistered
+    /// artifact — sessions reported lost rather than resurrected wrong.
+    pub corrupt_discarded: u64,
+    /// Sessions currently parked on disk.
+    pub cold_sessions: u64,
 }
 
 /// Per-route request/error counters (an error is any response ≥ 400).
@@ -216,13 +311,16 @@ struct ServerConfig {
     max_connections: usize,
     admission_limit: usize,
     retry_after_s: u64,
+    session_capacity: usize,
 }
 
 #[derive(Debug)]
 struct ServerShared {
     /// Registration order preserved for `/v1/stats`.
     models: Vec<(String, ModelEntry)>,
-    streams: Mutex<HashMap<String, StreamEntry>>,
+    sessions: Mutex<SessionTable>,
+    /// The park-to-disk tier; `None` runs the classic memory-only table.
+    durable: Option<DurableTier>,
     recorder: LatencyRecorder,
     routes: RouteCounters,
     request_log: Mutex<std::collections::VecDeque<RequestLog>>,
@@ -252,7 +350,7 @@ impl ServerShared {
         service_us: f64,
     ) {
         self.routes.counter(route).hit(status);
-        let mut log = self.request_log.lock().expect("request log poisoned");
+        let mut log = lock_clean(&self.request_log);
         if log.len() == REQUEST_LOG_CAPACITY {
             log.pop_front();
         }
@@ -267,11 +365,21 @@ impl ServerShared {
 
     /// Queues a finished response for the reactor and wakes it.
     fn complete(&self, completion: Completion) {
-        self.completions
-            .lock()
-            .expect("completion queue poisoned")
-            .push(completion);
+        lock_clean(&self.completions).push(completion);
         self.waker.wake();
+    }
+
+    /// A point-in-time copy of the durability counters, when a durable
+    /// store is configured.
+    fn durability_stats(&self) -> Option<DurabilityStats> {
+        let tier = self.durable.as_ref()?;
+        Some(DurabilityStats {
+            parked_to_disk: tier.parked_to_disk.load(Ordering::Relaxed),
+            faulted_in: tier.faulted_in.load(Ordering::Relaxed),
+            recovered_on_boot: tier.recovered_on_boot.load(Ordering::Relaxed),
+            corrupt_discarded: tier.corrupt_discarded.load(Ordering::Relaxed),
+            cold_sessions: lock_clean(&self.sessions).cold.len() as u64,
+        })
     }
 }
 
@@ -280,6 +388,8 @@ impl ServerShared {
 pub struct ServerBuilder {
     models: Vec<(String, Arc<EnginePool>)>,
     config: ServerConfig,
+    store_dir: Option<PathBuf>,
+    fsync: FsyncPolicy,
 }
 
 impl Default for ServerBuilder {
@@ -292,7 +402,10 @@ impl Default for ServerBuilder {
                 max_connections: MAX_CONNECTIONS,
                 admission_limit: ADMISSION_LIMIT,
                 retry_after_s: 1,
+                session_capacity: MAX_STREAM_SESSIONS,
             },
+            store_dir: None,
+            fsync: FsyncPolicy::default(),
         }
     }
 }
@@ -380,6 +493,38 @@ impl ServerBuilder {
         self
     }
 
+    /// Bound on concurrently warm (in-memory) streaming sessions (default
+    /// [`MAX_STREAM_SESSIONS`]). Beyond it a new session is refused with
+    /// 503 — or, with [`ServerBuilder::durable_store`], the
+    /// least-recently-used parked session is demoted to disk instead.
+    #[must_use]
+    pub fn session_capacity(mut self, cap: usize) -> Self {
+        self.config.session_capacity = cap.max(1);
+        self
+    }
+
+    /// Backs the session table with a durable snapshot store in `dir`
+    /// (created if absent). Every successful push parks a digest-checked
+    /// snapshot of the session there; [`ServerBuilder::start`] scans the
+    /// directory and adopts surviving sessions into the cold tier, so
+    /// parked sessions outlive a crash.
+    #[must_use]
+    pub fn durable_store(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store_dir = Some(dir.into());
+        self
+    }
+
+    /// How eagerly the store flushes snapshot and journal writes (default
+    /// [`FsyncPolicy::Always`]). [`FsyncPolicy::Never`] trades the
+    /// power-loss guarantee for write latency — crash-consistency against
+    /// process death (`kill -9`) is retained either way, since the rename
+    /// commit point is atomic regardless.
+    #[must_use]
+    pub fn fsync_policy(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback port)
     /// and starts the reactor thread.
     ///
@@ -393,29 +538,36 @@ impl ServerBuilder {
         let wake = WakePipe::new()?;
         let poller = Poller::new()?;
         let config = self.config;
+        let models: Vec<(String, ModelEntry)> = self
+            .models
+            .into_iter()
+            .map(|(name, pool)| {
+                // One worker per engine: the whole fleet serves. The
+                // pool's engines must be free here (the scheduler's
+                // workers check them out for the server's lifetime).
+                let scheduler = Scheduler::new(Arc::clone(&pool), pool.lanes());
+                (
+                    name,
+                    ModelEntry {
+                        pool,
+                        scheduler,
+                        requests: AtomicU64::new(0),
+                        errors: AtomicU64::new(0),
+                        inflight: AtomicU64::new(0),
+                        shed: AtomicU64::new(0),
+                    },
+                )
+            })
+            .collect();
+        let mut table = SessionTable::default();
+        let durable = match self.store_dir {
+            None => None,
+            Some(dir) => Some(recover_store(dir, self.fsync, &models, &mut table)?),
+        };
         let shared = Arc::new(ServerShared {
-            models: self
-                .models
-                .into_iter()
-                .map(|(name, pool)| {
-                    // One worker per engine: the whole fleet serves. The
-                    // pool's engines must be free here (the scheduler's
-                    // workers check them out for the server's lifetime).
-                    let scheduler = Scheduler::new(Arc::clone(&pool), pool.lanes());
-                    (
-                        name,
-                        ModelEntry {
-                            pool,
-                            scheduler,
-                            requests: AtomicU64::new(0),
-                            errors: AtomicU64::new(0),
-                            inflight: AtomicU64::new(0),
-                            shed: AtomicU64::new(0),
-                        },
-                    )
-                })
-                .collect(),
-            streams: Mutex::new(HashMap::new()),
+            models,
+            sessions: Mutex::new(table),
+            durable,
             recorder: LatencyRecorder::new(),
             routes: RouteCounters::default(),
             request_log: Mutex::new(std::collections::VecDeque::new()),
@@ -442,6 +594,58 @@ impl ServerBuilder {
     }
 }
 
+/// Opens the snapshot store and runs the boot-time crash-recovery scan:
+/// torn `.tmp` orphans and snapshots that fail header, payload, or
+/// artifact-digest verification are deleted and counted; survivors are
+/// adopted into the cold tier bound to the registered model whose
+/// [`RuntimeArtifact::state_digest`] matches the snapshot header. A
+/// snapshot for a model that is no longer registered is a discard, not an
+/// error — recovery must always get the server up.
+fn recover_store(
+    dir: PathBuf,
+    fsync: FsyncPolicy,
+    models: &[(String, ModelEntry)],
+    table: &mut SessionTable,
+) -> std::io::Result<DurableTier> {
+    let mut store = SessionStore::open(dir, fsync)?;
+    let digests: Vec<u64> = models
+        .iter()
+        .map(|(_, entry)| entry.pool.artifact().state_digest())
+        .collect();
+    let mut adopted: Vec<(String, usize)> = Vec::new();
+    let report = store.recover(|id, bytes| {
+        // O(1) header probe picks the candidate model; a full restore
+        // then proves the payload decodes before the session is adopted.
+        let Ok(header) = Header::parse(bytes) else {
+            return false;
+        };
+        let Some(index) = digests.iter().position(|&d| d == header.artifact_digest) else {
+            return false;
+        };
+        if models[index]
+            .1
+            .pool
+            .artifact()
+            .restore_client(bytes)
+            .is_err()
+        {
+            return false;
+        }
+        adopted.push((id.to_owned(), index));
+        true
+    })?;
+    for (id, index) in adopted {
+        table.cold.insert(id, index);
+    }
+    Ok(DurableTier {
+        store: Mutex::new(store),
+        parked_to_disk: AtomicU64::new(0),
+        faulted_in: AtomicU64::new(0),
+        recovered_on_boot: AtomicU64::new(report.recovered.len() as u64),
+        corrupt_discarded: AtomicU64::new(report.discarded),
+    })
+}
+
 /// A running serving front-end. Dropping it (or calling
 /// [`Server::shutdown`]) stops accepting and drains in-flight requests.
 #[derive(Debug)]
@@ -458,14 +662,23 @@ impl Server {
         self.addr
     }
 
-    /// Number of parked streaming sessions.
+    /// Number of warm (in-memory) streaming sessions.
     #[must_use]
     pub fn active_streams(&self) -> usize {
-        self.shared
-            .streams
-            .lock()
-            .expect("session table poisoned")
-            .len()
+        lock_clean(&self.shared.sessions).warm.len()
+    }
+
+    /// Number of cold (parked-to-disk) streaming sessions.
+    #[must_use]
+    pub fn cold_sessions(&self) -> usize {
+        lock_clean(&self.shared.sessions).cold.len()
+    }
+
+    /// Durability counters, when the server was started with
+    /// [`ServerBuilder::durable_store`].
+    #[must_use]
+    pub fn durability(&self) -> Option<DurabilityStats> {
+        self.shared.durability_stats()
     }
 
     /// Currently open connections (including parked keep-alive ones).
@@ -1006,14 +1219,8 @@ impl Reactor {
     }
 
     fn deliver_completions(&mut self) {
-        let completions: Vec<Completion> = {
-            let mut queue = self
-                .shared
-                .completions
-                .lock()
-                .expect("completion queue poisoned");
-            std::mem::take(&mut *queue)
-        };
+        let completions: Vec<Completion> =
+            std::mem::take(&mut *lock_clean(&self.shared.completions));
         for completion in completions {
             let Some(conn) = self
                 .slots
@@ -1320,6 +1527,50 @@ fn handle_infer(
     RouteOutcome::Dispatched
 }
 
+/// The 409 body for a `chunk_seq` that does not match the session's
+/// cursor: the client's view of the stream diverged (duplicate, dropped,
+/// or reordered push) and must resynchronize from `chunks_pushed`.
+fn seq_conflict_body(expected: u64, got: u64) -> String {
+    Json::obj(vec![
+        (
+            "error",
+            Json::from("chunk_seq mismatch: duplicate or out-of-order push"),
+        ),
+        ("chunks_pushed", Json::from(expected)),
+        ("got_chunk_seq", Json::from(got)),
+    ])
+    .to_string()
+}
+
+/// Makes room in the warm tier by demoting its least-recently-used parked
+/// session to the cold (disk) tier. Demotion is a map move: the victim's
+/// snapshot was already written when its last push parked it. Returns
+/// `false` when nothing is demotable — no durable tier, every warm
+/// session has a push in flight, or the victim's snapshot never reached
+/// disk (a session must not be silently dropped).
+fn demote_lru(sessions: &mut SessionTable, shared: &ServerShared) -> bool {
+    let Some(tier) = shared.durable.as_ref() else {
+        return false;
+    };
+    let Some(victim) = sessions.lru_parked() else {
+        return false;
+    };
+    let Some(entry) = sessions.warm.remove(&victim) else {
+        return false;
+    };
+    let Some(index) = shared.model_index(&entry.model) else {
+        sessions.warm.insert(victim, entry);
+        return false;
+    };
+    if !lock_clean(&tier.store).contains(&victim) {
+        sessions.warm.insert(victim, entry);
+        return false;
+    }
+    sessions.cold.insert(victim, index);
+    tier.parked_to_disk.fetch_add(1, Ordering::Relaxed);
+    true
+}
+
 fn handle_stream_push(
     shared: &Arc<ServerShared>,
     token: usize,
@@ -1333,13 +1584,24 @@ fn handle_stream_push(
         Err(e) => return inline("stream_push", 400, error_body(&e.to_string())),
     };
     let requested_model = doc.get("model").and_then(Json::as_str);
+    let chunk_seq = doc.get("chunk_seq").and_then(Json::as_u64);
+    if doc.get("chunk_seq").is_some() && chunk_seq.is_none() {
+        return inline(
+            "stream_push",
+            400,
+            error_body("invalid 'chunk_seq' (must be an unsigned integer)"),
+        );
+    }
 
     // Resolve the session: take its parked client and affinity hint
-    // (marking it busy), or create it on first push (which requires a
-    // model name and a free slot in the bounded session table).
+    // (marking it busy), fault a cold session back in from the snapshot
+    // store, or create it on first push (which requires a model name and
+    // a free — or evictable — slot in the bounded warm tier).
     let (model_name, client, created, preferred_lane) = {
-        let mut streams = shared.streams.lock().expect("session table poisoned");
-        if let Some(entry) = streams.get_mut(id) {
+        let mut sessions = lock_clean(&shared.sessions);
+        sessions.clock += 1;
+        let stamp = sessions.clock;
+        if let Some(entry) = sessions.warm.get_mut(id) {
             if requested_model.is_some_and(|m| m != entry.model) {
                 return inline(
                     "stream_push",
@@ -1354,7 +1616,103 @@ fn handle_stream_push(
                     error_body("session busy: a push is in flight"),
                 );
             };
+            if let Some(seq) = chunk_seq {
+                if seq != client.chunks_pushed() {
+                    let expected = client.chunks_pushed();
+                    entry.client = Some(client);
+                    return inline("stream_push", 409, seq_conflict_body(expected, seq));
+                }
+            }
+            entry.last_used = stamp;
             (entry.model.clone(), client, false, entry.preferred_lane)
+        } else if let Some(&model_index) = sessions.cold.get(id) {
+            // Fault-in: the session was parked to disk. Load and verify
+            // its snapshot, then promote it into the warm tier (evicting
+            // another parked session if the tier is full). A snapshot
+            // that fails verification loses that one session — reported,
+            // counted, deleted — and nothing else.
+            let model_name = shared.models[model_index].0.as_str();
+            if requested_model.is_some_and(|m| m != model_name) {
+                return inline(
+                    "stream_push",
+                    400,
+                    error_body("session is bound to a different model"),
+                );
+            }
+            let Some(tier) = shared.durable.as_ref() else {
+                // Unreachable by construction (cold entries require a
+                // durable tier), but degrade to "unknown" over panicking.
+                sessions.cold.remove(id);
+                return inline("stream_push", 404, error_body("unknown session"));
+            };
+            let loaded = lock_clean(&tier.store).load(id);
+            let client = match loaded {
+                Ok(Some(bytes)) => {
+                    match shared.models[model_index]
+                        .1
+                        .pool
+                        .artifact()
+                        .restore_client(&bytes)
+                    {
+                        Ok(client) => client,
+                        Err(_) => {
+                            sessions.cold.remove(id);
+                            let _ = lock_clean(&tier.store).remove(id);
+                            tier.corrupt_discarded.fetch_add(1, Ordering::Relaxed);
+                            shared.models[model_index]
+                                .1
+                                .errors
+                                .fetch_add(1, Ordering::Relaxed);
+                            return inline(
+                                "stream_push",
+                                404,
+                                error_body("session snapshot corrupted: session discarded"),
+                            );
+                        }
+                    }
+                }
+                Ok(None) | Err(_) => {
+                    sessions.cold.remove(id);
+                    tier.corrupt_discarded.fetch_add(1, Ordering::Relaxed);
+                    return inline(
+                        "stream_push",
+                        404,
+                        error_body("session snapshot missing: session discarded"),
+                    );
+                }
+            };
+            if let Some(seq) = chunk_seq {
+                if seq != client.chunks_pushed() {
+                    // Not yet promoted — the cold entry and its snapshot
+                    // stay untouched.
+                    return inline(
+                        "stream_push",
+                        409,
+                        seq_conflict_body(client.chunks_pushed(), seq),
+                    );
+                }
+            }
+            if sessions.warm.len() >= shared.config.session_capacity
+                && !demote_lru(&mut sessions, shared)
+            {
+                return inline(
+                    "stream_push",
+                    503,
+                    error_body("session table full: close idle sessions"),
+                );
+            }
+            sessions.cold.remove(id);
+            sessions.warm.insert(
+                id.to_owned(),
+                StreamEntry {
+                    model: model_name.to_owned(),
+                    client: None, // busy until this push completes
+                    preferred_lane: None,
+                    last_used: stamp,
+                },
+            );
+            tier.faulted_in.fetch_add(1, Ordering::Relaxed);
+            (model_name.to_owned(), client, false, None)
         } else {
             let Some(model_name) = requested_model else {
                 return inline(
@@ -1366,7 +1724,14 @@ fn handle_stream_push(
             let Some(index) = shared.model_index(model_name) else {
                 return inline("stream_push", 404, error_body("unknown model"));
             };
-            if streams.len() >= MAX_STREAM_SESSIONS {
+            if let Some(seq) = chunk_seq {
+                if seq != 0 {
+                    return inline("stream_push", 409, seq_conflict_body(0, seq));
+                }
+            }
+            if sessions.warm.len() >= shared.config.session_capacity
+                && !demote_lru(&mut sessions, shared)
+            {
                 return inline(
                     "stream_push",
                     503,
@@ -1374,12 +1739,13 @@ fn handle_stream_push(
                 );
             }
             let client = shared.models[index].1.pool.artifact().new_client();
-            streams.insert(
+            sessions.warm.insert(
                 id.to_owned(),
                 StreamEntry {
                     model: model_name.to_owned(),
                     client: None, // busy until this push completes
                     preferred_lane: None,
+                    last_used: stamp,
                 },
             );
             (model_name.to_owned(), client, true, None)
@@ -1397,10 +1763,10 @@ fn handle_stream_push(
     // created entry — the client was never told a session exists, so
     // keeping it would leak one table slot per bad request.
     let settle_error_inline = |client: ClientState| {
-        let mut streams = shared.streams.lock().expect("session table poisoned");
+        let mut sessions = lock_clean(&shared.sessions);
         if created {
-            streams.remove(id);
-        } else if let Some(entry) = streams.get_mut(id) {
+            sessions.warm.remove(id);
+        } else if let Some(entry) = sessions.warm.get_mut(id) {
             entry.client = Some(client);
         }
     };
@@ -1440,9 +1806,12 @@ fn handle_stream_push(
             let client = record.client;
             let chunks_pushed = client.chunks_pushed();
             let park = |client: ClientState, served_lane: Option<usize>| {
-                let mut streams = shared.streams.lock().expect("session table poisoned");
-                if let Some(entry) = streams.get_mut(&session_id) {
+                let mut sessions = lock_clean(&shared.sessions);
+                sessions.clock += 1;
+                let stamp = sessions.clock;
+                if let Some(entry) = sessions.warm.get_mut(&session_id) {
                     entry.client = Some(client);
+                    entry.last_used = stamp;
                     if served_lane.is_some() {
                         entry.preferred_lane = served_lane;
                     }
@@ -1455,6 +1824,19 @@ fn handle_stream_push(
                     start_timestep,
                     timesteps,
                 }) => {
+                    // Write-ahead park: the advanced state reaches the
+                    // durable store *before* the session is unmarked busy
+                    // (and before the client sees the response), so a
+                    // crash after this point replays from the chunk just
+                    // acknowledged, never an older one. The session is
+                    // busy for the whole write — close/evict cannot race
+                    // it. A failed write degrades the session to its
+                    // previous snapshot (best effort), never to a torn
+                    // one: the store commits via rename.
+                    if let Some(tier) = shared.durable.as_ref() {
+                        let bytes = entry.pool.artifact().snapshot_client(&client);
+                        let _ = lock_clean(&tier.store).park(&session_id, &bytes);
+                    }
                     park(client, Some(record.lane));
                     (
                         200,
@@ -1477,8 +1859,9 @@ fn handle_stream_push(
                 Err(error) => {
                     entry.errors.fetch_add(1, Ordering::Relaxed);
                     if created {
-                        let mut streams = shared.streams.lock().expect("session table poisoned");
-                        streams.remove(&session_id);
+                        // The first push never parked a snapshot, so the
+                        // table entry is the only state to reclaim.
+                        lock_clean(&shared.sessions).warm.remove(&session_id);
                     } else {
                         park(client, None);
                     }
@@ -1503,24 +1886,72 @@ fn handle_stream_push(
 }
 
 fn handle_stream_close(shared: &ServerShared, id: &str) -> (u16, String) {
-    let entry = {
-        let mut streams = shared.streams.lock().expect("session table poisoned");
-        let busy = match streams.get(id) {
-            None => return (404, error_body("unknown session")),
-            Some(entry) => entry.client.is_none(),
-        };
-        if busy {
+    // Transient local, moved out immediately — boxing the warm entry
+    // would buy nothing but an allocation per close.
+    #[allow(clippy::large_enum_variant)]
+    enum Closed {
+        Warm(StreamEntry),
+        Cold(usize),
+    }
+    let closed = {
+        let mut sessions = lock_clean(&shared.sessions);
+        if sessions.warm.get(id).is_some_and(|e| e.client.is_none()) {
             return (409, error_body("session busy: a push is in flight"));
         }
-        streams.remove(id).expect("session present")
+        if let Some(entry) = sessions.warm.remove(id) {
+            Closed::Warm(entry)
+        } else if let Some(index) = sessions.cold.remove(id) {
+            Closed::Cold(index)
+        } else {
+            return (404, error_body("unknown session"));
+        }
     };
-    let index = shared
-        .model_index(&entry.model)
-        .expect("session names a model");
+    // Either way the id is fully reclaimed: table entry gone above, disk
+    // snapshot gone below — a closed session cannot resurrect on restart.
+    let (model_name, index, client) = match closed {
+        Closed::Warm(entry) => {
+            if let Some(tier) = shared.durable.as_ref() {
+                let _ = lock_clean(&tier.store).remove(id);
+            }
+            let index = shared
+                .model_index(&entry.model)
+                .expect("session names a model");
+            let client = entry.client.expect("checked non-busy");
+            (entry.model, index, client)
+        }
+        Closed::Cold(index) => {
+            let Some(tier) = shared.durable.as_ref() else {
+                return (404, error_body("unknown session"));
+            };
+            let bytes = lock_clean(&tier.store).load(id);
+            let _ = lock_clean(&tier.store).remove(id);
+            // The close summary needs the parked state; a snapshot that
+            // no longer verifies still closes the session (everything is
+            // reclaimed), it just cannot report a summary.
+            let restored = match bytes {
+                Ok(Some(bytes)) => shared.models[index]
+                    .1
+                    .pool
+                    .artifact()
+                    .restore_client(&bytes),
+                Ok(None) => Err(sne::SneError::from(sne_store::StoreError::Malformed(
+                    "snapshot missing",
+                ))),
+                Err(e) => Err(sne::SneError::from(sne_store::StoreError::from(e))),
+            };
+            let Ok(client) = restored else {
+                tier.corrupt_discarded.fetch_add(1, Ordering::Relaxed);
+                return (
+                    404,
+                    error_body("session snapshot corrupted: session discarded"),
+                );
+            };
+            (shared.models[index].0.clone(), index, client)
+        }
+    };
     let model = &shared.models[index].1;
-    let client = entry.client.expect("checked non-busy");
     let summary = model.pool.artifact().summary(&client);
-    let mut members = result_members(&entry.model, &summary);
+    let mut members = result_members(&model_name, &summary);
     members.insert(0, ("session", Json::from(id)));
     members.push(("closed", Json::from(true)));
     members.push(("chunks_pushed", Json::from(client.chunks_pushed())));
@@ -1610,10 +2041,7 @@ fn stats_body(shared: &ServerShared) -> String {
         ("other", shared.routes.other.json()),
     ]);
     let recent = Json::Arr(
-        shared
-            .request_log
-            .lock()
-            .expect("request log poisoned")
+        lock_clean(&shared.request_log)
             .iter()
             .map(|entry| {
                 Json::obj(vec![
@@ -1626,14 +2054,14 @@ fn stats_body(shared: &ServerShared) -> String {
             })
             .collect(),
     );
-    Json::obj(vec![
+    let mut members = vec![
         ("uptime_s", Json::from(uptime_s)),
         ("completed", Json::from(stats.completed)),
         ("errors", Json::from(stats.errors)),
         ("throughput_rps", Json::from(throughput_rps)),
         (
             "active_streams",
-            Json::from(shared.streams.lock().expect("session table poisoned").len()),
+            Json::from(lock_clean(&shared.sessions).warm.len()),
         ),
         (
             "connections",
@@ -1648,6 +2076,18 @@ fn stats_body(shared: &ServerShared) -> String {
         ("routes", routes),
         ("recent_requests", recent),
         ("models", models),
-    ])
-    .to_string()
+    ];
+    if let Some(d) = shared.durability_stats() {
+        members.push((
+            "durability",
+            Json::obj(vec![
+                ("parked_to_disk", Json::from(d.parked_to_disk)),
+                ("faulted_in", Json::from(d.faulted_in)),
+                ("recovered_on_boot", Json::from(d.recovered_on_boot)),
+                ("corrupt_discarded", Json::from(d.corrupt_discarded)),
+                ("cold_sessions", Json::from(d.cold_sessions)),
+            ]),
+        ));
+    }
+    Json::obj(members).to_string()
 }

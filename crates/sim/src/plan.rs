@@ -233,6 +233,15 @@ impl LayerPlan {
         self.geometry == geometry_fingerprint_of(mapping)
     }
 
+    /// The plan's `(geometry digest, weights digest)` pair — the stable
+    /// per-layer fingerprint the durable-store layer folds into its
+    /// artifact digest, so a parked session can never be resumed against a
+    /// model with different weights or geometry.
+    #[must_use]
+    pub fn fingerprint(&self) -> (u64, u64) {
+        (self.geometry, self.weights_digest)
+    }
+
     /// Total number of precompiled tap weights the plan *resolves* — the
     /// logical table size, counting each (border class, input channel) span
     /// combination. Deduplication does not change this number; see

@@ -1,0 +1,139 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors of the durable store layer.
+///
+/// Every variant is `Clone + PartialEq` (I/O errors are carried as their
+/// rendered message) so the error can travel inside `sne::SneError` and be
+/// asserted on in tests. The corruption variants are deliberately fine
+/// grained: crash recovery treats them all as "discard the snapshot", but
+/// the fault-injection harness asserts the *right* one fires for each
+/// injected fault.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An operating-system I/O failure (rendered message).
+    Io(String),
+    /// The byte stream ended before a fixed-size field could be read — a
+    /// torn write or a short read.
+    Truncated {
+        /// Bytes the decoder needed.
+        need: usize,
+        /// Bytes that were available.
+        have: usize,
+    },
+    /// The file does not start with the snapshot magic.
+    BadMagic,
+    /// The header names a format version this build cannot decode.
+    UnsupportedVersion(u16),
+    /// The header's own checksum does not match its fields.
+    HeaderCorrupt,
+    /// The header's kind byte is not a known snapshot kind.
+    BadKind(u8),
+    /// The payload is shorter or longer than the header promises — the
+    /// classic torn-write signature.
+    Torn {
+        /// Payload length the header promises.
+        expected: u64,
+        /// Payload length actually present.
+        found: u64,
+    },
+    /// The payload digest does not match the header (bit rot / flipped
+    /// byte).
+    DigestMismatch {
+        /// Digest recorded in the header.
+        expected: u64,
+        /// Digest of the payload as read.
+        found: u64,
+    },
+    /// The snapshot was taken against a different artifact (weights,
+    /// geometry or engine configuration differ) and must never be resumed.
+    ArtifactMismatch {
+        /// Digest of the artifact attempting the restore.
+        expected: u64,
+        /// Digest recorded in the snapshot header.
+        found: u64,
+    },
+    /// A section the decoder requires is absent from the payload.
+    MissingSection(u32),
+    /// A section decoded to structurally invalid contents.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(message) => write!(f, "store i/o error: {message}"),
+            Self::Truncated { need, have } => {
+                write!(f, "snapshot truncated: needed {need} bytes, had {have}")
+            }
+            Self::BadMagic => write!(f, "not a snapshot: bad magic"),
+            Self::UnsupportedVersion(v) => write!(f, "unsupported snapshot format version {v}"),
+            Self::HeaderCorrupt => write!(f, "snapshot header checksum mismatch"),
+            Self::BadKind(k) => write!(f, "unknown snapshot kind {k}"),
+            Self::Torn { expected, found } => write!(
+                f,
+                "torn snapshot: header promises {expected} payload bytes, found {found}"
+            ),
+            Self::DigestMismatch { expected, found } => write!(
+                f,
+                "snapshot payload digest mismatch: header {expected:#018x}, payload {found:#018x}"
+            ),
+            Self::ArtifactMismatch { expected, found } => write!(
+                f,
+                "snapshot belongs to a different artifact: restoring digest {expected:#018x}, snapshot digest {found:#018x}"
+            ),
+            Self::MissingSection(tag) => write!(f, "snapshot is missing section {tag:#06x}"),
+            Self::Malformed(what) => write!(f, "malformed snapshot section: {what}"),
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(value: std::io::Error) -> Self {
+        Self::Io(value.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_clonable() {
+        let errors = [
+            StoreError::Io("disk on fire".to_owned()),
+            StoreError::Truncated { need: 8, have: 3 },
+            StoreError::BadMagic,
+            StoreError::UnsupportedVersion(9),
+            StoreError::HeaderCorrupt,
+            StoreError::BadKind(7),
+            StoreError::Torn {
+                expected: 100,
+                found: 3,
+            },
+            StoreError::DigestMismatch {
+                expected: 1,
+                found: 2,
+            },
+            StoreError::ArtifactMismatch {
+                expected: 1,
+                found: 2,
+            },
+            StoreError::MissingSection(0x10),
+            StoreError::Malformed("bad length"),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+            assert_eq!(e.clone(), e);
+        }
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let err: StoreError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(err, StoreError::Io(_)));
+    }
+}

@@ -1,0 +1,39 @@
+//! Durable session store for the SNE reproduction.
+//!
+//! The paper's configure-once/run-many split makes the mutable half of an
+//! inference session (`ClientState` in `sne`) small and self-contained —
+//! which makes it cheap to make *durable*. This crate provides the three
+//! storage primitives the serve layer builds its park-to-disk tier and
+//! crash recovery on:
+//!
+//! - [`codec`] — a hand-rolled little-endian binary codec ([`Enc`]/[`Dec`])
+//!   plus the FNV-1a digest ([`fnv1a`], [`Fnv1a`]) used for every integrity
+//!   check. No derive machinery: the on-disk format is an explicit,
+//!   documented byte layout, not an accident of struct ordering.
+//! - [`snapshot`] — the versioned snapshot container: a 40-byte
+//!   O(1)-verifiable header (magic, format version, kind, artifact digest,
+//!   payload length + digest, header checksum) followed by tagged,
+//!   length-prefixed sections. Torn writes, flipped bytes, format bumps and
+//!   wrong-model snapshots are all distinguishable, and none can be
+//!   silently resumed.
+//! - [`store`] — [`SessionStore`], a directory of snapshot files with
+//!   atomic tmp-write/rename parks, a write-ahead `park.journal`, a
+//!   configurable [`FsyncPolicy`], and a boot-time [recovery
+//!   scan](SessionStore::recover) that deletes invalid files and reports
+//!   what it discarded.
+//!
+//! This crate knows nothing about networks or engines: it stores and
+//! validates bytes. `sne` encodes/decodes its state into this container and
+//! `sne_serve` decides *when* to park, fault in, and recover.
+
+pub mod codec;
+pub mod error;
+pub mod snapshot;
+pub mod store;
+
+pub use codec::{fnv1a, Dec, Enc, Fnv1a};
+pub use error::StoreError;
+pub use snapshot::{
+    Header, SnapshotBuilder, SnapshotKind, SnapshotView, FORMAT_VERSION, HEADER_LEN, MAGIC,
+};
+pub use store::{FsyncPolicy, RecoveredSnapshot, RecoveryReport, SessionStore};

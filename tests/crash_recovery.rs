@@ -1,0 +1,301 @@
+//! Fault-injection harness for the durable session store (DESIGN.md §14):
+//! a child server process is killed with `SIGKILL` mid-stream, restarted
+//! against the same store directory, and the stream resumed — the outputs
+//! must be **bit-identical** to an uninterrupted session. Injected
+//! torn-write and flipped-byte corruption must degrade gracefully: the
+//! damaged session is discarded and reported, the server stays healthy,
+//! nothing panics.
+//!
+//! The child is this same test binary re-executed with
+//! `--exact child_server --ignored`; it publishes its ephemeral port
+//! through a file named by `SNE_CRASH_PORT_FILE` and then parks forever —
+//! only `kill -9` ever ends it, which is exactly the point.
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sne::compile::CompiledNetwork;
+use sne::session::InferenceSession;
+use sne_event::EventStream;
+use sne_model::topology::Topology;
+use sne_model::Shape;
+use sne_serve::{client, FsyncPolicy, Json, ServerBuilder};
+use sne_sim::{ExecStrategy, SneConfig};
+
+/// The fixed model both parent and child build: the restart only adopts
+/// snapshots whose artifact digest matches a registered model, so the
+/// seeds must agree across the process boundary.
+const MODEL_SEED: u64 = 77;
+
+fn compiled(seed: u64) -> CompiledNetwork {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    CompiledNetwork::random(&Topology::tiny(Shape::new(2, 8, 8), 4, 3), &mut rng).unwrap()
+}
+
+fn sample(seed: u64) -> EventStream {
+    sne::proportionality::stream_with_activity((2, 8, 8), 16, 0.05, seed)
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sne-crash-recovery-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id(),
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The server half of the harness. Runs only when re-executed by the
+/// parent test (`--exact child_server --ignored`); inert otherwise.
+#[test]
+#[ignore = "helper process for the kill -9 tests; started by the parent test"]
+fn child_server() {
+    let Ok(store) = std::env::var("SNE_CRASH_STORE_DIR") else {
+        return;
+    };
+    let port_file = std::env::var("SNE_CRASH_PORT_FILE").expect("port file env");
+    let network = Arc::new(compiled(MODEL_SEED));
+    let server = ServerBuilder::new()
+        .register(
+            "tiny",
+            network,
+            SneConfig::with_slices(2),
+            2,
+            ExecStrategy::Sequential,
+        )
+        .unwrap()
+        .durable_store(store)
+        // The real policy: every park survives power loss, not just
+        // process death — and the harness exercises the fsync path.
+        .fsync_policy(FsyncPolicy::Always)
+        .start("127.0.0.1:0")
+        .unwrap();
+    // Publish the port atomically so the parent never reads a half-write.
+    let tmp = format!("{port_file}.tmp");
+    std::fs::write(&tmp, server.addr().to_string()).unwrap();
+    std::fs::rename(&tmp, &port_file).unwrap();
+    // Park until SIGKILL. The server lives on its reactor thread.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn spawn_server(store: &Path, port_file: &Path) -> Child {
+    Command::new(std::env::current_exe().unwrap())
+        .args(["--exact", "child_server", "--ignored", "--nocapture"])
+        .env("SNE_CRASH_STORE_DIR", store)
+        .env("SNE_CRASH_PORT_FILE", port_file)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn child server")
+}
+
+fn await_port(port_file: &Path, child: &mut Child) -> SocketAddr {
+    for _ in 0..600 {
+        if let Ok(contents) = std::fs::read_to_string(port_file) {
+            if let Ok(addr) = contents.trim().parse() {
+                return addr;
+            }
+        }
+        if let Some(status) = child.try_wait().expect("child status") {
+            panic!("child server exited before publishing its port: {status}");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("child server did not publish a port within 30s");
+}
+
+fn push_chunk(addr: SocketAddr, session: &str, chunk: &EventStream) -> Json {
+    let body = client::infer_body("tiny", chunk);
+    let (status, response) =
+        client::post(addr, &format!("/v1/stream/{session}/push"), &body).unwrap();
+    assert_eq!(status, 200, "{response}");
+    Json::parse(&response).unwrap()
+}
+
+fn response_events(doc: &Json) -> Vec<(u64, u64, u64, u64)> {
+    doc.get("events")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|e| {
+            let f = e.as_array().unwrap();
+            (
+                f[0].as_u64().unwrap(),
+                f[1].as_u64().unwrap(),
+                f[2].as_u64().unwrap(),
+                f[3].as_u64().unwrap(),
+            )
+        })
+        .collect()
+}
+
+fn stream_events(stream: &EventStream) -> Vec<(u64, u64, u64, u64)> {
+    stream
+        .iter()
+        .filter(|e| e.is_spike())
+        .map(|e| {
+            (
+                u64::from(e.t),
+                u64::from(e.ch),
+                u64::from(e.x),
+                u64::from(e.y),
+            )
+        })
+        .collect()
+}
+
+fn durability_stats(addr: SocketAddr) -> Json {
+    let (status, body) = client::get(addr, "/v1/stats").unwrap();
+    assert_eq!(status, 200);
+    Json::parse(&body)
+        .unwrap()
+        .get("durability")
+        .expect("durable server exposes durability stats")
+        .clone()
+}
+
+#[test]
+fn kill_nine_mid_stream_resumes_bit_identically() {
+    let scratch = scratch_dir("resume");
+    let store = scratch.join("store");
+    let feed = sample(555);
+    let chunks: Vec<EventStream> = feed.chunks(4).collect();
+    let network = Arc::new(compiled(MODEL_SEED));
+    let mut reference =
+        InferenceSession::new(Arc::clone(&network), SneConfig::with_slices(2)).unwrap();
+
+    // Incarnation one: two acknowledged chunks, then SIGKILL — no drain,
+    // no destructors, exactly what a power cut looks like to the store.
+    let port_one = scratch.join("port-1");
+    let mut first = spawn_server(&store, &port_one);
+    let addr = await_port(&port_one, &mut first);
+    for chunk in &chunks[..2] {
+        reference.push(chunk).unwrap();
+        push_chunk(addr, "dvs", chunk);
+    }
+    first.kill().expect("SIGKILL child");
+    first.wait().expect("reap child");
+
+    // Incarnation two against the same store directory: the parked
+    // session must come back and the remaining chunks must produce
+    // byte-for-byte the outputs of the uninterrupted reference.
+    let port_two = scratch.join("port-2");
+    let mut second = spawn_server(&store, &port_two);
+    let addr = await_port(&port_two, &mut second);
+    let stats = durability_stats(addr);
+    assert_eq!(
+        stats.get("recovered_on_boot").and_then(Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(stats.get("cold_sessions").and_then(Json::as_u64), Some(1));
+    for chunk in &chunks[2..] {
+        let expected = reference.push(chunk).unwrap();
+        let doc = push_chunk(addr, "dvs", chunk);
+        assert_eq!(response_events(&doc), stream_events(&expected.output));
+        assert_eq!(
+            doc.get("total_cycles").and_then(Json::as_u64),
+            Some(expected.stats.total_cycles)
+        );
+        assert_eq!(
+            doc.get("start_timestep").and_then(Json::as_u64),
+            Some(u64::from(expected.start_timestep))
+        );
+    }
+
+    // The close summary over the whole stream matches the reference's.
+    let (status, closed) = client::post(addr, "/v1/stream/dvs/close", "").unwrap();
+    assert_eq!(status, 200, "{closed}");
+    let doc = Json::parse(&closed).unwrap();
+    let summary = reference.summary();
+    assert_eq!(
+        doc.get("predicted_class").and_then(Json::as_u64),
+        Some(summary.predicted_class as u64)
+    );
+    assert_eq!(
+        doc.get("total_cycles").and_then(Json::as_u64),
+        Some(summary.stats.total_cycles)
+    );
+    assert_eq!(doc.get("chunks_pushed").and_then(Json::as_u64), Some(4));
+
+    second.kill().expect("SIGKILL child");
+    second.wait().expect("reap child");
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn injected_corruption_degrades_to_one_lost_session() {
+    let scratch = scratch_dir("corrupt");
+    let store = scratch.join("store");
+    let feed = sample(556);
+    let chunks: Vec<EventStream> = feed.chunks(8).collect();
+    let network = Arc::new(compiled(MODEL_SEED));
+    let mut reference =
+        InferenceSession::new(Arc::clone(&network), SneConfig::with_slices(2)).unwrap();
+
+    // Two sessions parked, then SIGKILL.
+    let port_one = scratch.join("port-1");
+    let mut first = spawn_server(&store, &port_one);
+    let addr = await_port(&port_one, &mut first);
+    reference.push(&chunks[0]).unwrap();
+    push_chunk(addr, "keep", &chunks[0]);
+    push_chunk(addr, "lose", &chunks[0]);
+    first.kill().expect("SIGKILL child");
+    first.wait().expect("reap child");
+
+    // Injected faults: a flipped byte in one snapshot (digest mismatch), a
+    // short read (truncation), and a torn in-flight write (`.tmp` orphan).
+    let lose_hex: String = "lose".bytes().map(|b| format!("{b:02x}")).collect();
+    let victim = store.join(format!("s{lose_hex}.snap"));
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&victim, &bytes).unwrap();
+    let truncated = std::fs::read(store.join(format!(
+        "s{}.snap",
+        "keep".bytes().map(|b| format!("{b:02x}")).collect::<String>()
+    )))
+    .unwrap();
+    std::fs::write(store.join("s6261640a.snap"), &truncated[..21]).unwrap();
+    std::fs::write(store.join("s746f726e.tmp"), b"torn mid-write").unwrap();
+
+    // Restart: the intact session survives, each injected fault is a
+    // counted discard, and the server keeps serving.
+    let port_two = scratch.join("port-2");
+    let mut second = spawn_server(&store, &port_two);
+    let addr = await_port(&port_two, &mut second);
+    let stats = durability_stats(addr);
+    assert_eq!(
+        stats.get("recovered_on_boot").and_then(Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        stats.get("corrupt_discarded").and_then(Json::as_u64),
+        Some(3)
+    );
+    assert!(
+        !victim.exists(),
+        "corrupt snapshot deleted, not resurrected"
+    );
+
+    let expected = reference.push(&chunks[1]).unwrap();
+    let doc = push_chunk(addr, "keep", &chunks[1]);
+    assert_eq!(response_events(&doc), stream_events(&expected.output));
+    let (status, body) = client::post(addr, "/v1/stream/lose/close", "").unwrap();
+    assert_eq!(
+        status, 404,
+        "the corrupted session is reported lost: {body}"
+    );
+    let (status, _) = client::get(addr, "/healthz").unwrap();
+    assert_eq!(status, 200);
+
+    second.kill().expect("SIGKILL child");
+    second.wait().expect("reap child");
+    let _ = std::fs::remove_dir_all(&scratch);
+}
