@@ -289,26 +289,51 @@ pub fn format_response(
     request_id: Option<&str>,
     extra_headers: &[(&str, &str)],
 ) -> String {
-    let mut response = format!(
+    let mut out = Vec::with_capacity(128 + body.len());
+    append_response(
+        &mut out,
+        status,
+        body,
+        keep_alive,
+        request_id,
+        extra_headers,
+    );
+    String::from_utf8(out).expect("response bytes are UTF-8")
+}
+
+/// [`format_response`], appended straight onto an output buffer — the
+/// reactor's completion path renders into the connection's write buffer
+/// without an intermediate per-response `String`.
+pub fn append_response(
+    out: &mut Vec<u8>,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    request_id: Option<&str>,
+    extra_headers: &[(&str, &str)],
+) {
+    use std::io::Write as _;
+    // Writes to a `Vec` are infallible.
+    let _ = write!(
+        out,
         "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
     if let Some(id) = request_id {
-        response.push_str("X-Request-Id: ");
-        response.push_str(id);
-        response.push_str("\r\n");
+        out.extend_from_slice(b"X-Request-Id: ");
+        out.extend_from_slice(id.as_bytes());
+        out.extend_from_slice(b"\r\n");
     }
     for (name, value) in extra_headers {
-        response.push_str(name);
-        response.push_str(": ");
-        response.push_str(value);
-        response.push_str("\r\n");
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+        out.extend_from_slice(b"\r\n");
     }
-    response.push_str("\r\n");
-    response.push_str(body);
-    response
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body.as_bytes());
 }
 
 /// Blocking convenience: reads one complete request from `stream` (with

@@ -3,10 +3,11 @@
 //! a coarse timer wheel for per-connection deadlines, and a cross-thread
 //! wake pipe.
 //!
-//! The server's reactor thread multiplexes every connection through one
-//! [`Poller`]: tens of thousands of parked keep-alive sessions cost nothing
-//! while idle because the kernel only reports *ready* descriptors (epoll is
-//! O(ready), not O(registered)). No `libc` crate is used — the shim declares
+//! Each of the server's reactor shards multiplexes its connections through
+//! its own [`Poller`] (one shard per core by default — DESIGN.md §15): tens
+//! of thousands of parked keep-alive sessions cost nothing while idle
+//! because the kernel only reports *ready* descriptors (epoll is O(ready),
+//! not O(registered)). No `libc` crate is used — the shim declares
 //! the handful of symbols it needs via `extern "C"`; std already links the
 //! platform C library, so the declarations resolve against it. Raw-syscall
 //! plumbing is deliberately out of scope.

@@ -1,24 +1,35 @@
-//! The serving front-end: a nonblocking reactor multiplexing every
-//! connection on one thread, model registry, session table, admission
-//! control, stats, graceful shutdown.
+//! The serving front-end: sharded nonblocking reactors multiplexing every
+//! connection, model registry, session table, admission control, stats,
+//! graceful shutdown.
 //!
-//! ## Architecture (DESIGN.md §13)
+//! ## Architecture (DESIGN.md §13, §15)
 //!
-//! One reactor thread owns a [`Poller`] (epoll on Linux) and every
-//! connection's read/write state machine; inference never runs on it.
+//! N independent reactor shards (default one per core, see
+//! [`ServerBuilder::reactor_shards`]) each own a [`Poller`] (epoll on
+//! Linux), a token slab, and a timer wheel; inference never runs on them.
+//! Shard 0 additionally owns the listener: it accepts and hands each fresh
+//! socket to the least-loaded shard through that shard's handoff inbox +
+//! waker (or adopts it itself). A connection lives its whole life on one
+//! shard — keep-alive parking, streaming pushes, and deadlines never cross
+//! reactors — while the session table stays global, so a session is still
+//! reachable from any connection.
+//!
 //! A complete request is either answered inline (stats, health, session
 //! close) or **dispatched**: admission-checked against a bounded in-flight
 //! budget per model, then handed to the model's work-stealing [`Scheduler`]
 //! via its nonblocking `call_async`/`call_push_async` entry points. The
-//! serving worker thread finishes the inference, formats the response,
-//! pushes it onto the completion queue and wakes the reactor, which writes
-//! it out with backpressure (partial writes park the connection on write
-//! interest). Connections are HTTP/1.1 **keep-alive** by default, so a
-//! streaming client's chunk sequence reuses one connection instead of
-//! paying connect + teardown per push; parked idle connections cost nothing
-//! but their descriptor — the kernel only reports ready ones.
+//! serving worker thread finishes the inference and ships the **raw
+//! result** onto its shard's completion queue (off-worker serialization:
+//! JSON/HTTP rendering happens on the reactor at delivery time, so the
+//! engine-holding thread returns to compute immediately), then wakes that
+//! shard, which writes the response out with backpressure (partial writes
+//! park the connection on write interest). Connections are HTTP/1.1
+//! **keep-alive** by default, so a streaming client's chunk sequence reuses
+//! one connection instead of paying connect + teardown per push; parked
+//! idle connections cost nothing but their descriptor — the kernel only
+//! reports ready ones.
 //!
-//! Deadlines live on the reactor's timer wheel: a connection mid-request
+//! Deadlines live on each shard's timer wheel: a connection mid-request
 //! must deliver the complete request within the read deadline (slow-loris
 //! eviction with a best-effort 408), a parked keep-alive connection is
 //! closed after the keep-alive timeout, and a partially flushed response
@@ -93,7 +104,7 @@ use sne_event::{Event, EventStream};
 use sne_sim::{ExecStrategy, SneConfig};
 use sne_store::{FsyncPolicy, Header, SessionStore};
 
-use crate::http::{format_response, Request, RequestParser};
+use crate::http::{append_response, format_response, Request, RequestParser};
 use crate::json::Json;
 use crate::reactor::{Interest, PollEvent, Poller, TimerEntry, TimerWheel, WakePipe, Waker};
 
@@ -120,6 +131,16 @@ pub const MAX_CONNECTIONS: usize = 8192;
 /// (queued + executing) before new ones are shed with 429 (override with
 /// [`ServerBuilder::admission_limit`]).
 pub const ADMISSION_LIMIT: usize = 256;
+
+/// Cap on the automatic reactor-shard count ([`ServerBuilder::reactor_shards`]
+/// left at the default, or set to 0): one event loop per core up to this
+/// many — beyond ~8 shards the bound is engine lanes, not socket
+/// multiplexing. An explicit count is honored up to [`MAX_REACTOR_SHARDS`].
+pub const AUTO_REACTOR_SHARDS_CAP: usize = 8;
+
+/// Hard bound on explicitly requested reactor shards (each shard is one
+/// thread).
+pub const MAX_REACTOR_SHARDS: usize = 64;
 
 /// Entries kept in the recent-request ring served by `/v1/stats`.
 const REQUEST_LOG_CAPACITY: usize = 64;
@@ -291,16 +312,117 @@ struct RequestLog {
     service_us: f64,
 }
 
-/// A finished response traveling from a scheduler worker thread back to the
-/// reactor: the formatted bytes plus the connection's identity (token +
-/// generation — a recycled slot fails the generation check and the response
-/// is dropped, never delivered to a stranger).
+/// A finished request traveling from a scheduler worker thread back to its
+/// connection's reactor shard: the **raw** inference output plus the
+/// connection's identity (shard + token + generation — a recycled slot
+/// fails the generation check and the response is dropped, never delivered
+/// to a stranger). The worker ships data, not bytes: JSON/HTTP rendering
+/// happens on the reactor at delivery time (off-worker serialization), so
+/// the engine-holding thread takes its next job immediately.
 #[derive(Debug)]
 struct Completion {
+    shard: usize,
     token: usize,
     gen: u64,
-    response: String,
+    route: &'static str,
+    status: u16,
+    request_id: String,
     keep_alive: bool,
+    queue_us: f64,
+    service_us: f64,
+    body: ResponseBody,
+}
+
+/// What the reactor renders into the response body when it delivers a
+/// [`Completion`].
+#[derive(Debug)]
+enum ResponseBody {
+    /// Already-final JSON (error bodies — cheap to format anywhere).
+    Ready(String),
+    /// A one-shot inference result, rendered via [`result_members`].
+    Infer {
+        model: String,
+        result: InferenceResult,
+        lane: usize,
+    },
+    /// A streaming push's chunk output.
+    Push {
+        session: String,
+        model: String,
+        output: ChunkOutput,
+        chunks_pushed: u64,
+        lane: usize,
+    },
+}
+
+impl ResponseBody {
+    /// Renders the body JSON — on the reactor thread, never on an
+    /// engine-holding worker.
+    fn render(self, queue_us: f64, service_us: f64, request_id: &str) -> String {
+        match self {
+            Self::Ready(body) => body,
+            Self::Infer {
+                model,
+                result,
+                lane,
+            } => {
+                let mut members = result_members(&model, &result);
+                members.push(("lane", Json::from(lane)));
+                members.push(("queue_us", Json::from(queue_us)));
+                members.push(("service_us", Json::from(service_us)));
+                members.push(("request_id", Json::from(request_id)));
+                Json::obj(members).to_string()
+            }
+            Self::Push {
+                session,
+                model,
+                output,
+                chunks_pushed,
+                lane,
+            } => {
+                let ChunkOutput {
+                    output,
+                    stats,
+                    start_timestep,
+                    timesteps,
+                } = output;
+                Json::obj(vec![
+                    ("session", Json::from(session.as_str())),
+                    ("model", Json::from(model.as_str())),
+                    ("start_timestep", Json::from(u64::from(start_timestep))),
+                    ("timesteps", Json::from(u64::from(timesteps))),
+                    ("chunks_pushed", Json::from(chunks_pushed)),
+                    ("total_cycles", Json::from(stats.total_cycles)),
+                    ("events", events_json(&output)),
+                    ("lane", Json::from(lane)),
+                    ("queue_us", Json::from(queue_us)),
+                    ("service_us", Json::from(service_us)),
+                    ("request_id", Json::from(request_id)),
+                ])
+                .to_string()
+            }
+        }
+    }
+}
+
+/// One reactor shard's cross-thread surface: the completion queue its
+/// workers' callbacks fill, the handoff inbox the acceptor shard feeds,
+/// the waker that interrupts its poll, and the per-shard counters served
+/// under `"shards"` in `/v1/stats`.
+#[derive(Debug)]
+struct ShardHandle {
+    completions: Mutex<Vec<Completion>>,
+    handoff: Mutex<Vec<TcpStream>>,
+    waker: Waker,
+    /// Connections ever placed on this shard.
+    accepted: AtomicU64,
+    /// Connections currently open on this shard. Counted from the moment
+    /// the acceptor assigns the socket — before adoption — so a burst of
+    /// accepts spreads by real load instead of piling onto a shard whose
+    /// handoff wakeup has not run yet.
+    open: AtomicUsize,
+    /// Connections evicted by this shard's read-deadline timer.
+    evictions: AtomicU64,
 }
 
 /// Tunables fixed at server start.
@@ -327,12 +449,8 @@ struct ServerShared {
     next_request_id: AtomicU64,
     started: Instant,
     shutting_down: AtomicBool,
-    completions: Mutex<Vec<Completion>>,
-    waker: Waker,
-    /// Open-connection gauge (reactor-maintained, read by stats/health).
-    connections: AtomicUsize,
-    /// Connections evicted by the read-deadline (slow-loris) timer.
-    evictions: AtomicU64,
+    /// One handle per reactor shard; `Completion::shard` indexes here.
+    shards: Vec<ShardHandle>,
     config: ServerConfig,
 }
 
@@ -363,10 +481,36 @@ impl ServerShared {
         });
     }
 
-    /// Queues a finished response for the reactor and wakes it.
+    /// Queues a finished response for its connection's shard and wakes that
+    /// shard's reactor.
     fn complete(&self, completion: Completion) {
-        lock_clean(&self.completions).push(completion);
-        self.waker.wake();
+        let shard = &self.shards[completion.shard];
+        lock_clean(&shard.completions).push(completion);
+        shard.waker.wake();
+    }
+
+    /// Wakes every shard (the shutdown broadcast).
+    fn wake_all(&self) {
+        for shard in &self.shards {
+            shard.waker.wake();
+        }
+    }
+
+    /// Open connections over every shard (including parked keep-alive ones
+    /// and handed-off sockets awaiting adoption).
+    fn open_connections(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.open.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Slow-loris evictions over every shard.
+    fn evictions_total(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.evictions.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// A point-in-time copy of the durability counters, when a durable
@@ -390,6 +534,9 @@ pub struct ServerBuilder {
     config: ServerConfig,
     store_dir: Option<PathBuf>,
     fsync: FsyncPolicy,
+    /// Requested reactor shard count; 0 = automatic (one per core, capped
+    /// at [`AUTO_REACTOR_SHARDS_CAP`]).
+    shards: usize,
 }
 
 impl Default for ServerBuilder {
@@ -406,6 +553,7 @@ impl Default for ServerBuilder {
             },
             store_dir: None,
             fsync: FsyncPolicy::default(),
+            shards: 0,
         }
     }
 }
@@ -514,6 +662,19 @@ impl ServerBuilder {
         self
     }
 
+    /// Number of independent reactor shards (event-loop threads) the server
+    /// runs. `0` — the default — selects one per available core, capped at
+    /// [`AUTO_REACTOR_SHARDS_CAP`]; an explicit count is clamped to
+    /// `1..=`[`MAX_REACTOR_SHARDS`]. Shard 0 owns the listener and hands
+    /// each accepted socket to the least-loaded shard; a connection then
+    /// lives its whole life on that shard (shard-sticky), so keep-alive and
+    /// streaming state never migrate between reactors.
+    #[must_use]
+    pub fn reactor_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// How eagerly the store flushes snapshot and journal writes (default
     /// [`FsyncPolicy::Always`]). [`FsyncPolicy::Never`] trades the
     /// power-loss guarantee for write latency — crash-consistency against
@@ -526,17 +687,36 @@ impl ServerBuilder {
     }
 
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback port)
-    /// and starts the reactor thread.
+    /// and starts the reactor shards.
     ///
     /// # Errors
     ///
-    /// Propagates bind/poller-creation failures.
+    /// Propagates bind/poller-creation/thread-spawn failures.
     pub fn start(self, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let wake = WakePipe::new()?;
-        let poller = Poller::new()?;
+        let shard_count = match self.shards {
+            0 => std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get)
+                .min(AUTO_REACTOR_SHARDS_CAP),
+            n => n.min(MAX_REACTOR_SHARDS),
+        };
+        let mut pipes = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            pipes.push((WakePipe::new()?, Poller::new()?));
+        }
+        let shards: Vec<ShardHandle> = pipes
+            .iter()
+            .map(|(pipe, _)| ShardHandle {
+                completions: Mutex::new(Vec::new()),
+                handoff: Mutex::new(Vec::new()),
+                waker: pipe.waker(),
+                accepted: AtomicU64::new(0),
+                open: AtomicUsize::new(0),
+                evictions: AtomicU64::new(0),
+            })
+            .collect();
         let config = self.config;
         let models: Vec<(String, ModelEntry)> = self
             .models
@@ -574,22 +754,38 @@ impl ServerBuilder {
             next_request_id: AtomicU64::new(1),
             started: Instant::now(),
             shutting_down: AtomicBool::new(false),
-            completions: Mutex::new(Vec::new()),
-            waker: wake.waker(),
-            connections: AtomicUsize::new(0),
-            evictions: AtomicU64::new(0),
+            shards,
             config,
         });
-        let reactor_shared = Arc::clone(&shared);
-        let reactor_handle = std::thread::Builder::new()
-            .name("sne-reactor".to_owned())
-            .spawn(move || {
-                Reactor::new(listener, wake, poller, reactor_shared).run();
-            })?;
+        let mut listener = Some(listener);
+        let mut handles = Vec::with_capacity(shard_count);
+        for (index, (pipe, poller)) in pipes.into_iter().enumerate() {
+            // Shard 0 is the acceptor: it owns the listener and distributes
+            // accepted sockets to the least-loaded shard.
+            let shard_listener = if index == 0 { listener.take() } else { None };
+            let reactor_shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("sne-reactor-{index}"))
+                .spawn(move || {
+                    Reactor::new(index, shard_listener, pipe, poller, reactor_shared).run();
+                });
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    // Unwind the shards already running before reporting.
+                    shared.shutting_down.store(true, Ordering::SeqCst);
+                    shared.wake_all();
+                    for handle in handles {
+                        let _ = handle.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
         Ok(Server {
             addr,
             shared,
-            reactor_handle: Some(reactor_handle),
+            reactor_handles: handles,
         })
     }
 }
@@ -652,7 +848,7 @@ fn recover_store(
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<ServerShared>,
-    reactor_handle: Option<JoinHandle<()>>,
+    reactor_handles: Vec<JoinHandle<()>>,
 }
 
 impl Server {
@@ -681,10 +877,17 @@ impl Server {
         self.shared.durability_stats()
     }
 
-    /// Currently open connections (including parked keep-alive ones).
+    /// Currently open connections (including parked keep-alive ones),
+    /// summed over every reactor shard.
     #[must_use]
     pub fn open_connections(&self) -> usize {
-        self.shared.connections.load(Ordering::Relaxed)
+        self.shared.open_connections()
+    }
+
+    /// Number of reactor shards serving this server.
+    #[must_use]
+    pub fn reactor_shards(&self) -> usize {
+        self.shared.shards.len()
     }
 
     /// Graceful shutdown: stop accepting, close parked idle connections,
@@ -696,8 +899,8 @@ impl Server {
 
     fn close_and_drain(&mut self) {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
-        self.shared.waker.wake();
-        if let Some(handle) = self.reactor_handle.take() {
+        self.shared.wake_all();
+        for handle in self.reactor_handles.drain(..) {
             handle.join().expect("reactor thread panicked");
         }
         // Dropping `shared`'s last strong references later drains the
@@ -755,6 +958,9 @@ struct Slot {
 }
 
 struct Reactor {
+    /// This reactor's index into [`ServerShared::shards`].
+    shard: usize,
+    /// `Some` only on the acceptor shard (shard 0).
     listener: Option<TcpListener>,
     wake: WakePipe,
     poller: Poller,
@@ -765,11 +971,16 @@ struct Reactor {
     wheel: TimerWheel,
     next_arm: u64,
     scratch: Vec<u8>,
+    /// Rotating tiebreak for least-loaded accept placement: among equally
+    /// loaded shards, placement cycles instead of piling onto the lowest
+    /// index.
+    accept_rr: usize,
 }
 
 impl Reactor {
     fn new(
-        listener: TcpListener,
+        shard: usize,
+        listener: Option<TcpListener>,
         wake: WakePipe,
         poller: Poller,
         shared: Arc<ServerShared>,
@@ -781,7 +992,8 @@ impl Reactor {
             (config.read_deadline / 8).clamp(Duration::from_millis(5), Duration::from_millis(100));
         let horizon = config.read_deadline.max(config.keepalive_timeout);
         Self {
-            listener: Some(listener),
+            shard,
+            listener,
             wake,
             poller,
             shared,
@@ -791,6 +1003,7 @@ impl Reactor {
             wheel: TimerWheel::new(granularity, horizon),
             next_arm: 0,
             scratch: vec![0u8; SCRATCH_BYTES],
+            accept_rr: 0,
         }
     }
 
@@ -830,6 +1043,7 @@ impl Reactor {
                 }
             }
             events = drained_events;
+            self.adopt_handoffs();
             self.deliver_completions();
             let now = Instant::now();
             expired.clear();
@@ -846,6 +1060,15 @@ impl Reactor {
                     break;
                 }
             }
+        }
+        // A handed-off socket this shard never adopted still holds a slot
+        // on the gauge; release it as the stream drops.
+        let mut inbox = lock_clean(&self.shared.shards[self.shard].handoff);
+        for stream in inbox.drain(..) {
+            drop(stream);
+            self.shared.shards[self.shard]
+                .open
+                .fetch_sub(1, Ordering::Relaxed);
         }
     }
 
@@ -889,7 +1112,7 @@ impl Reactor {
                 return;
             };
             match listener.accept() {
-                Ok((stream, _peer)) => self.admit_connection(stream),
+                Ok((stream, _peer)) => self.place_connection(stream),
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 // Transient accept failure (e.g. aborted handshake): keep
@@ -899,8 +1122,13 @@ impl Reactor {
         }
     }
 
-    fn admit_connection(&mut self, stream: TcpStream) {
-        if self.open >= self.shared.config.max_connections {
+    /// Places a freshly accepted socket (acceptor shard only): global
+    /// capacity check, then the least-loaded shard with a rotating
+    /// tiebreak. The acceptor bumps the target's gauges *at placement* —
+    /// not at adoption — so one accept burst spreads by real load instead
+    /// of piling onto a shard whose handoff wakeup has not run yet.
+    fn place_connection(&mut self, stream: TcpStream) {
+        if self.shared.open_connections() >= self.shared.config.max_connections {
             // Best effort: tell the client why before dropping it. The
             // socket is fresh, so a single nonblocking write of ~150 bytes
             // either lands in the empty send buffer or is dropped.
@@ -911,7 +1139,50 @@ impl Reactor {
             let _ = stream.write(response.as_bytes());
             return;
         }
+        let shards = &self.shared.shards;
+        let n = shards.len();
+        let start = self.accept_rr % n;
+        let target = (0..n)
+            .map(|offset| (start + offset) % n)
+            .min_by_key(|&i| shards[i].open.load(Ordering::Relaxed))
+            .unwrap_or(self.shard);
+        self.accept_rr = (target + 1) % n;
+        shards[target].open.fetch_add(1, Ordering::Relaxed);
+        shards[target].accepted.fetch_add(1, Ordering::Relaxed);
+        if target == self.shard {
+            self.adopt_connection(stream);
+        } else {
+            lock_clean(&shards[target].handoff).push(stream);
+            shards[target].waker.wake();
+        }
+    }
+
+    /// Drains this shard's handoff inbox: sockets the acceptor assigned
+    /// here. Their slot on the shard gauge is already counted.
+    fn adopt_handoffs(&mut self) {
+        let pending: Vec<TcpStream> =
+            std::mem::take(&mut *lock_clean(&self.shared.shards[self.shard].handoff));
+        for stream in pending {
+            if self.shared.shutting_down.load(Ordering::SeqCst) {
+                // Never served: release the assigned slot as the stream
+                // drops.
+                self.shared.shards[self.shard]
+                    .open
+                    .fetch_sub(1, Ordering::Relaxed);
+                continue;
+            }
+            self.adopt_connection(stream);
+        }
+    }
+
+    /// Adopts a socket onto this shard: slab slot, poller registration, and
+    /// the pre-first-byte keep-alive deadline. The shard gauge was bumped
+    /// at placement; a socket that fails setup releases it.
+    fn adopt_connection(&mut self, stream: TcpStream) {
         if stream.set_nonblocking(true).is_err() {
+            self.shared.shards[self.shard]
+                .open
+                .fetch_sub(1, Ordering::Relaxed);
             return;
         }
         let _ = stream.set_nodelay(true);
@@ -937,7 +1208,6 @@ impl Reactor {
         };
         slot.conn = Some(conn);
         self.open += 1;
-        self.shared.connections.store(self.open, Ordering::Relaxed);
         self.update_registration(token);
         // Pre-first-byte deadline: a connection that never sends a request
         // is reaped like an idle keep-alive one.
@@ -955,7 +1225,9 @@ impl Reactor {
         drop(conn);
         self.free.push(token);
         self.open -= 1;
-        self.shared.connections.store(self.open, Ordering::Relaxed);
+        self.shared.shards[self.shard]
+            .open
+            .fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Syncs the poller registration with the connection's desired
@@ -1021,7 +1293,9 @@ impl Reactor {
         if conn.parser.mid_request() {
             // Slow-loris eviction: the request failed to arrive within the
             // read deadline. Best-effort 408, then close.
-            self.shared.evictions.fetch_add(1, Ordering::Relaxed);
+            self.shared.shards[self.shard]
+                .evictions
+                .fetch_add(1, Ordering::Relaxed);
             let body = error_body("request read deadline exceeded");
             let response = format_response(408, &body, false, None, &[]);
             let _ = conn.stream.write(response.as_bytes());
@@ -1212,16 +1486,35 @@ impl Reactor {
         let Some(conn) = self.slots[token].conn.as_mut() else {
             return;
         };
-        let response = format_response(status, &body, keep_alive, request_id, extra_headers);
-        conn.out.extend_from_slice(response.as_bytes());
+        append_response(
+            &mut conn.out,
+            status,
+            &body,
+            keep_alive,
+            request_id,
+            extra_headers,
+        );
         conn.keep_alive_after = keep_alive;
         self.flush_conn(token);
     }
 
+    /// Delivers this shard's finished dispatches: renders each raw result
+    /// into the connection's output buffer (the off-worker serialization
+    /// boundary) and flushes.
     fn deliver_completions(&mut self) {
-        let completions: Vec<Completion> =
-            std::mem::take(&mut *lock_clean(&self.shared.completions));
+        let completions: Vec<Completion> = std::mem::take(&mut *lock_clean(
+            &self.shared.shards[self.shard].completions,
+        ));
         for completion in completions {
+            // The request finished whether or not its connection survived:
+            // count and log it either way.
+            self.shared.log_request(
+                &completion.request_id,
+                completion.route,
+                completion.status,
+                completion.queue_us,
+                completion.service_us,
+            );
             let Some(conn) = self
                 .slots
                 .get_mut(completion.token)
@@ -1233,9 +1526,27 @@ impl Reactor {
                 continue; // slot recycled: response belongs to a dead conn
             }
             conn.dispatched = false;
-            conn.out.extend_from_slice(completion.response.as_bytes());
-            conn.keep_alive_after = completion.keep_alive;
-            self.flush_conn(completion.token);
+            let Completion {
+                token,
+                status,
+                request_id,
+                keep_alive,
+                queue_us,
+                service_us,
+                body,
+                ..
+            } = completion;
+            let body = body.render(queue_us, service_us, &request_id);
+            append_response(
+                &mut conn.out,
+                status,
+                &body,
+                keep_alive,
+                Some(&request_id),
+                &[],
+            );
+            conn.keep_alive_after = keep_alive;
+            self.flush_conn(token);
         }
     }
 
@@ -1254,7 +1565,7 @@ impl Reactor {
             .as_ref()
             .map(|c| c.gen)
             .unwrap_or_default();
-        match route(&shared, token, gen, &request, &request_id) {
+        match route(&shared, self.shard, token, gen, &request, &request_id) {
             RouteOutcome::Inline {
                 route: route_tag,
                 status,
@@ -1308,13 +1619,14 @@ fn inline(route: &'static str, status: u16, body: String) -> RouteOutcome {
 
 fn route(
     shared: &Arc<ServerShared>,
+    shard: usize,
     token: usize,
     gen: u64,
     request: &Request,
     request_id: &str,
 ) -> RouteOutcome {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/infer") => handle_infer(shared, token, gen, request, request_id),
+        ("POST", "/v1/infer") => handle_infer(shared, shard, token, gen, request, request_id),
         ("GET", "/v1/stats") => inline("stats", 200, stats_body(shared)),
         ("GET", "/healthz") => inline("healthz", 200, healthz_body(shared)),
         (method, path) => {
@@ -1327,7 +1639,7 @@ fn route(
                     );
                 }
                 if let Some(id) = rest.strip_suffix("/push") {
-                    return handle_stream_push(shared, token, gen, id, request, request_id);
+                    return handle_stream_push(shared, shard, token, gen, id, request, request_id);
                 }
                 if let Some(id) = rest.strip_suffix("/close") {
                     let (status, body) = handle_stream_close(shared, id);
@@ -1454,6 +1766,7 @@ fn admit(shared: &ServerShared, entry: &ModelEntry) -> Result<(), Shed> {
 
 fn handle_infer(
     shared: &Arc<ServerShared>,
+    shard: usize,
     token: usize,
     gen: u64,
     request: &Request,
@@ -1488,7 +1801,9 @@ fn handle_infer(
     let keep_alive = request.keep_alive;
     // Interactive priority lane: one-shot inferences are latency-sensitive
     // and cut ahead of any bulk backlog on the fleet. The callback runs on
-    // the serving worker: it formats the response and wakes the reactor.
+    // the serving worker and only does the accounting — the raw result is
+    // shipped to the connection's reactor shard, which renders the
+    // response (off-worker serialization).
     entry.scheduler.call_async(stream, None, move |record| {
         let shared = callback_shared;
         let entry = &shared.models[index].1;
@@ -1497,31 +1812,30 @@ fn handle_infer(
             .recorder
             .record(record.queue_us, record.service_us, record.result.is_err());
         let (status, body) = match record.result {
-            Ok(result) => {
-                let mut members = result_members(&model_name, &result);
-                members.push(("lane", Json::from(record.lane)));
-                members.push(("queue_us", Json::from(record.queue_us)));
-                members.push(("service_us", Json::from(record.service_us)));
-                members.push(("request_id", Json::from(request_id.as_str())));
-                (200, Json::obj(members).to_string())
-            }
+            Ok(result) => (
+                200,
+                ResponseBody::Infer {
+                    model: model_name,
+                    result,
+                    lane: record.lane,
+                },
+            ),
             Err(error) => {
                 entry.errors.fetch_add(1, Ordering::Relaxed);
-                (400, error_body(&error.to_string()))
+                (400, ResponseBody::Ready(error_body(&error.to_string())))
             }
         };
-        shared.log_request(
-            &request_id,
-            "infer",
-            status,
-            record.queue_us,
-            record.service_us,
-        );
         shared.complete(Completion {
+            shard,
             token,
             gen,
-            response: format_response(status, &body, keep_alive, Some(&request_id), &[]),
+            route: "infer",
+            status,
+            request_id,
             keep_alive,
+            queue_us: record.queue_us,
+            service_us: record.service_us,
+            body,
         });
     });
     RouteOutcome::Dispatched
@@ -1571,8 +1885,10 @@ fn demote_lru(sessions: &mut SessionTable, shared: &ServerShared) -> bool {
     true
 }
 
+#[allow(clippy::too_many_lines)]
 fn handle_stream_push(
     shared: &Arc<ServerShared>,
+    shard: usize,
     token: usize,
     gen: u64,
     id: &str,
@@ -1793,7 +2109,11 @@ fn handle_stream_push(
     // engine when the fleet has room, any engine (bit-identically) when
     // load says otherwise. The callback re-parks the advanced client state
     // — even when the connection has meanwhile died, so a mid-stream client
-    // disconnect frees the session slot instead of wedging it busy.
+    // disconnect frees the session slot instead of wedging it busy. The
+    // response itself is rendered later, on the connection's reactor shard:
+    // only the durable write-ahead park stays here, because its ordering
+    // guarantee (snapshot on disk before the session is unmarked busy and
+    // before the client can see the ack) is what crash recovery rests on.
     entry
         .scheduler
         .call_push_async(client, chunk, preferred_lane, move |record| {
@@ -1805,11 +2125,11 @@ fn handle_stream_push(
                 .record(record.queue_us, record.service_us, record.result.is_err());
             let client = record.client;
             let chunks_pushed = client.chunks_pushed();
-            let park = |client: ClientState, served_lane: Option<usize>| {
+            let park = |session_id: &str, client: ClientState, served_lane: Option<usize>| {
                 let mut sessions = lock_clean(&shared.sessions);
                 sessions.clock += 1;
                 let stamp = sessions.clock;
-                if let Some(entry) = sessions.warm.get_mut(&session_id) {
+                if let Some(entry) = sessions.warm.get_mut(session_id) {
                     entry.client = Some(client);
                     entry.last_used = stamp;
                     if served_lane.is_some() {
@@ -1818,12 +2138,7 @@ fn handle_stream_push(
                 }
             };
             let (status, body) = match record.result {
-                Ok(ChunkOutput {
-                    output,
-                    stats,
-                    start_timestep,
-                    timesteps,
-                }) => {
+                Ok(output) => {
                     // Write-ahead park: the advanced state reaches the
                     // durable store *before* the session is unmarked busy
                     // (and before the client sees the response), so a
@@ -1837,23 +2152,16 @@ fn handle_stream_push(
                         let bytes = entry.pool.artifact().snapshot_client(&client);
                         let _ = lock_clean(&tier.store).park(&session_id, &bytes);
                     }
-                    park(client, Some(record.lane));
+                    park(&session_id, client, Some(record.lane));
                     (
                         200,
-                        Json::obj(vec![
-                            ("session", Json::from(session_id.as_str())),
-                            ("model", Json::from(model_name.as_str())),
-                            ("start_timestep", Json::from(u64::from(start_timestep))),
-                            ("timesteps", Json::from(u64::from(timesteps))),
-                            ("chunks_pushed", Json::from(chunks_pushed)),
-                            ("total_cycles", Json::from(stats.total_cycles)),
-                            ("events", events_json(&output)),
-                            ("lane", Json::from(record.lane)),
-                            ("queue_us", Json::from(record.queue_us)),
-                            ("service_us", Json::from(record.service_us)),
-                            ("request_id", Json::from(request_id.as_str())),
-                        ])
-                        .to_string(),
+                        ResponseBody::Push {
+                            session: session_id,
+                            model: model_name,
+                            output,
+                            chunks_pushed,
+                            lane: record.lane,
+                        },
                     )
                 }
                 Err(error) => {
@@ -1863,23 +2171,22 @@ fn handle_stream_push(
                         // table entry is the only state to reclaim.
                         lock_clean(&shared.sessions).warm.remove(&session_id);
                     } else {
-                        park(client, None);
+                        park(&session_id, client, None);
                     }
-                    (400, error_body(&error.to_string()))
+                    (400, ResponseBody::Ready(error_body(&error.to_string())))
                 }
             };
-            shared.log_request(
-                &request_id,
-                "stream_push",
-                status,
-                record.queue_us,
-                record.service_us,
-            );
             shared.complete(Completion {
+                shard,
                 token,
                 gen,
-                response: format_response(status, &body, keep_alive, Some(&request_id), &[]),
+                route: "stream_push",
+                status,
+                request_id,
                 keep_alive,
+                queue_us: record.queue_us,
+                service_us: record.service_us,
+                body,
             });
         });
     RouteOutcome::Dispatched
@@ -1980,10 +2287,8 @@ fn healthz_body(shared: &ServerShared) -> String {
             "uptime_s",
             Json::from(shared.started.elapsed().as_secs_f64()),
         ),
-        (
-            "connections",
-            Json::from(shared.connections.load(Ordering::Relaxed)),
-        ),
+        ("connections", Json::from(shared.open_connections())),
+        ("shards", Json::from(shared.shards.len())),
         ("models", Json::from(shared.models.len())),
     ])
     .to_string()
@@ -2027,6 +2332,7 @@ fn stats_body(shared: &ServerShared) -> String {
                         ("steals", Json::from(sched.steals)),
                         ("affinity_hits", Json::from(sched.affinity_hits)),
                         ("affinity_misses", Json::from(sched.affinity_misses)),
+                        ("coalesced", Json::from(sched.coalesced)),
                     ]),
                 )
             })
@@ -2063,13 +2369,23 @@ fn stats_body(shared: &ServerShared) -> String {
             "active_streams",
             Json::from(lock_clean(&shared.sessions).warm.len()),
         ),
+        ("connections", Json::from(shared.open_connections())),
+        ("evictions", Json::from(shared.evictions_total())),
         (
-            "connections",
-            Json::from(shared.connections.load(Ordering::Relaxed)),
-        ),
-        (
-            "evictions",
-            Json::from(shared.evictions.load(Ordering::Relaxed)),
+            "shards",
+            Json::Arr(
+                shared
+                    .shards
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("accepted", Json::from(s.accepted.load(Ordering::Relaxed))),
+                            ("open", Json::from(s.open.load(Ordering::Relaxed))),
+                            ("evictions", Json::from(s.evictions.load(Ordering::Relaxed))),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
         ("queue_latency_us", latency_json(&stats.queue)),
         ("service_latency_us", latency_json(&stats.service)),

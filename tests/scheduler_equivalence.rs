@@ -161,25 +161,37 @@ proptest! {
         // queue-wait samples; the gates measure the steady-state fleet.
         let _ = runner.run(&streams).unwrap();
         let report = runner.run(&streams).unwrap();
-        // Only a worker-owned lane can be busy at all, so the gate is over
-        // the `threads` busiest lanes (threads == owned lanes).
-        let mut busy = report.lane_utilization.clone();
-        busy.sort_by(|a, b| b.partial_cmp(a).unwrap());
-        let owned = &busy[..report.threads];
-        let mean = owned.iter().sum::<f64>() / owned.len() as f64;
-        let min = owned.iter().copied().fold(f64::INFINITY, f64::min);
-        prop_assert!(mean > 0.0);
-        prop_assert!(
-            min >= 0.25 * mean,
-            "lane-utilization collapse: {:?} (threads = {})",
-            report.lane_utilization,
-            report.threads
-        );
-        // With one worker per lane the report's own spread stat is the same
-        // gate; it must agree with the recomputation.
-        if report.threads == report.lanes {
-            prop_assert!(report.utilization_spread >= 0.25);
-            prop_assert!((report.utilization_spread - min / mean).abs() < 1e-9);
+        // The busy-time spread gates assume the worker threads actually run
+        // concurrently. A 1-core host serializes them: which worker the
+        // kernel schedules first (and for how long) decides the wall-clock
+        // busy split, so the spread measures the OS scheduler, not ours.
+        // The steal-floor keeps placement fair even there — the per-lane
+        // job-count gate below still runs — but the busy-time ratios are
+        // only meaningful with real parallelism.
+        let single_core = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            == 1;
+        if !single_core {
+            // Only a worker-owned lane can be busy at all, so the gate is
+            // over the `threads` busiest lanes (threads == owned lanes).
+            let mut busy = report.lane_utilization.clone();
+            busy.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let owned = &busy[..report.threads];
+            let mean = owned.iter().sum::<f64>() / owned.len() as f64;
+            let min = owned.iter().copied().fold(f64::INFINITY, f64::min);
+            prop_assert!(mean > 0.0);
+            prop_assert!(
+                min >= 0.25 * mean,
+                "lane-utilization collapse: {:?} (threads = {})",
+                report.lane_utilization,
+                report.threads
+            );
+            // With one worker per lane the report's own spread stat is the
+            // same gate; it must agree with the recomputation.
+            if report.threads == report.lanes {
+                prop_assert!(report.utilization_spread >= 0.25);
+                prop_assert!((report.utilization_spread - min / mean).abs() < 1e-9);
+            }
         }
         // Arrivals must wait on the hardware, not the queue. A closed burst
         // cannot show that (every job necessarily waits for the backlog

@@ -420,6 +420,250 @@ fn healthz_and_per_route_counters() {
     server.shutdown();
 }
 
+// -- multi-shard suite ------------------------------------------------------
+//
+// The sharded reactor must be observationally identical to the single-shard
+// one: connections spread across shards, but every response stays bit-exact
+// vs a direct session, streaming sessions survive on their shard, and
+// shutdown/eviction semantics hold per shard.
+
+fn sharded_server(network: &Arc<CompiledNetwork>, shards: usize) -> sne_serve::Server {
+    ServerBuilder::new()
+        .register(
+            "tiny",
+            Arc::clone(network),
+            SneConfig::with_slices(2),
+            2,
+            ExecStrategy::Sequential,
+        )
+        .unwrap()
+        .reactor_shards(shards)
+        .start("127.0.0.1:0")
+        .unwrap()
+}
+
+#[test]
+fn multi_shard_distributes_connections_and_serves_bit_exactly() {
+    let network = Arc::new(compiled(11));
+    let server = sharded_server(&network, 2);
+    assert_eq!(server.reactor_shards(), 2);
+    let mut session =
+        InferenceSession::new(Arc::clone(&network), SneConfig::with_slices(2)).unwrap();
+
+    // Four concurrently open keep-alive connections: least-loaded placement
+    // must spread them over both shards, and every response must still be
+    // bit-identical to the direct session no matter which shard served it.
+    let mut conns: Vec<Connection> = (0..4)
+        .map(|_| Connection::connect(server.addr()).unwrap())
+        .collect();
+    for round in 0..3 {
+        for (c, conn) in conns.iter_mut().enumerate() {
+            let stream = sample(500 + round * 10 + c as u64);
+            let expected = session.infer(&stream).unwrap();
+            let (status, body) = conn
+                .post("/v1/infer", &client::infer_body("tiny", &stream))
+                .unwrap();
+            assert_eq!(status, 200, "{body}");
+            let doc = Json::parse(&body).unwrap();
+            assert_eq!(
+                doc.get("predicted_class").and_then(Json::as_u64),
+                Some(expected.predicted_class as u64)
+            );
+            assert_eq!(
+                doc.get("total_cycles").and_then(Json::as_u64),
+                Some(expected.stats.total_cycles)
+            );
+            assert_eq!(
+                doc.get("energy_uj")
+                    .and_then(Json::as_f64)
+                    .map(f64::to_bits),
+                Some(expected.energy.energy_uj.to_bits()),
+            );
+        }
+    }
+    assert_eq!(server.open_connections(), 4);
+
+    let (status, stats) = client::get(server.addr(), "/v1/stats").unwrap();
+    assert_eq!(status, 200);
+    let doc = Json::parse(&stats).unwrap();
+    let shards = doc.get("shards").and_then(Json::as_array).unwrap();
+    assert_eq!(shards.len(), 2);
+    for shard in shards {
+        assert!(
+            shard.get("accepted").and_then(Json::as_u64).unwrap() >= 1,
+            "a shard never got a connection: {stats}"
+        );
+    }
+    let open: u64 = shards
+        .iter()
+        .map(|s| s.get("open").and_then(Json::as_u64).unwrap())
+        .sum();
+    // The 4 parked keep-alive connections plus the stats connection itself.
+    assert_eq!(open, 5, "{stats}");
+    server.shutdown();
+}
+
+#[test]
+fn multi_shard_streaming_sessions_stay_shard_sticky_and_bit_exact() {
+    let network = Arc::new(compiled(11));
+    let server = sharded_server(&network, 2);
+    // Two concurrent keep-alive connections: placed on different shards,
+    // each driving its own streaming session. Chunk state must survive
+    // between pushes on whichever shard owns the connection, and the final
+    // summaries must be bit-identical to dedicated reference sessions.
+    let mut conn_a = Connection::connect(server.addr()).unwrap();
+    let mut conn_b = Connection::connect(server.addr()).unwrap();
+    let mut ref_a = InferenceSession::new(Arc::clone(&network), SneConfig::with_slices(2)).unwrap();
+    let mut ref_b = InferenceSession::new(Arc::clone(&network), SneConfig::with_slices(2)).unwrap();
+    let chunks_a: Vec<EventStream> = sample(71).chunks(4).collect();
+    let chunks_b: Vec<EventStream> = sample(72).chunks(4).collect();
+
+    for (chunk_a, chunk_b) in chunks_a.iter().zip(&chunks_b) {
+        let expected = ref_a.push(chunk_a).unwrap();
+        let (status, body) = conn_a
+            .post(
+                "/v1/stream/shard-a/push",
+                &client::infer_body("tiny", chunk_a),
+            )
+            .unwrap();
+        assert_eq!(status, 200, "{body}");
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(
+            doc.get("total_cycles").and_then(Json::as_u64),
+            Some(expected.stats.total_cycles)
+        );
+
+        let expected = ref_b.push(chunk_b).unwrap();
+        let (status, body) = conn_b
+            .post(
+                "/v1/stream/shard-b/push",
+                &client::infer_body("tiny", chunk_b),
+            )
+            .unwrap();
+        assert_eq!(status, 200, "{body}");
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(
+            doc.get("total_cycles").and_then(Json::as_u64),
+            Some(expected.stats.total_cycles)
+        );
+    }
+
+    for (conn, session_path, reference) in [
+        (&mut conn_a, "/v1/stream/shard-a/close", &ref_a),
+        (&mut conn_b, "/v1/stream/shard-b/close", &ref_b),
+    ] {
+        let (status, body) = conn.post(session_path, "").unwrap();
+        assert_eq!(status, 200, "{body}");
+        let doc = Json::parse(&body).unwrap();
+        let expected = reference.summary();
+        assert_eq!(
+            doc.get("predicted_class").and_then(Json::as_u64),
+            Some(expected.predicted_class as u64)
+        );
+        assert_eq!(
+            doc.get("energy_uj")
+                .and_then(Json::as_f64)
+                .map(f64::to_bits),
+            Some(expected.energy.energy_uj.to_bits())
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn multi_shard_graceful_shutdown_joins_every_shard() {
+    let network = Arc::new(compiled(11));
+    let server = sharded_server(&network, 2);
+    let addr = server.addr();
+    // Park keep-alive connections on both shards (least-loaded placement
+    // alternates while all stay open).
+    let mut parked: Vec<Connection> = (0..6)
+        .map(|i| {
+            let mut conn = Connection::connect(addr).unwrap();
+            let (status, _) = conn
+                .post("/v1/infer", &client::infer_body("tiny", &sample(600 + i)))
+                .unwrap();
+            assert_eq!(status, 200);
+            conn
+        })
+        .collect();
+    assert_eq!(server.open_connections(), 6);
+
+    let started = Instant::now();
+    server.shutdown(); // must join BOTH reactor threads without timing out
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shutdown hung on a shard"
+    );
+    for conn in &mut parked {
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let result = conn.post("/v1/infer", "{}");
+        assert!(result.is_err(), "socket survived shutdown");
+    }
+}
+
+#[test]
+fn multi_shard_slow_loris_evicted_on_each_shard() {
+    let network = Arc::new(compiled(11));
+    let server = ServerBuilder::new()
+        .register(
+            "tiny",
+            Arc::clone(&network),
+            SneConfig::with_slices(2),
+            2,
+            ExecStrategy::Sequential,
+        )
+        .unwrap()
+        .reactor_shards(2)
+        .read_deadline(Duration::from_millis(150))
+        .start("127.0.0.1:0")
+        .unwrap();
+    let addr = server.addr();
+
+    // Two concurrent slow connections: placement puts one on each shard, so
+    // both timer wheels must fire. Each sends a partial request line (the
+    // read deadline arms on the first byte) and then stalls.
+    let drips: Vec<_> = (0..2)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .unwrap();
+                stream.write_all(b"POST /v1/inf").unwrap();
+                let started = Instant::now();
+                let mut response = String::new();
+                let _ = stream.read_to_string(&mut response);
+                (started.elapsed(), response)
+            })
+        })
+        .collect();
+    for drip in drips {
+        let (elapsed, response) = drip.join().unwrap();
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "slow client was not evicted ({elapsed:?})"
+        );
+        assert!(
+            response.is_empty() || response.contains("408"),
+            "unexpected eviction response: {response}"
+        );
+    }
+
+    let (status, stats) = client::get(addr, "/v1/stats").unwrap();
+    assert_eq!(status, 200);
+    let doc = Json::parse(&stats).unwrap();
+    let shards = doc.get("shards").and_then(Json::as_array).unwrap();
+    assert_eq!(shards.len(), 2);
+    for shard in shards {
+        assert!(
+            shard.get("evictions").and_then(Json::as_u64).unwrap() >= 1,
+            "a shard's timer wheel never evicted: {stats}"
+        );
+    }
+    server.shutdown();
+}
+
 #[test]
 fn shutdown_closes_parked_keep_alive_connections() {
     let server = tiny_server(2);
